@@ -1,0 +1,79 @@
+// Ablation: what does GROPHECY's transformation exploration buy?
+//
+// Projects the best achievable kernel time for each paper workload under
+// progressively crippled explorers: full space, no shared-memory staging,
+// single block size, and both restrictions at once. The gap justifies the
+// explorer — "different transformations may result in performance that is
+// orders of magnitude apart" (§II-C).
+#include <cstdio>
+#include <iostream>
+
+#include <vector>
+
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/matmul.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+
+  gpumodel::ExplorerOptions full;
+  gpumodel::ExplorerOptions no_smem = full;
+  no_smem.explore_smem_staging = false;
+  no_smem.seq_tile_factors.clear();
+  gpumodel::ExplorerOptions one_block = full;
+  one_block.block_sizes = {64};
+  one_block.unroll_factors = {1};
+  gpumodel::ExplorerOptions crippled = no_smem;
+  crippled.block_sizes = {64};
+  crippled.unroll_factors = {1};
+
+  util::TextTable table({"Workload / kernel", "Full space",
+                         "No staging/tiling", "Block=64 only", "Neither"});
+
+  struct Subject {
+    std::string name;
+    skeleton::AppSkeleton app;
+  };
+  std::vector<Subject> subjects;
+  for (const auto& workload : workloads::paper_workloads()) {
+    const workloads::DataSize size = workload->paper_data_sizes().back();
+    subjects.push_back({workload->name(), workload->make_skeleton(size, 1)});
+  }
+  // The paper's Figure 1 pedagogical example — where exploration matters
+  // most: the untiled kernel is latency bound.
+  subjects.push_back({"MatMul (Fig. 1)", workloads::matmul_skeleton(1024)});
+
+  for (const Subject& subject : subjects) {
+    for (const skeleton::KernelSkeleton& kernel : subject.app.kernels) {
+      auto best_time = [&](const gpumodel::ExplorerOptions& options) {
+        return gpumodel::Explorer(gpu, options)
+            .best(subject.app, kernel)
+            .time.total_s;
+      };
+      const double t_full = best_time(full);
+      table.add_row({
+          subject.name + " / " + kernel.name,
+          util::format_time(t_full),
+          strfmt("%.2fx", best_time(no_smem) / t_full),
+          strfmt("%.2fx", best_time(one_block) / t_full),
+          strfmt("%.2fx", best_time(crippled) / t_full),
+      });
+    }
+  }
+
+  std::printf("Ablation: projected best kernel time vs explorer "
+              "restrictions\n");
+  std::printf("(columns show slowdown relative to the full transformation "
+              "space; §II-C: \"different transformations may result in "
+              "performance\nthat is orders of magnitude apart\")\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "ablation_exploration");
+  return 0;
+}

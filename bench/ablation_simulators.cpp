@@ -1,0 +1,62 @@
+// Ablation: two independent implementations of "the machine".
+//
+// The wave-based simulator (synchronized block waves, per-SM bandwidth
+// slices) and the discrete-event fluid simulator (greedy block scheduler,
+// chip-wide DRAM contention) were written independently from the same
+// hardware description. Their agreement on every explored paper kernel is
+// evidence that the measured side of the reproduction is not an artifact
+// of one simulator's structure — and their divergence is confined to the
+// documented cases (partial tail waves).
+#include <cstdio>
+#include <iostream>
+
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "sim/event_sim.h"
+#include "sim/gpu_sim.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  sim::GpuSimulator wave(gpu, 1);
+  sim::EventGpuSimulator fluid(gpu, 1);
+  gpumodel::Explorer explorer(gpu);
+
+  util::TextTable table({"Workload / kernel", "Wave sim", "Event sim",
+                         "Difference"});
+  std::vector<double> diffs;
+
+  for (const auto& workload : workloads::paper_workloads()) {
+    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
+      const skeleton::AppSkeleton app = workload->make_skeleton(size, 1);
+      for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+        const gpumodel::ProjectedKernel best = explorer.best(app, kernel);
+        const double wave_s =
+            wave.expected_launch(best.characteristics).total_s;
+        const double fluid_s =
+            fluid.expected_launch(best.characteristics).total_s;
+        const double diff = util::percent_difference(fluid_s, wave_s);
+        diffs.push_back(std::abs(diff));
+        table.add_row({workload->name() + " " + size.label + " / " +
+                           kernel.name,
+                       util::format_time(wave_s), util::format_time(fluid_s),
+                       strfmt("%+.1f%%", diff)});
+      }
+    }
+    table.add_separator();
+  }
+
+  std::printf("Ablation: wave-based vs discrete-event GPU simulator\n");
+  std::printf("(expected launch times for every explored paper kernel)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "ablation_simulators");
+  std::printf("\nmean |difference| across all kernels: %.1f%%\n",
+              util::mean(diffs));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Exploration report: the full transformation space of one kernel, ranked.
+//
+// GROPHECY's value is that it searches the transformation space so the
+// user does not have to (§II-C). This bench opens the hood: for the
+// Figure-1 matmul and the HotSpot stencil it prints every explored
+// variant — block size, staging, tiling, unrolling — with the model's
+// timing decomposition and which bound dominates, ranked fastest first.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/hotspot.h"
+#include "workloads/matmul.h"
+
+namespace {
+
+void report(const char* title, const grophecy::skeleton::AppSkeleton& app,
+            std::size_t top_n) {
+  using namespace grophecy;
+  using util::strfmt;
+
+  gpumodel::Explorer explorer(hw::anl_eureka().gpu);
+  std::vector<gpumodel::ProjectedKernel> variants =
+      explorer.explore(app, app.kernels[0]);
+  std::sort(variants.begin(), variants.end(),
+            [](const auto& a, const auto& b) {
+              return a.time.total_s < b.time.total_s;
+            });
+
+  util::TextTable table({"Rank", "Variant", "Projected", "Bound",
+                         "Occupancy", "vs best"});
+  const double best = variants.front().time.total_s;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (i >= top_n && i + top_n < variants.size()) continue;  // head + tail
+    const auto& v = variants[i];
+    table.add_row({
+        strfmt("%zu", i + 1),
+        v.variant.describe(),
+        util::format_time(v.time.total_s),
+        v.time.bound,
+        strfmt("%.0f%% (%s)", v.time.occupancy.fraction * 100.0,
+               v.time.occupancy.limiter),
+        strfmt("%.2fx", v.time.total_s / best),
+    });
+    if (i + 1 == top_n && variants.size() > 2 * top_n)
+      table.add_separator();
+  }
+
+  std::printf("%s — %zu variants explored (top %zu and bottom %zu shown)\n\n",
+              title, variants.size(), top_n, top_n);
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace grophecy;
+  report("MatMul 1024x1024 (the paper's Figure 1 example)",
+         workloads::matmul_skeleton(1024), 6);
+  report("HotSpot 1024x1024 stencil",
+         workloads::hotspot_skeleton(1024, 1), 6);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension study: how much does the CPU baseline choice move the verdict?
+//
+// The paper's baseline is OpenMP with 8 threads (§IV-B) — a strong, fair
+// baseline. This study re-projects two workloads against the same machine
+// with the baseline restricted to fewer threads: against a sequential
+// baseline every GPU port looks spectacular (the "100x myth" the paper's
+// reference [14] debunks); against the honest 8-thread baseline the
+// transfer-aware verdicts are what Table II reports.
+#include <cstdio>
+#include <iostream>
+
+#include "core/grophecy.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "workloads/srad.h"
+#include "workloads/stassuij.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  util::TextTable table({"Baseline threads", "SRAD 2048 speedup",
+                         "Stassuij speedup", "Stassuij verdict"});
+  for (int threads : {1, 2, 4, 8}) {
+    hw::MachineSpec machine = hw::anl_eureka();
+    machine.cpu.threads = threads;
+    core::Grophecy engine(machine);
+    const auto srad =
+        engine.project(workloads::srad_skeleton(2048, 1));
+    const auto stassuij =
+        engine.project(workloads::stassuij_skeleton({}, 1));
+    table.add_row({
+        strfmt("%d", threads),
+        strfmt("%.2fx", srad.predicted_speedup_both()),
+        strfmt("%.2fx", stassuij.predicted_speedup_both()),
+        stassuij.predicted_speedup_both() > 1.0 ? "offload" : "stay",
+    });
+  }
+
+  std::printf("Extension: the CPU baseline's thread count vs the offload "
+              "verdict\n(paper §IV-B uses 8 OpenMP threads — the honest "
+              "baseline)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "ext_baseline");
+  std::printf("\nWeak baselines inflate every speedup — yet Stassuij stays "
+              "a loss even against a\nsingle thread: its transfer deficit "
+              "is deeper than any baseline handicap. A fair\nparallel "
+              "baseline plus transfer modeling is what makes the projection "
+              "honest.\n");
+  return 0;
+}

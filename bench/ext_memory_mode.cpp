@@ -1,0 +1,55 @@
+// Extension study (paper §VII future work): memory-mode tradeoffs with
+// allocation overhead, across all four paper workloads.
+//
+// For each workload/data size this prints the projected cost of the
+// transfer plan under uniform pinned, uniform pageable, and the advisor's
+// per-array mix — including host-buffer allocation. The paper's blanket
+// "assume pinned" policy is near-optimal for these bandwidth-heavy plans,
+// but the mix recovers the pageable win on small buffers (and on tiny
+// apps the recommendation flips outright).
+#include <cstdio>
+#include <iostream>
+
+#include "core/memory_advisor.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  util::TextTable table({"Application", "Data Size", "All pinned",
+                         "All pageable", "Per-array mix", "Mix saves",
+                         "Uniform rec."});
+
+  for (const auto& workload : workloads::paper_workloads()) {
+    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
+      const core::MemoryModeReport report =
+          advisor.advise(workload->make_skeleton(size, 1));
+      const double best_uniform =
+          std::min(report.all_pinned_s, report.all_pageable_s);
+      table.add_row({
+          workload->name(),
+          size.label,
+          util::format_time(report.all_pinned_s),
+          util::format_time(report.all_pageable_s),
+          util::format_time(report.mixed_s),
+          strfmt("%.1f%%", (best_uniform - report.mixed_s) / best_uniform *
+                               100.0),
+          report.uniform_recommendation == hw::HostMemory::kPinned
+              ? "pinned"
+              : "pageable",
+      });
+    }
+    table.add_separator();
+  }
+
+  std::printf("Extension: memory-mode tradeoff incl. allocation overhead "
+              "(paper §VII future work)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "ext_memory_mode");
+  return 0;
+}

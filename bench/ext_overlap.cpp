@@ -1,0 +1,80 @@
+// Extension study: can streamed transfer/compute overlap win back the
+// offloads the paper's serial model rejects?
+//
+// For chunkable workloads (element-wise vector add; Stassuij's
+// independent-row SpMM) this sweeps chunk counts with the calibrated
+// linear bus model and compares the serial projection against the best
+// pipelined one. The answer sharpens the paper's conclusion: overlap can
+// hide min(kernel, transfer) at best, and since transfer *dominates* every
+// paper workload, even perfect pipelining leaves the bus as the bottleneck
+// — it narrows the loss but does not flip Stassuij's verdict.
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/overlap.h"
+#include "skeleton/builder.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+namespace {
+
+grophecy::skeleton::AppSkeleton vector_add(std::int64_t n) {
+  using namespace grophecy::skeleton;
+  AppBuilder builder("vector_add");
+  const ArrayId a = builder.array("a", ElemType::kF32, {n});
+  const ArrayId b = builder.array("b", ElemType::kF32, {n});
+  const ArrayId c = builder.array("c", ElemType::kF32, {n});
+  KernelBuilder& k = builder.kernel("add");
+  k.parallel_loop("i", n);
+  k.statement(1.0).load(a, {k.var("i")}).load(b, {k.var("i")}).store(
+      c, {k.var("i")});
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  core::Grophecy engine(hw::anl_eureka());
+  core::OverlapAnalyzer analyzer(engine.bus_model());
+
+  util::TextTable table({"Workload", "Serial projected", "Best overlapped",
+                         "Chunks", "Pipeline speedup", "GPU speedup",
+                         "w/ overlap"});
+
+  auto add_row = [&](const std::string& name,
+                     const core::ProjectionReport& report) {
+    const core::OverlapProjection overlap = analyzer.best(report);
+    table.add_row({
+        name,
+        util::format_time(overlap.serial_s),
+        util::format_time(overlap.overlapped_s),
+        strfmt("%d", overlap.chunks),
+        strfmt("%.2fx", overlap.speedup()),
+        strfmt("%.2fx", report.predicted_speedup_both()),
+        strfmt("%.2fx", report.measured_cpu_s / overlap.overlapped_s),
+    });
+  };
+
+  add_row("vector_add 64MB", engine.project(vector_add(16 * 1024 * 1024)));
+
+  const auto all = workloads::paper_workloads();
+  const auto& stassuij = *all[3];
+  add_row("Stassuij",
+          engine.project(stassuij.make_skeleton(
+              stassuij.paper_data_sizes().front(), 1)));
+
+  std::printf("Extension: streamed transfer/compute overlap projection\n");
+  std::printf("(chunked pipeline priced with the calibrated T(d)=a+b*d "
+              "model; per-chunk alpha is why\ninfinite chunking loses)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "ext_overlap");
+  std::printf("\nEven optimally pipelined, transfer-dominated offloads stay "
+              "bus-bound: overlap hides\nmin(kernel, transfer), and the "
+              "paper showed transfer is the larger term everywhere.\n");
+  return 0;
+}

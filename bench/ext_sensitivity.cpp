@@ -1,0 +1,54 @@
+// Extension study: which hardware parameters decide the verdict?
+//
+// Elasticity of the transfer-aware predicted speedup with respect to every
+// machine parameter (+10% perturbation, full re-projection each time), for
+// a transfer-dominated workload (Stassuij) and a compute-heavier one
+// (SRAD at 64 iterations). The contrast IS the paper's thesis, expressed
+// as derivatives: at low iteration counts the bus and the host memory
+// system dominate; amortize the transfers and the GPU's memory system
+// takes over.
+#include <cstdio>
+#include <iostream>
+
+#include "core/sensitivity.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "workloads/srad.h"
+#include "workloads/stassuij.h"
+
+namespace {
+
+void report(const char* title, const grophecy::skeleton::AppSkeleton& app) {
+  using namespace grophecy;
+  using util::strfmt;
+
+  const auto results =
+      core::analyze_sensitivity(hw::anl_eureka(), app,
+                                {.perturbation = 0.10,
+                                 .min_elasticity = 0.05});
+  util::TextTable table({"Parameter (+10%)", "Speedup", "Elasticity"});
+  std::size_t shown = 0;
+  for (const core::ParameterSensitivity& entry : results) {
+    if (++shown > 10) break;
+    table.add_row({entry.field, strfmt("%.3fx", entry.perturbed_speedup),
+                   strfmt("%+.2f", entry.elasticity)});
+  }
+  std::printf("%s — baseline transfer-aware speedup %.3fx\n\n", title,
+              results.empty() ? 0.0 : results.front().baseline_speedup);
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace grophecy;
+  std::printf("Extension: machine-parameter sensitivity of the projected "
+              "speedup\n(elasticity = %%-change in speedup per %%-change in "
+              "parameter; top 10 shown)\n\n");
+  report("Stassuij, 1 iteration (transfer dominated)",
+         workloads::stassuij_skeleton({}, 1));
+  report("SRAD 2048x2048, 64 iterations (transfers amortized)",
+         workloads::srad_skeleton(2048, 64));
+  return 0;
+}

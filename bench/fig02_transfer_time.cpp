@@ -1,0 +1,84 @@
+// Reproduces Figure 2: transfer time for pinned and pageable memory for a
+// range of transfer sizes (1 B to 512 MB, powers of two), both directions,
+// with the linear model's prediction overlaid for pinned transfers. Each
+// time is the arithmetic mean of 10 separate transfers (paper caption).
+#include <cstdio>
+#include <iostream>
+
+#include <vector>
+
+#include "hw/registry.h"
+#include "pcie/bus.h"
+#include "pcie/calibrator.h"
+#include "util/ascii_chart.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace grophecy;
+  using hw::Direction;
+  using hw::HostMemory;
+  using util::strfmt;
+
+  const hw::MachineSpec machine = hw::anl_eureka();
+  pcie::SimulatedBus bus(machine.pcie, /*seed=*/2013);
+  pcie::TransferCalibrator calibrator;
+  pcie::SimulatedBus calibration_bus(machine.pcie, /*seed=*/7);
+  const pcie::BusModel model =
+      calibrator.calibrate(calibration_bus, HostMemory::kPinned);
+
+  util::TextTable table({"Size", "H2D pinned (us)", "H2D predicted",
+                         "H2D pageable", "D2H pinned (us)", "D2H predicted",
+                         "D2H pageable"});
+
+  constexpr int kRuns = 10;
+  std::vector<double> xs, pinned_us, pageable_us, predicted_us;
+  for (std::uint64_t bytes = 1; bytes <= 512 * util::kMiB; bytes *= 2) {
+    auto mean_us = [&](Direction dir, HostMemory mem) {
+      return util::seconds_to_us(bus.measure_mean(bytes, dir, mem, kRuns));
+    };
+    xs.push_back(static_cast<double>(bytes));
+    pinned_us.push_back(mean_us(Direction::kHostToDevice,
+                                HostMemory::kPinned));
+    pageable_us.push_back(mean_us(Direction::kHostToDevice,
+                                  HostMemory::kPageable));
+    predicted_us.push_back(util::seconds_to_us(
+        model.predict_seconds(bytes, Direction::kHostToDevice)));
+    table.add_row({
+        util::format_bytes(bytes),
+        strfmt("%.1f", mean_us(Direction::kHostToDevice, HostMemory::kPinned)),
+        strfmt("%.1f", util::seconds_to_us(model.predict_seconds(
+                           bytes, Direction::kHostToDevice))),
+        strfmt("%.1f",
+               mean_us(Direction::kHostToDevice, HostMemory::kPageable)),
+        strfmt("%.1f", mean_us(Direction::kDeviceToHost, HostMemory::kPinned)),
+        strfmt("%.1f", util::seconds_to_us(model.predict_seconds(
+                           bytes, Direction::kDeviceToHost))),
+        strfmt("%.1f",
+               mean_us(Direction::kDeviceToHost, HostMemory::kPageable)),
+    });
+  }
+
+  std::printf("Figure 2 — transfer time, pinned vs pageable, 1B..512MB\n");
+  std::printf("(times in microseconds; mean of %d transfers; predictions "
+              "from the two-point linear model)\n\n",
+              kRuns);
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "fig02_transfer_time");
+
+  // The paper's plot is log-log: both the latency floor and the linear
+  // asymptote are visible, and the model overlays the pinned curve.
+  util::AsciiChart chart(64, 16);
+  chart.set_x_log(true);
+  chart.set_y_log(true);
+  chart.set_x_label("transfer size, bytes (log)");
+  chart.set_y_label("H2D time, us (log)");
+  chart.add_series("pageable", '.', xs, pageable_us);
+  chart.add_series("pinned", 'o', xs, pinned_us);
+  chart.add_series("model", '+', xs, predicted_us);
+  std::printf("\n%s", chart.to_string().c_str());
+
+  std::printf("\ncalibrated: H2D %s | D2H %s\n",
+              model.h2d.describe().c_str(), model.d2h.describe().c_str());
+  return 0;
+}

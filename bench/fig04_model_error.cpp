@@ -1,0 +1,88 @@
+// Reproduces Figure 4: absolute value of the percent difference between
+// predicted and measured transfer times for transfers to and from the GPU
+// across all power-of-two sizes from 1 B to 512 MB (pinned memory).
+//
+// Paper results this bench checks for shape: max error 6.4% (H2D) and 3.3%
+// (D2H); mean error 2.0% and 0.8%; error essentially zero above 1 MB.
+// Also reproduces the §V-A noise-floor experiment: using one full run of
+// measurements to predict a second run yields mean errors of ~1.0%/0.7%,
+// showing most residual error is inherent transfer-time variation.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "hw/registry.h"
+#include "pcie/bus.h"
+#include "pcie/calibrator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace grophecy;
+  using hw::Direction;
+  using hw::HostMemory;
+  using util::strfmt;
+
+  const hw::MachineSpec machine = hw::anl_eureka();
+  pcie::SimulatedBus bus(machine.pcie, /*seed=*/2013);
+  pcie::TransferCalibrator calibrator;
+  pcie::SimulatedBus calibration_bus(machine.pcie, /*seed=*/7);
+  const pcie::BusModel model =
+      calibrator.calibrate(calibration_bus, HostMemory::kPinned);
+
+  constexpr int kRuns = 10;
+  util::TextTable table({"Size", "H2D error", "D2H error"});
+
+  std::vector<double> h2d_errors, d2h_errors;
+  std::vector<double> h2d_large, d2h_large;  // > 1 MB
+  std::map<Direction, std::map<std::uint64_t, double>> run1, run2;
+
+  for (std::uint64_t bytes = 1; bytes <= 512 * util::kMiB; bytes *= 2) {
+    auto err = [&](Direction dir) {
+      const double measured =
+          bus.measure_mean(bytes, dir, HostMemory::kPinned, kRuns);
+      run1[dir][bytes] = measured;
+      run2[dir][bytes] =
+          bus.measure_mean(bytes, dir, HostMemory::kPinned, kRuns);
+      const double predicted = model.predict_seconds(bytes, dir);
+      return util::error_magnitude_percent(predicted, measured);
+    };
+    const double h2d = err(Direction::kHostToDevice);
+    const double d2h = err(Direction::kDeviceToHost);
+    h2d_errors.push_back(h2d);
+    d2h_errors.push_back(d2h);
+    if (bytes > util::kMiB) {
+      h2d_large.push_back(h2d);
+      d2h_large.push_back(d2h);
+    }
+    table.add_row({util::format_bytes(bytes), strfmt("%.2f%%", h2d),
+                   strfmt("%.2f%%", d2h)});
+  }
+
+  std::printf("Figure 4 — linear-model error magnitude per transfer size\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "fig04_model_error");
+
+  std::printf("\nmax error:  H2D %.1f%% (paper 6.4%%), D2H %.1f%% (paper 3.3%%)\n",
+              util::max_value(h2d_errors), util::max_value(d2h_errors));
+  std::printf("mean error: H2D %.1f%% (paper 2.0%%), D2H %.1f%% (paper 0.8%%)\n",
+              util::mean(h2d_errors), util::mean(d2h_errors));
+  std::printf("mean error above 1MB: H2D %.2f%%, D2H %.2f%% (paper: "
+              "essentially zero)\n",
+              util::mean(h2d_large), util::mean(d2h_large));
+
+  // Noise floor: run 1 predicts run 2.
+  std::vector<double> h2d_noise, d2h_noise;
+  for (const auto& [bytes, value] : run1[Direction::kHostToDevice])
+    h2d_noise.push_back(util::error_magnitude_percent(
+        value, run2[Direction::kHostToDevice][bytes]));
+  for (const auto& [bytes, value] : run1[Direction::kDeviceToHost])
+    d2h_noise.push_back(util::error_magnitude_percent(
+        value, run2[Direction::kDeviceToHost][bytes]));
+  std::printf("noise floor (run1 predicts run2): H2D %.1f%% (paper 1.0%%), "
+              "D2H %.1f%% (paper 0.7%%)\n",
+              util::mean(h2d_noise), util::mean(d2h_noise));
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 7: measured and predicted GPU speedup for CFD across a
+// range of data sizes, with predictions both with and without data
+// transfer time.
+#include "sweep_common.h"
+
+int main() {
+  grophecy::bench::print_size_sweep("CFD", "Figure 7");
+  return 0;
+}

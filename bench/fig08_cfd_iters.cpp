@@ -1,0 +1,11 @@
+// Reproduces Figure 8: measured and predicted GPU speedup of CFD as a
+// function of iteration count for a data size of 233K. The paper reports
+// the transfer-aware prediction stays more than twice as accurate for
+// iteration counts below 18, and a limit error of 22.6% as iterations
+// approach infinity (kernel misprediction only).
+#include "sweep_common.h"
+
+int main() {
+  grophecy::bench::print_iteration_sweep("CFD", "233K", "Figure 8", 22.6);
+  return 0;
+}

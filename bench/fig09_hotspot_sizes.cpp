@@ -1,0 +1,9 @@
+// Reproduces Figure 9: measured and predicted GPU speedup for HotSpot across a
+// range of data sizes, with predictions both with and without data
+// transfer time.
+#include "sweep_common.h"
+
+int main() {
+  grophecy::bench::print_size_sweep("HotSpot", "Figure 9");
+  return 0;
+}

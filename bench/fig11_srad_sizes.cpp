@@ -1,0 +1,9 @@
+// Reproduces Figure 11: measured and predicted GPU speedup for SRAD across a
+// range of data sizes, with predictions both with and without data
+// transfer time.
+#include "sweep_common.h"
+
+int main() {
+  grophecy::bench::print_size_sweep("SRAD", "Figure 11");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the BRS section algebra — the
+// inner loop of data-usage analysis. Analysis cost matters because
+// GROPHECY++ runs it for every explored transformation of every kernel.
+#include <benchmark/benchmark.h>
+
+#include "brs/extract.h"
+#include "brs/section.h"
+#include "brs/section_set.h"
+#include "skeleton/builder.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace grophecy;
+
+brs::DimSection random_dim(util::Rng& rng) {
+  return brs::DimSection::range(rng.uniform_int(0, 100),
+                                rng.uniform_int(100, 4096),
+                                rng.uniform_int(1, 8));
+}
+
+void BM_DimIntersect(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<brs::DimSection> sections;
+  for (int i = 0; i < 256; ++i) sections.push_back(random_dim(rng));
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    const auto& a = sections[idx % sections.size()];
+    const auto& b = sections[(idx + 7) % sections.size()];
+    benchmark::DoNotOptimize(brs::intersect(a, b));
+    ++idx;
+  }
+}
+BENCHMARK(BM_DimIntersect);
+
+void BM_DimUnionWithExactness(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<brs::DimSection> sections;
+  for (int i = 0; i < 256; ++i) sections.push_back(random_dim(rng));
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    const auto& a = sections[idx % sections.size()];
+    const auto& b = sections[(idx + 13) % sections.size()];
+    benchmark::DoNotOptimize(brs::unite(a, b));
+    benchmark::DoNotOptimize(brs::union_is_exact(a, b));
+    ++idx;
+  }
+}
+BENCHMARK(BM_DimUnionWithExactness);
+
+void BM_SectionSetCoverQuery(benchmark::State& state) {
+  skeleton::ArrayDecl decl{"a", skeleton::ElemType::kF32,
+                           {state.range(0)}, false};
+  auto section = [&](std::int64_t lo, std::int64_t hi) {
+    brs::Section s = brs::Section::whole(0, decl);
+    s.whole_array = false;
+    s.dims[0] = brs::DimSection::range(lo, hi);
+    return s;
+  };
+  brs::SectionSet set;
+  const std::int64_t chunk = state.range(0) / 16;
+  for (int i = 0; i < 16; i += 2)
+    set.add(section(i * chunk, (i + 1) * chunk - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.covers(section(3 * chunk, 4 * chunk)));
+  }
+}
+BENCHMARK(BM_SectionSetCoverQuery)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_AccessExtractionStencil(benchmark::State& state) {
+  skeleton::AppBuilder builder("bench");
+  const auto a =
+      builder.array("a", skeleton::ElemType::kF32,
+                    {state.range(0), state.range(0)});
+  skeleton::KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", state.range(0)).parallel_loop("j", state.range(0));
+  const skeleton::AffineExpr i = k.var("i"), j = k.var("j");
+  k.statement(5.0)
+      .load(a, {i, j})
+      .load(a, {i.shifted(-1), j})
+      .load(a, {i.shifted(1), j})
+      .load(a, {i, j.shifted(-1)})
+      .load(a, {i, j.shifted(1)});
+  const skeleton::AppSkeleton app = builder.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brs::kernel_accesses(app, app.kernels[0]));
+  }
+}
+BENCHMARK(BM_AccessExtractionStencil)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Micro-benchmarks (google-benchmark) for the projection pipeline itself:
+// bus sampling throughput, analytical model evaluation, transformation
+// exploration, and a complete end-to-end projection. GROPHECY++'s value
+// proposition is projecting performance *without* porting code, so the
+// projection must be cheap; these benches quantify that.
+#include <benchmark/benchmark.h>
+
+#include "core/grophecy.h"
+#include "dataflow/usage_analyzer.h"
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "pcie/bus.h"
+#include "workloads/srad.h"
+#include "workloads/stassuij.h"
+
+namespace {
+
+using namespace grophecy;
+
+void BM_BusSample(benchmark::State& state) {
+  pcie::SimulatedBus bus(hw::anl_eureka().pcie, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.time_transfer(
+        static_cast<std::uint64_t>(state.range(0)),
+        hw::Direction::kHostToDevice, hw::HostMemory::kPinned));
+  }
+}
+BENCHMARK(BM_BusSample)->Arg(1)->Arg(1 << 20)->Arg(512 << 20);
+
+void BM_KernelModelProjection(benchmark::State& state) {
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  const skeleton::AppSkeleton app = workloads::srad_skeleton(2048, 1);
+  gpumodel::KernelTimeModel model(gpu);
+  const gpumodel::KernelCharacteristics kc =
+      gpumodel::characterize(app, app.kernels[0], gpumodel::Variant{}, gpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.project(kc));
+  }
+}
+BENCHMARK(BM_KernelModelProjection);
+
+void BM_ExplorerFullSpace(benchmark::State& state) {
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  const skeleton::AppSkeleton app = workloads::srad_skeleton(2048, 1);
+  gpumodel::Explorer explorer(gpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.best(app, app.kernels[0]));
+  }
+}
+BENCHMARK(BM_ExplorerFullSpace);
+
+void BM_UsageAnalysis(benchmark::State& state) {
+  const skeleton::AppSkeleton app = workloads::srad_skeleton(4096, 1);
+  dataflow::UsageAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(app));
+  }
+}
+BENCHMARK(BM_UsageAnalysis);
+
+void BM_EndToEndProjection(benchmark::State& state) {
+  core::Grophecy engine(hw::anl_eureka());
+  const skeleton::AppSkeleton app = workloads::stassuij_skeleton({}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.project(app));
+  }
+}
+BENCHMARK(BM_EndToEndProjection);
+
+}  // namespace

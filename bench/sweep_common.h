@@ -1,0 +1,129 @@
+// Shared drivers for the speedup-sweep figures (Figs. 7-12): speedup vs
+// data size and speedup vs iteration count, each printing measured speedup,
+// the prediction with data transfer time, and the prediction without it.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/ascii_chart.h"
+#include "util/contracts.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace grophecy::bench {
+
+inline const workloads::Workload& find_workload(
+    const std::vector<std::unique_ptr<workloads::Workload>>& all,
+    const std::string& name) {
+  for (const auto& w : all)
+    if (w->name() == name) return *w;
+  throw ContractViolation("unknown workload: " + name);
+}
+
+/// Figs. 7/9/11: speedup across the paper's data sizes (one iteration).
+inline void print_size_sweep(const std::string& workload_name,
+                             const char* figure) {
+  const auto all = workloads::paper_workloads();
+  const workloads::Workload& workload = find_workload(all, workload_name);
+  core::ExperimentRunner runner;
+
+  util::TextTable table({"Data Size", "Measured", "Predicted w/ transfer",
+                         "err", "Predicted w/o transfer", "err"});
+  for (const workloads::DataSize& size : workload.paper_data_sizes()) {
+    core::ProjectionReport report = runner.run(workload, size);
+    table.add_row({
+        size.label,
+        util::strfmt("%.2fx", report.measured_speedup()),
+        util::strfmt("%.2fx", report.predicted_speedup_both()),
+        util::strfmt("%.0f%%", report.speedup_error_both_pct()),
+        util::strfmt("%.2fx", report.predicted_speedup_kernel_only()),
+        util::strfmt("%.0f%%", report.speedup_error_kernel_only_pct()),
+    });
+  }
+  std::printf("%s — measured and predicted GPU speedup for %s across data "
+              "sizes\n\n",
+              figure, workload_name.c_str());
+  table.print(std::cout);
+  util::export_csv_if_requested(table, std::string("size_sweep_") + workload_name);
+}
+
+/// Figs. 8/10/12: speedup as a function of iteration count for one data
+/// size, including the iteration->infinity limit. Prints how long the
+/// transfer-aware prediction stays at least twice as accurate.
+inline void print_iteration_sweep(const std::string& workload_name,
+                                  const std::string& size_label,
+                                  const char* figure,
+                                  double paper_limit_error_pct) {
+  const auto all = workloads::paper_workloads();
+  const workloads::Workload& workload = find_workload(all, workload_name);
+  workloads::DataSize size;
+  for (const workloads::DataSize& candidate : workload.paper_data_sizes())
+    if (candidate.label == size_label) size = candidate;
+  GROPHECY_EXPECTS(size.param != 0);
+
+  core::ExperimentRunner runner;
+  util::TextTable table({"Iterations", "Measured", "Pred w/ transfer",
+                         "err", "Pred w/o transfer", "err"});
+
+  int twice_as_accurate_until = 0;
+  double limit_error = 0.0;
+  std::vector<double> xs, measured, with_transfer, without_transfer;
+  const std::vector<int> iteration_counts = {1,  2,  4,  8,   16,  32,
+                                             64, 128, 256, 512};
+  for (int iterations : iteration_counts) {
+    core::ProjectionReport report = runner.run(workload, size, iterations);
+    const double with_err = report.speedup_error_both_pct();
+    const double without_err = report.speedup_error_kernel_only_pct();
+    if (with_err * 2.0 <= without_err)
+      twice_as_accurate_until = iterations;
+    xs.push_back(iterations);
+    measured.push_back(report.measured_speedup());
+    with_transfer.push_back(report.predicted_speedup_both());
+    without_transfer.push_back(report.predicted_speedup_kernel_only());
+    table.add_row({
+        util::strfmt("%d", iterations),
+        util::strfmt("%.2fx", report.measured_speedup()),
+        util::strfmt("%.2fx", report.predicted_speedup_both()),
+        util::strfmt("%.0f%%", with_err),
+        util::strfmt("%.2fx", report.predicted_speedup_kernel_only()),
+        util::strfmt("%.0f%%", without_err),
+    });
+    limit_error = report.speedup_error_limit_pct();
+    if (iterations == iteration_counts.back()) {
+      table.add_row({
+          "inf",
+          util::strfmt("%.2fx", report.measured_speedup_limit()),
+          util::strfmt("%.2fx", report.predicted_speedup_limit()),
+          util::strfmt("%.1f%%", limit_error),
+          util::strfmt("%.2fx", report.predicted_speedup_limit()),
+          util::strfmt("%.1f%%", limit_error),
+      });
+    }
+  }
+
+  std::printf("%s — GPU speedup of %s (%s) vs iteration count\n\n", figure,
+              workload_name.c_str(), size_label.c_str());
+  table.print(std::cout);
+  util::export_csv_if_requested(table, std::string("iter_sweep_") + workload_name);
+
+  util::AsciiChart chart(64, 14);
+  chart.set_x_log(true);
+  chart.set_x_label("iterations (log)");
+  chart.set_y_label("GPU speedup");
+  // Draw order: measured last so its marker survives overdraw where the
+  // transfer-aware prediction coincides with it.
+  chart.add_series("pred w/o transfer", '.', xs, without_transfer);
+  chart.add_series("pred w/ transfer", '+', xs, with_transfer);
+  chart.add_series("measured", 'o', xs, measured);
+  std::printf("\n%s", chart.to_string().c_str());
+
+  std::printf("\ntransfer-aware prediction at least 2x more accurate through "
+              "%d iterations; limit error %.1f%% (paper: %.2f%%)\n",
+              twice_as_accurate_until, limit_error, paper_limit_error_pct);
+}
+
+}  // namespace grophecy::bench

@@ -1,0 +1,56 @@
+// Reproduces Table I: measured kernel execution and data transfer times and
+// data transfer sizes for each application and data size, with the paper's
+// published values printed alongside. The "Percent Transfer" column shows
+// the fraction of the overall time due to data transfer.
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/paper_reference.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  core::ExperimentRunner runner;
+
+  util::TextTable table({"Application", "Data Size", "Kernel (ms)",
+                         "paper", "Transfer (ms)", "paper", "% Xfer",
+                         "paper", "In (MB)", "paper", "Out (MB)", "paper"});
+
+  const auto paper_rows = workloads::paper_table1();
+  std::size_t paper_idx = 0;
+  for (const auto& workload : workloads::paper_workloads()) {
+    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
+      core::ProjectionReport report = runner.run(*workload, size);
+      const auto& paper = paper_rows[paper_idx++];
+      table.add_row({
+          workload->name(),
+          size.label,
+          strfmt("%.2f", util::seconds_to_ms(report.measured_kernel_s)),
+          strfmt("%.1f", paper.kernel_ms),
+          strfmt("%.2f", util::seconds_to_ms(report.measured_transfer_s)),
+          strfmt("%.1f", paper.transfer_ms),
+          strfmt("%.0f", report.measured_percent_transfer()),
+          strfmt("%d", paper.percent_transfer),
+          strfmt("%.1f", util::bytes_to_mb(
+                             static_cast<double>(report.plan.input_bytes()))),
+          strfmt("%.1f", paper.input_mb),
+          strfmt("%.1f", util::bytes_to_mb(static_cast<double>(
+                             report.plan.output_bytes()))),
+          strfmt("%.1f", paper.output_mb),
+      });
+    }
+    table.add_separator();
+  }
+
+  std::printf("Table I — measured kernel/transfer times and transfer sizes\n");
+  std::printf("(measured = simulated machine, mean of 10 runs; 'paper' "
+              "columns are the published values)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "table1_measured");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Table II: error magnitude of the predicted GPU speedup using
+// only the predicted kernel execution time, only the predicted data
+// transfer time, or the combination of both, for every application and
+// data set — plus the two overall averages (weighting data sets equally
+// and weighting applications equally). Paper values printed alongside.
+// Also prints the §V-B4 Stassuij story: the kernel-only prediction calls
+// the GPU a win while the data-transfer-aware prediction correctly calls
+// it a loss.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/paper_reference.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  core::ExperimentRunner runner;
+
+  util::TextTable table({"Application", "Data Set", "Kernel Only", "paper",
+                         "Transfer Only", "paper", "Kernel+Transfer",
+                         "paper"});
+
+  const auto paper_rows = workloads::paper_table2();
+  std::size_t paper_idx = 0;
+
+  std::vector<double> all_kernel_only, all_transfer_only, all_both;
+  std::vector<double> app_kernel_only, app_transfer_only, app_both;
+
+  core::ProjectionReport stassuij_report;
+
+  for (const auto& workload : workloads::paper_workloads()) {
+    std::vector<double> wk_kernel_only, wk_transfer_only, wk_both;
+    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
+      core::ProjectionReport report = runner.run(*workload, size);
+      if (workload->name() == "Stassuij") stassuij_report = report;
+      const auto& paper = paper_rows[paper_idx++];
+      table.add_row({
+          workload->name(),
+          size.label,
+          strfmt("%.0f%%", report.speedup_error_kernel_only_pct()),
+          strfmt("%.0f%%", paper.kernel_only_pct),
+          strfmt("%.0f%%", report.speedup_error_transfer_only_pct()),
+          strfmt("%.0f%%", paper.transfer_only_pct),
+          strfmt("%.0f%%", report.speedup_error_both_pct()),
+          strfmt("%.0f%%", paper.both_pct),
+      });
+      wk_kernel_only.push_back(report.speedup_error_kernel_only_pct());
+      wk_transfer_only.push_back(report.speedup_error_transfer_only_pct());
+      wk_both.push_back(report.speedup_error_both_pct());
+    }
+    all_kernel_only.insert(all_kernel_only.end(), wk_kernel_only.begin(),
+                           wk_kernel_only.end());
+    all_transfer_only.insert(all_transfer_only.end(),
+                             wk_transfer_only.begin(), wk_transfer_only.end());
+    all_both.insert(all_both.end(), wk_both.begin(), wk_both.end());
+    app_kernel_only.push_back(util::mean(wk_kernel_only));
+    app_transfer_only.push_back(util::mean(wk_transfer_only));
+    app_both.push_back(util::mean(wk_both));
+    if (workload->paper_data_sizes().size() > 1) {
+      table.add_row({workload->name(), "Average",
+                     strfmt("%.0f%%", util::mean(wk_kernel_only)), "",
+                     strfmt("%.0f%%", util::mean(wk_transfer_only)), "",
+                     strfmt("%.0f%%", util::mean(wk_both)), ""});
+    }
+    table.add_separator();
+  }
+
+  const auto paper_avg = workloads::paper_table2_averages();
+  table.add_row({"Average", "(data sets)",
+                 strfmt("%.0f%%", util::mean(all_kernel_only)),
+                 strfmt("%.0f%%", paper_avg.by_data_set_kernel_only),
+                 strfmt("%.0f%%", util::mean(all_transfer_only)),
+                 strfmt("%.0f%%", paper_avg.by_data_set_transfer_only),
+                 strfmt("%.0f%%", util::mean(all_both)),
+                 strfmt("%.0f%%", paper_avg.by_data_set_both)});
+  table.add_row({"Average", "(applications)",
+                 strfmt("%.0f%%", util::mean(app_kernel_only)),
+                 strfmt("%.0f%%", paper_avg.by_application_kernel_only),
+                 strfmt("%.0f%%", util::mean(app_transfer_only)),
+                 strfmt("%.0f%%", paper_avg.by_application_transfer_only),
+                 strfmt("%.0f%%", util::mean(app_both)),
+                 strfmt("%.0f%%", paper_avg.by_application_both)});
+
+  std::printf("Table II — error magnitude of the predicted GPU speedup\n");
+  std::printf("('paper' columns are the published values)\n\n");
+  table.print(std::cout);
+  util::export_csv_if_requested(table, "table2_speedup_error");
+
+  std::printf(
+      "\nStassuij (paper §V-B4): kernel-only predicted %.2fx (%s), "
+      "transfer-aware predicted %.2fx, measured %.2fx (%s)\n",
+      stassuij_report.predicted_speedup_kernel_only(),
+      stassuij_report.predicted_speedup_kernel_only() > 1.0 ? "a GPU win"
+                                                            : "a GPU loss",
+      stassuij_report.predicted_speedup_both(),
+      stassuij_report.measured_speedup(),
+      stassuij_report.measured_speedup() > 1.0 ? "a GPU win" : "a GPU loss");
+  return 0;
+}

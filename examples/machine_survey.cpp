@@ -1,0 +1,52 @@
+// Machine survey: the same application projected across PCIe generations.
+//
+// The paper validates on one PCIe v1 machine but argues the technique is
+// system independent ("the PCIe bus model is constructed automatically for
+// each new system"). This example runs a real workload (the OpenMP SRAD
+// reference is also executed once to show the functional code) through all
+// three registered machines and prints how the offload verdict shifts as
+// the bus and GPU generations advance.
+#include <cstdio>
+#include <iostream>
+
+#include "core/grophecy.h"
+#include "hw/registry.h"
+#include "util/table.h"
+#include "workloads/srad.h"
+#include "workloads/srad_ref.h"
+
+int main() {
+  using namespace grophecy;
+  using util::strfmt;
+
+  // First show the actual computation this skeleton stands for: a few
+  // iterations of the real OpenMP SRAD on a small image.
+  workloads::SradReference ref(256, /*seed=*/1);
+  const double variance_before = ref.image_variance();
+  ref.run(10);
+  std::printf("SRAD reference run (256x256, 10 iters): speckle variance "
+              "%.4f -> %.4f\n\n",
+              variance_before, ref.image_variance());
+
+  util::TextTable table({"Machine", "Bus", "Calibrated H2D", "Kernel-only",
+                         "With transfer", "Verdict"});
+
+  for (const hw::MachineSpec& machine : hw::all_machines()) {
+    core::Grophecy engine(machine);
+    const skeleton::AppSkeleton app = workloads::srad_skeleton(2048, 4);
+    core::ProjectionReport report = engine.project(app);
+    const double honest = report.predicted_speedup_both();
+    table.add_row({machine.name, machine.pcie.name,
+                   engine.bus_model().h2d.describe(),
+                   strfmt("%.1fx", report.predicted_speedup_kernel_only()),
+                   strfmt("%.1fx", honest),
+                   honest > 1.0 ? "offload" : "stay on CPU"});
+  }
+
+  std::printf("SRAD 2048x2048, 4 iterations, projected per machine:\n\n");
+  table.print(std::cout);
+  std::printf(
+      "\nThe calibration adapts to each link automatically; no model "
+      "parameters were\nedited between rows.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Memory-mode planning (the paper's §VII future work, implemented).
+//
+// The paper assumes pinned memory everywhere because transfers are faster,
+// but pinning pages is itself expensive. This example asks the advisor to
+// plan host-memory modes for the Stassuij workload — whose plan mixes two
+// multi-megabyte dense matrices with three tiny CSR vectors — and prints
+// the per-array decision: pin the big buffers, malloc the small ones.
+#include <cstdio>
+
+#include "core/memory_advisor.h"
+#include "hw/registry.h"
+#include "util/units.h"
+#include "workloads/stassuij.h"
+
+int main() {
+  using namespace grophecy;
+
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+
+  std::printf("calibrated transfer models:\n  pinned   H2D %s\n  pageable "
+              "H2D %s\n",
+              advisor.pinned_model().h2d.describe().c_str(),
+              advisor.pageable_model().h2d.describe().c_str());
+  std::printf("calibrated allocation models:\n  cudaHostAlloc(64MB) ~ %s | "
+              "malloc(64MB) ~ %s | cudaMalloc(64MB) ~ %s\n\n",
+              util::format_time(advisor.allocation_model()
+                                    .pinned_host.predict_seconds(
+                                        64 * util::kMiB))
+                  .c_str(),
+              util::format_time(advisor.allocation_model()
+                                    .pageable_host.predict_seconds(
+                                        64 * util::kMiB))
+                  .c_str(),
+              util::format_time(
+                  advisor.allocation_model().device.predict_seconds(
+                      64 * util::kMiB))
+                  .c_str());
+
+  const core::MemoryModeReport report =
+      advisor.advise(workloads::stassuij_skeleton({}, 1));
+  std::printf("%s", report.describe().c_str());
+  return 0;
+}

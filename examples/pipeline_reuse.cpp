@@ -1,0 +1,124 @@
+// Inter-kernel data reuse and the dataflow analyzer (paper §III-B).
+//
+// "In some cases, the data transfer overhead is so high that it can only
+// be mitigated if the same data is reused by multiple kernels." This
+// example builds an image-processing pipeline (blur -> gradient ->
+// threshold) two ways:
+//
+//   * fragmented: each stage offloaded independently — every intermediate
+//     crosses the PCIe bus twice;
+//   * fused pipeline: all three kernels offloaded together — the data-usage
+//     analyzer proves the intermediates never need to move, and hints mark
+//     them as GPU-resident temporaries.
+//
+// The printed transfer plans and projections quantify what reuse buys.
+#include <cstdio>
+#include <iostream>
+
+#include "core/grophecy.h"
+#include "dataflow/usage_analyzer.h"
+#include "hw/registry.h"
+#include "skeleton/builder.h"
+#include "skeleton/print.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace grophecy;
+using skeleton::AffineExpr;
+using skeleton::AppBuilder;
+using skeleton::AppSkeleton;
+using skeleton::ArrayId;
+using skeleton::ElemType;
+using skeleton::KernelBuilder;
+
+constexpr std::int64_t kN = 4096;
+
+void add_blur(AppBuilder& app, ArrayId src, ArrayId dst) {
+  KernelBuilder& k = app.kernel("blur");
+  k.parallel_loop("i", kN).parallel_loop("j", kN);
+  const AffineExpr i = k.var("i"), j = k.var("j");
+  k.statement(9.0)
+      .load(src, {i, j})
+      .load(src, {i.shifted(-1), j})
+      .load(src, {i.shifted(1), j})
+      .load(src, {i, j.shifted(-1)})
+      .load(src, {i, j.shifted(1)})
+      .store(dst, {i, j});
+}
+
+void add_gradient(AppBuilder& app, ArrayId src, ArrayId dst) {
+  KernelBuilder& k = app.kernel("gradient");
+  k.parallel_loop("i", kN).parallel_loop("j", kN);
+  const AffineExpr i = k.var("i"), j = k.var("j");
+  k.statement(6.0, 1.0)  // sqrt for the magnitude
+      .load(src, {i, j})
+      .load(src, {i.shifted(1), j})
+      .load(src, {i, j.shifted(1)})
+      .store(dst, {i, j});
+}
+
+void add_threshold(AppBuilder& app, ArrayId src, ArrayId dst) {
+  KernelBuilder& k = app.kernel("threshold");
+  k.parallel_loop("i", kN).parallel_loop("j", kN);
+  const AffineExpr i = k.var("i"), j = k.var("j");
+  k.statement(2.0).load(src, {i, j}).store(dst, {i, j});
+}
+
+AppSkeleton single_stage(const char* name,
+                         void (*stage)(AppBuilder&, ArrayId, ArrayId)) {
+  AppBuilder app(name);
+  const ArrayId in = app.array("in", ElemType::kF32, {kN, kN});
+  const ArrayId out = app.array("out", ElemType::kF32, {kN, kN});
+  stage(app, in, out);
+  return app.build();
+}
+
+AppSkeleton fused_pipeline() {
+  AppBuilder app("fused_pipeline");
+  const ArrayId image = app.array("image", ElemType::kF32, {kN, kN});
+  const ArrayId blurred = app.array("blurred", ElemType::kF32, {kN, kN});
+  const ArrayId grad = app.array("grad", ElemType::kF32, {kN, kN});
+  const ArrayId edges = app.array("edges", ElemType::kF32, {kN, kN});
+  app.temporary(blurred).temporary(grad);
+  add_blur(app, image, blurred);
+  add_gradient(app, blurred, grad);
+  add_threshold(app, grad, edges);
+  return app.build();
+}
+
+}  // namespace
+
+int main() {
+  core::Grophecy engine(hw::anl_eureka());
+  dataflow::UsageAnalyzer analyzer;
+
+  std::printf("=== Fragmented: each stage offloaded on its own ===\n");
+  double fragmented_total = 0.0;
+  for (const AppSkeleton& stage :
+       {single_stage("blur_only", add_blur),
+        single_stage("gradient_only", add_gradient),
+        single_stage("threshold_only", add_threshold)}) {
+    core::ProjectionReport report = engine.project(stage);
+    std::printf("%-16s transfers %s, projected total %s\n",
+                stage.name.c_str(),
+                util::format_bytes(report.plan.total_bytes()).c_str(),
+                util::format_time(report.predicted_total_s()).c_str());
+    fragmented_total += report.predicted_total_s();
+  }
+  std::printf("fragmented pipeline total: %s\n\n",
+              util::format_time(fragmented_total).c_str());
+
+  std::printf("=== Fused: one offload, intermediates stay on the GPU ===\n");
+  const AppSkeleton fused = fused_pipeline();
+  std::printf("%s\n", analyzer.analyze(fused).describe().c_str());
+  core::ProjectionReport report = engine.project(fused);
+  std::printf("fused pipeline total: %s (%.2fx faster than fragmented)\n",
+              util::format_time(report.predicted_total_s()).c_str(),
+              fragmented_total / report.predicted_total_s());
+  std::printf(
+      "\nThe analyzer proved 'blurred' and 'grad' never cross the bus: "
+      "reads of both are\ncovered by prior on-GPU writes, and the temporary "
+      "hints skip their copy-back.\n");
+  return 0;
+}

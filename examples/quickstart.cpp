@@ -1,0 +1,53 @@
+// Quickstart: should I port my loop to the GPU?
+//
+// Builds a vector-addition skeleton (the paper's §II-B motivating example),
+// asks GROPHECY++ for the projected GPU speedup with and without data
+// transfer, and prints the verdict. Demonstrates the three public steps:
+// describe the code as a skeleton, pick a machine, project.
+#include <cstdio>
+
+#include "core/grophecy.h"
+#include "hw/registry.h"
+#include "skeleton/builder.h"
+#include "util/units.h"
+
+int main() {
+  using namespace grophecy;
+
+  // 1. Describe the CPU code as a skeleton: c[i] = a[i] + b[i].
+  const std::int64_t n = 16 * 1024 * 1024;
+  skeleton::AppBuilder builder("vector_add");
+  const auto a = builder.array("a", skeleton::ElemType::kF32, {n});
+  const auto b = builder.array("b", skeleton::ElemType::kF32, {n});
+  const auto c = builder.array("c", skeleton::ElemType::kF32, {n});
+  skeleton::KernelBuilder& k = builder.kernel("add");
+  k.parallel_loop("i", n);
+  k.statement(/*flops=*/1.0)
+      .load(a, {k.var("i")})
+      .load(b, {k.var("i")})
+      .store(c, {k.var("i")});
+  skeleton::AppSkeleton app = builder.build();
+
+  // 2. Pick the machine (the paper's Argonne node) and build the engine;
+  // construction auto-calibrates the PCIe model from two measurements.
+  core::Grophecy engine(hw::anl_eureka());
+  std::printf("calibrated bus: H2D %s | D2H %s\n",
+              engine.bus_model().h2d.describe().c_str(),
+              engine.bus_model().d2h.describe().c_str());
+
+  // 3. Project.
+  core::ProjectionReport report = engine.project(app);
+  std::printf("%s\n", report.describe().c_str());
+
+  if (report.predicted_speedup_both() > 1.0) {
+    std::printf("verdict: port it — projected %.2fx end-to-end speedup\n",
+                report.predicted_speedup_both());
+  } else {
+    std::printf(
+        "verdict: keep it on the CPU — data transfer erases the GPU win "
+        "(projected %.2fx end-to-end; kernel-only looked like %.2fx)\n",
+        report.predicted_speedup_both(),
+        report.predicted_speedup_kernel_only());
+  }
+  return 0;
+}

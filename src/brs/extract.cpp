@@ -1,0 +1,135 @@
+#include "brs/extract.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace grophecy::brs {
+
+namespace {
+
+/// Range and stride of an affine expression over the kernel's loops.
+DimSection subscript_range(const skeleton::AffineExpr& expr,
+                           const skeleton::KernelSkeleton& kernel,
+                           bool& dim_exact) {
+  std::int64_t lo = expr.constant;
+  std::int64_t hi = expr.constant;
+  std::int64_t stride_gcd = 0;
+  int varying_terms = 0;
+
+  for (const auto& [loop_id, coeff] : expr.terms) {
+    if (coeff == 0) continue;
+    const skeleton::Loop& loop =
+        kernel.loops[static_cast<std::size_t>(loop_id)];
+    const std::int64_t trips = loop.trip_count();
+    if (trips == 0) return DimSection::empty();
+    const std::int64_t first = loop.lower;
+    const std::int64_t last = loop.lower + (trips - 1) * loop.step;
+    if (coeff > 0) {
+      lo += coeff * first;
+      hi += coeff * last;
+    } else {
+      lo += coeff * last;
+      hi += coeff * first;
+    }
+    if (trips > 1) {
+      stride_gcd = std::gcd(stride_gcd, std::abs(coeff) * loop.step);
+      ++varying_terms;
+    }
+  }
+
+  // A subscript varying with a single loop is an exact arithmetic sequence;
+  // with several loops the gcd stride encloses the true set (e.g. i*N + j).
+  dim_exact = varying_terms <= 1;
+  if (stride_gcd == 0) stride_gcd = 1;
+  return DimSection::range(lo, hi, stride_gcd);
+}
+
+DimSection clamp_to_extent(DimSection s, std::int64_t extent) {
+  if (s.is_empty()) return s;
+  if (s.lower < 0) {
+    const std::int64_t steps = (-s.lower + s.stride - 1) / s.stride;
+    s.lower += steps * s.stride;
+  }
+  if (s.upper > extent - 1) {
+    const std::int64_t excess = s.upper - (extent - 1);
+    const std::int64_t steps = (excess + s.stride - 1) / s.stride;
+    s.upper -= steps * s.stride;
+  }
+  if (s.is_empty()) return DimSection::empty();
+  return s;
+}
+
+}  // namespace
+
+Section access_section(const skeleton::AppSkeleton& app,
+                       const skeleton::KernelSkeleton& kernel,
+                       const skeleton::ArrayRef& ref) {
+  const skeleton::ArrayDecl& decl = app.array(ref.array);
+  if (ref.indirect || decl.sparse) {
+    // Conservative rule: the referenced element set is data dependent, so
+    // assume every element may be touched.
+    Section s = Section::whole(ref.array, decl);
+    s.exact = false;
+    return s;
+  }
+
+  GROPHECY_EXPECTS(ref.subscripts.size() == decl.dims.size());
+  auto dim_is_indirect = [&](std::size_t d) {
+    for (int indirect_dim : ref.indirect_dims)
+      if (static_cast<std::size_t>(indirect_dim) == d) return true;
+    return false;
+  };
+
+  Section s;
+  s.array = ref.array;
+  s.exact = true;
+  s.dims.reserve(decl.dims.size());
+  std::vector<skeleton::LoopId> loops_seen;
+  for (std::size_t d = 0; d < decl.dims.size(); ++d) {
+    if (dim_is_indirect(d)) {
+      // Data-dependent dimension: assume the full extent may be touched.
+      s.dims.push_back(DimSection::range(0, decl.dims[d] - 1));
+      s.exact = false;
+      continue;
+    }
+    bool dim_exact = true;
+    DimSection dim = subscript_range(ref.subscripts[d], kernel, dim_exact);
+    dim = clamp_to_extent(dim, decl.dims[d]);
+    s.dims.push_back(dim);
+    s.exact = s.exact && dim_exact;
+    // A loop variable appearing in more than one dimension correlates the
+    // dimensions: the touched set is a diagonal slice, and the per-dim
+    // cross product merely encloses it. Such sections must not claim
+    // exactness — a MUST-analysis (read coverage by prior writes) relies
+    // on it.
+    for (const auto& [loop, coeff] : ref.subscripts[d].terms) {
+      if (coeff == 0) continue;
+      if (kernel.loops[static_cast<std::size_t>(loop)].trip_count() <= 1)
+        continue;
+      for (skeleton::LoopId seen : loops_seen)
+        if (seen == loop) s.exact = false;
+      loops_seen.push_back(loop);
+    }
+  }
+  return s;
+}
+
+std::vector<AccessSection> kernel_accesses(
+    const skeleton::AppSkeleton& app,
+    const skeleton::KernelSkeleton& kernel) {
+  std::vector<AccessSection> accesses;
+  for (const skeleton::Statement& stmt : kernel.body) {
+    for (const skeleton::ArrayRef& ref : stmt.refs) {
+      AccessSection access;
+      access.section = access_section(app, kernel, ref);
+      access.kind = ref.kind;
+      access.indirect = ref.has_indirection() || app.array(ref.array).sparse;
+      accesses.push_back(std::move(access));
+    }
+  }
+  return accesses;
+}
+
+}  // namespace grophecy::brs

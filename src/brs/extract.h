@@ -1,0 +1,37 @@
+// Extraction of Bounded Regular Sections from code skeletons.
+//
+// For an affine reference, the section per array dimension is the range of
+// the subscript expression across all enclosing loops; single-loop
+// subscripts yield exact strided sections, multi-loop (linearized)
+// subscripts yield conservative enclosing sections. Data-dependent
+// references and sparse arrays yield whole-array sections (paper §III-B).
+#pragma once
+
+#include <vector>
+
+#include "brs/section.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::brs {
+
+/// The section of `ref.array` touched by `ref` across the whole kernel.
+/// Subscript ranges are clamped to the array bounds (stencil halos read
+/// logically out-of-range elements that real implementations guard).
+Section access_section(const skeleton::AppSkeleton& app,
+                       const skeleton::KernelSkeleton& kernel,
+                       const skeleton::ArrayRef& ref);
+
+/// One access of a kernel, in statement order, with its section.
+struct AccessSection {
+  Section section;
+  skeleton::RefKind kind = skeleton::RefKind::kLoad;
+  bool indirect = false;
+};
+
+/// All accesses of a kernel in program order (statement by statement,
+/// reference by reference). Program order is what lets the data-usage
+/// analyzer distinguish "read before written" from "read after written".
+std::vector<AccessSection> kernel_accesses(
+    const skeleton::AppSkeleton& app, const skeleton::KernelSkeleton& kernel);
+
+}  // namespace grophecy::brs

@@ -1,0 +1,309 @@
+#include "brs/section.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace grophecy::brs {
+
+namespace {
+
+/// Aligns `upper` down so that it is a member of the sequence.
+DimSection normalized(DimSection s) {
+  GROPHECY_EXPECTS(s.stride >= 1);
+  if (s.is_empty()) return DimSection::empty();
+  s.upper = s.lower + (s.upper - s.lower) / s.stride * s.stride;
+  if (s.count() == 1) s.stride = 1;
+  return s;
+}
+
+/// Extended gcd: returns g = gcd(a, b) and x, y with a*x + b*y = g.
+std::int64_t ext_gcd(std::int64_t a, std::int64_t b, std::int64_t& x,
+                     std::int64_t& y) {
+  if (b == 0) {
+    x = 1;
+    y = 0;
+    return a;
+  }
+  std::int64_t x1 = 0, y1 = 0;
+  const std::int64_t g = ext_gcd(b, a % b, x1, y1);
+  x = y1;
+  y = x1 - (a / b) * y1;
+  return g;
+}
+
+std::int64_t positive_mod(std::int64_t v, std::int64_t m) {
+  const std::int64_t r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+DimSection DimSection::point(std::int64_t v) { return {v, v, 1}; }
+
+DimSection DimSection::range(std::int64_t lo, std::int64_t hi,
+                             std::int64_t stride) {
+  GROPHECY_EXPECTS(stride >= 1);
+  return normalized({lo, hi, stride});
+}
+
+DimSection DimSection::empty() { return {0, -1, 1}; }
+
+std::int64_t DimSection::count() const {
+  if (is_empty()) return 0;
+  return (upper - lower) / stride + 1;
+}
+
+bool DimSection::contains_value(std::int64_t v) const {
+  if (is_empty() || v < lower || v > upper) return false;
+  return (v - lower) % stride == 0;
+}
+
+bool operator==(const DimSection& a, const DimSection& b) {
+  if (a.is_empty() && b.is_empty()) return true;
+  return a.lower == b.lower && a.upper == b.upper && a.stride == b.stride;
+}
+
+DimSection intersect(const DimSection& a, const DimSection& b) {
+  if (a.is_empty() || b.is_empty()) return DimSection::empty();
+  // Intersection of two arithmetic progressions via CRT:
+  // x = a.lower (mod a.stride), x = b.lower (mod b.stride).
+  std::int64_t p = 0, q = 0;
+  const std::int64_t g = ext_gcd(a.stride, b.stride, p, q);
+  const std::int64_t diff = b.lower - a.lower;
+  if (positive_mod(diff, g) != 0) return DimSection::empty();
+
+  const std::int64_t lcm = a.stride / g * b.stride;
+  // One solution: a.lower + a.stride * (diff/g * p mod (b.stride/g)).
+  const std::int64_t m = b.stride / g;
+  const std::int64_t k = positive_mod((diff / g) % m * (p % m), m);
+  std::int64_t x0 = a.lower + a.stride * k;
+
+  const std::int64_t lo = std::max(a.lower, b.lower);
+  const std::int64_t hi = std::min(a.upper, b.upper);
+  if (x0 < lo) x0 += (lo - x0 + lcm - 1) / lcm * lcm;
+  if (x0 > hi) return DimSection::empty();
+  return normalized({x0, hi, lcm});
+}
+
+DimSection unite(const DimSection& a, const DimSection& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  std::int64_t stride = std::gcd(a.stride, b.stride);
+  stride = std::gcd(stride, std::abs(a.lower - b.lower));
+  if (stride == 0) stride = 1;  // identical single points
+  return normalized(
+      {std::min(a.lower, b.lower), std::max(a.upper, b.upper), stride});
+}
+
+bool union_is_exact(const DimSection& a, const DimSection& b) {
+  if (a.is_empty() || b.is_empty()) return true;
+  const DimSection u = unite(a, b);
+  const DimSection overlap = intersect(a, b);
+  return u.count() == a.count() + b.count() - overlap.count();
+}
+
+bool contains(const DimSection& outer, const DimSection& inner) {
+  if (inner.is_empty()) return true;
+  if (outer.is_empty()) return false;
+  if (inner.lower < outer.lower || inner.upper > outer.upper) return false;
+  if ((inner.lower - outer.lower) % outer.stride != 0) return false;
+  return inner.count() == 1 || inner.stride % outer.stride == 0;
+}
+
+Section Section::whole(skeleton::ArrayId id,
+                       const skeleton::ArrayDecl& decl) {
+  Section s;
+  s.array = id;
+  s.whole_array = true;
+  s.exact = true;
+  s.dims.reserve(decl.dims.size());
+  for (std::int64_t extent : decl.dims)
+    s.dims.push_back(DimSection::range(0, extent - 1));
+  return s;
+}
+
+bool Section::is_empty() const {
+  for (const DimSection& d : dims)
+    if (d.is_empty()) return true;
+  return dims.empty();
+}
+
+std::int64_t Section::element_count() const {
+  if (is_empty()) return 0;
+  std::int64_t count = 1;
+  for (const DimSection& d : dims) count *= d.count();
+  return count;
+}
+
+std::uint64_t Section::bytes(const skeleton::ArrayDecl& decl) const {
+  return static_cast<std::uint64_t>(element_count()) *
+         skeleton::elem_size_bytes(decl.type);
+}
+
+std::string Section::to_string() const {
+  std::ostringstream oss;
+  oss << "array#" << array;
+  for (const DimSection& d : dims) {
+    oss << '[' << d.lower << ':' << d.upper;
+    if (d.stride != 1) oss << ':' << d.stride;
+    oss << ']';
+  }
+  if (whole_array) oss << " (whole)";
+  if (!exact) oss << " (approx)";
+  return oss.str();
+}
+
+std::optional<Section> intersect(const Section& a, const Section& b) {
+  GROPHECY_EXPECTS(a.array == b.array);
+  GROPHECY_EXPECTS(a.dims.size() == b.dims.size());
+  Section out;
+  out.array = a.array;
+  out.exact = a.exact && b.exact;
+  out.dims.reserve(a.dims.size());
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    DimSection s = intersect(a.dims[d], b.dims[d]);
+    if (s.is_empty()) return std::nullopt;
+    out.dims.push_back(s);
+  }
+  return out;
+}
+
+Section unite(const Section& a, const Section& b) {
+  GROPHECY_EXPECTS(a.array == b.array);
+  GROPHECY_EXPECTS(a.dims.size() == b.dims.size());
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+
+  // Containment: the union IS the containing section. (Returning the
+  // per-dimension gcd union here instead would widen strides — e.g.
+  // {0} ∪ {0,2,4,6} gcd-widens to [0..6] stride 1 — while inheriting the
+  // container's exactness, which would falsely certify elements as
+  // covered.)
+  if (contains(a, b)) return a;
+  if (contains(b, a)) return b;
+
+  Section out;
+  out.array = a.array;
+  out.whole_array = a.whole_array || b.whole_array;
+  out.dims.reserve(a.dims.size());
+  for (std::size_t d = 0; d < a.dims.size(); ++d)
+    out.dims.push_back(unite(a.dims[d], b.dims[d]));
+
+  // Exactness: the sections differ in at most one dimension whose
+  // one-dimensional union is itself exact.
+  std::size_t differing = 0;
+  bool differing_exact = true;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (!(a.dims[d] == b.dims[d])) {
+      ++differing;
+      differing_exact = union_is_exact(a.dims[d], b.dims[d]);
+    }
+  }
+  out.exact = a.exact && b.exact && differing <= 1 && differing_exact;
+  return out;
+}
+
+bool contains(const Section& outer, const Section& inner) {
+  GROPHECY_EXPECTS(outer.array == inner.array);
+  if (inner.is_empty()) return true;
+  // An inexact outer section over-approximates its true element set, so
+  // containment in it proves nothing.
+  if (!outer.exact) return false;
+  GROPHECY_EXPECTS(outer.dims.size() == inner.dims.size());
+  for (std::size_t d = 0; d < outer.dims.size(); ++d)
+    if (!contains(outer.dims[d], inner.dims[d])) return false;
+  return true;
+}
+
+bool may_overlap(const Section& a, const Section& b) {
+  if (a.array != b.array) return false;
+  return intersect(a, b).has_value();
+}
+
+namespace {
+
+/// One-dimensional carve: `keep` covers every element of `a` that might
+/// lie outside `b`; `covered` is the part PROVABLY inside `b`.
+struct DimSplit {
+  std::vector<DimSection> keep;
+  DimSection covered = DimSection::empty();
+};
+
+DimSplit split_dim(const DimSection& a, const DimSection& b) {
+  DimSplit split;
+  if (a.is_empty()) return split;
+  if (b.is_empty()) {
+    split.keep.push_back(a);
+    return split;
+  }
+  const std::int64_t overlap_lo = std::max(a.lower, b.lower);
+  const std::int64_t overlap_hi = std::min(a.upper, b.upper);
+  if (overlap_lo > overlap_hi) {
+    split.keep.push_back(a);
+    return split;
+  }
+  // First/last members of `a` inside the overlap range.
+  const std::int64_t first =
+      a.lower + (overlap_lo - a.lower + a.stride - 1) / a.stride * a.stride;
+  const std::int64_t last =
+      a.lower + (overlap_hi - a.lower) / a.stride * a.stride;
+  if (first > last) {
+    split.keep.push_back(a);
+    return split;
+  }
+  // Every a-member in [first, last] belongs to b iff the phases align and
+  // b's stride divides a's.
+  const bool all_members = a.stride % b.stride == 0 &&
+                           positive_mod(first - b.lower, b.stride) == 0;
+  const bool single = first == last && b.contains_value(first);
+  if (!all_members && !single) {
+    split.keep.push_back(a);
+    return split;
+  }
+  split.covered = DimSection::range(first, last, a.stride);
+  if (first > a.lower)
+    split.keep.push_back(
+        DimSection::range(a.lower, first - a.stride, a.stride));
+  if (last < a.upper)
+    split.keep.push_back(
+        DimSection::range(last + a.stride, a.upper, a.stride));
+  return split;
+}
+
+}  // namespace
+
+std::vector<DimSection> subtract(const DimSection& a, const DimSection& b) {
+  return split_dim(a, b).keep;
+}
+
+std::vector<Section> subtract(const Section& a, const Section& b) {
+  GROPHECY_EXPECTS(a.array == b.array);
+  if (a.is_empty()) return {};
+  // Subtracting an over-approximation could drop elements that were never
+  // really written; only exact sections may remove anything.
+  if (!b.exact) return {a};
+  GROPHECY_EXPECTS(a.dims.size() == b.dims.size());
+
+  // Standard box carve: peel the parts of `a` that fall outside `b` along
+  // each dimension; what survives every peel is provably inside `b`.
+  std::vector<Section> pieces;
+  Section current = a;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    const DimSplit split = split_dim(current.dims[d], b.dims[d]);
+    for (const DimSection& kept : split.keep) {
+      Section piece = current;
+      piece.dims[d] = kept;
+      piece.whole_array = false;
+      pieces.push_back(std::move(piece));
+    }
+    if (split.covered.is_empty()) return pieces;
+    current.dims[d] = split.covered;
+  }
+  // `current` is contained in `b`: dropped.
+  return pieces;
+}
+
+}  // namespace grophecy::brs

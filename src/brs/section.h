@@ -1,0 +1,121 @@
+// Bounded Regular Sections (Havlak & Kennedy [5], used by GROPHECY §III-B).
+//
+// A BRS describes the set of array elements touched by a reference across
+// all enclosing loops as, per dimension, a triple {lower, upper, stride}.
+// The INTERSECT operator detects overlap between sections and the UNION
+// operator merges them; combined with load/store classification this is
+// enough to compute inter-kernel dependencies and the data that must cross
+// the PCIe bus.
+//
+// The algebra here is *conservative*: every operation tracks an `exact`
+// flag, and when a result cannot be represented precisely as a regular
+// section the implementation returns an enclosing approximation with
+// exact=false. Consumers must only rely on the guarantees stated per
+// operation (e.g. `contains` never returns true unless containment is
+// provable). For transfer planning, conservatism means transferring at
+// least as much data as needed — matching the paper's sparse-array rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::brs {
+
+/// One dimension of a section: the arithmetic sequence
+/// {lower, lower+stride, ..., <= upper} (bounds inclusive).
+struct DimSection {
+  std::int64_t lower = 0;
+  std::int64_t upper = -1;  ///< upper < lower encodes the empty section.
+  std::int64_t stride = 1;  ///< >= 1.
+
+  /// Single element {v}.
+  static DimSection point(std::int64_t v);
+  /// Range [lo, hi] inclusive with the given stride. Requires stride >= 1.
+  static DimSection range(std::int64_t lo, std::int64_t hi,
+                          std::int64_t stride = 1);
+  static DimSection empty();
+
+  bool is_empty() const { return upper < lower; }
+  /// Number of elements in the sequence.
+  std::int64_t count() const;
+  /// True if `v` is a member of the sequence.
+  bool contains_value(std::int64_t v) const;
+};
+
+bool operator==(const DimSection& a, const DimSection& b);
+
+/// A multi-dimensional bounded regular section over one array.
+struct Section {
+  skeleton::ArrayId array = -1;
+  std::vector<DimSection> dims;
+  /// True when the section is forced to cover the entire array because the
+  /// access is data dependent (sparse/indirect) — the paper's conservative
+  /// rule (§III-B).
+  bool whole_array = false;
+  /// True when the section describes exactly the accessed element set;
+  /// false when it is an enclosing approximation.
+  bool exact = true;
+
+  /// The full-array section for `decl` (used for sparse/indirect accesses).
+  static Section whole(skeleton::ArrayId id, const skeleton::ArrayDecl& decl);
+
+  bool is_empty() const;
+  /// Number of elements described (product over dimensions; whole-array
+  /// sections count every element).
+  std::int64_t element_count() const;
+  /// Bytes described, given the array declaration.
+  std::uint64_t bytes(const skeleton::ArrayDecl& decl) const;
+
+  std::string to_string() const;
+};
+
+/// INTERSECT on one dimension. Exact for equal strides and for strides
+/// where one divides the other; otherwise returns an enclosing bounding
+/// range (callers consult the Section-level exact flag).
+DimSection intersect(const DimSection& a, const DimSection& b);
+
+/// UNION on one dimension: the smallest regular section containing both.
+/// Exactness is detectable via union_is_exact().
+DimSection unite(const DimSection& a, const DimSection& b);
+
+/// True if unite(a, b) contains no element outside a ∪ b.
+bool union_is_exact(const DimSection& a, const DimSection& b);
+
+/// True if every element of `inner` provably belongs to `outer`.
+bool contains(const DimSection& outer, const DimSection& inner);
+
+/// Section-level INTERSECT: empty optional when provably disjoint.
+/// Requires both sections to refer to the same array.
+std::optional<Section> intersect(const Section& a, const Section& b);
+
+/// Section-level UNION: smallest regular section enclosing both; the result
+/// is marked exact only when no over-approximation occurred.
+/// Requires both sections to refer to the same array.
+Section unite(const Section& a, const Section& b);
+
+/// True if every element of `inner` provably belongs to `outer`.
+bool contains(const Section& outer, const Section& inner);
+
+/// True if the sections provably share at least one element... conservatively:
+/// returns true whenever overlap cannot be ruled out.
+bool may_overlap(const Section& a, const Section& b);
+
+/// Conservative difference on one dimension: a list of disjoint sections
+/// that together contain every element of `a` that is not in `b` (and
+/// possibly some that are — the result over-approximates a \ b, which is
+/// the safe direction for "still needs transferring"). Splitting is exact
+/// when `b` is a contiguous (stride-compatible) range overlapping `a`.
+std::vector<DimSection> subtract(const DimSection& a, const DimSection& b);
+
+/// Conservative multi-dimensional difference: sections covering a \ b.
+/// Exactness flags on the results are conservative. `b` must be exact for
+/// any elements to be removed (subtracting an over-approximation could
+/// drop elements that were never really in it). Returns {a} unchanged when
+/// nothing can be safely removed; returns an empty vector when `a` is
+/// provably contained in `b`.
+std::vector<Section> subtract(const Section& a, const Section& b);
+
+}  // namespace grophecy::brs

@@ -1,0 +1,44 @@
+// A set of Bounded Regular Sections over one array.
+//
+// The data-usage analyzer maintains, per array, the set of sections already
+// written on the GPU; a later read only forces a host-to-device transfer if
+// it is NOT provably covered by that set (paper §III-B). SectionSet provides
+// the conservative `covers` query plus the bounding UNION used to size
+// transfers.
+#pragma once
+
+#include <vector>
+
+#include "brs/section.h"
+
+namespace grophecy::brs {
+
+/// Grows monotonically; all member sections must refer to the same array.
+class SectionSet {
+ public:
+  bool empty() const { return sections_.empty(); }
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Adds a section, merging with an existing member when the union is
+  /// exact (keeps the set small without losing precision).
+  void add(const Section& section);
+
+  /// True only if `section` is PROVABLY contained in the set: either in a
+  /// single member, or in the exact union of all members. Conservative:
+  /// may return false for covered sections, never true for uncovered ones.
+  bool covers(const Section& section) const;
+
+  /// The smallest single regular section enclosing the whole set.
+  /// Requires a non-empty set.
+  Section bounding_union() const;
+
+  /// Conservative difference: sections that together contain every element
+  /// of `section` NOT provably covered by the set (possibly more — the
+  /// safe direction). Empty result == covers(section).
+  std::vector<Section> subtract_from(const Section& section) const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace grophecy::brs

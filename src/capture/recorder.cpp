@@ -1,0 +1,319 @@
+#include "capture/recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace grophecy::capture {
+
+namespace {
+
+/// Per-site sample cap: the first block of iterations plus power-of-two
+/// stragglers, so both early (outer loops frozen) and late (outer loops
+/// varied) behaviour is represented.
+constexpr std::uint64_t kDenseSamples = 512;
+
+bool keep_sample(std::uint64_t execution_index) {
+  if (execution_index < kDenseSamples) return true;
+  return (execution_index & (execution_index - 1)) == 0;  // powers of two
+}
+
+/// Solves the normal equations of index = c0 + sum ci * v_i by Gaussian
+/// elimination with partial pivoting. Returns false if singular.
+bool solve_least_squares(std::vector<std::vector<double>> ata,
+                         std::vector<double> atb,
+                         std::vector<double>& solution) {
+  const std::size_t n = atb.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(ata[row][col]) > std::abs(ata[pivot][col])) pivot = row;
+    if (std::abs(ata[pivot][col]) < 1e-9) return false;
+    std::swap(ata[col], ata[pivot]);
+    std::swap(atb[col], atb[pivot]);
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const double factor = ata[row][col] / ata[col][col];
+      for (std::size_t k = col; k < n; ++k)
+        ata[row][k] -= factor * ata[col][k];
+      atb[row] -= factor * atb[col];
+    }
+  }
+  solution.resize(n);
+  for (std::size_t i = 0; i < n; ++i) solution[i] = atb[i] / ata[i][i];
+  return true;
+}
+
+}  // namespace
+
+Recorder::Recorder(std::string app_name) : app_name_(std::move(app_name)) {}
+
+ArrayHandle Recorder::array(std::string name, skeleton::ElemType type,
+                            std::vector<std::int64_t> dims, bool sparse) {
+  GROPHECY_EXPECTS(!in_kernel_);
+  skeleton::ArrayDecl decl;
+  decl.name = std::move(name);
+  decl.type = type;
+  decl.dims = std::move(dims);
+  decl.sparse = sparse;
+  arrays_.push_back(std::move(decl));
+  return ArrayHandle{static_cast<int>(arrays_.size()) - 1};
+}
+
+void Recorder::temporary(ArrayHandle handle) {
+  GROPHECY_EXPECTS(handle.id >= 0 &&
+                   static_cast<std::size_t>(handle.id) < arrays_.size());
+  temporaries_.push_back(handle.id);
+}
+
+void Recorder::iterations(int count) {
+  GROPHECY_EXPECTS(count >= 1);
+  iterations_ = count;
+}
+
+void Recorder::begin_kernel(std::string name) {
+  GROPHECY_EXPECTS(!in_kernel_);
+  KernelRecord record;
+  record.name = std::move(name);
+  kernels_.push_back(std::move(record));
+  in_kernel_ = true;
+  current_values_.clear();
+}
+
+void Recorder::declare_loop(std::string name, std::int64_t lower,
+                            std::int64_t upper, bool parallel,
+                            std::int64_t step) {
+  GROPHECY_EXPECTS(in_kernel_);
+  GROPHECY_EXPECTS(kernels_.back().iterations_seen == 0);
+  skeleton::Loop loop;
+  loop.name = std::move(name);
+  loop.lower = lower;
+  loop.upper = upper;
+  loop.step = step;
+  loop.parallel = parallel;
+  kernels_.back().loops.push_back(std::move(loop));
+}
+
+void Recorder::iteration(std::vector<std::int64_t> loop_values) {
+  GROPHECY_EXPECTS(in_kernel_);
+  KernelRecord& kernel = kernels_.back();
+  GROPHECY_EXPECTS(loop_values.size() <= kernel.loops.size());
+  current_values_ = std::move(loop_values);
+  current_ordinals_.clear();
+  ++kernel.iterations_by_depth[current_values_.size()];
+  if (current_values_.size() == kernel.loops.size())
+    ++kernel.iterations_seen;
+}
+
+void Recorder::record(ArrayHandle handle, bool is_store,
+                      std::vector<std::int64_t> indices,
+                      std::string_view site) {
+  GROPHECY_EXPECTS(in_kernel_);
+  GROPHECY_EXPECTS(handle.id >= 0 &&
+                   static_cast<std::size_t>(handle.id) < arrays_.size());
+  GROPHECY_EXPECTS(indices.size() ==
+                   arrays_[static_cast<std::size_t>(handle.id)].dims.size());
+  KernelRecord& kernel = kernels_.back();
+
+  SiteKey key;
+  key.array = handle.id;
+  key.is_store = is_store;
+  if (site.empty())
+    key.ordinal = current_ordinals_[{handle.id, is_store}]++;
+  else
+    key.tag = std::string(site);
+  SiteData& data = kernel.sites[key];
+  if (data.executions == 0) {
+    data.loop_depth = current_values_.size();
+  } else {
+    GROPHECY_EXPECTS(data.loop_depth == current_values_.size());
+  }
+  if (keep_sample(data.executions))
+    data.samples.push_back(Observation{current_values_, std::move(indices)});
+  ++data.executions;
+}
+
+void Recorder::load(ArrayHandle handle, std::vector<std::int64_t> indices,
+                    std::string_view site) {
+  record(handle, false, std::move(indices), site);
+}
+
+void Recorder::store(ArrayHandle handle, std::vector<std::int64_t> indices,
+                     std::string_view site) {
+  record(handle, true, std::move(indices), site);
+}
+
+void Recorder::flops(double count) {
+  GROPHECY_EXPECTS(in_kernel_);
+  GROPHECY_EXPECTS(count >= 0.0);
+  kernels_.back().total_flops += count;
+}
+
+void Recorder::special(double count) {
+  GROPHECY_EXPECTS(in_kernel_);
+  GROPHECY_EXPECTS(count >= 0.0);
+  kernels_.back().total_special += count;
+}
+
+void Recorder::end_kernel() {
+  GROPHECY_EXPECTS(in_kernel_);
+  GROPHECY_EXPECTS(kernels_.back().iterations_seen > 0 ||
+                   !kernels_.back().sites.empty());
+  in_kernel_ = false;
+}
+
+skeleton::AppSkeleton Recorder::infer() const {
+  GROPHECY_EXPECTS(!in_kernel_);
+  GROPHECY_EXPECTS(!kernels_.empty());
+
+  skeleton::AppSkeleton app;
+  app.name = app_name_;
+  app.arrays = arrays_;
+  for (int temp : temporaries_) app.temporaries.push_back(temp);
+  app.iterations = iterations_;
+
+  for (const KernelRecord& record : kernels_) {
+    skeleton::KernelSkeleton kernel;
+    kernel.name = record.name;
+    kernel.loops = record.loops;
+
+    // One statement per observed loop depth, deepest last; arithmetic is
+    // attributed to the deepest statement.
+    std::vector<std::size_t> depths;
+    for (const auto& [key, site] : record.sites) {
+      (void)key;
+      if (std::find(depths.begin(), depths.end(), site.loop_depth) ==
+          depths.end())
+        depths.push_back(site.loop_depth);
+    }
+    std::sort(depths.begin(), depths.end());
+    GROPHECY_EXPECTS(!depths.empty());
+
+    std::map<std::size_t, std::size_t> stmt_of_depth;
+    for (std::size_t depth : depths) {
+      skeleton::Statement stmt;
+      stmt.depth = depth == kernel.loops.size()
+                       ? -1
+                       : static_cast<int>(depth);
+      stmt_of_depth[depth] = kernel.body.size();
+      kernel.body.push_back(std::move(stmt));
+    }
+    {
+      const std::size_t deepest = depths.back();
+      const std::uint64_t execs = record.iterations_by_depth.count(deepest)
+                                      ? record.iterations_by_depth.at(deepest)
+                                      : 1;
+      skeleton::Statement& deepest_stmt =
+          kernel.body[stmt_of_depth[deepest]];
+      deepest_stmt.flops = record.total_flops / static_cast<double>(execs);
+      deepest_stmt.special_ops =
+          record.total_special / static_cast<double>(execs);
+    }
+
+    for (const auto& [key, site] : record.sites) {
+      skeleton::ArrayRef ref;
+      ref.array = key.array;
+      ref.kind = key.is_store ? skeleton::RefKind::kStore
+                              : skeleton::RefKind::kLoad;
+      const std::size_t rank =
+          arrays_[static_cast<std::size_t>(key.array)].dims.size();
+      const std::size_t depth = site.loop_depth;
+
+      // Loops that actually vary across this site's samples.
+      std::vector<std::size_t> varying;
+      for (std::size_t l = 0; l < depth; ++l) {
+        for (std::size_t s = 1; s < site.samples.size(); ++s) {
+          if (site.samples[s].loop_values[l] !=
+              site.samples[0].loop_values[l]) {
+            varying.push_back(l);
+            break;
+          }
+        }
+      }
+
+      for (std::size_t d = 0; d < rank; ++d) {
+        // Fit index_d = c0 + sum over varying loops, then verify exactly.
+        const std::size_t unknowns = varying.size() + 1;
+        std::vector<std::vector<double>> ata(
+            unknowns, std::vector<double>(unknowns, 0.0));
+        std::vector<double> atb(unknowns, 0.0);
+        for (const Observation& sample : site.samples) {
+          std::vector<double> row(unknowns, 1.0);
+          for (std::size_t v = 0; v < varying.size(); ++v)
+            row[v + 1] = static_cast<double>(sample.loop_values[varying[v]]);
+          for (std::size_t r = 0; r < unknowns; ++r) {
+            for (std::size_t c = 0; c < unknowns; ++c)
+              ata[r][c] += row[r] * row[c];
+            atb[r] += row[r] * static_cast<double>(sample.indices[d]);
+          }
+        }
+        std::vector<double> solution;
+        bool affine = solve_least_squares(ata, atb, solution);
+        skeleton::AffineExpr expr;
+        if (affine) {
+          expr.constant = std::llround(solution[0]);
+          for (std::size_t v = 0; v < varying.size(); ++v) {
+            const std::int64_t coeff = std::llround(solution[v + 1]);
+            if (coeff != 0)
+              expr.terms.emplace_back(
+                  static_cast<skeleton::LoopId>(varying[v]), coeff);
+          }
+          for (const Observation& sample : site.samples) {
+            if (expr.evaluate(sample.loop_values) != sample.indices[d]) {
+              affine = false;
+              break;
+            }
+          }
+        }
+        if (affine) {
+          ref.subscripts.push_back(std::move(expr));
+          continue;
+        }
+        // Data dependent: record the dimension as hidden and detect which
+        // loop variations move the observed index.
+        ref.subscripts.push_back(skeleton::AffineExpr::make_constant(0));
+        ref.indirect_dims.push_back(static_cast<int>(d));
+        for (std::size_t l : varying) {
+          bool moves = false;
+          for (std::size_t s1 = 0; s1 < site.samples.size() && !moves;
+               ++s1) {
+            for (std::size_t s2 = s1 + 1; s2 < site.samples.size(); ++s2) {
+              const auto& a = site.samples[s1];
+              const auto& b = site.samples[s2];
+              if (a.loop_values[l] == b.loop_values[l]) continue;
+              bool others_equal = true;
+              for (std::size_t other = 0; other < depth; ++other)
+                if (other != l &&
+                    a.loop_values[other] != b.loop_values[other])
+                  others_equal = false;
+              if (others_equal && a.indices[d] != b.indices[d]) {
+                moves = true;
+                break;
+              }
+            }
+          }
+          if (moves)
+            ref.indirect_deps.push_back(static_cast<skeleton::LoopId>(l));
+        }
+        // No isolating evidence: conservatively depend on every loop.
+        if (ref.indirect_deps.empty()) {
+          for (std::size_t l = 0; l < depth; ++l)
+            ref.indirect_deps.push_back(static_cast<skeleton::LoopId>(l));
+        }
+      }
+      // Dedup hidden deps accumulated per dimension.
+      std::sort(ref.indirect_deps.begin(), ref.indirect_deps.end());
+      ref.indirect_deps.erase(
+          std::unique(ref.indirect_deps.begin(), ref.indirect_deps.end()),
+          ref.indirect_deps.end());
+      kernel.body[stmt_of_depth[depth]].refs.push_back(std::move(ref));
+    }
+    app.kernels.push_back(std::move(kernel));
+  }
+
+  app.validate();
+  return app;
+}
+
+}  // namespace grophecy::capture

@@ -1,0 +1,151 @@
+// Runtime skeleton capture: infer a code skeleton from an instrumented run.
+//
+// The paper's code skeletons were written by hand from the CPU source
+// (§II-C). This module provides the natural companion tool: instrument the
+// loop body of the real CPU code, run it once on a SMALL problem size, and
+// the Recorder reconstructs the skeleton — loop nest, per-statement FLOP
+// counts, and array references with their subscripts *inferred*:
+//
+//   * accesses whose observed indices fit an affine function of the loop
+//     variables become exact affine references (stencil shifts, strides
+//     and linearizations are recovered, verified against every sample);
+//   * accesses that fit no affine function become per-dimension gathers,
+//     with the hidden index's loop dependences detected from which loop
+//     variations move the observed index;
+//   * boundary-guarded accesses (stencil halos skipped at the edges) are
+//     tolerated: sites are matched by (array, ordinal) per iteration, and
+//     inference uses whichever samples exist.
+//
+// Usage (see examples/capture_demo.cpp):
+//
+//   capture::Recorder rec("blur");
+//   auto img = rec.array("img", ElemType::kF32, {n, n});
+//   auto out = rec.array("out", ElemType::kF32, {n, n});
+//   rec.begin_kernel("blur");
+//   rec.declare_loop("i", 0, n, /*parallel=*/true);
+//   rec.declare_loop("j", 0, n, /*parallel=*/true);
+//   for (i...) for (j...) {
+//     rec.iteration({i, j});
+//     rec.load(img, {i, j});
+//     if (i > 0) rec.load(img, {i - 1, j});
+//     rec.flops(4);
+//     rec.store(out, {i, j});
+//   }
+//   rec.end_kernel();
+//   skeleton::AppSkeleton skel = rec.infer();
+//
+// The inferred skeleton can then be re-scaled (extents are those of the
+// declared arrays/loops) and projected like any hand-written one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::capture {
+
+/// Opaque handle for a registered array.
+struct ArrayHandle {
+  int id = -1;
+};
+
+/// Records one instrumented execution and infers the skeleton.
+class Recorder {
+ public:
+  explicit Recorder(std::string app_name);
+
+  /// Registers an array (before any kernel).
+  ArrayHandle array(std::string name, skeleton::ElemType type,
+                    std::vector<std::int64_t> dims, bool sparse = false);
+
+  /// Marks an array as a temporary (the paper's §III-B hint).
+  void temporary(ArrayHandle handle);
+
+  /// Sets the outer iteration count of the finished skeleton.
+  void iterations(int count);
+
+  /// Starts recording a kernel; declare its loops before iterating.
+  void begin_kernel(std::string name);
+
+  /// Declares the next (inner) loop level of the current kernel.
+  void declare_loop(std::string name, std::int64_t lower, std::int64_t upper,
+                    bool parallel, std::int64_t step = 1);
+
+  /// Announces the current loop indices (outermost first; shorter vectors
+  /// address outer-loop statements). Must precede the iteration's
+  /// load/store/flops calls.
+  void iteration(std::vector<std::int64_t> loop_values);
+
+  /// Records one access with the concrete per-dimension indices. The
+  /// optional `site` tag identifies the instrumentation point; accesses
+  /// with the same tag are samples of one array reference. Untagged
+  /// accesses are matched by their per-iteration ordinal, which is only
+  /// correct when every iteration performs the same access sequence —
+  /// guarded accesses (stencil halos) MUST be tagged.
+  void load(ArrayHandle handle, std::vector<std::int64_t> indices,
+            std::string_view site = {});
+  void store(ArrayHandle handle, std::vector<std::int64_t> indices,
+             std::string_view site = {});
+
+  /// Accumulates arithmetic performed in the current iteration.
+  void flops(double count);
+  void special(double count);
+
+  /// Finishes the current kernel.
+  void end_kernel();
+
+  /// Infers and validates the skeleton. Requires at least one kernel with
+  /// at least one recorded iteration.
+  skeleton::AppSkeleton infer() const;
+
+ private:
+  struct Observation {
+    std::vector<std::int64_t> loop_values;
+    std::vector<std::int64_t> indices;
+  };
+  /// One access site: the k-th access to a given array within an
+  /// iteration, separated by kind.
+  struct SiteKey {
+    int array = -1;
+    bool is_store = false;
+    int ordinal = 0;          ///< Used only when tag is empty.
+    std::string tag;
+    bool operator<(const SiteKey& other) const {
+      if (array != other.array) return array < other.array;
+      if (is_store != other.is_store) return is_store < other.is_store;
+      if (tag != other.tag) return tag < other.tag;
+      return ordinal < other.ordinal;
+    }
+  };
+  struct SiteData {
+    std::vector<Observation> samples;  ///< Capped; see kMaxSamplesPerSite.
+    std::uint64_t executions = 0;
+    std::size_t loop_depth = 0;  ///< Loop values seen at this site.
+  };
+  struct KernelRecord {
+    std::string name;
+    std::vector<skeleton::Loop> loops;
+    std::map<SiteKey, SiteData> sites;
+    double total_flops = 0.0;
+    double total_special = 0.0;
+    std::uint64_t iterations_seen = 0;
+    std::map<std::size_t, std::uint64_t> iterations_by_depth;
+  };
+
+  void record(ArrayHandle handle, bool is_store,
+              std::vector<std::int64_t> indices, std::string_view site);
+
+  std::string app_name_;
+  std::vector<skeleton::ArrayDecl> arrays_;
+  std::vector<int> temporaries_;
+  int iterations_ = 1;
+  std::vector<KernelRecord> kernels_;
+  bool in_kernel_ = false;
+  std::vector<std::int64_t> current_values_;
+  std::map<std::pair<int, bool>, int> current_ordinals_;
+};
+
+}  // namespace grophecy::capture

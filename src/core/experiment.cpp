@@ -1,0 +1,26 @@
+#include "core/experiment.h"
+
+namespace grophecy::core {
+
+ExperimentRunner::ExperimentRunner(hw::MachineSpec machine,
+                                   ProjectionOptions options)
+    : engine_(std::move(machine), std::move(options)) {}
+
+ProjectionReport ExperimentRunner::run(const workloads::Workload& workload,
+                                       const workloads::DataSize& size,
+                                       int iterations) {
+  skeleton::AppSkeleton app = workload.make_skeleton(size, iterations);
+  ProjectionReport report = engine_.project(app);
+  report.app_name = workload.name() + " " + size.label;
+  return report;
+}
+
+std::vector<ProjectionReport> ExperimentRunner::run_all_sizes(
+    const workloads::Workload& workload, int iterations) {
+  std::vector<ProjectionReport> reports;
+  for (const workloads::DataSize& size : workload.paper_data_sizes())
+    reports.push_back(run(workload, size, iterations));
+  return reports;
+}
+
+}  // namespace grophecy::core

@@ -1,0 +1,35 @@
+// Experiment drivers shared by the reproduction benches and tests.
+//
+// ExperimentRunner wires a Grophecy engine to the paper's workload suite on
+// a chosen machine (the Argonne testbed by default) so every bench asks the
+// same question the same way: "project workload W at data size S for N
+// iterations".
+#pragma once
+
+#include "core/grophecy.h"
+#include "hw/registry.h"
+#include "workloads/workload.h"
+
+namespace grophecy::core {
+
+/// Runs paper experiments against one machine.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(hw::MachineSpec machine = hw::anl_eureka(),
+                            ProjectionOptions options = {});
+
+  /// Projects one (workload, data size, iterations) configuration.
+  ProjectionReport run(const workloads::Workload& workload,
+                       const workloads::DataSize& size, int iterations = 1);
+
+  /// Projects every paper data size of one workload at one iteration.
+  std::vector<ProjectionReport> run_all_sizes(
+      const workloads::Workload& workload, int iterations = 1);
+
+  Grophecy& engine() { return engine_; }
+
+ private:
+  Grophecy engine_;
+};
+
+}  // namespace grophecy::core

@@ -1,0 +1,165 @@
+#include "core/grophecy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dataflow/usage_analyzer.h"
+#include "util/contracts.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace grophecy::core {
+
+namespace {
+
+/// Derives decorrelated seeds for the pipeline's stochastic components.
+struct Seeds {
+  std::uint64_t calibration_bus;
+  std::uint64_t measurement_bus;
+  std::uint64_t gpu;
+  std::uint64_t cpu;
+};
+
+Seeds derive_seeds(std::uint64_t master) {
+  util::Rng rng(master);
+  Seeds seeds{};
+  seeds.calibration_bus = rng.next_u64();
+  seeds.measurement_bus = rng.next_u64();
+  seeds.gpu = rng.next_u64();
+  seeds.cpu = rng.next_u64();
+  return seeds;
+}
+
+pcie::BusModel calibrate(const hw::MachineSpec& machine,
+                         const ProjectionOptions& options,
+                         std::uint64_t seed) {
+  // Calibration runs on its own bus instance: on real hardware it is a
+  // separate synthetic-benchmark invocation with its own noise.
+  pcie::SimulatedBus bus(machine.pcie, seed);
+  pcie::TransferCalibrator calibrator(options.calibration);
+  return calibrator.calibrate(bus, options.memory);
+}
+
+}  // namespace
+
+Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
+    : machine_(std::move(machine)),
+      options_(std::move(options)),
+      measurement_bus_(machine_.pcie,
+                       derive_seeds(options_.seed).measurement_bus),
+      bus_model_(
+          calibrate(machine_, options_, derive_seeds(options_.seed).calibration_bus)),
+      explorer_(machine_.gpu, options_.explorer),
+      gpu_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
+      event_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
+      cpu_sim_(machine_.cpu, derive_seeds(options_.seed).cpu) {
+  GROPHECY_EXPECTS(options_.measurement_runs > 0);
+  if (options_.measurement_noise)
+    measurement_bus_.set_noise(*options_.measurement_noise);
+  GROPHECY_LOG(kInfo) << "calibrated " << machine_.name << ": H2D "
+                      << bus_model_.h2d.describe() << ", D2H "
+                      << bus_model_.d2h.describe();
+}
+
+ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
+  app.validate();
+
+  ProjectionReport report;
+  report.app_name = app.name;
+  report.machine_name = machine_.name;
+  report.iterations = app.iterations;
+
+  // --- transfer plan (data usage analysis) ---
+  dataflow::UsageAnalyzer analyzer;
+  report.plan = analyzer.analyze(app);
+
+  // --- device footprint: every array a kernel touches stays resident ---
+  std::vector<bool> touched(app.arrays.size(), false);
+  for (const skeleton::KernelSkeleton& kernel : app.kernels)
+    for (const skeleton::Statement& stmt : kernel.body)
+      for (const skeleton::ArrayRef& ref : stmt.refs)
+        touched[static_cast<std::size_t>(ref.array)] = true;
+  for (std::size_t i = 0; i < app.arrays.size(); ++i)
+    if (touched[i]) report.device_footprint_bytes += app.arrays[i].bytes();
+  report.fits_device_memory =
+      report.device_footprint_bytes <= machine_.gpu.memory_bytes;
+  if (!report.fits_device_memory) {
+    GROPHECY_LOG(kWarn) << app.name << ": device footprint "
+                        << util::format_bytes(report.device_footprint_bytes)
+                        << " exceeds " << machine_.gpu.name << " memory ("
+                        << util::format_bytes(machine_.gpu.memory_bytes)
+                        << "); projection assumes chunk-free residency";
+  }
+
+  // --- kernel projection: explore, pick the best, then "hand-code" the
+  // same transformation on the machine (paper §IV-A) ---
+  const bool try_fusion = app.kernels.size() == 1 && app.iterations > 1;
+  for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+    KernelResult result;
+    result.name = kernel.name;
+
+    gpumodel::ProjectedKernel best{};
+    double best_total = std::numeric_limits<double>::infinity();
+    std::int64_t best_launches = app.iterations;
+    std::vector<int> fusions =
+        try_fusion ? options_.fusion_candidates : std::vector<int>{1};
+    for (int fuse : fusions) {
+      if (fuse < 1 || fuse > app.iterations) continue;
+      gpumodel::ProjectedKernel candidate =
+          explorer_.best(app, kernel, fuse);
+      const std::int64_t launches = (app.iterations + fuse - 1) / fuse;
+      const double total = candidate.time.total_s *
+                           static_cast<double>(launches);
+      if (total < best_total) {
+        best_total = total;
+        best = std::move(candidate);
+        best_launches = launches;
+      }
+    }
+    GROPHECY_ENSURES(std::isfinite(best_total));
+
+    result.projected = std::move(best);
+    result.launches = best_launches;
+    result.predicted_s = best_total;
+    const double per_launch =
+        options_.detailed_sim
+            ? event_sim_.measure_launch_seconds(
+                  result.projected.characteristics,
+                  options_.measurement_runs)
+            : gpu_sim_.measure_launch_seconds(
+                  result.projected.characteristics,
+                  options_.measurement_runs);
+    result.measured_s = per_launch * static_cast<double>(best_launches);
+    report.predicted_kernel_s += result.predicted_s;
+    report.measured_kernel_s += result.measured_s;
+    report.kernels.push_back(std::move(result));
+  }
+
+  // --- transfer projection and measurement ---
+  auto process_transfers = [&](const std::vector<dataflow::Transfer>& list) {
+    for (const dataflow::Transfer& transfer : list) {
+      TransferResult result;
+      result.transfer = transfer;
+      result.predicted_s =
+          bus_model_.predict_seconds(transfer.bytes, transfer.direction);
+      result.measured_s = measurement_bus_.measure_mean(
+          transfer.bytes, transfer.direction, options_.memory,
+          options_.measurement_runs);
+      report.predicted_transfer_s += result.predicted_s;
+      report.measured_transfer_s += result.measured_s;
+      report.transfers.push_back(std::move(result));
+    }
+  };
+  process_transfers(report.plan.host_to_device);
+  process_transfers(report.plan.device_to_host);
+
+  // --- CPU baseline measurement ---
+  report.measured_cpu_s =
+      cpu_sim_.measure_app_seconds(app, options_.measurement_runs);
+
+  return report;
+}
+
+}  // namespace grophecy::core

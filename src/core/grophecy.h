@@ -1,0 +1,83 @@
+// GROPHECY++ — the top-level projection facade (paper contribution 3).
+//
+// Given a machine description and an application skeleton, Grophecy:
+//
+//   1. calibrates the PCIe linear model with the two-point synthetic
+//      benchmark ("automatically invoked when run on a new system", §III-C),
+//   2. explores GPU code transformations per kernel and projects the best
+//      achievable kernel time (GROPHECY, §II-C), including temporal fusion
+//      for single-kernel iterative apps,
+//   3. runs the data-usage analyzer to obtain the transfer plan (§III-B)
+//      and prices it with the calibrated bus model,
+//   4. "measures" the same configuration on the simulated machine (GPU
+//      simulator + stochastic bus + CPU simulator, means of N runs), and
+//   5. returns a ProjectionReport with predicted/measured times, speedups,
+//      and the paper's error metrics.
+//
+// On a real system, step 4 would be actual hardware runs; the report and
+// everything above it would not change (see DESIGN.md).
+#pragma once
+
+#include <optional>
+
+#include "core/report.h"
+#include "cpumodel/cpu_sim.h"
+#include "gpumodel/explorer.h"
+#include "hw/machine.h"
+#include "pcie/bus.h"
+#include "pcie/calibrator.h"
+#include "sim/event_sim.h"
+#include "sim/gpu_sim.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::core {
+
+/// Knobs of the projection pipeline; defaults follow the paper.
+struct ProjectionOptions {
+  /// Runs averaged per reported measurement (paper: ten).
+  int measurement_runs = 10;
+  /// Master seed; all stochastic components derive their streams from it.
+  std::uint64_t seed = 42;
+  /// Host memory mode assumed for transfers (paper assumes pinned).
+  hw::HostMemory memory = hw::HostMemory::kPinned;
+  pcie::CalibrationOptions calibration;
+  gpumodel::ExplorerOptions explorer;
+  /// Temporal-fusion factors tried for single-kernel iterative apps.
+  std::vector<int> fusion_candidates{1, 2, 4};
+  /// Overrides the bus noise for the measurement phase only (used to
+  /// reproduce the paper's outlier-afflicted CFD transfers, §V-A).
+  std::optional<hw::PcieNoiseProfile> measurement_noise;
+  /// Measure kernels with the discrete-event fluid simulator
+  /// (sim::EventGpuSimulator) instead of the wave-based one: greedy block
+  /// scheduling + chip-wide DRAM contention.
+  bool detailed_sim = false;
+};
+
+/// The projection engine for one machine.
+class Grophecy {
+ public:
+  explicit Grophecy(hw::MachineSpec machine, ProjectionOptions options = {});
+
+  /// The bus model calibrated at construction.
+  const pcie::BusModel& bus_model() const { return bus_model_; }
+
+  /// Projects (and "measures") one application. Stochastic measurement
+  /// streams advance with every call; calling twice yields independent
+  /// observations of the same expected values.
+  ProjectionReport project(const skeleton::AppSkeleton& app);
+
+  const hw::MachineSpec& machine() const { return machine_; }
+  const ProjectionOptions& options() const { return options_; }
+
+ private:
+  hw::MachineSpec machine_;
+  ProjectionOptions options_;
+  pcie::SimulatedBus measurement_bus_;
+  pcie::BusModel bus_model_;
+  gpumodel::Explorer explorer_;
+  sim::GpuSimulator gpu_sim_;
+  sim::EventGpuSimulator event_sim_;
+  cpumodel::CpuSimulator cpu_sim_;
+};
+
+}  // namespace grophecy::core

@@ -1,0 +1,97 @@
+#include "core/memory_advisor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "dataflow/usage_analyzer.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace grophecy::core {
+
+MemoryModeAdvisor::MemoryModeAdvisor(hw::MachineSpec machine,
+                                     std::uint64_t seed)
+    : machine_(std::move(machine)) {
+  util::Rng rng(seed);
+  pcie::SimulatedBus bus(machine_.pcie, rng.next_u64());
+  pcie::TransferCalibrator calibrator;
+  pinned_ = calibrator.calibrate(bus, hw::HostMemory::kPinned);
+  pageable_ = calibrator.calibrate(bus, hw::HostMemory::kPageable);
+  pcie::SimulatedAllocator allocator(machine_.alloc, rng.next_u64());
+  alloc_ = pcie::AllocationCalibrator().calibrate(allocator);
+}
+
+MemoryModeReport MemoryModeAdvisor::advise(
+    const skeleton::AppSkeleton& app) const {
+  dataflow::UsageAnalyzer analyzer;
+  const dataflow::TransferPlan plan = analyzer.analyze(app);
+
+  // Group the plan by array: one host buffer per array, transfers in both
+  // directions priced per mode.
+  std::map<skeleton::ArrayId, ArrayModeChoice> by_array;
+  auto accumulate = [&](const dataflow::Transfer& transfer) {
+    ArrayModeChoice& choice = by_array[transfer.array];
+    choice.array = transfer.array;
+    choice.array_name = transfer.array_name;
+    choice.bytes = std::max(choice.bytes, transfer.bytes);
+    choice.pinned_transfer_s +=
+        pinned_.predict_seconds(transfer.bytes, transfer.direction);
+    choice.pageable_transfer_s +=
+        pageable_.predict_seconds(transfer.bytes, transfer.direction);
+  };
+  for (const dataflow::Transfer& t : plan.host_to_device) accumulate(t);
+  for (const dataflow::Transfer& t : plan.device_to_host) accumulate(t);
+
+  MemoryModeReport report;
+  for (auto& [array_id, choice] : by_array) {
+    choice.pinned_alloc_s =
+        alloc_.pinned_host.predict_seconds(choice.bytes);
+    choice.pageable_alloc_s =
+        alloc_.pageable_host.predict_seconds(choice.bytes);
+    choice.recommended = choice.pinned_total_s() <= choice.pageable_total_s()
+                             ? hw::HostMemory::kPinned
+                             : hw::HostMemory::kPageable;
+    report.device_alloc_s += alloc_.device.predict_seconds(choice.bytes);
+    report.all_pinned_s += choice.pinned_total_s();
+    report.all_pageable_s += choice.pageable_total_s();
+    report.mixed_s +=
+        std::min(choice.pinned_total_s(), choice.pageable_total_s());
+    report.choices.push_back(choice);
+  }
+  report.uniform_recommendation =
+      report.all_pinned_s <= report.all_pageable_s
+          ? hw::HostMemory::kPinned
+          : hw::HostMemory::kPageable;
+  return report;
+}
+
+std::string MemoryModeReport::describe() const {
+  std::ostringstream oss;
+  oss << "memory-mode advice (transfer + host allocation per array):\n";
+  for (const ArrayModeChoice& choice : choices) {
+    oss << "  " << choice.array_name << " ("
+        << util::format_bytes(choice.bytes) << "): pinned "
+        << util::format_time(choice.pinned_total_s()) << " (xfer "
+        << util::format_time(choice.pinned_transfer_s) << " + pin "
+        << util::format_time(choice.pinned_alloc_s) << "), pageable "
+        << util::format_time(choice.pageable_total_s()) << " -> "
+        << (choice.recommended == hw::HostMemory::kPinned ? "pinned"
+                                                          : "pageable")
+        << '\n';
+  }
+  oss << "  uniform pinned " << util::format_time(all_pinned_s)
+      << " | uniform pageable " << util::format_time(all_pageable_s)
+      << " | per-array mix " << util::format_time(mixed_s) << '\n';
+  oss << "  device allocations (cudaMalloc): "
+      << util::format_time(device_alloc_s) << '\n';
+  oss << "  recommendation: "
+      << (uniform_recommendation == hw::HostMemory::kPinned ? "pinned"
+                                                            : "pageable")
+      << " (uniform), mixed saves "
+      << util::format_time(std::min(all_pinned_s, all_pageable_s) - mixed_s)
+      << '\n';
+  return oss.str();
+}
+
+}  // namespace grophecy::core

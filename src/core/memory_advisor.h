@@ -1,0 +1,76 @@
+// Pinned-vs-pageable memory-mode advisor — the paper's future work (§VII:
+// "explore the tradeoffs of using different types of memory (i.e., pinned
+// and pageable) and account for the overhead of memory allocation").
+//
+// The paper assumes pinned memory because it is faster for most transfer
+// sizes (§III-C), but pinning is not free: cudaHostAlloc must lock and
+// register every page, so a buffer that is transferred once may be cheaper
+// as plain malloc memory, and tiny host-to-device transfers are actually
+// faster pageable. The advisor calibrates bus models under BOTH memory
+// modes plus a linear allocation-cost model, prices each transfer of the
+// application's plan under each mode including the host-buffer allocation,
+// and recommends a per-array choice as well as the best uniform policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/transfer_plan.h"
+#include "hw/machine.h"
+#include "pcie/allocation.h"
+#include "pcie/bus.h"
+#include "pcie/calibrator.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::core {
+
+/// Per-array mode decision with its cost breakdown, seconds.
+struct ArrayModeChoice {
+  skeleton::ArrayId array = -1;
+  std::string array_name;
+  std::uint64_t bytes = 0;        ///< Host buffer size.
+  double pinned_transfer_s = 0.0;   ///< All transfers of this array, pinned.
+  double pageable_transfer_s = 0.0;
+  double pinned_alloc_s = 0.0;      ///< cudaHostAlloc of the host buffer.
+  double pageable_alloc_s = 0.0;    ///< malloc of the host buffer.
+  hw::HostMemory recommended = hw::HostMemory::kPinned;
+
+  double pinned_total_s() const { return pinned_transfer_s + pinned_alloc_s; }
+  double pageable_total_s() const {
+    return pageable_transfer_s + pageable_alloc_s;
+  }
+};
+
+/// Whole-application memory-mode recommendation.
+struct MemoryModeReport {
+  std::vector<ArrayModeChoice> choices;
+  double device_alloc_s = 0.0;    ///< cudaMalloc overhead (mode independent).
+  double all_pinned_s = 0.0;      ///< Uniform pinned: transfers + allocation.
+  double all_pageable_s = 0.0;
+  double mixed_s = 0.0;           ///< Per-array best.
+  hw::HostMemory uniform_recommendation = hw::HostMemory::kPinned;
+
+  std::string describe() const;
+};
+
+/// Calibrates both memory modes and the allocator, then advises per app.
+class MemoryModeAdvisor {
+ public:
+  explicit MemoryModeAdvisor(hw::MachineSpec machine,
+                             std::uint64_t seed = 42);
+
+  /// Analyzes the app's transfer plan and prices it under both modes.
+  MemoryModeReport advise(const skeleton::AppSkeleton& app) const;
+
+  const pcie::BusModel& pinned_model() const { return pinned_; }
+  const pcie::BusModel& pageable_model() const { return pageable_; }
+  const pcie::AllocationModel& allocation_model() const { return alloc_; }
+
+ private:
+  hw::MachineSpec machine_;
+  pcie::BusModel pinned_;
+  pcie::BusModel pageable_;
+  pcie::AllocationModel alloc_;
+};
+
+}  // namespace grophecy::core

@@ -1,0 +1,66 @@
+// Transfer/compute overlap projection (streamed offload).
+//
+// The paper models the offload as strictly serial: all input moves, the
+// kernels run, all output moves back — which is how its benchmarks were
+// coded (cudaMemcpy + kernel launches). CUDA streams allow a pipelined
+// alternative for chunkable kernels: split the data into c chunks and
+// overlap H2D(i+1) with kernel(i) and D2H(i-1). This analyzer answers the
+// natural follow-up question to the paper's verdicts: *if transfers turn
+// your GPU win into a loss, could streaming win it back?*
+//
+// The projection reuses the calibrated linear bus model. Chunking is a
+// two-edged sword under T(d) = alpha + beta*d: more chunks shrink the
+// pipeline fill/drain but pay the per-transfer alpha more often, so the
+// analyzer sweeps the chunk count and reports the optimum.
+//
+// Applicability is the caller's responsibility: the timing model assumes
+// the kernel's work and data partition cleanly by chunk (true for
+// element-wise kernels and independent-row kernels like Stassuij's SpMM;
+// stencils need halo exchange that this model ignores).
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.h"
+#include "pcie/linear_model.h"
+
+namespace grophecy::core {
+
+/// Projected timing of one chunked, streamed offload.
+struct OverlapProjection {
+  int chunks = 1;
+  double serial_s = 0.0;      ///< input + kernel + output, back to back.
+  double overlapped_s = 0.0;  ///< pipelined estimate at this chunk count.
+
+  double speedup() const { return serial_s / overlapped_s; }
+  bool profitable() const { return overlapped_s < serial_s * 0.999; }
+};
+
+/// Sweeps chunk counts for a projected application and returns the best.
+class OverlapAnalyzer {
+ public:
+  /// `max_chunks` bounds the sweep (streams and buffers are not free).
+  explicit OverlapAnalyzer(pcie::BusModel bus, int max_chunks = 64);
+
+  /// Projects the pipeline from an application's projection report
+  /// (predicted kernel time + transfer plan). Requires a report with at
+  /// least one transfer and non-zero predicted kernel time.
+  OverlapProjection best(const ProjectionReport& report) const;
+
+  /// Projects one specific chunk count.
+  OverlapProjection at_chunks(const ProjectionReport& report,
+                              int chunks) const;
+
+  /// Minimum chunk count at which a double-buffered streamed offload's
+  /// per-chunk resident footprint (two chunks in flight) fits the device
+  /// memory — chunking is also the remedy when the projection flags
+  /// `fits_device_memory == false`. Requires memory_bytes > 0.
+  int min_chunks_for_memory(const ProjectionReport& report,
+                            std::uint64_t memory_bytes) const;
+
+ private:
+  pcie::BusModel bus_;
+  int max_chunks_;
+};
+
+}  // namespace grophecy::core

@@ -1,0 +1,125 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace grophecy::core {
+
+double ProjectionReport::measured_percent_transfer() const {
+  return measured_transfer_s / measured_total_s() * 100.0;
+}
+
+double ProjectionReport::measured_speedup() const {
+  return measured_cpu_s / measured_total_s();
+}
+
+double ProjectionReport::predicted_speedup_kernel_only() const {
+  return measured_cpu_s / predicted_kernel_s;
+}
+
+double ProjectionReport::predicted_speedup_transfer_only() const {
+  return measured_cpu_s / predicted_transfer_s;
+}
+
+double ProjectionReport::predicted_speedup_both() const {
+  return measured_cpu_s / predicted_total_s();
+}
+
+double ProjectionReport::measured_speedup_limit() const {
+  return measured_cpu_s / measured_kernel_s;
+}
+
+double ProjectionReport::predicted_speedup_at_iterations(int n) const {
+  GROPHECY_EXPECTS(n >= 1);
+  const double scale = static_cast<double>(n) / iterations;
+  return measured_cpu_s * scale /
+         (predicted_kernel_s * scale + predicted_transfer_s);
+}
+
+double ProjectionReport::measured_speedup_at_iterations(int n) const {
+  GROPHECY_EXPECTS(n >= 1);
+  const double scale = static_cast<double>(n) / iterations;
+  return measured_cpu_s * scale /
+         (measured_kernel_s * scale + measured_transfer_s);
+}
+
+double ProjectionReport::predicted_speedup_limit() const {
+  return measured_cpu_s / predicted_kernel_s;
+}
+
+double ProjectionReport::kernel_error_pct() const {
+  return util::error_magnitude_percent(predicted_kernel_s,
+                                       measured_kernel_s);
+}
+
+double ProjectionReport::transfer_error_pct() const {
+  return util::error_magnitude_percent(predicted_transfer_s,
+                                       measured_transfer_s);
+}
+
+double ProjectionReport::speedup_error_kernel_only_pct() const {
+  return util::error_magnitude_percent(predicted_speedup_kernel_only(),
+                                       measured_speedup());
+}
+
+double ProjectionReport::speedup_error_transfer_only_pct() const {
+  return util::error_magnitude_percent(predicted_speedup_transfer_only(),
+                                       measured_speedup());
+}
+
+double ProjectionReport::speedup_error_both_pct() const {
+  return util::error_magnitude_percent(predicted_speedup_both(),
+                                       measured_speedup());
+}
+
+double ProjectionReport::speedup_error_limit_pct() const {
+  return util::error_magnitude_percent(predicted_speedup_limit(),
+                                       measured_speedup_limit());
+}
+
+std::string ProjectionReport::describe() const {
+  std::ostringstream oss;
+  oss << "=== " << app_name << " on " << machine_name
+      << " (iterations=" << iterations << ") ===\n";
+  oss << "transfers: " << util::format_bytes(plan.input_bytes()) << " in, "
+      << util::format_bytes(plan.output_bytes()) << " out\n";
+  for (const KernelResult& k : kernels) {
+    oss << "  kernel " << k.name << " [" << k.projected.variant.describe()
+        << ", bound=" << k.projected.time.bound << "]: predicted "
+        << util::format_time(k.predicted_s) << ", measured "
+        << util::format_time(k.measured_s) << " (" << k.launches
+        << " launches)\n";
+  }
+  for (const TransferResult& t : transfers) {
+    oss << "  transfer "
+        << (t.transfer.direction == hw::Direction::kHostToDevice ? "H2D "
+                                                                  : "D2H ")
+        << t.transfer.array_name << " ("
+        << util::format_bytes(t.transfer.bytes) << "): predicted "
+        << util::format_time(t.predicted_s) << ", measured "
+        << util::format_time(t.measured_s) << '\n';
+  }
+  oss << util::strfmt(
+      "kernel:   predicted %s, measured %s (err %.1f%%)\n",
+      util::format_time(predicted_kernel_s).c_str(),
+      util::format_time(measured_kernel_s).c_str(), kernel_error_pct());
+  oss << util::strfmt(
+      "transfer: predicted %s, measured %s (err %.1f%%)\n",
+      util::format_time(predicted_transfer_s).c_str(),
+      util::format_time(measured_transfer_s).c_str(), transfer_error_pct());
+  oss << util::strfmt("cpu:      measured %s\n",
+                      util::format_time(measured_cpu_s).c_str());
+  oss << util::strfmt(
+      "speedup:  measured %.2fx | predicted kernel-only %.2fx (err %.0f%%), "
+      "with transfer %.2fx (err %.0f%%)\n",
+      measured_speedup(), predicted_speedup_kernel_only(),
+      speedup_error_kernel_only_pct(), predicted_speedup_both(),
+      speedup_error_both_pct());
+  return oss.str();
+}
+
+}  // namespace grophecy::core

@@ -1,0 +1,95 @@
+// Projection reports: everything GROPHECY++ predicts and everything the
+// machine "measures" for one application offload, plus the paper's derived
+// metrics (speedups and error magnitudes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/transfer_plan.h"
+#include "gpumodel/explorer.h"
+
+namespace grophecy::core {
+
+/// Model-vs-machine results for one kernel of the application.
+struct KernelResult {
+  std::string name;
+  gpumodel::ProjectedKernel projected;  ///< Chosen variant + model breakdown.
+  std::int64_t launches = 1;            ///< Launches over the whole app run.
+  double predicted_s = 0.0;             ///< Total predicted time, all launches.
+  double measured_s = 0.0;              ///< Total simulated time, all launches.
+};
+
+/// Model-vs-machine results for one transfer of the plan.
+struct TransferResult {
+  dataflow::Transfer transfer;
+  double predicted_s = 0.0;
+  double measured_s = 0.0;
+};
+
+/// The complete projection of one application on one machine.
+struct ProjectionReport {
+  std::string app_name;
+  std::string machine_name;
+  int iterations = 1;
+
+  dataflow::TransferPlan plan;
+  std::vector<KernelResult> kernels;
+  std::vector<TransferResult> transfers;
+
+  /// Device-resident footprint: every array any kernel touches must live
+  /// in GPU memory for the whole offload (paper §II-B allocation model).
+  std::uint64_t device_footprint_bytes = 0;
+  /// False when the footprint exceeds the GPU's memory: the projection is
+  /// then optimistic — the real port would need chunked offloads.
+  bool fits_device_memory = true;
+
+  double predicted_kernel_s = 0.0;    ///< Sum over kernels (all launches).
+  double measured_kernel_s = 0.0;
+  double predicted_transfer_s = 0.0;  ///< Sum over the transfer plan.
+  double measured_transfer_s = 0.0;
+  double measured_cpu_s = 0.0;        ///< The ported region on the CPU.
+
+  // --- totals (paper §IV-A: total GPU time = kernel + transfer) ---
+  double predicted_total_s() const {
+    return predicted_kernel_s + predicted_transfer_s;
+  }
+  double measured_total_s() const {
+    return measured_kernel_s + measured_transfer_s;
+  }
+  double measured_percent_transfer() const;
+
+  // --- speedups (total CPU time / total GPU time) ---
+  double measured_speedup() const;
+  /// Prediction using only the projected kernel time (no transfers).
+  double predicted_speedup_kernel_only() const;
+  /// Prediction using only the projected transfer time.
+  double predicted_speedup_transfer_only() const;
+  /// Prediction using kernel + transfer time (GROPHECY++).
+  double predicted_speedup_both() const;
+
+  /// Iteration-count -> infinity limits (transfers amortize away).
+  double measured_speedup_limit() const;
+  double predicted_speedup_limit() const;
+
+  /// Analytic speedup curve: projects this report to a different iteration
+  /// count without re-running the pipeline, using the paper's structure
+  /// (kernel and CPU time scale with iterations, transfers do not).
+  /// Requires n >= 1. Note: re-projecting with the engine may differ
+  /// slightly when iteration fusion changes the chosen variant.
+  double predicted_speedup_at_iterations(int n) const;
+  double measured_speedup_at_iterations(int n) const;
+
+  // --- error magnitudes, percent (paper §V-A definition) ---
+  double kernel_error_pct() const;
+  double transfer_error_pct() const;
+  double speedup_error_kernel_only_pct() const;
+  double speedup_error_transfer_only_pct() const;
+  double speedup_error_both_pct() const;
+  double speedup_error_limit_pct() const;
+
+  /// Multi-line human-readable summary.
+  std::string describe() const;
+};
+
+}  // namespace grophecy::core

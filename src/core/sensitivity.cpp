@@ -1,0 +1,63 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/grophecy.h"
+#include "hw/machine_file.h"
+#include "util/contracts.h"
+
+namespace grophecy::core {
+
+namespace {
+
+double projected_speedup(const hw::MachineSpec& machine,
+                         const skeleton::AppSkeleton& app,
+                         std::uint64_t seed) {
+  ProjectionOptions options;
+  options.seed = seed;
+  Grophecy engine(machine, options);
+  return engine.project(app).predicted_speedup_both();
+}
+
+}  // namespace
+
+std::vector<ParameterSensitivity> analyze_sensitivity(
+    const hw::MachineSpec& machine, const skeleton::AppSkeleton& app,
+    const SensitivityOptions& options) {
+  GROPHECY_EXPECTS(options.perturbation > 0.0 && options.perturbation < 1.0);
+  const double baseline =
+      projected_speedup(machine, app, options.seed);
+  GROPHECY_EXPECTS(baseline > 0.0);
+
+  std::vector<ParameterSensitivity> results;
+  for (const std::string& field : hw::machine_field_names()) {
+    hw::MachineSpec perturbed = machine;
+    // Skip string fields and parameters currently at zero (a relative
+    // perturbation of zero is still zero).
+    if (!hw::scale_machine_field(perturbed, field,
+                                 1.0 + options.perturbation))
+      continue;
+    if (hw::serialize_machine(perturbed) == hw::serialize_machine(machine))
+      continue;
+
+    ParameterSensitivity entry;
+    entry.field = field;
+    entry.baseline_value_scaled = 1.0 + options.perturbation;
+    entry.baseline_speedup = baseline;
+    entry.perturbed_speedup =
+        projected_speedup(perturbed, app, options.seed);
+    entry.elasticity = ((entry.perturbed_speedup - baseline) / baseline) /
+                       options.perturbation;
+    if (std::abs(entry.elasticity) >= options.min_elasticity)
+      results.push_back(std::move(entry));
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const ParameterSensitivity& a, const ParameterSensitivity& b) {
+              return std::abs(a.elasticity) > std::abs(b.elasticity);
+            });
+  return results;
+}
+
+}  // namespace grophecy::core

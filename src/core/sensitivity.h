@@ -1,0 +1,53 @@
+// Machine-parameter sensitivity analysis.
+//
+// Which hardware characteristics actually decide an offload verdict? The
+// analyzer perturbs every numeric field of the machine description (via
+// the hw::machine_file field registry) by a relative factor, re-runs the
+// full projection, and ranks parameters by the elasticity of the
+// transfer-aware predicted speedup:
+//
+//     elasticity = (d speedup / speedup) / (d param / param)
+//
+// For the paper's transfer-dominated workloads, the PCIe bandwidth and the
+// CPU's memory system dominate — GPU compute parameters barely register,
+// which is the paper's thesis expressed as derivatives.
+//
+// This doubles as a model-robustness audit: a parameter with outsized
+// elasticity is where a calibration error hurts the most.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::core {
+
+/// Sensitivity of the projection to one machine parameter.
+struct ParameterSensitivity {
+  std::string field;
+  double baseline_value_scaled = 1.0;  ///< Perturbation factor applied.
+  double baseline_speedup = 0.0;       ///< Transfer-aware predicted speedup.
+  double perturbed_speedup = 0.0;
+  double elasticity = 0.0;  ///< %change in speedup per %change in param.
+};
+
+/// Options for the sweep.
+struct SensitivityOptions {
+  /// Relative perturbation applied to each parameter (default +10%).
+  double perturbation = 0.10;
+  /// Keep only parameters with |elasticity| above this in the report.
+  double min_elasticity = 0.01;
+  /// Projection seed (deterministic like everything else).
+  std::uint64_t seed = 42;
+};
+
+/// Perturbs every numeric machine field and ranks the impact on the
+/// transfer-aware predicted speedup of `app`. Results are sorted by
+/// |elasticity|, largest first.
+std::vector<ParameterSensitivity> analyze_sensitivity(
+    const hw::MachineSpec& machine, const skeleton::AppSkeleton& app,
+    const SensitivityOptions& options = {});
+
+}  // namespace grophecy::core

@@ -1,0 +1,171 @@
+#include "cpumodel/cache_sim.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::cpumodel {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  GROPHECY_EXPECTS(config_.ways >= 1);
+  GROPHECY_EXPECTS(is_power_of_two(config_.line_bytes));
+  const std::uint64_t lines =
+      config_.capacity_bytes /
+      static_cast<std::uint64_t>(config_.line_bytes);
+  GROPHECY_EXPECTS(lines >= static_cast<std::uint64_t>(config_.ways));
+  num_sets_ = lines / config_.ways;
+  GROPHECY_EXPECTS(num_sets_ >= 1);
+  lines_.resize(num_sets_ * config_.ways);
+}
+
+bool CacheSim::access(std::uint64_t address, bool is_store) {
+  ++clock_;
+  const std::uint64_t line_address =
+      address / static_cast<std::uint64_t>(config_.line_bytes);
+  const std::uint64_t set = line_address % num_sets_;
+  const std::uint64_t tag = line_address / num_sets_;
+  Line* const begin = lines_.data() + set * config_.ways;
+
+  Line* lru = begin;
+  for (int way = 0; way < config_.ways; ++way) {
+    Line& line = begin[way];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      line.dirty = line.dirty || is_store;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      lru = &line;  // free way wins outright
+      break;
+    }
+    if (line.last_use < lru->last_use) lru = &line;
+  }
+
+  ++misses_;
+  if (lru->valid && lru->dirty) ++dirty_evictions_;
+  lru->valid = true;
+  lru->dirty = is_store;
+  lru->tag = tag;
+  lru->last_use = clock_;
+  return false;
+}
+
+std::uint64_t CacheSim::dirty_resident() const {
+  std::uint64_t count = 0;
+  for (const Line& line : lines_)
+    if (line.valid && line.dirty) ++count;
+  return count;
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig llc)
+    : l1_(l1), llc_(llc) {
+  GROPHECY_EXPECTS(llc.capacity_bytes >= l1.capacity_bytes);
+  GROPHECY_EXPECTS(llc.line_bytes == l1.line_bytes);
+}
+
+void CacheHierarchy::access(std::uint64_t address, bool is_store) {
+  ++accesses_;
+  if (l1_.access(address, is_store)) return;
+  // L1 miss: look up (and fill from) the LLC. Dirty L1 evictions are
+  // absorbed by the LLC (write-back caches), so only LLC-level misses and
+  // LLC dirty evictions reach DRAM.
+  llc_.access(address, is_store);
+}
+
+std::uint64_t CacheHierarchy::dram_bytes() const {
+  return (llc_.misses() + llc_.dirty_evictions() + llc_.dirty_resident()) *
+         static_cast<std::uint64_t>(llc_.line_bytes());
+}
+
+std::uint64_t trace_kernel_dram_bytes(const skeleton::AppSkeleton& app,
+                                      const skeleton::KernelSkeleton& kernel,
+                                      CacheConfig l1, CacheConfig llc,
+                                      std::uint64_t seed) {
+  app.validate();
+  CacheHierarchy hierarchy(l1, llc);
+  util::Rng rng(seed);
+
+  // Contiguous array layout with line-aligned bases.
+  std::vector<std::uint64_t> base(app.arrays.size(), 0);
+  std::uint64_t next = 0;
+  for (std::size_t a = 0; a < app.arrays.size(); ++a) {
+    base[a] = next;
+    const std::uint64_t bytes = app.arrays[a].bytes();
+    next += (bytes + 63) / 64 * 64;
+  }
+
+  // Row-major element strides per array dimension.
+  auto element_offset = [&](const skeleton::ArrayDecl& decl,
+                            const std::vector<std::int64_t>& coords) {
+    std::uint64_t index = 0;
+    for (std::size_t d = 0; d < decl.dims.size(); ++d) {
+      std::int64_t c = std::clamp<std::int64_t>(coords[d], 0,
+                                               decl.dims[d] - 1);
+      index = index * static_cast<std::uint64_t>(decl.dims[d]) +
+              static_cast<std::uint64_t>(c);
+    }
+    return index * skeleton::elem_size_bytes(decl.type);
+  };
+
+  // Program-order odometer over the full loop nest; statements execute at
+  // their depth (same walk as the dataflow oracle).
+  for (const skeleton::Statement& stmt : kernel.body) {
+    const std::size_t depth =
+        stmt.depth < 0
+            ? kernel.loops.size()
+            : std::min<std::size_t>(stmt.depth, kernel.loops.size());
+    std::vector<std::int64_t> values(kernel.loops.size(), 0);
+    for (std::size_t d = 0; d < depth; ++d) values[d] = kernel.loops[d].lower;
+
+    bool done = false;
+    bool executed_once = false;
+    while (!done) {
+      if (depth == 0 && executed_once) break;
+      executed_once = true;
+      for (const skeleton::ArrayRef& ref : stmt.refs) {
+        const skeleton::ArrayDecl& decl = app.array(ref.array);
+        std::uint64_t address = 0;
+        if (ref.indirect || decl.sparse) {
+          address = base[static_cast<std::size_t>(ref.array)] +
+                    static_cast<std::uint64_t>(
+                        rng.uniform_int(0, decl.element_count() - 1)) *
+                        skeleton::elem_size_bytes(decl.type);
+        } else {
+          std::vector<std::int64_t> coords;
+          coords.reserve(ref.subscripts.size());
+          for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+            bool hidden = false;
+            for (int indirect_dim : ref.indirect_dims)
+              if (static_cast<std::size_t>(indirect_dim) == d) hidden = true;
+            coords.push_back(
+                hidden ? rng.uniform_int(0, decl.dims[d] - 1)
+                       : ref.subscripts[d].evaluate(values));
+          }
+          address = base[static_cast<std::size_t>(ref.array)] +
+                    element_offset(decl, coords);
+        }
+        hierarchy.access(address,
+                         ref.kind == skeleton::RefKind::kStore);
+      }
+      if (depth == 0) break;
+      std::size_t d = depth;
+      while (d-- > 0) {
+        values[d] += kernel.loops[d].step;
+        if (values[d] < kernel.loops[d].upper) break;
+        values[d] = kernel.loops[d].lower;
+        if (d == 0) done = true;
+      }
+    }
+  }
+  return hierarchy.dram_bytes();
+}
+
+}  // namespace grophecy::cpumodel

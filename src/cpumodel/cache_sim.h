@@ -1,0 +1,96 @@
+// Set-associative cache hierarchy simulator (CPU memory-side verifier).
+//
+// The CPU roofline model prices memory with a closed-form traffic
+// heuristic (`cpu_memory_traffic_bytes`: unique bytes when the working set
+// fits the LLC, damped dynamic traffic beyond, a per-gather charge).
+// This module provides the instrument that heuristic is verified against:
+// an L1 + LLC hierarchy of set-associative LRU caches, driven by the
+// exact program-order address trace of a kernel skeleton — concrete
+// addresses from affine subscripts, seeded-random addresses for gathers,
+// write-allocate + dirty write-back accounting.
+//
+// The trace simulation is exact but slow (every executed reference is one
+// cache access), so tests and the `ablation_cpu_cache` bench run it on
+// proportionally scaled-down instances; miss behaviour for streaming and
+// for footprint-vs-capacity effects is scale-invariant when array extents
+// and cache capacities shrink together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::cpumodel {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t capacity_bytes = 32 * 1024;
+  int ways = 8;
+  int line_bytes = 64;
+};
+
+/// One set-associative LRU cache level.
+class CacheSim {
+ public:
+  explicit CacheSim(CacheConfig config);
+
+  /// Accesses the line containing `address`; returns true on hit. On a
+  /// store the line is marked dirty; evictions of dirty lines are counted
+  /// (write-back traffic).
+  bool access(std::uint64_t address, bool is_store);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t dirty_evictions() const { return dirty_evictions_; }
+  /// Valid dirty lines currently resident (eventual write-backs).
+  std::uint64_t dirty_resident() const;
+  int line_bytes() const { return config_.line_bytes; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::uint64_t num_sets_;
+  std::vector<Line> lines_;  ///< num_sets_ * ways, row major.
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+};
+
+/// L1 (per-core, private) backed by a shared LLC. DRAM traffic = LLC miss
+/// fills + LLC dirty write-backs, in bytes.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheConfig l1, CacheConfig llc);
+
+  void access(std::uint64_t address, bool is_store);
+
+  /// Bytes that crossed the memory bus: fills, write-backs, plus the
+  /// final flush of lines still dirty in the LLC.
+  std::uint64_t dram_bytes() const;
+  std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  CacheSim l1_;
+  CacheSim llc_;
+  std::uint64_t accesses_ = 0;
+};
+
+/// Runs the exact program-order trace of `kernel` through a hierarchy and
+/// returns the DRAM traffic in bytes. Arrays are laid out contiguously;
+/// gather addresses are uniform-random within the gathered array (seeded,
+/// deterministic). Requires the kernel's iteration space to be small
+/// enough to enumerate (tests use scaled-down instances).
+std::uint64_t trace_kernel_dram_bytes(const skeleton::AppSkeleton& app,
+                                      const skeleton::KernelSkeleton& kernel,
+                                      CacheConfig l1, CacheConfig llc,
+                                      std::uint64_t seed);
+
+}  // namespace grophecy::cpumodel

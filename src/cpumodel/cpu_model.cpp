@@ -1,0 +1,92 @@
+#include "cpumodel/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::cpumodel {
+
+namespace {
+/// OpenMP parallel-region fork/join cost per kernel invocation.
+constexpr double kOmpRegionOverheadS = 4e-6;
+/// Throughput ratio of special-function ops (div/sqrt/exp) to simple FLOPs.
+constexpr double kSpecialOpCost = 12.0;
+}  // namespace
+
+double cpu_memory_traffic_bytes(const brs::KernelFootprint& fp,
+                                std::uint64_t llc_bytes) {
+  // Unique data must stream from memory at least once; dynamic references
+  // beyond that hit in cache iff the working set fits in the LLC. Stores
+  // are charged twice (write-allocate: fill + write-back).
+  // Unamortized random gathers defeat hardware prefetching even when the
+  // target fits in outer cache levels: each lands on a fresh address, and
+  // the core pays roughly a quarter cache line of effective bandwidth per
+  // gather (L2-resident latency expressed as occupancy on the FSB/core).
+  constexpr double kRandomGatherBytes = 16.0;
+  const double gather_traffic =
+      static_cast<double>(fp.dynamic_random_gathers) * kRandomGatherBytes;
+  const double unique =
+      static_cast<double>(fp.unique_bytes_read) +
+      2.0 * static_cast<double>(fp.unique_bytes_written) + gather_traffic;
+  if (fp.unique_bytes() <= llc_bytes) return unique;
+  // Working set exceeds cache: repeated references progressively stream
+  // again. Neighboring references in one sweep still share cache lines.
+  const double dynamic =
+      static_cast<double>(fp.dynamic_load_bytes) +
+      2.0 * static_cast<double>(fp.dynamic_store_bytes);
+  constexpr double kLineReuse = 0.35;
+  const double capacity_traffic = std::max(unique, dynamic * kLineReuse);
+  // Smooth transition: a working set barely over the LLC still hits mostly
+  // in cache; by ~4x the LLC the reuse is gone.
+  const double excess =
+      static_cast<double>(fp.unique_bytes() - llc_bytes);
+  const double blend =
+      std::min(1.0, excess / (3.0 * static_cast<double>(llc_bytes)));
+  return unique + blend * std::max(0.0, capacity_traffic - unique);
+}
+
+CpuModel::CpuModel(hw::CpuSpec spec) : spec_(std::move(spec)) {
+  GROPHECY_EXPECTS(spec_.clock_ghz > 0.0);
+  GROPHECY_EXPECTS(spec_.mem_bandwidth_gbps > 0.0);
+  GROPHECY_EXPECTS(spec_.threads >= 1);
+}
+
+CpuKernelEstimate CpuModel::estimate_kernel(
+    const skeleton::AppSkeleton& app,
+    const skeleton::KernelSkeleton& kernel) const {
+  const brs::KernelFootprint fp = brs::kernel_footprint(app, kernel);
+
+  CpuKernelEstimate est;
+  const double active_cores =
+      static_cast<double>(std::min(spec_.threads, spec_.total_cores()));
+  const double peak_flops =
+      spec_.clock_ghz * 1e9 * spec_.flops_per_cycle_per_core * active_cores;
+  const double special_rate =
+      spec_.clock_ghz * 1e9 * active_cores / kSpecialOpCost;
+  est.compute_s = fp.flops / peak_flops + fp.special_ops / special_rate;
+
+  const double traffic = cpu_memory_traffic_bytes(fp, spec_.llc_bytes);
+  // A few threads cannot saturate the memory system on their own.
+  const double usable_bw =
+      std::min(spec_.mem_bandwidth_gbps,
+               spec_.per_core_bw_gbps * active_cores);
+  est.memory_s = traffic / (usable_bw * util::kGB);
+
+  est.overhead_s = kOmpRegionOverheadS;
+  est.total_s = std::max(est.compute_s, est.memory_s) /
+                    spec_.parallel_efficiency +
+                est.overhead_s;
+  return est;
+}
+
+double CpuModel::estimate_app_seconds(
+    const skeleton::AppSkeleton& app) const {
+  double per_iteration = 0.0;
+  for (const skeleton::KernelSkeleton& kernel : app.kernels)
+    per_iteration += estimate_kernel(app, kernel).total_s;
+  return per_iteration * app.iterations;
+}
+
+}  // namespace grophecy::cpumodel

@@ -1,0 +1,49 @@
+// Analytical CPU performance model (roofline with cache awareness).
+//
+// The paper *measures* CPU time — the OpenMP baseline exists — so the
+// projection pipeline uses the CPU simulator (cpu_sim.h) as "the machine".
+// This analytical model exists for what-if studies on systems the user does
+// not have (examples use it) and mirrors the GPU model's level of
+// abstraction: per-kernel roofline max(compute, memory) with a parallel
+// efficiency term.
+#pragma once
+
+#include "brs/footprint.h"
+#include "hw/machine.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::cpumodel {
+
+/// Per-kernel timing breakdown, exposed for reports and tests.
+struct CpuKernelEstimate {
+  double compute_s = 0.0;   ///< FLOP-throughput bound.
+  double memory_s = 0.0;    ///< Bandwidth bound (after cache filtering).
+  double overhead_s = 0.0;  ///< Parallel region launch overhead.
+  double total_s = 0.0;     ///< max(compute, memory)/efficiency + overhead.
+};
+
+/// Roofline-style analytical model of a CpuSpec.
+class CpuModel {
+ public:
+  explicit CpuModel(hw::CpuSpec spec);
+
+  /// Time for one invocation of `kernel`.
+  CpuKernelEstimate estimate_kernel(const skeleton::AppSkeleton& app,
+                                    const skeleton::KernelSkeleton& kernel) const;
+
+  /// Time for the whole application (kernel sequence x iterations).
+  double estimate_app_seconds(const skeleton::AppSkeleton& app) const;
+
+  const hw::CpuSpec& spec() const { return spec_; }
+
+ private:
+  hw::CpuSpec spec_;
+};
+
+/// Memory traffic a cache hierarchy must move for a kernel: dynamic bytes
+/// filtered down to unique bytes when the working set fits in the LLC,
+/// write-allocate charged on stores. Shared by the model and the simulator.
+double cpu_memory_traffic_bytes(const brs::KernelFootprint& fp,
+                                std::uint64_t llc_bytes);
+
+}  // namespace grophecy::cpumodel

@@ -1,0 +1,55 @@
+#include "dataflow/transfer_plan.h"
+
+#include <sstream>
+
+#include "util/units.h"
+
+namespace grophecy::dataflow {
+
+namespace {
+std::uint64_t sum_bytes(const std::vector<Transfer>& transfers) {
+  std::uint64_t total = 0;
+  for (const Transfer& t : transfers) total += t.bytes;
+  return total;
+}
+}  // namespace
+
+std::uint64_t TransferPlan::input_bytes() const {
+  return sum_bytes(host_to_device);
+}
+
+std::uint64_t TransferPlan::output_bytes() const {
+  return sum_bytes(device_to_host);
+}
+
+std::uint64_t TransferPlan::total_bytes() const {
+  return input_bytes() + output_bytes();
+}
+
+std::size_t TransferPlan::transfer_count() const {
+  return host_to_device.size() + device_to_host.size();
+}
+
+double TransferPlan::predicted_seconds(const pcie::BusModel& bus) const {
+  double total = 0.0;
+  for (const Transfer& t : host_to_device)
+    total += bus.predict_seconds(t.bytes, hw::Direction::kHostToDevice);
+  for (const Transfer& t : device_to_host)
+    total += bus.predict_seconds(t.bytes, hw::Direction::kDeviceToHost);
+  return total;
+}
+
+std::string TransferPlan::describe() const {
+  std::ostringstream oss;
+  oss << "transfer plan: " << util::format_bytes(input_bytes()) << " in, "
+      << util::format_bytes(output_bytes()) << " out\n";
+  for (const Transfer& t : host_to_device)
+    oss << "  H2D " << t.array_name << ": " << util::format_bytes(t.bytes)
+        << " (" << t.section.to_string() << ")\n";
+  for (const Transfer& t : device_to_host)
+    oss << "  D2H " << t.array_name << ": " << util::format_bytes(t.bytes)
+        << " (" << t.section.to_string() << ")\n";
+  return oss.str();
+}
+
+}  // namespace grophecy::dataflow

@@ -1,0 +1,48 @@
+// Transfer plans: what must cross the PCIe bus, and pricing them.
+//
+// The data-usage analyzer produces a TransferPlan; the PCIe linear model
+// prices it. Input data moves host-to-device once before the first
+// iteration; output data moves device-to-host once after the last (paper
+// §IV-B), so a plan is independent of the iteration count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "brs/section.h"
+#include "hw/machine.h"
+#include "pcie/linear_model.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::dataflow {
+
+/// One array's movement in one direction. The paper assumes each array is
+/// transferred separately (§III-B), so there is exactly one Transfer per
+/// (array, direction) pair in a plan.
+struct Transfer {
+  skeleton::ArrayId array = -1;
+  std::string array_name;
+  brs::Section section;
+  hw::Direction direction = hw::Direction::kHostToDevice;
+  std::uint64_t bytes = 0;
+};
+
+/// The complete data movement of one application offload.
+struct TransferPlan {
+  std::vector<Transfer> host_to_device;  ///< Before the first iteration.
+  std::vector<Transfer> device_to_host;  ///< After the last iteration.
+
+  std::uint64_t input_bytes() const;
+  std::uint64_t output_bytes() const;
+  std::uint64_t total_bytes() const;
+  std::size_t transfer_count() const;
+
+  /// Predicted total transfer time under a calibrated bus model.
+  double predicted_seconds(const pcie::BusModel& bus) const;
+
+  /// Multi-line human-readable listing.
+  std::string describe() const;
+};
+
+}  // namespace grophecy::dataflow

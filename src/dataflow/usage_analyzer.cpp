@@ -1,0 +1,94 @@
+#include "dataflow/usage_analyzer.h"
+
+#include <map>
+
+#include "brs/extract.h"
+#include "brs/section_set.h"
+#include "util/contracts.h"
+
+namespace grophecy::dataflow {
+
+namespace {
+
+struct ArrayState {
+  brs::SectionSet written;        ///< Sections produced on the GPU so far.
+  brs::SectionSet needs_input;    ///< Read-before-write sections.
+  brs::SectionSet all_writes;     ///< Every written section (for copy-back).
+};
+
+std::map<skeleton::ArrayId, ArrayState> walk(
+    const skeleton::AppSkeleton& app) {
+  std::map<skeleton::ArrayId, ArrayState> state;
+  for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+    for (const skeleton::Statement& stmt : kernel.body) {
+      // Within a statement all loads happen before any store (a statement
+      // that updates a[i] in place reads the old value first).
+      for (const skeleton::ArrayRef& ref : stmt.refs) {
+        if (ref.kind != skeleton::RefKind::kLoad) continue;
+        const brs::Section s = brs::access_section(app, kernel, ref);
+        ArrayState& as = state[ref.array];
+        // Only the part of the read NOT provably produced on the GPU needs
+        // a host-to-device transfer ("read but not previously written",
+        // §III-B — taken per section piece, not all-or-nothing).
+        for (const brs::Section& uncovered : as.written.subtract_from(s))
+          as.needs_input.add(uncovered);
+      }
+      for (const skeleton::ArrayRef& ref : stmt.refs) {
+        if (ref.kind != skeleton::RefKind::kStore) continue;
+        const brs::Section s = brs::access_section(app, kernel, ref);
+        ArrayState& as = state[ref.array];
+        as.written.add(s);
+        as.all_writes.add(s);
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+TransferPlan UsageAnalyzer::analyze(const skeleton::AppSkeleton& app) const {
+  app.validate();
+  TransferPlan plan;
+  for (const auto& [array_id, as] : walk(app)) {
+    const skeleton::ArrayDecl& decl = app.array(array_id);
+    if (!as.needs_input.empty()) {
+      Transfer t;
+      t.array = array_id;
+      t.array_name = decl.name;
+      t.section = as.needs_input.bounding_union();
+      t.direction = hw::Direction::kHostToDevice;
+      t.bytes = t.section.bytes(decl);
+      GROPHECY_ENSURES(t.bytes > 0);
+      plan.host_to_device.push_back(std::move(t));
+    }
+    if (!as.all_writes.empty() && !app.is_temporary(array_id)) {
+      Transfer t;
+      t.array = array_id;
+      t.array_name = decl.name;
+      t.section = as.all_writes.bounding_union();
+      t.direction = hw::Direction::kDeviceToHost;
+      t.bytes = t.section.bytes(decl);
+      GROPHECY_ENSURES(t.bytes > 0);
+      plan.device_to_host.push_back(std::move(t));
+    }
+  }
+  return plan;
+}
+
+std::vector<ArrayUsage> UsageAnalyzer::classify(
+    const skeleton::AppSkeleton& app) const {
+  app.validate();
+  std::vector<ArrayUsage> usages;
+  for (const auto& [array_id, as] : walk(app)) {
+    ArrayUsage usage;
+    usage.array = array_id;
+    usage.read_before_write = !as.needs_input.empty();
+    usage.written = !as.all_writes.empty();
+    usage.temporary = app.is_temporary(array_id);
+    usages.push_back(usage);
+  }
+  return usages;
+}
+
+}  // namespace grophecy::dataflow

@@ -1,0 +1,43 @@
+// The data-usage analyzer (paper contribution 2, §III-B).
+//
+// Walks the application's kernel sequence in program order, tracking which
+// array sections have already been written on the GPU:
+//
+//   * a load whose section is not provably covered by prior writes needs
+//     its data on the device -> contributes to the host-to-device set;
+//   * every store contributes to the device-to-host set, unless the array
+//     is hinted as a temporary;
+//   * sparse arrays and data-dependent references use the conservative
+//     whole-array rule.
+//
+// The per-array UNION of each set becomes one Transfer (arrays move
+// separately). Because the same kernel sequence repeats every iteration,
+// analyzing a single iteration yields the complete plan: later iterations
+// only touch data that is already resident.
+#pragma once
+
+#include "dataflow/transfer_plan.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::dataflow {
+
+/// Per-array dataflow classification, exposed for reporting and tests.
+struct ArrayUsage {
+  skeleton::ArrayId array = -1;
+  bool read_before_write = false;  ///< Needs host-to-device transfer.
+  bool written = false;            ///< Produces data on the device.
+  bool temporary = false;          ///< Hinted: skip the copy-back.
+};
+
+/// Stateless analysis of an application skeleton.
+class UsageAnalyzer {
+ public:
+  /// Computes the transfer plan for offloading the whole kernel sequence.
+  /// Requires a validated skeleton.
+  TransferPlan analyze(const skeleton::AppSkeleton& app) const;
+
+  /// Per-array classification (same walk, summary form).
+  std::vector<ArrayUsage> classify(const skeleton::AppSkeleton& app) const;
+};
+
+}  // namespace grophecy::dataflow

@@ -1,0 +1,379 @@
+#include "gpumodel/characteristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "util/contracts.h"
+
+namespace grophecy::gpumodel {
+
+namespace {
+
+using skeleton::AffineExpr;
+using skeleton::ArrayRef;
+using skeleton::KernelSkeleton;
+using skeleton::LoopId;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// The loop whose index maps to threadIdx.x: by default the innermost
+/// parallel loop; under parallel-loop interchange the outermost one.
+LoopId thread_loop(const KernelSkeleton& kernel, bool swap) {
+  LoopId tloop = -1;
+  for (std::size_t i = 0; i < kernel.loops.size(); ++i) {
+    if (!kernel.loops[i].parallel) continue;
+    tloop = static_cast<LoopId>(i);
+    if (swap) break;  // first parallel loop wins
+  }
+  return tloop;
+}
+
+/// Element stride between adjacent threads for an affine reference:
+/// the coefficient of the thread loop in the row-major linearized address.
+std::int64_t linearized_thread_stride(const ArrayRef& ref,
+                                      const skeleton::ArrayDecl& decl,
+                                      LoopId tloop) {
+  std::int64_t stride = 0;
+  std::int64_t inner_extent = 1;
+  for (std::size_t d = decl.dims.size(); d-- > 0;) {
+    stride += ref.subscripts[d].coefficient(tloop) * inner_extent;
+    inner_extent *= decl.dims[d];
+  }
+  return stride;
+}
+
+/// True if two affine expressions differ only in their constant term.
+bool differ_by_constant(const AffineExpr& a, const AffineExpr& b) {
+  if (a.terms.size() != b.terms.size()) return false;
+  for (const auto& [loop, coeff] : a.terms)
+    if (b.coefficient(loop) != coeff) return false;
+  return true;
+}
+
+/// A stencil group: affine loads of one array whose subscripts differ only
+/// by constants (the 3x3 neighborhood gathers of HotSpot/SRAD).
+struct StencilGroup {
+  skeleton::ArrayId array = -1;
+  std::vector<const ArrayRef*> refs;
+  /// Max |constant shift| relative to the first ref, per array dimension.
+  std::vector<std::int64_t> radius;
+};
+
+std::vector<StencilGroup> find_stencil_groups(
+    const skeleton::AppSkeleton& app, const KernelSkeleton& kernel) {
+  std::map<skeleton::ArrayId, std::vector<const ArrayRef*>> loads_by_array;
+  for (const skeleton::Statement& stmt : kernel.body)
+    for (const ArrayRef& ref : stmt.refs)
+      if (ref.kind == skeleton::RefKind::kLoad && !ref.has_indirection() &&
+          !app.array(ref.array).sparse)
+        loads_by_array[ref.array].push_back(&ref);
+
+  std::vector<StencilGroup> groups;
+  for (auto& [array_id, refs] : loads_by_array) {
+    if (refs.size() < 3) continue;  // staging only pays off for >= 3 taps
+    const ArrayRef* base = refs.front();
+    bool uniform_shape = true;
+    for (const ArrayRef* ref : refs) {
+      for (std::size_t d = 0; d < base->subscripts.size(); ++d) {
+        if (!differ_by_constant(base->subscripts[d], ref->subscripts[d])) {
+          uniform_shape = false;
+          break;
+        }
+      }
+      if (!uniform_shape) break;
+    }
+    if (!uniform_shape) continue;
+
+    StencilGroup group;
+    group.array = array_id;
+    group.refs = refs;
+    group.radius.assign(base->subscripts.size(), 0);
+    for (const ArrayRef* ref : refs)
+      for (std::size_t d = 0; d < base->subscripts.size(); ++d)
+        group.radius[d] =
+            std::max(group.radius[d],
+                     std::abs(ref->subscripts[d].constant -
+                              base->subscripts[d].constant));
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+AccessClass classify_stride(std::int64_t stride) {
+  if (stride == 0) return AccessClass::kUniform;
+  if (std::abs(stride) == 1) return AccessClass::kCoalesced;
+  return AccessClass::kStrided;
+}
+
+/// The reduction loop eligible for sequential tiling: the last sequential
+/// loop in the nest with a meaningful trip count.
+LoopId reduction_loop(const KernelSkeleton& kernel) {
+  for (std::size_t i = kernel.loops.size(); i-- > 0;) {
+    const skeleton::Loop& loop = kernel.loops[i];
+    if (!loop.parallel && loop.trip_count() >= 8)
+      return static_cast<LoopId>(i);
+  }
+  return -1;
+}
+
+/// True if `ref` is a GEMM-style operand read: affine, indexed by both the
+/// reduction loop and at least one parallel loop — so a block's worth of
+/// its elements can be staged cooperatively once per tile step.
+bool eligible_for_seq_tiling(const ArrayRef& ref,
+                             const KernelSkeleton& kernel, LoopId rloop) {
+  if (ref.kind != skeleton::RefKind::kLoad || ref.has_indirection())
+    return false;
+  bool uses_reduction = false;
+  bool uses_parallel = false;
+  for (const skeleton::AffineExpr& expr : ref.subscripts) {
+    for (const auto& [loop, coeff] : expr.terms) {
+      if (coeff == 0) continue;
+      if (loop == rloop) uses_reduction = true;
+      if (kernel.loops[static_cast<std::size_t>(loop)].parallel)
+        uses_parallel = true;
+    }
+  }
+  return uses_reduction && uses_parallel;
+}
+
+}  // namespace
+
+bool has_reduction_staging_candidates(const skeleton::AppSkeleton& app,
+                                      const skeleton::KernelSkeleton& kernel) {
+  (void)app;
+  const LoopId rloop = reduction_loop(kernel);
+  if (rloop < 0) return false;
+  for (const skeleton::Statement& stmt : kernel.body)
+    for (const ArrayRef& ref : stmt.refs)
+      if (eligible_for_seq_tiling(ref, kernel, rloop)) return true;
+  return false;
+}
+
+const char* access_class_name(AccessClass cls) {
+  switch (cls) {
+    case AccessClass::kCoalesced: return "coalesced";
+    case AccessClass::kStrided: return "strided";
+    case AccessClass::kScattered: return "scattered";
+    case AccessClass::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+double KernelCharacteristics::mem_insts_per_thread() const {
+  double total = 0.0;
+  for (const MemAccess& access : accesses) total += access.count_per_thread;
+  return total;
+}
+
+KernelCharacteristics characterize(const skeleton::AppSkeleton& app,
+                                   const skeleton::KernelSkeleton& kernel,
+                                   const Variant& variant,
+                                   const hw::GpuSpec& gpu) {
+  GROPHECY_EXPECTS(variant.block_size >= gpu.warp_size);
+  GROPHECY_EXPECTS(variant.block_size <= gpu.max_threads_per_block);
+  GROPHECY_EXPECTS(variant.unroll >= 1);
+  GROPHECY_EXPECTS(variant.seq_tile >= 0);
+  GROPHECY_EXPECTS(variant.fuse_iterations >= 1);
+
+  KernelCharacteristics kc;
+  kc.kernel_name = kernel.name;
+  kc.variant = variant;
+
+  const std::int64_t parallel_iters = std::max<std::int64_t>(
+      kernel.parallel_iterations(), 1);
+  const std::int64_t total_iters = std::max<std::int64_t>(
+      kernel.total_iterations(), 1);
+  kc.total_threads = parallel_iters;
+  kc.num_blocks = ceil_div(parallel_iters, variant.block_size);
+  kc.work_per_thread =
+      static_cast<double>(total_iters) / static_cast<double>(parallel_iters);
+
+  const LoopId tloop = thread_loop(kernel, variant.swap_parallel_loops);
+
+  // Count parallel loop levels for 1D vs 2D tile geometry.
+  int parallel_levels = 0;
+  for (const skeleton::Loop& loop : kernel.loops)
+    if (loop.parallel) ++parallel_levels;
+  const std::int64_t tile_x =
+      parallel_levels >= 2
+          ? std::min<std::int64_t>(16, variant.block_size)
+          : variant.block_size;
+  const std::int64_t tile_y = std::max<std::int64_t>(
+      1, variant.block_size / tile_x);
+
+  // Decide which loads are replaced by shared-memory staging.
+  std::vector<StencilGroup> groups;
+  if (variant.smem_staging) groups = find_stencil_groups(app, kernel);
+  auto staged = [&](const ArrayRef* ref) {
+    for (const StencilGroup& g : groups)
+      for (const ArrayRef* member : g.refs)
+        if (member == ref) return true;
+    return false;
+  };
+
+  // Per-thread dynamic quantities. Fusion multiplies the whole sweep.
+  const double fuse = static_cast<double>(variant.fuse_iterations);
+  double redundant = 0.0;
+  if (variant.fuse_iterations > 1) {
+    // Each fused step's halo must be recomputed: perimeter/area cost
+    // scaled by the stencil radius (1 if no stencil detected).
+    std::int64_t r = 1;
+    for (const StencilGroup& g : groups)
+      for (std::int64_t rd : g.radius) r = std::max(r, rd);
+    const double perimeter =
+        static_cast<double>(r) *
+        (2.0 / static_cast<double>(tile_x) + 2.0 / static_cast<double>(tile_y));
+    redundant = (fuse - 1.0) * perimeter;
+  }
+  kc.redundant_work_fraction = redundant;
+  /// Scale applied to every dynamic count by the transformation.
+  const double scale = fuse * (1.0 + redundant);
+  const double threads_d = static_cast<double>(kc.total_threads);
+
+  double flops_static = 0.0;  // per innermost iteration, for heuristics
+  std::size_t static_refs = 0;
+  kc.index_insts_per_thread =
+      2.0 * static_cast<double>(kernel.loops.size()) * kc.work_per_thread *
+      scale / static_cast<double>(variant.unroll);
+  for (const skeleton::Statement& stmt : kernel.body) {
+    const double per_thread_execs =
+        static_cast<double>(kernel.statement_iterations(stmt)) / threads_d;
+    flops_static += stmt.flops;
+    static_refs += stmt.refs.size();
+    kc.flops_per_thread += stmt.flops * per_thread_execs * scale;
+    kc.special_per_thread += stmt.special_ops * per_thread_execs * scale;
+    // Address arithmetic: a few instructions per reference, amortized by
+    // unrolling.
+    kc.index_insts_per_thread += 3.0 *
+                                 static_cast<double>(stmt.refs.size()) *
+                                 per_thread_execs * scale /
+                                 static_cast<double>(variant.unroll);
+  }
+
+  // Sequential-loop tiling (Figure 1's GEMM transformation): operand loads
+  // indexed by (parallel, reduction) pairs are staged cooperatively, one
+  // block-tile per `seq_tile` reduction steps.
+  const LoopId rloop =
+      variant.seq_tile > 0 ? reduction_loop(kernel) : LoopId{-1};
+  double tile_steps = 0.0;
+  double reduction_trips = 0.0;
+  std::uint32_t seq_smem_bytes = 0;
+  int seq_syncs = 0;
+  if (rloop >= 0) {
+    reduction_trips = static_cast<double>(
+        kernel.loops[static_cast<std::size_t>(rloop)].trip_count());
+    tile_steps = std::ceil(reduction_trips / variant.seq_tile);
+    seq_syncs = static_cast<int>(2.0 * tile_steps);
+  }
+
+  // Classified memory accesses.
+  for (const skeleton::Statement& stmt : kernel.body) {
+    const double per_thread_execs =
+        static_cast<double>(kernel.statement_iterations(stmt)) / threads_d;
+    for (const ArrayRef& ref : stmt.refs) {
+      const skeleton::ArrayDecl& decl = app.array(ref.array);
+      if (variant.smem_staging && ref.kind == skeleton::RefKind::kLoad &&
+          staged(&ref)) {
+        continue;  // replaced by the cooperative staging loads below
+      }
+      if (rloop >= 0 && eligible_for_seq_tiling(ref, kernel, rloop)) {
+        // Cooperative tile load: each thread contributes one element per
+        // tile step instead of one per reduction iteration.
+        MemAccess access;
+        access.is_load = true;
+        access.elem_bytes = static_cast<std::uint32_t>(
+            skeleton::elem_size_bytes(decl.type));
+        access.cls = AccessClass::kCoalesced;
+        access.stride_elems = 1;
+        access.count_per_thread =
+            per_thread_execs * (tile_steps / reduction_trips) * scale;
+        kc.accesses.push_back(access);
+        // The tile spans `seq_tile` reduction columns by the block's slice
+        // of the parallel dimension the operand streams over.
+        std::int64_t parallel_span = tile_y;
+        for (const skeleton::AffineExpr& expr : ref.subscripts)
+          for (const auto& [loop, coeff] : expr.terms)
+            if (coeff != 0 && loop == tloop) parallel_span = tile_x;
+        seq_smem_bytes += static_cast<std::uint32_t>(
+            variant.seq_tile * parallel_span *
+            static_cast<std::int64_t>(access.elem_bytes));
+        continue;
+      }
+      MemAccess access;
+      access.is_load = ref.kind == skeleton::RefKind::kLoad;
+      access.elem_bytes =
+          static_cast<std::uint32_t>(skeleton::elem_size_bytes(decl.type));
+      access.count_per_thread = per_thread_execs * scale;
+      // A hidden (data-dependent) index only breaks coalescing when it
+      // varies across the warp, i.e. depends on the thread loop; with
+      // unknown dependences we assume the worst.
+      const bool hidden_varies_per_thread =
+          !ref.indirect_dims.empty() &&
+          (ref.indirect_deps.empty() ||
+           std::find(ref.indirect_deps.begin(), ref.indirect_deps.end(),
+                     tloop) != ref.indirect_deps.end());
+      if (ref.indirect || hidden_varies_per_thread) {
+        access.cls = AccessClass::kScattered;
+        access.stride_elems = 0;
+      } else if (tloop < 0) {
+        access.cls = AccessClass::kUniform;
+        access.stride_elems = 0;
+      } else {
+        access.stride_elems = linearized_thread_stride(ref, decl, tloop);
+        access.cls = classify_stride(access.stride_elems);
+        // Warp-coalesced but row-selected through a hidden index: flags the
+        // DRAM-locality derating for both the model and the simulator.
+        access.gathered_stream = !ref.indirect_dims.empty() &&
+                                 access.cls != AccessClass::kUniform;
+      }
+      kc.accesses.push_back(access);
+    }
+  }
+
+  // Cooperative staging loads: one coalesced stream per staged group, with
+  // halo amplification; plus a barrier before the tile is consumed.
+  std::uint32_t smem_bytes = 0;
+  for (const StencilGroup& group : groups) {
+    const skeleton::ArrayDecl& decl = app.array(group.array);
+    const auto elem =
+        static_cast<std::uint32_t>(skeleton::elem_size_bytes(decl.type));
+    // Map the last (contiguous) array dim to tile_x, the previous to tile_y.
+    std::int64_t rx = 0, ry = 0;
+    if (!group.radius.empty()) rx = group.radius.back();
+    if (group.radius.size() >= 2) ry = group.radius[group.radius.size() - 2];
+    const std::int64_t loaded = (tile_x + 2 * rx) * (tile_y + 2 * ry);
+    const double halo_factor = static_cast<double>(loaded) /
+                               static_cast<double>(tile_x * tile_y);
+
+    MemAccess access;
+    access.is_load = true;
+    access.elem_bytes = elem;
+    access.cls = AccessClass::kCoalesced;
+    access.stride_elems = 1;
+    access.count_per_thread = halo_factor * kc.work_per_thread * scale;
+    kc.accesses.push_back(access);
+
+    smem_bytes += static_cast<std::uint32_t>(loaded) * elem;
+    kc.syncs_per_thread += 1;
+  }
+  kc.syncs_per_thread += kernel.explicit_syncs + seq_syncs;
+  kc.smem_per_block_bytes = smem_bytes + seq_smem_bytes;
+
+  // Register pressure heuristic: base context + live values per reference
+  // plus expression temporaries; staging needs tile indices.
+  double regs = 10.0 + 2.0 * static_cast<double>(static_refs) +
+                std::min(16.0, flops_static / 3.0);
+  if (variant.smem_staging) regs += 4.0;
+  if (variant.seq_tile > 0) regs += 4.0;
+  if (variant.unroll > 1) regs += 2.0 * variant.unroll;
+  kc.regs_per_thread =
+      static_cast<std::uint32_t>(std::min(regs, 60.0));
+
+  return kc;
+}
+
+}  // namespace grophecy::gpumodel

@@ -1,0 +1,89 @@
+// Synthesis of per-variant kernel characteristics from a code skeleton.
+//
+// This is the bridge between GROPHECY's transformation engine and its GPU
+// performance model: given a kernel skeleton and a Variant, `characterize`
+// derives what the transformed CUDA kernel would look like to the hardware
+// — thread/block geometry, per-thread work, classified memory accesses,
+// shared-memory and register pressure. Both the analytical model
+// (kernel_model.h) and the GPU simulator (src/sim) consume this structure,
+// mirroring the paper's methodology: the hand-coded "real" kernel employs
+// the same optimization strategies GROPHECY suggests (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpumodel/transform.h"
+#include "hw/machine.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::gpumodel {
+
+/// How a warp's lanes spread over memory for one reference.
+enum class AccessClass {
+  kCoalesced,  ///< Adjacent threads touch adjacent elements.
+  kStrided,    ///< Constant element stride > 1 between adjacent threads.
+  kScattered,  ///< Data-dependent (gather/scatter); no coalescing.
+  kUniform,    ///< All threads of a warp touch the same element.
+};
+
+const char* access_class_name(AccessClass cls);
+
+/// One classified memory access stream of the transformed kernel.
+struct MemAccess {
+  AccessClass cls = AccessClass::kCoalesced;
+  bool is_load = true;
+  std::int64_t stride_elems = 1;   ///< Element stride between threads.
+  std::uint32_t elem_bytes = 4;
+  /// Dynamic executions per thread (sequential loop trips, after staging).
+  double count_per_thread = 1.0;
+  /// Coalesced within the warp but row-selected by a data-dependent index
+  /// (CSR SpMM's B[col[k], j]): DRAM page locality is poor, so the stream
+  /// sustains a fraction of streaming bandwidth.
+  bool gathered_stream = false;
+};
+
+/// Everything the performance model needs to know about one kernel variant.
+struct KernelCharacteristics {
+  std::string kernel_name;
+  Variant variant;
+
+  std::int64_t total_threads = 0;  ///< One thread per parallel iteration.
+  std::int64_t num_blocks = 0;
+  /// Innermost executions mapped into each thread (sequential loops).
+  double work_per_thread = 1.0;
+
+  double flops_per_thread = 0.0;
+  double special_per_thread = 0.0;
+  /// Address/control instructions per thread (reduced by unrolling).
+  double index_insts_per_thread = 0.0;
+
+  std::vector<MemAccess> accesses;
+
+  std::uint32_t smem_per_block_bytes = 0;
+  std::uint32_t regs_per_thread = 0;
+  /// Block-wide barriers executed per thread.
+  int syncs_per_thread = 0;
+  /// Fraction of redundant extra work introduced by the transformation
+  /// (halo recompute under temporal fusion).
+  double redundant_work_fraction = 0.0;
+
+  /// Dynamic memory instructions per thread (sum of access counts).
+  double mem_insts_per_thread() const;
+};
+
+/// Derives the characteristics of `kernel` transformed per `variant` on the
+/// given GPU. Requires a validated app and variant.block_size >= warp size.
+KernelCharacteristics characterize(const skeleton::AppSkeleton& app,
+                                   const skeleton::KernelSkeleton& kernel,
+                                   const Variant& variant,
+                                   const hw::GpuSpec& gpu);
+
+/// True if the kernel contains loads eligible for sequential-loop tiling
+/// (a GEMM-like reduction: affine loads indexed by both a parallel loop
+/// and a long sequential loop). The explorer only enumerates seq_tile
+/// factors when this holds.
+bool has_reduction_staging_candidates(const skeleton::AppSkeleton& app,
+                                      const skeleton::KernelSkeleton& kernel);
+
+}  // namespace grophecy::gpumodel

@@ -1,0 +1,80 @@
+#include "gpumodel/explorer.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace grophecy::gpumodel {
+
+Explorer::Explorer(hw::GpuSpec gpu, ExplorerOptions options)
+    : model_(std::move(gpu), options.model), options_(std::move(options)) {
+  GROPHECY_EXPECTS(!options_.block_sizes.empty());
+  GROPHECY_EXPECTS(!options_.unroll_factors.empty());
+}
+
+std::vector<ProjectedKernel> Explorer::explore(
+    const skeleton::AppSkeleton& app, const skeleton::KernelSkeleton& kernel,
+    int fuse_iterations) const {
+  GROPHECY_EXPECTS(fuse_iterations >= 1);
+  const hw::GpuSpec& gpu = model_.gpu();
+
+  std::vector<int> seq_tiles{0};
+  if (has_reduction_staging_candidates(app, kernel)) {
+    for (int tile : options_.seq_tile_factors)
+      if (tile > 0) seq_tiles.push_back(tile);
+  }
+
+  int parallel_levels = 0;
+  for (const skeleton::Loop& loop : kernel.loops)
+    if (loop.parallel) ++parallel_levels;
+  const int max_swap =
+      options_.explore_loop_interchange && parallel_levels >= 2 ? 1 : 0;
+
+  std::vector<ProjectedKernel> projections;
+  for (int block_size : options_.block_sizes) {
+    if (block_size < gpu.warp_size || block_size > gpu.max_threads_per_block)
+      continue;
+    for (int unroll : options_.unroll_factors) {
+      for (int seq_tile : seq_tiles) {
+        for (int swapped = 0; swapped <= max_swap; ++swapped) {
+          for (int staged = 0;
+               staged <= (options_.explore_smem_staging ? 1 : 0);
+               ++staged) {
+            Variant variant;
+            variant.block_size = block_size;
+            variant.unroll = unroll;
+            variant.smem_staging = staged != 0;
+            variant.swap_parallel_loops = swapped != 0;
+            variant.seq_tile = seq_tile;
+            variant.fuse_iterations = fuse_iterations;
+
+            ProjectedKernel projected;
+            projected.variant = variant;
+            projected.characteristics =
+                characterize(app, kernel, variant, gpu);
+            projected.time = model_.project(projected.characteristics);
+            if (!projected.time.feasible) continue;
+            projections.push_back(std::move(projected));
+          }
+        }
+      }
+    }
+  }
+  return projections;
+}
+
+ProjectedKernel Explorer::best(const skeleton::AppSkeleton& app,
+                               const skeleton::KernelSkeleton& kernel,
+                               int fuse_iterations) const {
+  std::vector<ProjectedKernel> projections =
+      explore(app, kernel, fuse_iterations);
+  GROPHECY_EXPECTS(!projections.empty());
+  auto fastest = std::min_element(
+      projections.begin(), projections.end(),
+      [](const ProjectedKernel& a, const ProjectedKernel& b) {
+        return a.time.total_s < b.time.total_s;
+      });
+  return *fastest;
+}
+
+}  // namespace grophecy::gpumodel

@@ -1,0 +1,65 @@
+// The transformation-space explorer.
+//
+// Enumerates Variants (block sizes x shared-memory staging x unrolling),
+// characterizes each, projects each with the analytical model, and keeps
+// the fastest feasible one — GROPHECY's "projects the best achievable
+// performance and the transformations necessary to reach it" (§II-C).
+// Iteration fusion is explored at the application level by the orchestrator
+// because its payoff depends on the iteration count.
+#pragma once
+
+#include <vector>
+
+#include "gpumodel/kernel_model.h"
+#include "skeleton/skeleton.h"
+
+namespace grophecy::gpumodel {
+
+/// One explored point: a variant, its characteristics, and its projection.
+struct ProjectedKernel {
+  Variant variant;
+  KernelCharacteristics characteristics;
+  KernelTimeBreakdown time;  ///< Per launch.
+};
+
+/// The transformation space to search; defaults cover the axes the paper's
+/// workloads exercise.
+struct ExplorerOptions {
+  std::vector<int> block_sizes{64, 128, 192, 256, 384, 512};
+  bool explore_smem_staging = true;
+  /// Try both thread mappings when the kernel has >= 2 parallel loops.
+  bool explore_loop_interchange = true;
+  /// Sequential-loop (reduction) tile sizes tried when the kernel has
+  /// GEMM-like operand reads; 0 (untiled) is always tried too.
+  std::vector<int> seq_tile_factors{8, 16, 32};
+  std::vector<int> unroll_factors{1, 2, 4};
+  /// Calibrated efficiencies of the underlying analytical model.
+  ModelOptions model;
+};
+
+/// Enumerates and ranks kernel variants on a given GPU.
+class Explorer {
+ public:
+  explicit Explorer(hw::GpuSpec gpu, ExplorerOptions options = {});
+
+  /// Projects every feasible variant of `kernel` (fuse factor fixed).
+  std::vector<ProjectedKernel> explore(const skeleton::AppSkeleton& app,
+                                       const skeleton::KernelSkeleton& kernel,
+                                       int fuse_iterations = 1) const;
+
+  /// The fastest feasible variant. Requires at least one feasible variant
+  /// (always true for valid kernels: plain block sizes are feasible).
+  ProjectedKernel best(const skeleton::AppSkeleton& app,
+                       const skeleton::KernelSkeleton& kernel,
+                       int fuse_iterations = 1) const;
+
+  const ExplorerOptions& options() const { return options_; }
+  const hw::GpuSpec& gpu() const { return model_.gpu(); }
+  const KernelTimeModel& model() const { return model_; }
+
+ private:
+  KernelTimeModel model_;
+  ExplorerOptions options_;
+};
+
+}  // namespace grophecy::gpumodel

@@ -1,0 +1,25 @@
+#include "gpumodel/transform.h"
+
+#include "util/table.h"
+
+namespace grophecy::gpumodel {
+
+std::string Variant::describe() const {
+  std::string out = util::strfmt("block=%d", block_size);
+  if (swap_parallel_loops) out += ", swapped";
+  if (smem_staging) out += ", smem";
+  if (seq_tile > 0) out += util::strfmt(", tile=%d", seq_tile);
+  if (unroll > 1) out += util::strfmt(", unroll=%d", unroll);
+  if (fuse_iterations > 1) out += util::strfmt(", fuse=%d", fuse_iterations);
+  return out;
+}
+
+bool operator==(const Variant& a, const Variant& b) {
+  return a.block_size == b.block_size &&
+         a.swap_parallel_loops == b.swap_parallel_loops &&
+         a.smem_staging == b.smem_staging &&
+         a.seq_tile == b.seq_tile && a.unroll == b.unroll &&
+         a.fuse_iterations == b.fuse_iterations;
+}
+
+}  // namespace grophecy::gpumodel

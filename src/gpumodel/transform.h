@@ -1,0 +1,46 @@
+// GPU code transformations explored by GROPHECY (paper §II-C).
+//
+// GROPHECY "explores various code transformations, synthesizes performance
+// characteristics for each transformation, and then supplies the
+// characteristics to a GPU performance model". A Variant is one point in
+// that transformation space; the Explorer enumerates them and keeps the
+// best projected time. The axes modeled here are the ones the paper's
+// workloads exercise:
+//
+//   * thread-block size (occupancy / latency-hiding tradeoff),
+//   * parallel-loop interchange (which parallel loop maps to threadIdx.x —
+//     the coalescing-critical choice; makes the skeleton's loop order
+//     irrelevant),
+//   * shared-memory staging of stencil reads (traffic vs occupancy),
+//   * sequential-loop tiling with cooperative operand staging — the
+//     classic GEMM transformation of the paper's Figure 1 (each k-tile of
+//     A and B is loaded once per block instead of once per thread),
+//   * inner-loop unrolling (instruction overhead),
+//   * temporal fusion of consecutive outer iterations of a single-kernel
+//     stencil app (launch overhead vs redundant halo work — the HotSpot
+//     fusion the paper mentions in §IV-B).
+#pragma once
+
+#include <string>
+
+namespace grophecy::gpumodel {
+
+/// One candidate GPU implementation of a kernel.
+struct Variant {
+  int block_size = 256;       ///< Threads per block.
+  /// Map the FIRST parallel loop to threadIdx.x instead of the last
+  /// (parallel-loop interchange; only meaningful with >= 2 parallel loops).
+  bool swap_parallel_loops = false;
+  bool smem_staging = false;  ///< Stage stencil loads through shared memory.
+  /// Tile size for the innermost sequential reduction loop, with operands
+  /// staged cooperatively through shared memory (0 = off).
+  int seq_tile = 0;
+  int unroll = 1;             ///< Inner-loop unroll factor (>= 1).
+  int fuse_iterations = 1;    ///< Outer iterations fused per launch (>= 1).
+
+  std::string describe() const;
+};
+
+bool operator==(const Variant& a, const Variant& b);
+
+}  // namespace grophecy::gpumodel

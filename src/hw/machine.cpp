@@ -1,0 +1,13 @@
+#include "hw/machine.h"
+
+namespace grophecy::hw {
+
+const PcieDirectionProfile& PcieSpec::profile(Direction dir,
+                                              HostMemory mem) const {
+  if (mem == HostMemory::kPinned) {
+    return dir == Direction::kHostToDevice ? pinned_h2d : pinned_d2h;
+  }
+  return dir == Direction::kHostToDevice ? pageable_h2d : pageable_d2h;
+}
+
+}  // namespace grophecy::hw

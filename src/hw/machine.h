@@ -1,0 +1,196 @@
+// Hardware descriptions for the machines the framework models.
+//
+// A MachineSpec fully describes a CPU + discrete GPU + PCIe interconnect.
+// Two layers of the framework consume these specs:
+//   * the analytical models (gpumodel/, cpumodel/, pcie::LinearTransferModel
+//     after calibration) use the headline parameters, and
+//   * the simulators (sim::GpuSimulator, pcie::SimulatedBus,
+//     cpumodel::CpuSimulator) additionally use the *realism* parameters,
+//     which describe second-order behaviour of the physical device that a
+//     best-achievable analytical model deliberately ignores.
+//
+// Keeping both in one place makes the predictor-vs-machine gap explicit and
+// auditable: everything the simulator charges for beyond the model is named
+// here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grophecy::hw {
+
+/// CPU description (host processor running the baseline implementation).
+struct CpuSpec {
+  std::string name;
+  int sockets = 1;
+  int cores_per_socket = 4;
+  int threads = 8;                 ///< OpenMP threads used by the baseline.
+  double clock_ghz = 2.0;
+  /// Peak single-precision FLOPs per cycle per core (SIMD width x FMA ports).
+  double flops_per_cycle_per_core = 8.0;
+  double mem_bandwidth_gbps = 10.6;  ///< Sustained main-memory bandwidth.
+  /// Bandwidth one core can sustain alone (a single thread cannot saturate
+  /// the memory system; effective bw = min(total, threads * per_core)).
+  double per_core_bw_gbps = 4.0;
+  std::uint64_t llc_bytes = 12ULL * 1024 * 1024;  ///< Last-level cache.
+
+  /// --- realism (simulator only) ---
+  /// Fraction of peak memory bandwidth actually achieved by streaming code.
+  double achieved_bw_fraction = 0.80;
+  /// Parallel efficiency at `threads` threads (sync + imbalance losses).
+  double parallel_efficiency = 0.85;
+  /// Relative sigma of lognormal run-to-run jitter.
+  double timing_jitter_sigma = 0.02;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  double peak_gflops() const {
+    return clock_ghz * flops_per_cycle_per_core * total_cores();
+  }
+};
+
+/// Discrete GPU description (the acceleration target).
+struct GpuSpec {
+  std::string name;
+  int num_sms = 16;
+  int cores_per_sm = 8;
+  double core_clock_ghz = 1.35;
+  double mem_bandwidth_gbps = 76.8;
+  /// Device memory capacity; the projection flags applications whose
+  /// resident footprint exceeds it (they would need chunked offload).
+  std::uint64_t memory_bytes = 1536ULL * 1024 * 1024;
+  int warp_size = 32;
+  int max_threads_per_sm = 768;
+  int max_blocks_per_sm = 8;
+  int max_threads_per_block = 512;
+  std::uint32_t registers_per_sm = 8192;
+  std::uint32_t shared_mem_per_sm_bytes = 16 * 1024;
+  /// Global-memory load latency in core cycles.
+  double dram_latency_cycles = 500.0;
+  /// Bytes per coalesced memory transaction (segment size).
+  int transaction_bytes = 128;
+  /// FLOPs per core per cycle (2 for multiply-add).
+  double flops_per_core_per_cycle = 2.0;
+  /// Driver + dispatch overhead per kernel launch, seconds.
+  double kernel_launch_overhead_s = 12e-6;
+
+  /// --- realism (simulator only) ---
+  /// Fraction of peak DRAM bandwidth a fully streaming kernel achieves.
+  double achieved_bw_fraction = 0.82;
+  /// Extra transactions replayed per uncoalesced warp access, as a factor on
+  /// the ideal transaction count (1.0 = no penalty).
+  double uncoalesced_replay_factor = 1.35;
+  /// Latency multiplier for data-dependent (indirect/gather) accesses, which
+  /// defeat both coalescing and latency hiding.
+  double indirect_access_penalty = 1.60;
+  /// Per-instruction overhead factor for address arithmetic and control that
+  /// skeleton FLOP counts do not capture.
+  double instruction_overhead = 1.12;
+  /// Cost in cycles of a block-wide barrier (__syncthreads).
+  double sync_cycles = 40.0;
+  /// Fraction of streaming bandwidth sustained by warp-coalesced streams
+  /// whose row selection is data dependent (DRAM page locality loss).
+  double gather_stream_fraction = 0.45;
+  /// Relative sigma of lognormal run-to-run jitter on kernel time.
+  double timing_jitter_sigma = 0.015;
+
+  int total_cores() const { return num_sms * cores_per_sm; }
+  double peak_gflops() const {
+    return core_clock_ghz * flops_per_core_per_cycle * total_cores();
+  }
+};
+
+/// Host memory allocation mode for CPU-GPU transfers (paper §III-C).
+enum class HostMemory {
+  kPinned,    ///< cudaHostAlloc page-locked memory; DMA directly.
+  kPageable,  ///< malloc memory; driver stages through an internal buffer.
+};
+
+/// Transfer direction across the PCIe bus.
+enum class Direction {
+  kHostToDevice,  ///< CPU -> GPU (inputs).
+  kDeviceToHost,  ///< GPU -> CPU (outputs).
+};
+
+/// Physical characterisation of one direction of the PCIe link for one host
+/// memory mode. These are *ground truth* device parameters; the framework's
+/// empirical model never reads them — it calibrates its own alpha/beta by
+/// timing transfers (paper §III-C).
+///
+/// The noiseless transfer time for d bytes is
+///   t(d) = latency_s + d / asymptotic_bw
+///        + hump_extra_s * exp(-((ln(d / hump_center_bytes)) / hump_log_width)^2)
+///        + ceil(d / 4096) * page_staging_s_per_page
+/// The log-bell "hump" models the DMA chunking transition real links show at
+/// intermediate sizes; it vanishes at both calibration points (1 B, 512 MB),
+/// which is exactly why a two-point linear model mispredicts mid-size
+/// transfers (paper Fig. 4) while being nearly exact at the extremes.
+struct PcieDirectionProfile {
+  double latency_s = 10e-6;      ///< First-byte latency (the true alpha).
+  double asymptotic_gbps = 2.5;  ///< Large-transfer bandwidth.
+  /// Peak additional time of the mid-size non-linearity, seconds.
+  double hump_extra_s = 0.0;
+  double hump_center_bytes = 32.0 * 1024;
+  double hump_log_width = 1.5;
+  /// Per-4KiB-page host-side staging cost (pageable memory only), seconds.
+  double page_staging_s_per_page = 0.0;
+};
+
+/// Noise character of the bus (applies to both directions).
+struct PcieNoiseProfile {
+  /// Relative jitter floor for very large transfers.
+  double sigma_floor = 0.004;
+  /// Additional relative jitter for small transfers; total sigma is
+  /// sigma_floor + sigma_small / (1 + bytes / small_scale_bytes).
+  double sigma_small = 0.035;
+  double small_scale_bytes = 64.0 * 1024;
+  /// Probability that a transfer is an outlier (e.g. the paper's
+  /// "inexplicably" slow CFD transfers), and its slowdown factor.
+  double outlier_probability = 0.0;
+  double outlier_factor = 2.2;
+};
+
+/// PCIe interconnect description.
+struct PcieSpec {
+  std::string name;
+  int generation = 1;  ///< PCIe version (1, 2, or 3).
+  int lanes = 16;
+  PcieDirectionProfile pinned_h2d;
+  PcieDirectionProfile pinned_d2h;
+  PcieDirectionProfile pageable_h2d;
+  PcieDirectionProfile pageable_d2h;
+  PcieNoiseProfile noise;
+
+  /// Looks up the profile for a direction + memory mode.
+  const PcieDirectionProfile& profile(Direction dir, HostMemory mem) const;
+};
+
+/// Ground-truth cost of memory allocation (the paper's future-work item:
+/// "account for the overhead of memory allocation"). Pinned host memory is
+/// expensive to create — every page must be locked and registered with the
+/// device — which is the hidden price of the fast transfers the paper
+/// assumes. Device allocations carry a driver round-trip.
+struct AllocationProfile {
+  /// cudaMalloc: device-side allocation.
+  double device_base_s = 10e-6;
+  double device_per_mib_s = 0.30e-6;
+  /// malloc: pageable host memory (cheap, lazily mapped; first-touch cost
+  /// is charged per page).
+  double pageable_base_s = 0.5e-6;
+  double pageable_per_page_s = 0.05e-6;
+  /// cudaHostAlloc: page-locked host memory (pin + register each page).
+  double pinned_base_s = 40e-6;
+  double pinned_per_page_s = 0.45e-6;
+  /// Relative sigma of lognormal jitter on allocation times.
+  double jitter_sigma = 0.05;
+};
+
+/// A complete host + accelerator system.
+struct MachineSpec {
+  std::string name;
+  CpuSpec cpu;
+  GpuSpec gpu;
+  PcieSpec pcie;
+  AllocationProfile alloc;
+};
+
+}  // namespace grophecy::hw

@@ -1,0 +1,35 @@
+// Registry of pre-configured machines.
+//
+// `anl_eureka()` reproduces the paper's testbed (§IV-A): a node of Argonne's
+// Eureka data analysis and visualization cluster with a quad-core Intel Xeon
+// E5405 (2.00 GHz, 8 OpenMP threads) and an NVIDIA Quadro FX 5600 in a PCIe
+// v1 x16 slot (alpha ~ 10 us, ~2.5 GB/s pinned bandwidth, §III-C).
+//
+// Two additional machines (PCIe v2 Fermi-class, PCIe v3 Kepler-class) are
+// provided to exercise the claim that the framework is not system specific:
+// the calibration benchmark rebuilds the bus model automatically on each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+
+namespace grophecy::hw {
+
+/// The paper's testbed: Xeon E5405 + Quadro FX 5600 over PCIe v1 x16.
+MachineSpec anl_eureka();
+
+/// A PCIe v2 system: Westmere Xeon + Fermi-class Tesla C2050.
+MachineSpec pcie2_fermi();
+
+/// A PCIe v3 system: Sandy Bridge Xeon + Kepler-class Tesla K20.
+MachineSpec pcie3_kepler();
+
+/// All registered machines, `anl_eureka()` first.
+std::vector<MachineSpec> all_machines();
+
+/// Looks a machine up by name; throws ContractViolation if unknown.
+MachineSpec machine_by_name(const std::string& name);
+
+}  // namespace grophecy::hw

@@ -1,0 +1,109 @@
+#include "pcie/allocation.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::pcie {
+
+const char* alloc_kind_name(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kDevice: return "device";
+    case AllocKind::kPageableHost: return "pageable";
+    case AllocKind::kPinnedHost: return "pinned";
+  }
+  return "?";
+}
+
+SimulatedAllocator::SimulatedAllocator(hw::AllocationProfile profile,
+                                       std::uint64_t seed)
+    : profile_(profile), rng_(seed) {}
+
+double SimulatedAllocator::expected_time(std::uint64_t bytes,
+                                         AllocKind kind) const {
+  GROPHECY_EXPECTS(bytes > 0);
+  const double d = static_cast<double>(bytes);
+  const double pages = std::ceil(d / 4096.0);
+  switch (kind) {
+    case AllocKind::kDevice:
+      return profile_.device_base_s +
+             profile_.device_per_mib_s * (d / static_cast<double>(util::kMiB));
+    case AllocKind::kPageableHost:
+      return profile_.pageable_base_s + profile_.pageable_per_page_s * pages;
+    case AllocKind::kPinnedHost:
+      return profile_.pinned_base_s + profile_.pinned_per_page_s * pages;
+  }
+  throw ContractViolation("invalid AllocKind");
+}
+
+double SimulatedAllocator::time_allocation(std::uint64_t bytes,
+                                           AllocKind kind) {
+  return rng_.lognormal(expected_time(bytes, kind), profile_.jitter_sigma);
+}
+
+double SimulatedAllocator::measure_mean(std::uint64_t bytes, AllocKind kind,
+                                        int runs) {
+  GROPHECY_EXPECTS(runs > 0);
+  double sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += time_allocation(bytes, kind);
+  return sum / runs;
+}
+
+double LinearAllocModel::predict_seconds(std::uint64_t bytes) const {
+  GROPHECY_EXPECTS(bytes > 0);
+  GROPHECY_EXPECTS(base_s > 0.0 && slope_s_per_byte >= 0.0);
+  return base_s + slope_s_per_byte * static_cast<double>(bytes);
+}
+
+const LinearAllocModel& AllocationModel::kind(AllocKind k) const {
+  switch (k) {
+    case AllocKind::kDevice: return device;
+    case AllocKind::kPageableHost: return pageable_host;
+    case AllocKind::kPinnedHost: return pinned_host;
+  }
+  throw ContractViolation("invalid AllocKind");
+}
+
+AllocationCalibrator::AllocationCalibrator(AllocCalibrationOptions options)
+    : options_(options) {
+  GROPHECY_EXPECTS(options_.small_bytes > 0);
+  GROPHECY_EXPECTS(options_.small_bytes < options_.large_bytes);
+  GROPHECY_EXPECTS(options_.replicates > 0);
+}
+
+LinearAllocModel AllocationCalibrator::calibrate_kind(AllocationTimer& timer,
+                                                      AllocKind kind) const {
+  auto mean_of = [&](std::uint64_t bytes) {
+    double sum = 0.0;
+    for (int i = 0; i < options_.replicates; ++i)
+      sum += timer.time_allocation(bytes, kind);
+    return sum / options_.replicates;
+  };
+  const double t_small = mean_of(options_.small_bytes);
+  const double t_large = mean_of(options_.large_bytes);
+
+  LinearAllocModel model;
+  // Unlike the transfer calibration, the small probe is not negligible in
+  // size, so solve the two-point line exactly.
+  model.slope_s_per_byte =
+      (t_large - t_small) /
+      static_cast<double>(options_.large_bytes - options_.small_bytes);
+  if (model.slope_s_per_byte < 0.0) model.slope_s_per_byte = 0.0;
+  model.base_s = t_small - model.slope_s_per_byte *
+                               static_cast<double>(options_.small_bytes);
+  if (model.base_s <= 0.0) model.base_s = t_small;
+  GROPHECY_ENSURES(model.base_s > 0.0);
+  return model;
+}
+
+AllocationModel AllocationCalibrator::calibrate(
+    AllocationTimer& timer) const {
+  AllocationModel model;
+  model.device = calibrate_kind(timer, AllocKind::kDevice);
+  model.pageable_host = calibrate_kind(timer, AllocKind::kPageableHost);
+  model.pinned_host = calibrate_kind(timer, AllocKind::kPinnedHost);
+  return model;
+}
+
+}  // namespace grophecy::pcie

@@ -1,0 +1,90 @@
+// Memory-allocation overhead modeling (the paper's future work, §VII:
+// "we plan to ... account for the overhead of memory allocation").
+//
+// Mirrors the transfer-model design: a SimulatedAllocator plays the role of
+// the real allocator (cudaMalloc / malloc / cudaHostAlloc), and a
+// two-point AllocationCalibrator derives a linear cost model
+// T(bytes) = base + slope * bytes per allocation kind — the same
+// measure-two-points recipe the paper uses for the bus.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/machine.h"
+#include "util/rng.h"
+
+namespace grophecy::pcie {
+
+/// What is being allocated.
+enum class AllocKind {
+  kDevice,        ///< cudaMalloc (GPU memory).
+  kPageableHost,  ///< malloc.
+  kPinnedHost,    ///< cudaHostAlloc (page-locked).
+};
+
+const char* alloc_kind_name(AllocKind kind);
+
+/// Anything that can time one allocation+free cycle of a given size.
+class AllocationTimer {
+ public:
+  virtual ~AllocationTimer() = default;
+  virtual double time_allocation(std::uint64_t bytes, AllocKind kind) = 0;
+};
+
+/// Stochastic simulator of the machine's allocators.
+class SimulatedAllocator final : public AllocationTimer {
+ public:
+  SimulatedAllocator(hw::AllocationProfile profile, std::uint64_t seed);
+
+  /// Noiseless ground truth.
+  double expected_time(std::uint64_t bytes, AllocKind kind) const;
+
+  double time_allocation(std::uint64_t bytes, AllocKind kind) override;
+
+  /// Arithmetic mean of `runs` observations.
+  double measure_mean(std::uint64_t bytes, AllocKind kind, int runs);
+
+ private:
+  hw::AllocationProfile profile_;
+  util::Rng rng_;
+};
+
+/// Linear allocation-cost model: T(bytes) = base + slope * bytes.
+struct LinearAllocModel {
+  double base_s = 0.0;
+  double slope_s_per_byte = 0.0;
+
+  /// Requires bytes > 0 and a calibrated model.
+  double predict_seconds(std::uint64_t bytes) const;
+};
+
+/// Calibrated models for all three allocation kinds.
+struct AllocationModel {
+  LinearAllocModel device;
+  LinearAllocModel pageable_host;
+  LinearAllocModel pinned_host;
+
+  const LinearAllocModel& kind(AllocKind k) const;
+};
+
+/// Two-point calibration, one small and one large probe per kind,
+/// replicated and averaged like the transfer calibration.
+struct AllocCalibrationOptions {
+  std::uint64_t small_bytes = 4096;
+  std::uint64_t large_bytes = 256ULL << 20;
+  int replicates = 10;
+};
+
+class AllocationCalibrator {
+ public:
+  explicit AllocationCalibrator(AllocCalibrationOptions options = {});
+
+  LinearAllocModel calibrate_kind(AllocationTimer& timer,
+                                  AllocKind kind) const;
+  AllocationModel calibrate(AllocationTimer& timer) const;
+
+ private:
+  AllocCalibrationOptions options_;
+};
+
+}  // namespace grophecy::pcie

@@ -1,0 +1,59 @@
+#include "pcie/bus.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::pcie {
+
+SimulatedBus::SimulatedBus(hw::PcieSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {}
+
+double SimulatedBus::expected_time(std::uint64_t bytes, hw::Direction dir,
+                                   hw::HostMemory mem) const {
+  GROPHECY_EXPECTS(bytes > 0);
+  const hw::PcieDirectionProfile& p = spec_.profile(dir, mem);
+  const double d = static_cast<double>(bytes);
+
+  double t = p.latency_s + d / (p.asymptotic_gbps * util::kGB);
+
+  if (p.hump_extra_s > 0.0) {
+    const double z = std::log(d / p.hump_center_bytes) / p.hump_log_width;
+    t += p.hump_extra_s * std::exp(-z * z);
+  }
+  if (p.page_staging_s_per_page > 0.0) {
+    const double pages = std::ceil(d / 4096.0);
+    t += pages * p.page_staging_s_per_page;
+  }
+  return t;
+}
+
+double SimulatedBus::time_transfer(std::uint64_t bytes, hw::Direction dir,
+                                   hw::HostMemory mem) {
+  const double base = expected_time(bytes, dir, mem);
+  const hw::PcieNoiseProfile& n = spec_.noise;
+
+  const double d = static_cast<double>(bytes);
+  const double sigma = n.sigma_floor + n.sigma_small / (1.0 + d / n.small_scale_bytes);
+  double t = rng_.lognormal(base, sigma);
+
+  if (n.outlier_probability > 0.0 && rng_.bernoulli(n.outlier_probability)) {
+    t *= n.outlier_factor;
+  }
+  return t;
+}
+
+double SimulatedBus::measure_mean(std::uint64_t bytes, hw::Direction dir,
+                                  hw::HostMemory mem, int runs) {
+  GROPHECY_EXPECTS(runs > 0);
+  double sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += time_transfer(bytes, dir, mem);
+  return sum / runs;
+}
+
+void SimulatedBus::set_noise(const hw::PcieNoiseProfile& noise) {
+  spec_.noise = noise;
+}
+
+}  // namespace grophecy::pcie

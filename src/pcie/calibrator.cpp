@@ -1,0 +1,43 @@
+#include "pcie/calibrator.h"
+
+#include "util/contracts.h"
+
+namespace grophecy::pcie {
+
+TransferCalibrator::TransferCalibrator(CalibrationOptions options)
+    : options_(options) {
+  GROPHECY_EXPECTS(options_.small_bytes > 0);
+  GROPHECY_EXPECTS(options_.small_bytes < options_.large_bytes);
+  GROPHECY_EXPECTS(options_.replicates > 0);
+}
+
+LinearTransferModel TransferCalibrator::calibrate_direction(
+    TransferTimer& timer, hw::Direction dir, hw::HostMemory mem) const {
+  auto mean_of = [&](std::uint64_t bytes) {
+    double sum = 0.0;
+    for (int i = 0; i < options_.replicates; ++i)
+      sum += timer.time_transfer(bytes, dir, mem);
+    return sum / options_.replicates;
+  };
+
+  const double t_small = mean_of(options_.small_bytes);
+  const double t_large = mean_of(options_.large_bytes);
+
+  LinearTransferModel model;
+  model.alpha_s = t_small;
+  model.beta_s_per_byte =
+      t_large / static_cast<double>(options_.large_bytes);
+  GROPHECY_ENSURES(model.alpha_s > 0.0 && model.beta_s_per_byte > 0.0);
+  return model;
+}
+
+BusModel TransferCalibrator::calibrate(TransferTimer& timer,
+                                       hw::HostMemory mem) const {
+  BusModel bus;
+  bus.memory_mode = mem;
+  bus.h2d = calibrate_direction(timer, hw::Direction::kHostToDevice, mem);
+  bus.d2h = calibrate_direction(timer, hw::Direction::kDeviceToHost, mem);
+  return bus;
+}
+
+}  // namespace grophecy::pcie

@@ -1,0 +1,51 @@
+// Two-point calibration of the linear transfer model (paper §III-C).
+//
+// "To determine alpha, we measure the transfer time t_S of a single byte;
+//  we then set alpha = t_S. To determine beta, we measure the time t_L of a
+//  large transfer of size s_L = 512MB and then set beta = t_L / s_L. Both
+//  t_S and t_L are averaged across ten runs."
+//
+// The calibrator runs this synthetic benchmark against any TransferTimer,
+// which is how GROPHECY++ "automatically measures the values of the two
+// parameters for each new system on which it runs".
+#pragma once
+
+#include <cstdint>
+
+#include "hw/machine.h"
+#include "pcie/bus.h"
+#include "pcie/linear_model.h"
+#include "util/units.h"
+
+namespace grophecy::pcie {
+
+/// Knobs of the calibration procedure; defaults are the paper's choices.
+/// The ablation bench sweeps these to justify them.
+struct CalibrationOptions {
+  std::uint64_t small_bytes = 1;                  ///< alpha probe size.
+  std::uint64_t large_bytes = 512 * util::kMiB;   ///< beta probe size.
+  int replicates = 10;                            ///< runs averaged per probe.
+};
+
+/// Calibrates LinearTransferModel / BusModel instances from measurements.
+class TransferCalibrator {
+ public:
+  explicit TransferCalibrator(CalibrationOptions options = {});
+
+  /// Calibrates one direction. Requires small_bytes < large_bytes.
+  LinearTransferModel calibrate_direction(TransferTimer& timer,
+                                          hw::Direction dir,
+                                          hw::HostMemory mem) const;
+
+  /// Calibrates both directions under one memory mode (pinned by default,
+  /// per the paper's assumption that pinned memory is used).
+  BusModel calibrate(TransferTimer& timer,
+                     hw::HostMemory mem = hw::HostMemory::kPinned) const;
+
+  const CalibrationOptions& options() const { return options_; }
+
+ private:
+  CalibrationOptions options_;
+};
+
+}  // namespace grophecy::pcie

@@ -1,0 +1,25 @@
+#include "pcie/linear_model.h"
+
+#include "util/contracts.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace grophecy::pcie {
+
+double LinearTransferModel::predict_seconds(std::uint64_t bytes) const {
+  GROPHECY_EXPECTS(bytes > 0);
+  GROPHECY_EXPECTS(alpha_s >= 0.0 && beta_s_per_byte > 0.0);
+  return alpha_s + beta_s_per_byte * static_cast<double>(bytes);
+}
+
+double LinearTransferModel::bandwidth_gbps() const {
+  GROPHECY_EXPECTS(beta_s_per_byte > 0.0);
+  return 1.0 / beta_s_per_byte / util::kGB;
+}
+
+std::string LinearTransferModel::describe() const {
+  return util::strfmt("alpha=%.2f us, bw=%.2f GB/s", alpha_s * 1e6,
+                      bandwidth_gbps());
+}
+
+}  // namespace grophecy::pcie

@@ -1,0 +1,49 @@
+// The paper's PCIe transfer-time model (contribution 1, §III-C).
+//
+// A transfer of d bytes is modeled as T(d) = alpha + beta * d, where alpha
+// is the first-byte latency and 1/beta the asymptotic bandwidth. The two
+// parameters per direction are obtained by the TransferCalibrator from just
+// two measurements on the target system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/machine.h"
+
+namespace grophecy::pcie {
+
+/// T(d) = alpha + beta * d for one transfer direction.
+struct LinearTransferModel {
+  double alpha_s = 0.0;         ///< Fixed per-transfer latency, seconds.
+  double beta_s_per_byte = 0.0; ///< Inverse bandwidth, seconds per byte.
+
+  /// Predicted time in seconds for a transfer of `bytes` bytes.
+  /// Requires bytes > 0 and a valid (calibrated) model.
+  double predict_seconds(std::uint64_t bytes) const;
+
+  /// The model's asymptotic bandwidth, GB/s (1/beta).
+  double bandwidth_gbps() const;
+
+  /// Human-readable summary, e.g. "alpha=11.02 us, bw=2.54 GB/s".
+  std::string describe() const;
+};
+
+/// Calibrated models for both directions under one host-memory mode.
+/// This is the object GROPHECY++ carries around to price transfer plans.
+struct BusModel {
+  hw::HostMemory memory_mode = hw::HostMemory::kPinned;
+  LinearTransferModel h2d;
+  LinearTransferModel d2h;
+
+  const LinearTransferModel& direction(hw::Direction dir) const {
+    return dir == hw::Direction::kHostToDevice ? h2d : d2h;
+  }
+
+  /// Predicted time for one transfer in the given direction.
+  double predict_seconds(std::uint64_t bytes, hw::Direction dir) const {
+    return direction(dir).predict_seconds(bytes);
+  }
+};
+
+}  // namespace grophecy::pcie

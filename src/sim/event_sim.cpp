@@ -1,0 +1,238 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gpumodel/kernel_model.h"
+#include "gpumodel/occupancy.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::sim {
+
+namespace {
+constexpr double kSpecialInstCost = 4.0;
+constexpr double kEps = 1e-15;
+
+/// Static per-block demands derived from the kernel characteristics, using
+/// the same per-warp math as the wave simulator.
+struct BlockDemands {
+  double compute_cycles = 0.0;  ///< SM issue cycles.
+  double memory_bytes = 0.0;    ///< Effective DRAM demand (replay/locality).
+  double floor_s = 0.0;         ///< Serial floor: exposed latency + syncs.
+};
+
+BlockDemands block_demands(const gpumodel::KernelCharacteristics& kc,
+                           const hw::GpuSpec& gpu,
+                           const gpumodel::Occupancy& occ) {
+  const double clock_hz = gpu.core_clock_ghz * 1e9;
+  const double issue_cycles =
+      static_cast<double>(gpu.warp_size) / gpu.cores_per_sm;
+  const int warps_per_block =
+      (kc.variant.block_size + gpu.warp_size - 1) / gpu.warp_size;
+
+  const double insts_per_thread =
+      (kc.flops_per_thread / gpu.flops_per_core_per_cycle +
+       kc.special_per_thread * kSpecialInstCost +
+       kc.index_insts_per_thread) *
+      gpu.instruction_overhead;
+
+  double warp_traffic = 0.0;
+  double warp_mem_insts = 0.0;
+  double warp_latency_cycles = 0.0;
+  for (const gpumodel::MemAccess& access : kc.accesses) {
+    const gpumodel::WarpAccessCost cost =
+        gpumodel::warp_access_cost(access, gpu);
+    double replay = 1.0;
+    if (access.cls == gpumodel::AccessClass::kStrided ||
+        access.cls == gpumodel::AccessClass::kScattered)
+      replay = gpu.uncoalesced_replay_factor;
+    double latency = gpu.dram_latency_cycles;
+    if (access.cls == gpumodel::AccessClass::kScattered)
+      latency *= gpu.indirect_access_penalty;
+    double locality = 1.0;
+    if (access.gathered_stream) locality = 1.0 / gpu.gather_stream_fraction;
+    warp_traffic += access.count_per_thread * cost.bytes_moved * replay *
+                    locality;
+    warp_mem_insts += access.count_per_thread;
+    warp_latency_cycles += access.count_per_thread * latency;
+  }
+
+  // Latency hiding among the SM's resident warps, capped by the MWP the
+  // bus sustains (same overlap policy as the wave simulator).
+  const double achieved_bw =
+      gpu.mem_bandwidth_gbps * util::kGB * gpu.achieved_bw_fraction;
+  const double bw_bytes_per_cycle_sm = achieved_bw / gpu.num_sms / clock_hz;
+  const double dep_delay =
+      warp_mem_insts > 0.0
+          ? (warp_traffic / warp_mem_insts) / bw_bytes_per_cycle_sm
+          : 1.0;
+  const double mwp = std::max(1.0, gpu.dram_latency_cycles / dep_delay);
+  const double resident_warps =
+      std::max(1.0, static_cast<double>(occ.active_warps));
+  const double overlap = std::max(1.0, std::min(resident_warps, mwp));
+
+  BlockDemands demands;
+  demands.compute_cycles =
+      warps_per_block * insts_per_thread * issue_cycles;
+  demands.memory_bytes = warps_per_block * warp_traffic;
+  const double latency_cycles =
+      warps_per_block * warp_latency_cycles / overlap;
+  const double sync_cycles =
+      kc.syncs_per_thread *
+      (gpu.sync_cycles + warps_per_block * issue_cycles);
+  demands.floor_s = (latency_cycles + sync_cycles) / clock_hz;
+  return demands;
+}
+
+/// One resident block's remaining demands.
+struct RunningBlock {
+  int sm = 0;
+  double compute_left = 0.0;
+  double memory_left = 0.0;
+  double floor_left = 0.0;
+
+  bool done() const {
+    return compute_left <= kEps && memory_left <= kEps && floor_left <= kEps;
+  }
+};
+
+}  // namespace
+
+EventGpuSimulator::EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed)
+    : gpu_(std::move(gpu)), rng_(seed) {}
+
+double EventGpuSimulator::simulate(const gpumodel::KernelCharacteristics& kc,
+                                   double block_jitter_sigma,
+                                   util::Rng* rng) const {
+  const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
+      gpu_, kc.variant.block_size, kc.regs_per_thread,
+      kc.smem_per_block_bytes);
+  GROPHECY_EXPECTS(occ.blocks_per_sm > 0);
+
+  const BlockDemands base = block_demands(kc, gpu_, occ);
+  const double clock_hz = gpu_.core_clock_ghz * 1e9;
+  const double sm_issue_rate = clock_hz;  // issue cycles per second per SM
+  const double chip_bw = gpu_.mem_bandwidth_gbps * util::kGB *
+                         gpu_.achieved_bw_fraction;
+
+  std::int64_t pending = kc.num_blocks;
+  std::vector<int> sm_load(static_cast<std::size_t>(gpu_.num_sms), 0);
+  std::vector<RunningBlock> running;
+  running.reserve(static_cast<std::size_t>(gpu_.num_sms) * occ.blocks_per_sm);
+
+  double now = 0.0;
+  while (pending > 0 || !running.empty()) {
+    // Greedy backfill: place pending blocks on the least-loaded SMs.
+    while (pending > 0) {
+      const auto lightest = std::min_element(sm_load.begin(), sm_load.end());
+      if (*lightest >= occ.blocks_per_sm) break;
+      RunningBlock block;
+      block.sm = static_cast<int>(lightest - sm_load.begin());
+      double jitter = 1.0;
+      if (block_jitter_sigma > 0.0 && rng != nullptr)
+        jitter = rng->lognormal(1.0, block_jitter_sigma);
+      block.compute_left = base.compute_cycles * jitter;
+      block.memory_left = base.memory_bytes * jitter;
+      block.floor_left = base.floor_s * jitter;
+      ++*lightest;
+      running.push_back(block);
+      --pending;
+    }
+    GROPHECY_ENSURES(!running.empty());
+
+    // A degenerate block (no compute, no memory, no floor) finishes
+    // immediately; retire before computing rates to keep dt finite.
+    bool retired_degenerate = false;
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (running[i].done()) {
+        --sm_load[static_cast<std::size_t>(running[i].sm)];
+        running[i] = running.back();
+        running.pop_back();
+        retired_degenerate = true;
+      }
+    }
+    if (retired_degenerate) continue;
+
+    // Instantaneous fair-share rates.
+    int memory_consumers = 0;
+    for (const RunningBlock& block : running)
+      if (block.memory_left > kEps) ++memory_consumers;
+    const double mem_rate =
+        memory_consumers > 0 ? chip_bw / memory_consumers : 0.0;
+    std::vector<int> compute_consumers(
+        static_cast<std::size_t>(gpu_.num_sms), 0);
+    for (const RunningBlock& block : running)
+      if (block.compute_left > kEps)
+        ++compute_consumers[static_cast<std::size_t>(block.sm)];
+
+    // Next event: the earliest exhaustion of any demand of any block.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const RunningBlock& block : running) {
+      if (block.compute_left > kEps) {
+        const double rate =
+            sm_issue_rate /
+            compute_consumers[static_cast<std::size_t>(block.sm)];
+        dt = std::min(dt, block.compute_left / rate);
+      }
+      if (block.memory_left > kEps)
+        dt = std::min(dt, block.memory_left / mem_rate);
+      if (block.floor_left > kEps) dt = std::min(dt, block.floor_left);
+    }
+    GROPHECY_ENSURES(std::isfinite(dt) && dt >= 0.0);
+
+    // Advance every block by dt.
+    now += dt;
+    for (RunningBlock& block : running) {
+      if (block.compute_left > kEps) {
+        const double rate =
+            sm_issue_rate /
+            compute_consumers[static_cast<std::size_t>(block.sm)];
+        block.compute_left =
+            std::max(0.0, block.compute_left - rate * dt);
+      }
+      if (block.memory_left > kEps)
+        block.memory_left =
+            std::max(0.0, block.memory_left - mem_rate * dt);
+      if (block.floor_left > kEps)
+        block.floor_left = std::max(0.0, block.floor_left - dt);
+    }
+
+    // Retire finished blocks, freeing their SM slots.
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (running[i].done()) {
+        --sm_load[static_cast<std::size_t>(running[i].sm)];
+        running[i] = running.back();
+        running.pop_back();
+      }
+    }
+  }
+  return now + gpu_.kernel_launch_overhead_s;
+}
+
+SimBreakdown EventGpuSimulator::expected_launch(
+    const gpumodel::KernelCharacteristics& kc) const {
+  SimBreakdown out;
+  out.launch_s = gpu_.kernel_launch_overhead_s;
+  out.total_s = simulate(kc, 0.0, nullptr);
+  return out;
+}
+
+double EventGpuSimulator::run_launch_seconds(
+    const gpumodel::KernelCharacteristics& kc) {
+  // Per-block jitter plus a whole-launch jitter matching the wave sim.
+  const double base = simulate(kc, gpu_.timing_jitter_sigma, &rng_);
+  return rng_.lognormal(base, gpu_.timing_jitter_sigma * 0.5);
+}
+
+double EventGpuSimulator::measure_launch_seconds(
+    const gpumodel::KernelCharacteristics& kc, int runs) {
+  GROPHECY_EXPECTS(runs > 0);
+  double sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += run_launch_seconds(kc);
+  return sum / runs;
+}
+
+}  // namespace grophecy::sim

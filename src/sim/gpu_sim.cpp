@@ -1,0 +1,149 @@
+#include "sim/gpu_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpumodel/kernel_model.h"
+#include "gpumodel/occupancy.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::sim {
+
+namespace {
+/// Instruction slots consumed by one special-function op relative to a MAD.
+constexpr double kSpecialInstCost = 4.0;
+}  // namespace
+
+GpuSimulator::GpuSimulator(hw::GpuSpec gpu, std::uint64_t seed)
+    : gpu_(std::move(gpu)), rng_(seed) {}
+
+SimBreakdown GpuSimulator::expected_launch(
+    const gpumodel::KernelCharacteristics& kc) const {
+  const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
+      gpu_, kc.variant.block_size, kc.regs_per_thread,
+      kc.smem_per_block_bytes);
+  GROPHECY_EXPECTS(occ.blocks_per_sm > 0);  // explorer only emits feasible
+
+  const double clock_hz = gpu_.core_clock_ghz * 1e9;
+  const double issue_cycles =
+      static_cast<double>(gpu_.warp_size) / gpu_.cores_per_sm;
+  const int warps_per_block =
+      (kc.variant.block_size + gpu_.warp_size - 1) / gpu_.warp_size;
+
+  // --- per-warp instruction stream (with real-code overheads) ---
+  const double insts_per_thread =
+      (kc.flops_per_thread / gpu_.flops_per_core_per_cycle +
+       kc.special_per_thread * kSpecialInstCost +
+       kc.index_insts_per_thread) *
+      gpu_.instruction_overhead;
+  const double warp_compute_cycles = insts_per_thread * issue_cycles;
+
+  // --- per-warp memory stream (replay + achieved bandwidth) ---
+  const double achieved_bw =
+      gpu_.mem_bandwidth_gbps * util::kGB * gpu_.achieved_bw_fraction;
+  const double bw_bytes_per_cycle_sm = achieved_bw / gpu_.num_sms / clock_hz;
+
+  double warp_traffic_bytes = 0.0;   // effective DRAM demand per warp
+  double warp_mem_insts = 0.0;       // warp-level memory instructions
+  double warp_latency_cycles = 0.0;  // exposed-latency demand per warp
+  for (const gpumodel::MemAccess& access : kc.accesses) {
+    gpumodel::WarpAccessCost cost = gpumodel::warp_access_cost(access, gpu_);
+    double replay = 1.0;
+    if (access.cls == gpumodel::AccessClass::kStrided ||
+        access.cls == gpumodel::AccessClass::kScattered) {
+      replay = gpu_.uncoalesced_replay_factor;
+    }
+    double latency = gpu_.dram_latency_cycles;
+    if (access.cls == gpumodel::AccessClass::kScattered) {
+      latency *= gpu_.indirect_access_penalty;
+    }
+    // Gathered streams sustain only a fraction of streaming bandwidth;
+    // charge the locality loss as extra effective demand.
+    double locality = 1.0;
+    if (access.gathered_stream) locality = 1.0 / gpu_.gather_stream_fraction;
+    warp_traffic_bytes +=
+        access.count_per_thread * cost.bytes_moved * replay * locality;
+    warp_mem_insts += access.count_per_thread;
+    warp_latency_cycles += access.count_per_thread * latency;
+  }
+
+  // --- wave-by-wave schedule ---
+  const std::int64_t chip_blocks =
+      static_cast<std::int64_t>(occ.blocks_per_sm) * gpu_.num_sms;
+  const std::int64_t full_waves = kc.num_blocks / chip_blocks;
+  const std::int64_t rem_blocks = kc.num_blocks % chip_blocks;
+
+  auto wave_cycles = [&](int resident_blocks_per_sm) {
+    const double warps =
+        static_cast<double>(resident_blocks_per_sm) * warps_per_block;
+    const double compute = warps * warp_compute_cycles;
+    const double memory = warps * warp_traffic_bytes / bw_bytes_per_cycle_sm;
+    // Memory-level parallelism: stalls overlap across however many warps
+    // are resident, but no deeper than the MWP the bus sustains.
+    const double dep_delay =
+        warp_mem_insts > 0.0
+            ? (warp_traffic_bytes / warp_mem_insts) / bw_bytes_per_cycle_sm
+            : 1.0;
+    const double mwp_bw = std::max(1.0, gpu_.dram_latency_cycles / dep_delay);
+    const double overlap = std::max(1.0, std::min(warps, mwp_bw));
+    const double latency = warps * warp_latency_cycles / overlap;
+    const double sync = static_cast<double>(resident_blocks_per_sm) *
+                        kc.syncs_per_thread *
+                        (gpu_.sync_cycles + warps_per_block * issue_cycles);
+    struct {
+      double compute, memory, latency, sync, total;
+    } w{compute, memory, latency, sync,
+        std::max({compute, memory, latency}) + sync};
+    return w;
+  };
+
+  SimBreakdown out;
+  out.waves = static_cast<int>(full_waves + (rem_blocks > 0 ? 1 : 0));
+
+  double compute_cycles = 0.0, memory_cycles = 0.0, latency_cycles = 0.0,
+         sync_cycles = 0.0, total_cycles = 0.0;
+  if (full_waves > 0) {
+    const auto w = wave_cycles(occ.blocks_per_sm);
+    compute_cycles += static_cast<double>(full_waves) * w.compute;
+    memory_cycles += static_cast<double>(full_waves) * w.memory;
+    latency_cycles += static_cast<double>(full_waves) * w.latency;
+    sync_cycles += static_cast<double>(full_waves) * w.sync;
+    total_cycles += static_cast<double>(full_waves) * w.total;
+  }
+  if (rem_blocks > 0) {
+    // Final partial wave: blocks spread across SMs; some SMs may idle.
+    const int resident = static_cast<int>(
+        (rem_blocks + gpu_.num_sms - 1) / gpu_.num_sms);
+    const auto w = wave_cycles(resident);
+    compute_cycles += w.compute;
+    memory_cycles += w.memory;
+    latency_cycles += w.latency;
+    sync_cycles += w.sync;
+    total_cycles += w.total;
+  }
+
+  out.compute_s = compute_cycles / clock_hz;
+  out.memory_s = memory_cycles / clock_hz;
+  out.latency_s = latency_cycles / clock_hz;
+  out.sync_s = sync_cycles / clock_hz;
+  out.launch_s = gpu_.kernel_launch_overhead_s;
+  out.total_s = total_cycles / clock_hz + out.launch_s;
+  return out;
+}
+
+double GpuSimulator::run_launch_seconds(
+    const gpumodel::KernelCharacteristics& kc) {
+  const double base = expected_launch(kc).total_s;
+  return rng_.lognormal(base, gpu_.timing_jitter_sigma);
+}
+
+double GpuSimulator::measure_launch_seconds(
+    const gpumodel::KernelCharacteristics& kc, int runs) {
+  GROPHECY_EXPECTS(runs > 0);
+  double sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += run_launch_seconds(kc);
+  return sum / runs;
+}
+
+}  // namespace grophecy::sim

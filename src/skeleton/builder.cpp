@@ -1,0 +1,159 @@
+#include "skeleton/builder.h"
+
+#include "util/contracts.h"
+
+namespace grophecy::skeleton {
+
+KernelBuilder& KernelBuilder::loop(std::string name, std::int64_t extent) {
+  return loop_range(std::move(name), 0, extent, 1, /*parallel=*/false);
+}
+
+KernelBuilder& KernelBuilder::parallel_loop(std::string name,
+                                            std::int64_t extent) {
+  return loop_range(std::move(name), 0, extent, 1, /*parallel=*/true);
+}
+
+KernelBuilder& KernelBuilder::loop_range(std::string name, std::int64_t lower,
+                                         std::int64_t upper,
+                                         std::int64_t step, bool parallel) {
+  GROPHECY_EXPECTS(!name.empty());
+  GROPHECY_EXPECTS(step > 0);
+  GROPHECY_EXPECTS(upper >= lower);
+  GROPHECY_EXPECTS(kernel().body.empty());  // loops before statements
+  Loop l;
+  l.name = std::move(name);
+  l.lower = lower;
+  l.upper = upper;
+  l.step = step;
+  l.parallel = parallel;
+  kernel().loops.push_back(std::move(l));
+  return *this;
+}
+
+LoopId KernelBuilder::loop_id(std::string_view loop_name) const {
+  for (std::size_t i = 0; i < kernel().loops.size(); ++i)
+    if (kernel().loops[i].name == loop_name) return static_cast<LoopId>(i);
+  throw ContractViolation("unknown loop: " + std::string(loop_name));
+}
+
+AffineExpr KernelBuilder::var(std::string_view loop_name, std::int64_t coeff,
+                              std::int64_t offset) const {
+  return AffineExpr::make_var(loop_id(loop_name), coeff, offset);
+}
+
+KernelBuilder& KernelBuilder::statement(double flops, double special_ops) {
+  GROPHECY_EXPECTS(flops >= 0.0 && special_ops >= 0.0);
+  Statement stmt;
+  stmt.flops = flops;
+  stmt.special_ops = special_ops;
+  kernel().body.push_back(std::move(stmt));
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::at_depth(int depth) {
+  GROPHECY_EXPECTS(!kernel().body.empty());
+  GROPHECY_EXPECTS(depth >= 0 &&
+                   depth <= static_cast<int>(kernel().loops.size()));
+  kernel().body.back().depth = depth;
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::add_ref(ArrayId array, RefKind kind,
+                                      std::vector<AffineExpr> subscripts,
+                                      bool indirect) {
+  GROPHECY_EXPECTS(!kernel().body.empty());  // statement() first
+  ArrayRef ref;
+  ref.array = array;
+  ref.kind = kind;
+  ref.subscripts = std::move(subscripts);
+  ref.indirect = indirect;
+  kernel().body.back().refs.push_back(std::move(ref));
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::load(ArrayId array,
+                                   std::vector<AffineExpr> subscripts) {
+  return add_ref(array, RefKind::kLoad, std::move(subscripts), false);
+}
+
+KernelBuilder& KernelBuilder::store(ArrayId array,
+                                    std::vector<AffineExpr> subscripts) {
+  return add_ref(array, RefKind::kStore, std::move(subscripts), false);
+}
+
+KernelBuilder& KernelBuilder::load_indirect(ArrayId array) {
+  return add_ref(array, RefKind::kLoad, {}, true);
+}
+
+KernelBuilder& KernelBuilder::store_indirect(ArrayId array) {
+  return add_ref(array, RefKind::kStore, {}, true);
+}
+
+KernelBuilder& KernelBuilder::load_gather(ArrayId array,
+                                          std::vector<AffineExpr> subscripts,
+                                          std::vector<int> indirect_dims,
+                                          std::vector<std::string> dep_loops) {
+  add_ref(array, RefKind::kLoad, std::move(subscripts), false);
+  ArrayRef& ref = kernel().body.back().refs.back();
+  ref.indirect_dims = std::move(indirect_dims);
+  for (const std::string& loop : dep_loops)
+    ref.indirect_deps.push_back(loop_id(loop));
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::store_scatter(
+    ArrayId array, std::vector<AffineExpr> subscripts,
+    std::vector<int> indirect_dims, std::vector<std::string> dep_loops) {
+  add_ref(array, RefKind::kStore, std::move(subscripts), false);
+  ArrayRef& ref = kernel().body.back().refs.back();
+  ref.indirect_dims = std::move(indirect_dims);
+  for (const std::string& loop : dep_loops)
+    ref.indirect_deps.push_back(loop_id(loop));
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::syncs(int count) {
+  GROPHECY_EXPECTS(count >= 0);
+  kernel().explicit_syncs = count;
+  return *this;
+}
+
+AppBuilder::AppBuilder(std::string name) { app_.name = std::move(name); }
+
+ArrayId AppBuilder::array(std::string name, ElemType type,
+                          std::vector<std::int64_t> dims, bool sparse) {
+  ArrayDecl decl;
+  decl.name = std::move(name);
+  decl.type = type;
+  decl.dims = std::move(dims);
+  decl.sparse = sparse;
+  app_.arrays.push_back(std::move(decl));
+  return static_cast<ArrayId>(app_.arrays.size() - 1);
+}
+
+AppBuilder& AppBuilder::temporary(ArrayId array) {
+  app_.temporaries.push_back(array);
+  return *this;
+}
+
+AppBuilder& AppBuilder::iterations(int count) {
+  GROPHECY_EXPECTS(count >= 1);
+  app_.iterations = count;
+  return *this;
+}
+
+KernelBuilder& AppBuilder::kernel(std::string name) {
+  KernelSkeleton kernel;
+  kernel.name = std::move(name);
+  app_.kernels.push_back(std::move(kernel));
+  kernel_builders_.push_back(std::unique_ptr<KernelBuilder>(
+      new KernelBuilder(&app_, app_.kernels.size() - 1)));
+  return *kernel_builders_.back();
+}
+
+AppSkeleton AppBuilder::build() {
+  app_.validate();
+  return app_;
+}
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,139 @@
+// Fluent builders for code skeletons.
+//
+// Writing AppSkeleton literals by hand is error prone (loop ids are indices,
+// subscript arity must match array rank). The builders below keep skeleton
+// construction readable; this is the API the bundled workloads and examples
+// use. A HotSpot-style stencil looks like:
+//
+//   AppBuilder app("hotspot");
+//   ArrayId t_in  = app.array("temp_in",  ElemType::kF32, {n, n});
+//   ArrayId power = app.array("power",    ElemType::kF32, {n, n});
+//   ArrayId t_out = app.array("temp_out", ElemType::kF32, {n, n});
+//   KernelBuilder& k = app.kernel("hotspot_step");
+//   k.parallel_loop("i", n).parallel_loop("j", n);
+//   AffineExpr i = k.var("i"), j = k.var("j");
+//   k.statement(/*flops=*/12, /*special=*/1)
+//      .load(t_in, {i, j})
+//      .load(t_in, {i.shifted(-1), j})
+//      ...
+//      .store(t_out, {i, j});
+//   AppSkeleton skel = app.build();   // validates
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::skeleton {
+
+/// Builds one kernel. Obtained from AppBuilder::kernel(); loops must be
+/// declared before statements reference them.
+class KernelBuilder {
+ public:
+  /// Appends a sequential loop of `extent` iterations (0..extent-1).
+  KernelBuilder& loop(std::string name, std::int64_t extent);
+
+  /// Appends a data-parallel loop of `extent` iterations.
+  KernelBuilder& parallel_loop(std::string name, std::int64_t extent);
+
+  /// Appends a loop with explicit bounds and step.
+  KernelBuilder& loop_range(std::string name, std::int64_t lower,
+                            std::int64_t upper, std::int64_t step,
+                            bool parallel);
+
+  /// Affine expression coeff * loop + offset for a declared loop name.
+  AffineExpr var(std::string_view loop_name, std::int64_t coeff = 1,
+                 std::int64_t offset = 0) const;
+
+  /// LoopId of a declared loop name; throws if unknown.
+  LoopId loop_id(std::string_view loop_name) const;
+
+  /// Starts a new statement executed once per innermost iteration.
+  KernelBuilder& statement(double flops, double special_ops = 0.0);
+
+  /// Moves the current statement to an outer nesting level: it executes
+  /// once per iteration of the first `depth` loops (imperfect nests).
+  KernelBuilder& at_depth(int depth);
+
+  /// Adds a load with affine subscripts to the current statement.
+  KernelBuilder& load(ArrayId array, std::vector<AffineExpr> subscripts);
+
+  /// Adds a store with affine subscripts to the current statement.
+  KernelBuilder& store(ArrayId array, std::vector<AffineExpr> subscripts);
+
+  /// Adds a data-dependent (gather) load of the array.
+  KernelBuilder& load_indirect(ArrayId array);
+
+  /// Adds a data-dependent (scatter) store to the array.
+  KernelBuilder& store_indirect(ArrayId array);
+
+  /// Adds a load with per-dimension indirection: `subscripts` gives the
+  /// affine part, `indirect_dims` the data-dependent dimensions, and
+  /// `dep_loops` the loop names the hidden index depends on (e.g. CSR SpMM
+  /// B[col[k], j]: indirect_dims={0}, dep_loops={"k"}).
+  KernelBuilder& load_gather(ArrayId array, std::vector<AffineExpr> subscripts,
+                             std::vector<int> indirect_dims,
+                             std::vector<std::string> dep_loops);
+
+  /// Store counterpart of load_gather.
+  KernelBuilder& store_scatter(ArrayId array,
+                               std::vector<AffineExpr> subscripts,
+                               std::vector<int> indirect_dims,
+                               std::vector<std::string> dep_loops);
+
+  /// Marks `count` explicit block-wide synchronizations in the kernel.
+  KernelBuilder& syncs(int count);
+
+ private:
+  friend class AppBuilder;
+  KernelBuilder(AppSkeleton* app, std::size_t kernel_index)
+      : app_(app), kernel_index_(kernel_index) {}
+
+  KernelBuilder& add_ref(ArrayId array, RefKind kind,
+                         std::vector<AffineExpr> subscripts, bool indirect);
+
+  /// Re-resolved on every access: the kernels vector may reallocate while
+  /// more kernels are added to the application.
+  KernelSkeleton& kernel() const { return app_->kernels[kernel_index_]; }
+
+  AppSkeleton* app_;
+  std::size_t kernel_index_;
+};
+
+/// Builds a whole application skeleton.
+class AppBuilder {
+ public:
+  explicit AppBuilder(std::string name);
+
+  /// Declares an array; returns its id for use in kernel references.
+  ArrayId array(std::string name, ElemType type,
+                std::vector<std::int64_t> dims, bool sparse = false);
+
+  /// Id of a previously declared array; throws if unknown.
+  ArrayId array_id(std::string_view name) const {
+    return app_.array_id(name);
+  }
+
+  /// Hints that `array` holds temporary data (not copied back, §III-B).
+  AppBuilder& temporary(ArrayId array);
+
+  /// Sets the outer iteration count (kernel sequence repeats).
+  AppBuilder& iterations(int count);
+
+  /// Appends a kernel to the per-iteration sequence and returns its builder.
+  /// The returned reference stays valid until build() is called.
+  KernelBuilder& kernel(std::string name);
+
+  /// Validates and returns the finished skeleton.
+  AppSkeleton build();
+
+ private:
+  AppSkeleton app_;
+  /// Keeps KernelBuilder addresses stable while kernels are added.
+  std::vector<std::unique_ptr<KernelBuilder>> kernel_builders_;
+};
+
+}  // namespace grophecy::skeleton

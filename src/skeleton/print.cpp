@@ -1,0 +1,101 @@
+#include "skeleton/print.h"
+
+#include <sstream>
+
+#include "util/table.h"
+#include "util/units.h"
+
+namespace grophecy::skeleton {
+
+std::string to_string(const AffineExpr& expr, const KernelSkeleton& kernel) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [loop, coeff] : expr.terms) {
+    if (coeff == 0) continue;
+    const std::string& name =
+        kernel.loops[static_cast<std::size_t>(loop)].name;
+    if (!first && coeff > 0) oss << '+';
+    if (coeff == -1)
+      oss << '-' << name;
+    else if (coeff == 1)
+      oss << name;
+    else
+      oss << coeff << '*' << name;
+    first = false;
+  }
+  if (expr.constant != 0 || first) {
+    if (!first && expr.constant > 0) oss << '+';
+    oss << expr.constant;
+  }
+  return oss.str();
+}
+
+namespace {
+
+std::string ref_to_string(const ArrayRef& ref, const KernelSkeleton& kernel,
+                          const AppSkeleton& app) {
+  std::ostringstream oss;
+  oss << app.array(ref.array).name;
+  if (ref.indirect) {
+    oss << "[<data-dependent>]";
+    return oss.str();
+  }
+  oss << '[';
+  for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+    if (d) oss << "][";
+    oss << to_string(ref.subscripts[d], kernel);
+  }
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace
+
+std::string to_string(const KernelSkeleton& kernel, const AppSkeleton& app) {
+  std::ostringstream oss;
+  oss << "kernel " << kernel.name << ":\n";
+  std::string indent = "  ";
+  for (const Loop& loop : kernel.loops) {
+    oss << indent << (loop.parallel ? "parallel_for " : "for ") << loop.name
+        << " in [" << loop.lower << ", " << loop.upper << ")";
+    if (loop.step != 1) oss << " step " << loop.step;
+    oss << ":\n";
+    indent += "  ";
+  }
+  for (const Statement& stmt : kernel.body) {
+    oss << indent << util::strfmt("stmt(flops=%.1f", stmt.flops);
+    if (stmt.special_ops > 0)
+      oss << util::strfmt(", special=%.1f", stmt.special_ops);
+    oss << "): ";
+    bool first = true;
+    for (const ArrayRef& ref : stmt.refs) {
+      if (!first) oss << ", ";
+      oss << (ref.kind == RefKind::kStore ? "store " : "load ")
+          << ref_to_string(ref, kernel, app);
+      first = false;
+    }
+    oss << '\n';
+  }
+  if (kernel.explicit_syncs > 0)
+    oss << indent << "syncs: " << kernel.explicit_syncs << '\n';
+  return oss.str();
+}
+
+std::string to_string(const AppSkeleton& app) {
+  std::ostringstream oss;
+  oss << "app " << app.name << " (iterations=" << app.iterations << "):\n";
+  for (std::size_t i = 0; i < app.arrays.size(); ++i) {
+    const ArrayDecl& a = app.arrays[i];
+    oss << "  array " << a.name << ": " << elem_type_name(a.type);
+    for (std::int64_t d : a.dims) oss << '[' << d << ']';
+    oss << " (" << util::format_bytes(a.bytes()) << ')';
+    if (a.sparse) oss << " sparse";
+    if (app.is_temporary(static_cast<ArrayId>(i))) oss << " temporary";
+    oss << '\n';
+  }
+  for (const KernelSkeleton& kernel : app.kernels)
+    oss << to_string(kernel, app);
+  return oss.str();
+}
+
+}  // namespace grophecy::skeleton

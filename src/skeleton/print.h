@@ -1,0 +1,22 @@
+// Human-readable rendering of code skeletons.
+//
+// Used by examples and docs to show what the framework "sees" for a given
+// application; the output resembles the original loop nest.
+#pragma once
+
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::skeleton {
+
+/// Renders an affine expression using the kernel's loop names, e.g. "i+1".
+std::string to_string(const AffineExpr& expr, const KernelSkeleton& kernel);
+
+/// Renders one kernel as an indented pseudo-loop-nest.
+std::string to_string(const KernelSkeleton& kernel, const AppSkeleton& app);
+
+/// Renders the whole application: arrays, kernels, temporaries, iterations.
+std::string to_string(const AppSkeleton& app);
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,111 @@
+#include "skeleton/serialize.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace grophecy::skeleton {
+
+namespace {
+
+/// Affine expression in the parser's syntax over the kernel's loop names.
+std::string affine_text(const AffineExpr& expr,
+                        const KernelSkeleton& kernel) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [loop, coeff] : expr.terms) {
+    if (coeff == 0) continue;
+    const std::string& name =
+        kernel.loops[static_cast<std::size_t>(loop)].name;
+    if (coeff < 0) {
+      oss << '-';
+    } else if (!first) {
+      oss << '+';
+    }
+    const std::int64_t mag = std::abs(coeff);
+    if (mag != 1) oss << mag << '*';
+    oss << name;
+    first = false;
+  }
+  if (expr.constant != 0 || first) {
+    if (!first && expr.constant > 0) oss << '+';
+    oss << expr.constant;
+  }
+  return oss.str();
+}
+
+void write_ref(std::ostringstream& oss, const ArrayRef& ref,
+               const AppSkeleton& app, const KernelSkeleton& kernel) {
+  const ArrayDecl& decl = app.array(ref.array);
+  if (ref.indirect) {
+    oss << "    " << (ref.kind == RefKind::kLoad ? "load_indirect "
+                                                 : "store_indirect ")
+        << decl.name << '\n';
+    return;
+  }
+  oss << "    " << (ref.kind == RefKind::kLoad ? "load " : "store ")
+      << decl.name;
+  auto dim_is_indirect = [&](std::size_t d) {
+    return std::find(ref.indirect_dims.begin(), ref.indirect_dims.end(),
+                     static_cast<int>(d)) != ref.indirect_dims.end();
+  };
+  for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+    oss << '[';
+    if (dim_is_indirect(d))
+      oss << '?';
+    else
+      oss << affine_text(ref.subscripts[d], kernel);
+    oss << ']';
+  }
+  if (!ref.indirect_deps.empty()) {
+    oss << " deps=";
+    for (std::size_t i = 0; i < ref.indirect_deps.size(); ++i) {
+      if (i) oss << ',';
+      oss << kernel.loops[static_cast<std::size_t>(ref.indirect_deps[i])]
+                 .name;
+    }
+  }
+  oss << '\n';
+}
+
+}  // namespace
+
+std::string serialize_skeleton(const AppSkeleton& app) {
+  app.validate();
+  std::ostringstream oss;
+  oss << "app " << app.name;
+  if (app.iterations != 1) oss << " iterations=" << app.iterations;
+  oss << '\n';
+
+  for (std::size_t i = 0; i < app.arrays.size(); ++i) {
+    const ArrayDecl& decl = app.arrays[i];
+    oss << "array " << decl.name << ' ' << elem_type_name(decl.type);
+    for (std::int64_t extent : decl.dims) oss << '[' << extent << ']';
+    if (decl.sparse) oss << " sparse";
+    if (app.is_temporary(static_cast<ArrayId>(i))) oss << " temporary";
+    oss << '\n';
+  }
+
+  for (const KernelSkeleton& kernel : app.kernels) {
+    oss << "\nkernel " << kernel.name;
+    if (kernel.explicit_syncs > 0) oss << " syncs=" << kernel.explicit_syncs;
+    oss << '\n';
+    for (const Loop& loop : kernel.loops) {
+      oss << "  " << (loop.parallel ? "parallel for " : "for ") << loop.name
+          << " in " << loop.lower << ".." << loop.upper;
+      if (loop.step != 1) oss << " step " << loop.step;
+      oss << '\n';
+    }
+    for (const Statement& stmt : kernel.body) {
+      oss << "  stmt flops=" << stmt.flops;
+      if (stmt.special_ops > 0) oss << " special=" << stmt.special_ops;
+      if (stmt.depth >= 0) oss << " depth=" << stmt.depth;
+      oss << '\n';
+      for (const ArrayRef& ref : stmt.refs) write_ref(oss, ref, app, kernel);
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,19 @@
+// Serialization of AppSkeleton back to the .gskel text format.
+//
+// parse_skeleton(serialize_skeleton(app)) reconstructs an equivalent
+// skeleton (the round trip is tested for every bundled workload), which
+// makes .gskel a durable interchange format: skeletons built with the C++
+// API can be exported, versioned, edited by hand, and re-projected from
+// the command line.
+#pragma once
+
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::skeleton {
+
+/// Renders a validated skeleton as a parseable .gskel document.
+std::string serialize_skeleton(const AppSkeleton& app);
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,192 @@
+#include "skeleton/skeleton.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace grophecy::skeleton {
+
+std::size_t elem_size_bytes(ElemType type) {
+  switch (type) {
+    case ElemType::kF32: return 4;
+    case ElemType::kF64: return 8;
+    case ElemType::kI32: return 4;
+    case ElemType::kI64: return 8;
+    case ElemType::kComplexF32: return 8;
+    case ElemType::kComplexF64: return 16;
+  }
+  throw ContractViolation("invalid ElemType");
+}
+
+std::string_view elem_type_name(ElemType type) {
+  switch (type) {
+    case ElemType::kF32: return "f32";
+    case ElemType::kF64: return "f64";
+    case ElemType::kI32: return "i32";
+    case ElemType::kI64: return "i64";
+    case ElemType::kComplexF32: return "c64";
+    case ElemType::kComplexF64: return "c128";
+  }
+  return "?";
+}
+
+std::int64_t ArrayDecl::element_count() const {
+  std::int64_t count = 1;
+  for (std::int64_t d : dims) count *= d;
+  return count;
+}
+
+std::uint64_t ArrayDecl::bytes() const {
+  return static_cast<std::uint64_t>(element_count()) * elem_size_bytes(type);
+}
+
+AffineExpr AffineExpr::make_constant(std::int64_t value) {
+  AffineExpr e;
+  e.constant = value;
+  return e;
+}
+
+AffineExpr AffineExpr::make_var(LoopId loop, std::int64_t coeff,
+                                std::int64_t offset) {
+  GROPHECY_EXPECTS(loop >= 0);
+  AffineExpr e;
+  e.constant = offset;
+  if (coeff != 0) e.terms.emplace_back(loop, coeff);
+  return e;
+}
+
+AffineExpr AffineExpr::shifted(std::int64_t delta) const {
+  AffineExpr e = *this;
+  e.constant += delta;
+  return e;
+}
+
+std::int64_t AffineExpr::coefficient(LoopId loop) const {
+  for (const auto& [id, coeff] : terms)
+    if (id == loop) return coeff;
+  return 0;
+}
+
+std::int64_t AffineExpr::evaluate(
+    std::span<const std::int64_t> loop_values) const {
+  std::int64_t value = constant;
+  for (const auto& [id, coeff] : terms) {
+    GROPHECY_EXPECTS(static_cast<std::size_t>(id) < loop_values.size());
+    value += coeff * loop_values[static_cast<std::size_t>(id)];
+  }
+  return value;
+}
+
+std::int64_t Loop::trip_count() const {
+  GROPHECY_EXPECTS(step > 0);
+  if (upper <= lower) return 0;
+  return (upper - lower + step - 1) / step;
+}
+
+std::int64_t KernelSkeleton::total_iterations() const {
+  std::int64_t total = 1;
+  for (const Loop& loop : loops) total *= loop.trip_count();
+  return total;
+}
+
+std::int64_t KernelSkeleton::statement_iterations(
+    const Statement& stmt) const {
+  const std::size_t depth =
+      stmt.depth < 0 ? loops.size()
+                     : std::min<std::size_t>(stmt.depth, loops.size());
+  std::int64_t total = 1;
+  for (std::size_t i = 0; i < depth; ++i) total *= loops[i].trip_count();
+  return total;
+}
+
+std::int64_t KernelSkeleton::parallel_iterations() const {
+  std::int64_t total = 1;
+  for (const Loop& loop : loops)
+    if (loop.parallel) total *= loop.trip_count();
+  return total;
+}
+
+double KernelSkeleton::total_flops() const {
+  double total = 0.0;
+  for (const Statement& stmt : body)
+    total += stmt.flops * static_cast<double>(statement_iterations(stmt));
+  return total;
+}
+
+double KernelSkeleton::total_special_ops() const {
+  double total = 0.0;
+  for (const Statement& stmt : body)
+    total +=
+        stmt.special_ops * static_cast<double>(statement_iterations(stmt));
+  return total;
+}
+
+ArrayId AppSkeleton::array_id(std::string_view array_name) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (arrays[i].name == array_name) return static_cast<ArrayId>(i);
+  throw ContractViolation("unknown array: " + std::string(array_name));
+}
+
+const ArrayDecl& AppSkeleton::array(ArrayId id) const {
+  GROPHECY_EXPECTS(id >= 0 &&
+                   static_cast<std::size_t>(id) < arrays.size());
+  return arrays[static_cast<std::size_t>(id)];
+}
+
+bool AppSkeleton::is_temporary(ArrayId id) const {
+  return std::find(temporaries.begin(), temporaries.end(), id) !=
+         temporaries.end();
+}
+
+void AppSkeleton::validate() const {
+  GROPHECY_EXPECTS(iterations >= 1);
+  for (const ArrayDecl& decl : arrays) {
+    GROPHECY_EXPECTS(!decl.name.empty());
+    GROPHECY_EXPECTS(!decl.dims.empty());
+    for (std::int64_t d : decl.dims) GROPHECY_EXPECTS(d > 0);
+  }
+  for (ArrayId temp : temporaries) {
+    GROPHECY_EXPECTS(temp >= 0 &&
+                     static_cast<std::size_t>(temp) < arrays.size());
+  }
+  for (const KernelSkeleton& kernel : kernels) {
+    GROPHECY_EXPECTS(!kernel.name.empty());
+    GROPHECY_EXPECTS(!kernel.loops.empty());
+    for (const Loop& loop : kernel.loops) {
+      GROPHECY_EXPECTS(loop.step > 0);
+      GROPHECY_EXPECTS(loop.upper >= loop.lower);
+    }
+    const auto num_loops = static_cast<LoopId>(kernel.loops.size());
+    for (const Statement& stmt : kernel.body) {
+      GROPHECY_EXPECTS(stmt.flops >= 0.0 && stmt.special_ops >= 0.0);
+      GROPHECY_EXPECTS(stmt.depth >= -1 &&
+                       stmt.depth <= static_cast<int>(kernel.loops.size()));
+      const LoopId max_loop =
+          stmt.depth < 0 ? num_loops : static_cast<LoopId>(stmt.depth);
+      for (const ArrayRef& ref : stmt.refs) {
+        GROPHECY_EXPECTS(ref.array >= 0 && static_cast<std::size_t>(
+                                               ref.array) < arrays.size());
+        const ArrayDecl& decl = arrays[static_cast<std::size_t>(ref.array)];
+        if (!ref.indirect) {
+          GROPHECY_EXPECTS(ref.subscripts.size() == decl.dims.size());
+          for (const AffineExpr& expr : ref.subscripts) {
+            for (const auto& [loop, coeff] : expr.terms) {
+              (void)coeff;
+              GROPHECY_EXPECTS(loop >= 0 && loop < max_loop);
+            }
+          }
+          for (int dim : ref.indirect_dims)
+            GROPHECY_EXPECTS(dim >= 0 && static_cast<std::size_t>(dim) <
+                                             decl.dims.size());
+          for (LoopId dep : ref.indirect_deps)
+            GROPHECY_EXPECTS(dep >= 0 && dep < max_loop);
+          // Dependences without any indirect dimension are meaningless.
+          GROPHECY_EXPECTS(ref.indirect_deps.empty() ||
+                           !ref.indirect_dims.empty());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,193 @@
+// The code-skeleton intermediate representation (GROPHECY's input language).
+//
+// A code skeleton "summarizes the high level semantics of a kernel,
+// including loops, parallelism, computation intensity, and data access
+// patterns" (paper §II-C). The IR below captures exactly that:
+//
+//   AppSkeleton            one application: arrays + an ordered sequence of
+//    ├─ ArrayDecl          kernels executed `iterations` times
+//    └─ KernelSkeleton     one kernel: a loop nest + statements
+//        ├─ Loop           bounds, step, parallel flag
+//        └─ Statement      FLOP counts + array references
+//            └─ ArrayRef   load/store with affine subscripts (or an
+//                          `indirect` flag for data-dependent accesses)
+//
+// Subscripts are affine expressions over the kernel's loop variables, which
+// is what makes Bounded Regular Section analysis (src/brs) exact for
+// regular code; `indirect` references and `sparse` arrays trigger the
+// paper's conservative whole-array transfer rule (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grophecy::skeleton {
+
+/// Index of a loop within its kernel's `loops` vector (0 = outermost).
+using LoopId = int;
+/// Index of an array within its application's `arrays` vector.
+using ArrayId = int;
+
+/// Element types of modeled arrays. Complex types follow the paper's
+/// Stassuij workload (complex numbers in Green's Function Monte Carlo).
+enum class ElemType { kF32, kF64, kI32, kI64, kComplexF32, kComplexF64 };
+
+/// Size in bytes of one element of the given type.
+std::size_t elem_size_bytes(ElemType type);
+
+/// Short human-readable name ("f32", "c64", ...).
+std::string_view elem_type_name(ElemType type);
+
+/// A (dense or sparse) array in host memory that kernels read and write.
+struct ArrayDecl {
+  std::string name;
+  ElemType type = ElemType::kF32;
+  /// Extents, outermost first; the last dimension is contiguous (row-major).
+  std::vector<std::int64_t> dims;
+  /// Irregular array (e.g. the values of a sparse matrix): the set of
+  /// elements actually referenced is data dependent, so BRS analysis must
+  /// fall back to the conservative whole-array rule.
+  bool sparse = false;
+
+  std::int64_t element_count() const;
+  std::uint64_t bytes() const;
+};
+
+/// Affine expression over loop variables: constant + sum(coeff_i * loop_i).
+struct AffineExpr {
+  std::int64_t constant = 0;
+  /// (loop, coefficient) terms; at most one term per loop.
+  std::vector<std::pair<LoopId, std::int64_t>> terms;
+
+  static AffineExpr make_constant(std::int64_t value);
+  /// coeff * loop + offset.
+  static AffineExpr make_var(LoopId loop, std::int64_t coeff = 1,
+                             std::int64_t offset = 0);
+
+  /// This expression shifted by a constant (stencil neighbors: i+1, i-1...).
+  AffineExpr shifted(std::int64_t delta) const;
+
+  /// Coefficient of `loop`, 0 if absent.
+  std::int64_t coefficient(LoopId loop) const;
+
+  /// True if the expression does not depend on any loop.
+  bool is_constant() const { return terms.empty(); }
+
+  /// Evaluates at concrete loop values (index = LoopId).
+  std::int64_t evaluate(std::span<const std::int64_t> loop_values) const;
+};
+
+/// Whether a reference reads or writes the array.
+enum class RefKind { kLoad, kStore };
+
+/// One array reference inside a statement.
+///
+/// Three flavors of subscripting:
+///   * purely affine — `subscripts` only; exact BRS, exact coalescing;
+///   * per-dimension gather — `indirect_dims` lists dimensions whose true
+///     subscript is data dependent (read through an index array);
+///     `indirect_deps` records which loop variables that hidden index is a
+///     function of. The BRS widens the indirect dimensions to the full
+///     extent; coalescing analysis stays exact for the affine dimensions
+///     and only degrades to scattered when the hidden index varies across
+///     a warp (i.e. depends on the thread loop). This captures CSR SpMM:
+///     B[col[k], j] is a gather yet coalesced along j;
+///   * fully indirect (`indirect` = true) — nothing is known; conservative
+///     whole-array section and scattered access (sparse structure arrays).
+struct ArrayRef {
+  ArrayId array = -1;
+  RefKind kind = RefKind::kLoad;
+  /// One subscript per array dimension (affine part). Ignored when
+  /// `indirect` is true; for dims in `indirect_dims` it is a placeholder.
+  std::vector<AffineExpr> subscripts;
+  /// Dimensions whose subscript is data dependent.
+  std::vector<int> indirect_dims;
+  /// Loop variables the data-dependent subscript(s) are functions of.
+  std::vector<LoopId> indirect_deps;
+  /// Fully data-dependent reference (no subscript information at all).
+  bool indirect = false;
+
+  bool has_indirection() const {
+    return indirect || !indirect_dims.empty();
+  }
+};
+
+/// A straight-line statement. By default it executes once per innermost
+/// iteration of the full loop nest; `depth` lets it live at an outer level
+/// (imperfect nests — e.g. an accumulator initialized once per row while
+/// the dot-product statement runs once per nonzero).
+struct Statement {
+  /// Simple arithmetic (add/mul/fma) per execution.
+  double flops = 0.0;
+  /// Expensive operations (div, sqrt, exp, ...) per execution; these run on
+  /// slower units on both CPUs and GPUs.
+  double special_ops = 0.0;
+  /// Number of enclosing loops (counted from the outermost); -1 means the
+  /// full nest. A statement at depth d executes once per iteration of
+  /// loops[0..d). Affine refs may only use loops < d.
+  int depth = -1;
+  std::vector<ArrayRef> refs;
+};
+
+/// One level of the kernel's loop nest.
+struct Loop {
+  std::string name;             ///< Induction variable name ("i", "j", ...).
+  std::int64_t lower = 0;       ///< Inclusive lower bound.
+  std::int64_t upper = 0;       ///< Exclusive upper bound.
+  std::int64_t step = 1;        ///< Positive step.
+  bool parallel = false;        ///< Iterations are independent (data parallel).
+
+  std::int64_t trip_count() const;
+};
+
+/// A kernel: a perfect loop nest (outermost first) around statements.
+struct KernelSkeleton {
+  std::string name;
+  std::vector<Loop> loops;
+  std::vector<Statement> body;
+
+  /// Product of all trip counts (number of innermost executions).
+  std::int64_t total_iterations() const;
+  /// Executions of one statement (product of trip counts down to its depth).
+  std::int64_t statement_iterations(const Statement& stmt) const;
+  /// Product of trip counts of parallel loops (available data parallelism).
+  std::int64_t parallel_iterations() const;
+  /// Total simple FLOPs over the whole kernel.
+  double total_flops() const;
+  /// Total special-function ops over the whole kernel.
+  double total_special_ops() const;
+  /// Number of barriers implied per kernel invocation (currently derived
+  /// from sequential statement dependencies; kernels may override).
+  int explicit_syncs = 0;
+};
+
+/// A whole application: arrays + kernel sequence + iteration structure.
+///
+/// The kernel sequence describes ONE outer iteration; the application runs
+/// it `iterations` times (paper §IV-B: CFD invokes three kernels per
+/// iteration, HotSpot and SRAD one and two respectively). Input data is
+/// transferred to the GPU once before the first iteration and output once
+/// after the last, so transfer volume is independent of `iterations`.
+struct AppSkeleton {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<KernelSkeleton> kernels;
+  /// User hints: arrays whose contents are temporaries and need not be
+  /// copied back to the CPU (paper §III-B).
+  std::vector<ArrayId> temporaries;
+  int iterations = 1;
+
+  /// Finds an array by name; throws ContractViolation if absent.
+  ArrayId array_id(std::string_view array_name) const;
+  const ArrayDecl& array(ArrayId id) const;
+  bool is_temporary(ArrayId id) const;
+
+  /// Checks structural invariants (subscript arity, loop ids in range,
+  /// bounds sane); throws ContractViolation on the first violation.
+  void validate() const;
+};
+
+}  // namespace grophecy::skeleton

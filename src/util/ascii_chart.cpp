@@ -1,0 +1,144 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/table.h"
+
+namespace grophecy::util {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  GROPHECY_EXPECTS(width >= 10 && width <= 400);
+  GROPHECY_EXPECTS(height >= 4 && height <= 200);
+}
+
+void AsciiChart::set_x_log(bool log) { x_log_ = log; }
+void AsciiChart::set_y_log(bool log) { y_log_ = log; }
+void AsciiChart::set_x_label(std::string label) {
+  x_label_ = std::move(label);
+}
+void AsciiChart::set_y_label(std::string label) {
+  y_label_ = std::move(label);
+}
+
+void AsciiChart::add_series(std::string name, char marker,
+                            const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  GROPHECY_EXPECTS(!xs.empty());
+  GROPHECY_EXPECTS(xs.size() == ys.size());
+  series_.push_back(Series{std::move(name), marker, xs, ys});
+}
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(v);
+}
+
+std::string format_tick(double v) {
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-2))
+    return strfmt("%.1e", v);
+  if (std::abs(v - std::round(v)) < 1e-9)
+    return strfmt("%.0f", v);
+  return strfmt("%.2f", v);
+}
+
+}  // namespace
+
+void AsciiChart::print(std::ostream& os) const {
+  GROPHECY_EXPECTS(!series_.empty());
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      GROPHECY_EXPECTS(!x_log_ || s.xs[i] > 0.0);
+      GROPHECY_EXPECTS(!y_log_ || s.ys[i] > 0.0);
+      x_min = std::min(x_min, transform(s.xs[i], x_log_));
+      x_max = std::max(x_max, transform(s.xs[i], x_log_));
+      y_min = std::min(y_min, transform(s.ys[i], y_log_));
+      y_max = std::max(y_max, transform(s.ys[i], y_log_));
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx =
+          (transform(s.xs[i], x_log_) - x_min) / (x_max - x_min);
+      const double fy =
+          (transform(s.ys[i], y_log_) - y_min) / (y_max - y_min);
+      const int col = std::clamp(
+          static_cast<int>(std::lround(fx * (width_ - 1))), 0, width_ - 1);
+      const int row =
+          std::clamp(static_cast<int>(std::lround((1.0 - fy) *
+                                                  (height_ - 1))),
+                     0, height_ - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  auto untransform = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+
+  // Y-axis labels: top, middle, bottom.
+  const std::string y_top = format_tick(untransform(y_max, y_log_));
+  const std::string y_mid =
+      format_tick(untransform((y_max + y_min) / 2.0, y_log_));
+  const std::string y_bot = format_tick(untransform(y_min, y_log_));
+  std::size_t label_width =
+      std::max({y_top.size(), y_mid.size(), y_bot.size()});
+
+  if (!y_label_.empty())
+    os << std::string(label_width + 2, ' ') << y_label_ << '\n';
+  for (int row = 0; row < height_; ++row) {
+    std::string label;
+    if (row == 0) label = y_top;
+    else if (row == height_ / 2) label = y_mid;
+    else if (row == height_ - 1) label = y_bot;
+    os << std::string(label_width - label.size(), ' ') << label << " |"
+       << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(label_width + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << '\n';
+
+  const std::string x_lo = format_tick(untransform(x_min, x_log_));
+  const std::string x_hi = format_tick(untransform(x_max, x_log_));
+  std::string x_line = std::string(label_width + 2, ' ') + x_lo;
+  const std::size_t x_hi_col =
+      label_width + 2 + static_cast<std::size_t>(width_) - x_hi.size();
+  if (x_line.size() < x_hi_col) x_line += std::string(x_hi_col - x_line.size(), ' ');
+  x_line += x_hi;
+  os << x_line;
+  if (!x_label_.empty()) os << "  " << x_label_;
+  os << '\n';
+
+  // Legend.
+  os << std::string(label_width + 2, ' ');
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) os << "   ";
+    os << series_[i].marker << " = " << series_[i].name;
+  }
+  os << '\n';
+}
+
+std::string AsciiChart::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace grophecy::util

@@ -1,0 +1,63 @@
+// ASCII line charts for the reproduction benches.
+//
+// The paper's results are figures, not tables; the fig benches print both.
+// AsciiChart renders multiple series over a shared X axis into a terminal
+// plot, with optional log-scaled axes (the paper's transfer-time plots are
+// log-log, its speedup-vs-iterations plots are log-x).
+//
+//   AsciiChart chart(60, 16);
+//   chart.set_x_log(true);
+//   chart.add_series("measured", 'o', xs, ys_measured);
+//   chart.add_series("predicted", '+', xs, ys_predicted);
+//   chart.print(std::cout);
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace grophecy::util {
+
+/// Multi-series scatter/line chart rendered with ASCII characters.
+class AsciiChart {
+ public:
+  /// Plot area size in character cells (excluding axes/labels).
+  AsciiChart(int width, int height);
+
+  /// Log-scale an axis (all values on that axis must then be > 0).
+  void set_x_log(bool log);
+  void set_y_log(bool log);
+
+  /// Optional axis captions.
+  void set_x_label(std::string label);
+  void set_y_label(std::string label);
+
+  /// Adds a series; `xs` and `ys` must have equal, non-zero length.
+  /// Points are drawn with `marker`; later series overdraw earlier ones.
+  void add_series(std::string name, char marker,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+  /// Renders the chart (plot, axes, tick labels, legend).
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  int width_;
+  int height_;
+  bool x_log_ = false;
+  bool y_log_ = false;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace grophecy::util

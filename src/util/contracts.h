@@ -1,0 +1,41 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6 / I.8).
+//
+// GROPHECY_EXPECTS checks preconditions, GROPHECY_ENSURES postconditions.
+// Violations throw grophecy::ContractViolation so tests can assert on them;
+// models and simulators must never silently produce garbage for bad inputs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace grophecy {
+
+/// Thrown when a precondition or postcondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace grophecy
+
+#define GROPHECY_EXPECTS(cond)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::grophecy::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                        __LINE__);                          \
+  } while (false)
+
+#define GROPHECY_ENSURES(cond)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::grophecy::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                        __LINE__);                          \
+  } while (false)

@@ -1,0 +1,26 @@
+#include "util/csv.h"
+
+namespace grophecy::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *os_ << ',';
+    *os_ << csv_escape(fields[i]);
+  }
+  *os_ << '\n';
+}
+
+}  // namespace grophecy::util

@@ -1,0 +1,30 @@
+// Minimal CSV emission (RFC 4180 quoting) for bench data export.
+//
+// Benches print human-readable tables to stdout and can optionally mirror
+// the same data to CSV files for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace grophecy::util {
+
+/// Streams rows of fields as CSV, quoting fields that need it.
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  /// Writes one row; fields containing commas, quotes, or newlines are
+  /// quoted with embedded quotes doubled.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Quotes a single CSV field if necessary.
+std::string csv_escape(const std::string& field);
+
+}  // namespace grophecy::util

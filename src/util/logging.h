@@ -1,0 +1,43 @@
+// Tiny leveled logger.
+//
+// The framework is a library first; logging defaults to warnings-and-above
+// on stderr and is globally adjustable (benches turn on info for progress).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace grophecy::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace grophecy::util
+
+#define GROPHECY_LOG(level) \
+  ::grophecy::util::detail::LogLine(::grophecy::util::LogLevel::level)

@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace grophecy::util {
+
+double mean(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  GROPHECY_EXPECTS(values.size() >= 2);
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double median(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double percentile(std::span<const double> values, double pct) {
+  GROPHECY_EXPECTS(!values.empty());
+  GROPHECY_EXPECTS(pct >= 0.0 && pct <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double geometric_mean(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    GROPHECY_EXPECTS(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double min_value(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double error_magnitude_percent(double predicted, double measured) {
+  GROPHECY_EXPECTS(measured != 0.0);
+  return std::abs(predicted - measured) / std::abs(measured) * 100.0;
+}
+
+double percent_difference(double predicted, double measured) {
+  GROPHECY_EXPECTS(measured != 0.0);
+  return (predicted - measured) / measured * 100.0;
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  GROPHECY_EXPECTS(count_ >= 1);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  GROPHECY_EXPECTS(count_ >= 2);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  GROPHECY_EXPECTS(count_ >= 1);
+  return min_;
+}
+
+double RunningStats::max() const {
+  GROPHECY_EXPECTS(count_ >= 1);
+  return max_;
+}
+
+LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
+  GROPHECY_EXPECTS(x.size() == y.size());
+  GROPHECY_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  GROPHECY_EXPECTS(sxx > 0.0);
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace grophecy::util

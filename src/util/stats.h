@@ -1,0 +1,68 @@
+// Statistics used throughout the evaluation harness.
+//
+// The paper reports arithmetic means of 10 runs and "error magnitudes"
+// (absolute value of the percent difference between predicted and measured
+// values, §V-A). Those definitions live here so every bench and test uses
+// exactly the same arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grophecy::util {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator). Requires >= 2 values.
+double stddev(std::span<const double> values);
+
+/// Median (average of middle pair for even sizes). Requires non-empty.
+double median(std::span<const double> values);
+
+/// Inclusive percentile in [0, 100] by linear interpolation. Non-empty input.
+double percentile(std::span<const double> values, double pct);
+
+/// Geometric mean. Requires all values > 0.
+double geometric_mean(std::span<const double> values);
+
+/// Minimum / maximum. Require non-empty input.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// The paper's "error magnitude": |predicted - measured| / measured * 100.
+/// Requires measured != 0.
+double error_magnitude_percent(double predicted, double measured);
+
+/// Signed percent difference: (predicted - measured) / measured * 100.
+double percent_difference(double predicted, double measured);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance; requires count() >= 2.
+  double stddev() const;
+  double min() const;       ///< Requires count() >= 1.
+  double max() const;       ///< Requires count() >= 1.
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least squares fit y = a + b*x. Requires >= 2 distinct x values.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit least_squares(std::span<const double> x, std::span<const double> y);
+
+}  // namespace grophecy::util

@@ -1,0 +1,116 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+
+namespace grophecy::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GROPHECY_EXPECTS(!headers_.empty());
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_.front() = Align::kLeft;
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  GROPHECY_EXPECTS(alignment.size() == headers_.size());
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GROPHECY_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << "| ";
+      if (alignment_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cells[c];
+      if (alignment_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator)
+      print_rule();
+    else
+      print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void TextTable::write_csv(std::ostream& os) const {
+  CsvWriter writer(os);
+  writer.write_row(headers_);
+  for (const Row& row : rows_) {
+    if (!row.separator) writer.write_row(row.cells);
+  }
+}
+
+bool export_csv_if_requested(const TextTable& table,
+                             const std::string& name) {
+  const char* dir = std::getenv("GROPHECY_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream file(path);
+  if (!file) return false;
+  table.write_csv(file);
+  return true;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace grophecy::util

@@ -1,0 +1,63 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary prints its table/figure data through TextTable so the
+// paper-reproduction output has a uniform, diffable format.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace grophecy::util {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with padded columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; by default everything is right-aligned
+  /// except the first column.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Adds a data row. Must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (headers, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Convenience: render to a string.
+  std::string to_string() const;
+
+  /// Writes the table as CSV (header row + data rows; separators skipped).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// printf-style helper that returns std::string (used to fill table cells).
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// If the GROPHECY_CSV_DIR environment variable is set, writes the table to
+/// "<dir>/<name>.csv" and returns true. Benches call this after printing so
+/// every reproduction table can be exported for plotting without changing
+/// the human-readable output.
+bool export_csv_if_requested(const TextTable& table, const std::string& name);
+
+}  // namespace grophecy::util

@@ -1,0 +1,53 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace grophecy::util {
+
+double bandwidth_gbps(double bytes, double seconds) {
+  GROPHECY_EXPECTS(seconds > 0.0);
+  return bytes / seconds / kGB;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  } else if (bytes < kMiB) {
+    if (bytes % kKiB == 0)
+      std::snprintf(buf, sizeof buf, "%lluKB",
+                    static_cast<unsigned long long>(bytes / kKiB));
+    else
+      std::snprintf(buf, sizeof buf, "%.1fKB",
+                    static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else if (bytes < kGiB) {
+    if (bytes % kMiB == 0)
+      std::snprintf(buf, sizeof buf, "%lluMB",
+                    static_cast<unsigned long long>(bytes / kMiB));
+    else
+      std::snprintf(buf, sizeof buf, "%.1fMB",
+                    static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fGB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  }
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  const double abs_s = std::abs(seconds);
+  if (abs_s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (abs_s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace grophecy::util

@@ -1,0 +1,38 @@
+// Size and time units plus human-readable formatting.
+//
+// Internally the framework always uses bytes and seconds (doubles for time).
+// These helpers exist so benches print in the paper's units (ms, MB, GB/s)
+// without ad-hoc conversions scattered through the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grophecy::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Paper-style decimal units (used for bandwidth: GB/s = 1e9 B/s).
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+constexpr double bytes_to_mb(double bytes) { return bytes / kMB; }
+constexpr double bytes_to_gb(double bytes) { return bytes / kGB; }
+constexpr double seconds_to_ms(double s) { return s * 1e3; }
+constexpr double seconds_to_us(double s) { return s * 1e6; }
+constexpr double ms_to_seconds(double ms) { return ms * 1e-3; }
+constexpr double us_to_seconds(double us) { return us * 1e-6; }
+
+/// Bandwidth in GB/s given bytes moved in `seconds`. Requires seconds > 0.
+double bandwidth_gbps(double bytes, double seconds);
+
+/// "1B", "2KB", "512MB" style label for a power-of-two-ish byte count.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 us" / "4.56 ms" / "1.23 s" with an auto-selected unit.
+std::string format_time(double seconds);
+
+}  // namespace grophecy::util

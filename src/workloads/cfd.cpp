@@ -1,0 +1,117 @@
+#include "workloads/cfd.h"
+
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+
+namespace grophecy::workloads {
+
+skeleton::AppSkeleton cfd_skeleton(std::int64_t n, int iterations) {
+  GROPHECY_EXPECTS(n >= 8);
+  using skeleton::AffineExpr;
+  using skeleton::ElemType;
+  const AffineExpr zero = AffineExpr::make_constant(0);
+
+  skeleton::AppBuilder app("cfd");
+  // Structure-of-arrays layout as in the Rodinia CUDA port.
+  const auto variables = app.array("variables", ElemType::kF32, {5, n});
+  const auto old_variables =
+      app.array("old_variables", ElemType::kF32, {5, n});
+  const auto fluxes = app.array("fluxes", ElemType::kF32, {5, n});
+  const auto step_factors = app.array("step_factors", ElemType::kF32, {n});
+  const auto areas = app.array("areas", ElemType::kF32, {n});
+  const auto esel = app.array("esel", ElemType::kI32, {4, n});
+  const auto normals = app.array("normals", ElemType::kF32, {6, n});
+  app.temporary(old_variables)
+      .temporary(fluxes)
+      .temporary(step_factors)
+      .iterations(iterations);
+
+  // Kernel 1: save the current state and compute the per-element CFL step
+  // factor from density, momentum, energy and cell area.
+  {
+    skeleton::KernelBuilder& k = app.kernel("compute_step_factor");
+    k.parallel_loop("i", n).loop("v", 5);
+    const AffineExpr i = k.var("i");
+    const AffineExpr v = k.var("v");
+    k.statement(/*flops=*/1.0).load(variables, {v, i}).store(old_variables,
+                                                             {v, i});
+    // Speed of sound + velocity magnitude: divisions and a square root.
+    k.statement(/*flops=*/12.0, /*special_ops=*/3.0)
+        .at_depth(1)
+        .load(variables, {zero, i})
+        .load(areas, {i})
+        .store(step_factors, {i});
+  }
+
+  // Kernel 2: accumulate fluxes over the four face neighbors. Neighbor
+  // state is gathered through esel — data dependent on the thread index,
+  // hence scatter-class loads that defeat coalescing.
+  {
+    skeleton::KernelBuilder& k = app.kernel("compute_flux");
+    k.parallel_loop("i", n).loop("nb", 4);
+    const AffineExpr i = k.var("i");
+    const AffineExpr nb = k.var("nb");
+    skeleton::KernelBuilder& stmt = k.statement(/*flops=*/42.0,
+                                                /*special_ops=*/2.0);
+    stmt.load(esel, {nb, i}).load(normals, {nb, i});
+    // Gather the neighbor's five conserved variables: variables[v][nbr]
+    // where nbr = esel[nb][i]. Dimension 1 is hidden behind the index
+    // array and varies with the (thread) loop i.
+    for (int v = 0; v < 5; ++v) {
+      stmt.load_gather(variables,
+                       {AffineExpr::make_constant(v), zero},
+                       /*indirect_dims=*/{1}, /*dep_loops=*/{"i", "nb"});
+    }
+    // Per-element epilogue: own variables, remaining face geometry, and
+    // the five accumulated flux stores.
+    skeleton::KernelBuilder& epi = k.statement(/*flops=*/26.0,
+                                               /*special_ops=*/1.0);
+    epi.at_depth(1);
+    for (int v = 0; v < 5; ++v)
+      epi.load(variables, {AffineExpr::make_constant(v), i});
+    epi.load(normals, {AffineExpr::make_constant(4), i})
+        .load(normals, {AffineExpr::make_constant(5), i});
+    for (int v = 0; v < 5; ++v)
+      epi.store(fluxes, {AffineExpr::make_constant(v), i});
+  }
+
+  // Kernel 3: explicit time integration using the saved state, the step
+  // factor, and the fluxes.
+  {
+    skeleton::KernelBuilder& k = app.kernel("time_step");
+    k.parallel_loop("i", n).loop("v", 5);
+    const AffineExpr i = k.var("i");
+    const AffineExpr v = k.var("v");
+    k.statement(/*flops=*/3.0)
+        .load(old_variables, {v, i})
+        .load(fluxes, {v, i})
+        .load(step_factors, {i})
+        .store(variables, {v, i});
+  }
+  return app.build();
+}
+
+namespace {
+
+class CfdWorkload final : public Workload {
+ public:
+  std::string name() const override { return "CFD"; }
+
+  std::vector<DataSize> paper_data_sizes() const override {
+    // Rodinia mesh sizes: fvcorr.domn.097K, fvcorr.domn.193K, missile.domn.
+    return {{"97K", 97046}, {"193K", 193474}, {"233K", 232536}};
+  }
+
+  skeleton::AppSkeleton make_skeleton(const DataSize& size,
+                                      int iterations) const override {
+    return cfd_skeleton(size.param, iterations);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cfd() {
+  return std::make_unique<CfdWorkload>();
+}
+
+}  // namespace grophecy::workloads

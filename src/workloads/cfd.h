@@ -1,0 +1,23 @@
+// CFD skeleton (paper §IV-B).
+//
+// "An unstructured-grid, finite-volume solver for the 3D Euler equations
+// for compressible flow. The core part of the benchmark is spread over
+// three GPU kernels. The kernels are separated in order to enforce global
+// synchronization so that an array can be consumed before it is updated."
+//
+// Per element the solver carries 5 conserved variables (density, 3x
+// momentum, energy), an area, 4 neighbor indices, and 6 floats of face
+// geometry — 64 B of input and 20 B of output per element, matching
+// Table I (97K elements: 6.3 MB in / 1.9 MB out, decimal MB). The flux
+// kernel gathers neighbor variables through the element-surrounding-
+// elements list: a genuinely data-dependent, scatter-class access.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// Builds the CFD skeleton directly (n = element count).
+skeleton::AppSkeleton cfd_skeleton(std::int64_t n, int iterations);
+
+}  // namespace grophecy::workloads

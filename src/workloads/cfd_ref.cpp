@@ -1,0 +1,126 @@
+#include "workloads/cfd_ref.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::workloads {
+
+namespace {
+constexpr float kGamma = 1.4f;
+constexpr float kCfl = 0.3f;
+}  // namespace
+
+CfdReference::CfdReference(std::int64_t n, std::uint64_t seed) : n_(n) {
+  GROPHECY_EXPECTS(n >= 8);
+  const std::size_t count = static_cast<std::size_t>(n);
+  variables_.resize(kCfdVars * count);
+  old_variables_.resize(kCfdVars * count);
+  fluxes_.resize(kCfdVars * count);
+  step_factors_.resize(count);
+  areas_.resize(count);
+  esel_.resize(kCfdNeighbors * count);
+  normals_.resize(6 * count);
+
+  util::Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Freestream-ish initial state with mild perturbations.
+    variables_[0 * n + i] = 1.0f + 0.1f * static_cast<float>(rng.normal());
+    variables_[1 * n + i] = 0.3f + 0.05f * static_cast<float>(rng.normal());
+    variables_[2 * n + i] = 0.02f * static_cast<float>(rng.normal());
+    variables_[3 * n + i] = 0.02f * static_cast<float>(rng.normal());
+    variables_[4 * n + i] = 2.5f + 0.1f * static_cast<float>(rng.normal());
+    areas_[i] = static_cast<float>(rng.uniform(0.8, 1.2));
+    // Symmetric ring topology (i +/- 1, i +/- 2): unstructured in layout,
+    // conservative under pairwise exchange.
+    esel_[0 * n + i] = static_cast<std::int32_t>((i + 1) % n);
+    esel_[1 * n + i] = static_cast<std::int32_t>((i - 1 + n) % n);
+    esel_[2 * n + i] = static_cast<std::int32_t>((i + 2) % n);
+    esel_[3 * n + i] = static_cast<std::int32_t>((i - 2 + n) % n);
+    for (int f = 0; f < 6; ++f)
+      normals_[f * n + i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+std::span<const float> CfdReference::variable(int v) const {
+  GROPHECY_EXPECTS(v >= 0 && v < kCfdVars);
+  return {variables_.data() + static_cast<std::size_t>(v) * n_,
+          static_cast<std::size_t>(n_)};
+}
+
+std::span<const std::int32_t> CfdReference::neighbors_of(
+    std::int64_t i) const {
+  GROPHECY_EXPECTS(i >= 0 && i < n_);
+  static thread_local std::int32_t scratch[kCfdNeighbors];
+  for (int nb = 0; nb < kCfdNeighbors; ++nb)
+    scratch[nb] = esel_[static_cast<std::size_t>(nb) * n_ + i];
+  return {scratch, kCfdNeighbors};
+}
+
+double CfdReference::total_density() const {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i) sum += variables_[i];
+  return sum;
+}
+
+void CfdReference::step() {
+  const std::int64_t n = n_;
+
+  // Kernel 1: save state, compute CFL step factor.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int v = 0; v < kCfdVars; ++v)
+      old_variables_[static_cast<std::size_t>(v) * n + i] =
+          variables_[static_cast<std::size_t>(v) * n + i];
+    const float density = variables_[i];
+    const float mx = variables_[1 * n + i];
+    const float my = variables_[2 * n + i];
+    const float mz = variables_[3 * n + i];
+    const float energy = variables_[4 * n + i];
+    const float speed2 = (mx * mx + my * my + mz * mz) / (density * density);
+    const float pressure =
+        (kGamma - 1.0f) * (energy - 0.5f * density * speed2);
+    const float sound =
+        std::sqrt(std::max(kGamma * pressure / density, 1e-6f));
+    step_factors_[i] =
+        kCfl / ((std::sqrt(speed2) + sound) * std::sqrt(areas_[i]));
+  }
+
+  // Kernel 2: flux accumulation over gathered neighbors.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    float flux[kCfdVars] = {0, 0, 0, 0, 0};
+    for (int nb = 0; nb < kCfdNeighbors; ++nb) {
+      const std::int32_t nbr = esel_[static_cast<std::size_t>(nb) * n + i];
+      // Pairwise exchange weight: symmetric across the shared face, so the
+      // scheme conserves the state sums exactly before time scaling.
+      const float weight = nb < 2 ? 0.35f : 0.15f;
+      for (int v = 0; v < kCfdVars; ++v) {
+        const float mine = old_variables_[static_cast<std::size_t>(v) * n + i];
+        const float theirs =
+            old_variables_[static_cast<std::size_t>(v) * n + nbr];
+        flux[v] += weight * (theirs - mine);
+      }
+    }
+    for (int v = 0; v < kCfdVars; ++v)
+      fluxes_[static_cast<std::size_t>(v) * n + i] = flux[v];
+  }
+
+  // Kernel 3: time integration.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float factor = step_factors_[i];
+    for (int v = 0; v < kCfdVars; ++v) {
+      const std::size_t idx = static_cast<std::size_t>(v) * n + i;
+      variables_[idx] = old_variables_[idx] + factor * fluxes_[idx];
+    }
+  }
+}
+
+void CfdReference::run(int count) {
+  GROPHECY_EXPECTS(count >= 0);
+  for (int i = 0; i < count; ++i) step();
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,54 @@
+// Runnable OpenMP reference implementation of CFD.
+//
+// A compact unstructured finite-volume Euler solver in the shape of
+// Rodinia's CFD benchmark: per iteration it (1) saves state and computes a
+// CFL step factor per element, (2) accumulates upwind-ish fluxes over four
+// face neighbors gathered through an element-surrounding-elements list,
+// and (3) integrates in time. The mesh is synthetic (a perturbed ring of
+// elements) but exercises the same indirect access pattern; the physics is
+// simplified yet conservative enough for tests to assert density stays
+// positive and mass is approximately conserved in the interior.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace grophecy::workloads {
+
+/// Number of conserved variables: density, 3x momentum, energy.
+inline constexpr int kCfdVars = 5;
+/// Face neighbors per element.
+inline constexpr int kCfdNeighbors = 4;
+
+/// A synthetic unstructured CFD instance with `n` elements.
+class CfdReference {
+ public:
+  CfdReference(std::int64_t n, std::uint64_t seed);
+
+  /// One solver iteration (all three kernels).
+  void step();
+  void run(int count);
+
+  std::int64_t size() const { return n_; }
+  /// Variable v of every element (v in [0, kCfdVars)).
+  std::span<const float> variable(int v) const;
+  /// Neighbor list of element i.
+  std::span<const std::int32_t> neighbors_of(std::int64_t i) const;
+
+  /// Total density over all elements (tests: approximate conservation).
+  double total_density() const;
+
+ private:
+  std::int64_t n_;
+  // Structure-of-arrays, matching the skeleton: variables[v*n + i].
+  std::vector<float> variables_;
+  std::vector<float> old_variables_;
+  std::vector<float> fluxes_;
+  std::vector<float> step_factors_;
+  std::vector<float> areas_;
+  std::vector<std::int32_t> esel_;   ///< esel[nb*n + i].
+  std::vector<float> normals_;       ///< normals[f*n + i], f in [0, 6).
+};
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,59 @@
+#include "workloads/hotspot.h"
+
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+
+namespace grophecy::workloads {
+
+skeleton::AppSkeleton hotspot_skeleton(std::int64_t n, int iterations) {
+  GROPHECY_EXPECTS(n >= 4);
+  using skeleton::AffineExpr;
+  using skeleton::ElemType;
+
+  skeleton::AppBuilder app("hotspot");
+  const auto temp_in = app.array("temp_in", ElemType::kF32, {n, n});
+  const auto power = app.array("power", ElemType::kF32, {n, n});
+  const auto temp_out = app.array("temp_out", ElemType::kF32, {n, n});
+  app.iterations(iterations);
+
+  skeleton::KernelBuilder& k = app.kernel("hotspot_step");
+  k.parallel_loop("i", n).parallel_loop("j", n);
+  const AffineExpr i = k.var("i");
+  const AffineExpr j = k.var("j");
+  // out = in + dt/Cap * (power + (S+N-2c)/Ry + (E+W-2c)/Rx + (amb-c)/Rz):
+  // ~12 adds/muls plus the three divisions the Rodinia kernel performs per
+  // element (it divides by Rx/Ry/Rz instead of premultiplying reciprocals).
+  k.statement(/*flops=*/12.0, /*special_ops=*/3.0)
+      .load(temp_in, {i, j})
+      .load(temp_in, {i.shifted(-1), j})
+      .load(temp_in, {i.shifted(1), j})
+      .load(temp_in, {i, j.shifted(-1)})
+      .load(temp_in, {i, j.shifted(1)})
+      .load(power, {i, j})
+      .store(temp_out, {i, j});
+  return app.build();
+}
+
+namespace {
+
+class HotspotWorkload final : public Workload {
+ public:
+  std::string name() const override { return "HotSpot"; }
+
+  std::vector<DataSize> paper_data_sizes() const override {
+    return {{"64 x 64", 64}, {"512 x 512", 512}, {"1024 x 1024", 1024}};
+  }
+
+  skeleton::AppSkeleton make_skeleton(const DataSize& size,
+                                      int iterations) const override {
+    return hotspot_skeleton(size.param, iterations);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_hotspot() {
+  return std::make_unique<HotspotWorkload>();
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,20 @@
+// HotSpot skeleton (paper §IV-B).
+//
+// "An ordinary differential equation solver over a structured grid which is
+// used to estimate micro-architecture temperature. Every element is
+// computed by gathering a 3x3 neighborhood of elements (i.e., the stencil)
+// from the input array. Multiple invocations of the same kernel across
+// several iterations can be fused together."
+//
+// Arrays: temp_in and power are inputs, temp_out is the output; per Table I
+// a 1024x1024 grid transfers 8 MB in and 4 MB out.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// Builds the HotSpot skeleton directly (grid side n).
+skeleton::AppSkeleton hotspot_skeleton(std::int64_t n, int iterations);
+
+}  // namespace grophecy::workloads

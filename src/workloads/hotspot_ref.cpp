@@ -1,0 +1,82 @@
+#include "workloads/hotspot_ref.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::workloads {
+
+HotspotReference::HotspotReference(std::int64_t n, std::uint64_t seed,
+                                   HotspotParams params)
+    : n_(n), params_(params) {
+  GROPHECY_EXPECTS(n >= 4);
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+  temp_in_.resize(cells);
+  temp_out_.resize(cells);
+  power_.resize(cells);
+
+  util::Rng rng(seed);
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    temp_in_[idx] =
+        params_.amb_temp + static_cast<float>(rng.uniform(0.0, 1.0));
+    // A few percent of cells are active functional units drawing power.
+    power_[idx] = rng.bernoulli(0.05)
+                      ? static_cast<float>(rng.uniform(0.5, 1.0))
+                      : 0.0f;
+  }
+
+  // Rodinia's coefficient setup.
+  const float grid_height = params_.chip_height / static_cast<float>(n);
+  const float grid_width = params_.chip_width / static_cast<float>(n);
+  const float cap =
+      params_.spec_heat_si * params_.t_chip * grid_height * grid_width;
+  const float rx = grid_width /
+                   (2.0f * params_.k_si * params_.t_chip * grid_height);
+  const float ry = grid_height /
+                   (2.0f * params_.k_si * params_.t_chip * grid_width);
+  const float rz = params_.t_chip / (params_.k_si * grid_height * grid_width);
+  const float max_slope =
+      params_.max_pd / (params_.t_chip * params_.spec_heat_si);
+  const float step = params_.precision / max_slope;
+  rx_1_ = 1.0f / rx;
+  ry_1_ = 1.0f / ry;
+  rz_1_ = 1.0f / rz;
+  cap_1_ = step / cap;
+}
+
+void HotspotReference::step() {
+  const std::int64_t n = n_;
+  const float amb = params_.amb_temp;
+  const float* in = temp_in_.data();
+  const float* pow_map = power_.data();
+  float* out = temp_out_.data();
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t idx = i * n + j;
+      const float center = in[idx];
+      // Clamped (Neumann-like) boundary: out-of-grid neighbors repeat the
+      // center value, matching the guarded loads the skeleton models.
+      const float north = i > 0 ? in[idx - n] : center;
+      const float south = i < n - 1 ? in[idx + n] : center;
+      const float west = j > 0 ? in[idx - 1] : center;
+      const float east = j < n - 1 ? in[idx + 1] : center;
+      const float delta =
+          cap_1_ * (pow_map[idx] + (south + north - 2.0f * center) * ry_1_ +
+                    (east + west - 2.0f * center) * rx_1_ +
+                    (amb - center) * rz_1_);
+      out[idx] = center + delta;
+    }
+  }
+  std::swap(temp_in_, temp_out_);
+}
+
+void HotspotReference::run(int count) {
+  GROPHECY_EXPECTS(count >= 0);
+  for (int i = 0; i < count; ++i) step();
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,55 @@
+// Runnable OpenMP reference implementation of HotSpot.
+//
+// The Rodinia HotSpot thermal solver: explicit finite-difference update of
+// a chip temperature grid under a power map. This is the C++ baseline the
+// paper parallelizes with OpenMP (§IV-B); the framework's tests use it to
+// validate the skeleton's shape (same arrays, same stencil) and its
+// numerics (heat moves toward power sources, boundary behaviour).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace grophecy::workloads {
+
+/// Physical/solver constants of the HotSpot model.
+struct HotspotParams {
+  float max_pd = 3.0e6f;       ///< Max power density (W/m^2).
+  float precision = 0.001f;
+  float spec_heat_si = 1.75e6f;
+  float k_si = 100.0f;
+  float t_chip = 0.0005f;      ///< Chip thickness (m).
+  float chip_height = 0.016f;
+  float chip_width = 0.016f;
+  float amb_temp = 80.0f;      ///< Ambient temperature.
+};
+
+/// An n x n HotSpot instance with synthetic initial state.
+class HotspotReference {
+ public:
+  /// Initializes temperature near ambient and a deterministic pseudo-random
+  /// power map (seeded), mirroring the Rodinia input files.
+  HotspotReference(std::int64_t n, std::uint64_t seed,
+                   HotspotParams params = {});
+
+  /// Advances one timestep with OpenMP over rows.
+  void step();
+
+  /// Advances `count` timesteps.
+  void run(int count);
+
+  std::int64_t size() const { return n_; }
+  std::span<const float> temperature() const { return temp_in_; }
+  std::span<const float> power() const { return power_; }
+
+ private:
+  std::int64_t n_;
+  HotspotParams params_;
+  std::vector<float> temp_in_;
+  std::vector<float> temp_out_;
+  std::vector<float> power_;
+  float rx_1_, ry_1_, rz_1_, cap_1_;  ///< Precomputed update coefficients.
+};
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,68 @@
+#include "workloads/matmul.h"
+
+#include <algorithm>
+
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::workloads {
+
+skeleton::AppSkeleton matmul_skeleton(std::int64_t n, int iterations) {
+  GROPHECY_EXPECTS(n >= 8);
+  using skeleton::ElemType;
+
+  skeleton::AppBuilder app("matmul");
+  const auto a = app.array("A", ElemType::kF32, {n, n});
+  const auto b = app.array("B", ElemType::kF32, {n, n});
+  const auto c = app.array("C", ElemType::kF32, {n, n});
+  app.iterations(iterations);
+
+  skeleton::KernelBuilder& k = app.kernel("mm");
+  k.parallel_loop("i", n).parallel_loop("j", n).loop("k", n);
+  // Multiply-add per (i, j, k); the accumulator lives in a register and
+  // C is stored once per (i, j).
+  k.statement(/*flops=*/2.0)
+      .load(a, {k.var("i"), k.var("k")})
+      .load(b, {k.var("k"), k.var("j")});
+  k.statement(/*flops=*/0.0).at_depth(2).store(c, {k.var("i"), k.var("j")});
+  return app.build();
+}
+
+MatmulReference::MatmulReference(std::int64_t n, std::uint64_t seed)
+    : n_(n) {
+  GROPHECY_EXPECTS(n >= 1);
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+  a_.resize(cells);
+  b_.resize(cells);
+  c_.resize(cells, 0.0f);
+  util::Rng rng(seed);
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    a_[idx] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    b_[idx] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+void MatmulReference::multiply() {
+  const std::int64_t n = n_;
+  const float* a = a_.data();
+  const float* b = b_.data();
+  float* c = c_.data();
+  constexpr std::int64_t kTile = 64;
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i0 = 0; i0 < n; i0 += kTile) {
+    for (std::int64_t k0 = 0; k0 < n; k0 += kTile) {
+      for (std::int64_t i = i0; i < std::min(i0 + kTile, n); ++i) {
+        for (std::int64_t kk = k0; kk < std::min(k0 + kTile, n); ++kk) {
+          const float a_ik = a[i * n + kk];
+          const float* b_row = b + kk * n;
+          float* c_row = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,45 @@
+// Dense matrix multiplication — the pedagogical example of the paper's
+// Figure 1 ("the overall framework of GPU performance projection" is
+// illustrated with a matmul code skeleton).
+//
+// Not part of the paper's evaluation suite, but bundled because it is the
+// canonical showcase for the transformation explorer: the untiled kernel
+// is latency-bound (one global load of A and B per multiply-add), while
+// the seq-tiled variant stages k-tiles of both operands through shared
+// memory and runs an order of magnitude faster — "different
+// transformations may result in performance that is orders of magnitude
+// apart" (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// Builds the C = A * B skeleton (square n x n matrices).
+skeleton::AppSkeleton matmul_skeleton(std::int64_t n, int iterations = 1);
+
+/// Runnable OpenMP reference: C = A * B with deterministic operands.
+class MatmulReference {
+ public:
+  MatmulReference(std::int64_t n, std::uint64_t seed);
+
+  /// Blocked OpenMP multiply.
+  void multiply();
+
+  std::int64_t size() const { return n_; }
+  std::span<const float> a() const { return a_; }
+  std::span<const float> b() const { return b_; }
+  std::span<const float> c() const { return c_; }
+
+ private:
+  std::int64_t n_;
+  std::vector<float> a_;
+  std::vector<float> b_;
+  std::vector<float> c_;
+};
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,43 @@
+#include "workloads/paper_reference.h"
+
+#include <array>
+
+namespace grophecy::workloads {
+
+namespace {
+
+constexpr std::array<PaperTable1Row, 10> kTable1 = {{
+    {"CFD", "97K", 1.9, 3.2, 63, 6.3, 1.9},
+    {"CFD", "193K", 3.2, 6.2, 66, 12.6, 3.7},
+    {"CFD", "233K", 3.1, 7.4, 70, 15.1, 4.4},
+    {"HotSpot", "64 x 64", 0.05, 0.05, 41, 0.05, 0.05},
+    {"HotSpot", "512 x 512", 0.3, 1.2, 77, 2.0, 1.0},
+    {"HotSpot", "1024 x 1024", 1.2, 4.6, 79, 8.0, 4.0},
+    {"SRAD", "1024 x 1024", 2.0, 4.0, 67, 4.0, 4.0},
+    {"SRAD", "2048 x 2048", 7.6, 13.0, 63, 16.0, 16.0},
+    {"SRAD", "4096 x 4096", 28.1, 49.0, 64, 64.0, 64.0},
+    {"Stassuij", "132 x 2048", 2.4, 4.9, 67, 8.5, 4.1},
+}};
+
+constexpr std::array<PaperTable2Row, 10> kTable2 = {{
+    {"CFD", "97K", 377.0, 67.0, 24.0},
+    {"CFD", "193K", 344.0, 56.0, 15.0},
+    {"CFD", "233K", 316.0, 46.0, 8.0},
+    {"HotSpot", "64x64", 93.0, 198.0, 17.0},
+    {"HotSpot", "512x512", 406.0, 35.0, 7.0},
+    {"HotSpot", "1024x1024", 366.0, 31.0, 2.0},
+    {"SRAD", "1024x1024", 241.0, 97.0, 25.0},
+    {"SRAD", "2048x2048", 196.0, 72.0, 9.0},
+    {"SRAD", "4096x4096", 176.0, 61.0, 1.0},
+    {"Stassuij", "132 x 2048", 182.0, 51.0, 2.0},
+}};
+
+}  // namespace
+
+std::span<const PaperTable1Row> paper_table1() { return kTable1; }
+
+std::span<const PaperTable2Row> paper_table2() { return kTable2; }
+
+PaperTable2Averages paper_table2_averages() { return {}; }
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,47 @@
+// The paper's published numbers (Tables I and II), for side-by-side
+// comparison in the reproduction benches and the experiment report.
+// These values are copied verbatim from the paper and are never used by
+// the models — only for printing "paper vs. measured" columns.
+#pragma once
+
+#include <span>
+
+namespace grophecy::workloads {
+
+/// Table I: measured kernel/transfer times and transfer sizes.
+struct PaperTable1Row {
+  const char* app;
+  const char* data_size;
+  double kernel_ms;     ///< < 0.1 entries stored as 0.05.
+  double transfer_ms;
+  int percent_transfer;
+  double input_mb;
+  double output_mb;
+};
+
+std::span<const PaperTable1Row> paper_table1();
+
+/// Table II: error magnitude of the predicted GPU speedup.
+struct PaperTable2Row {
+  const char* app;
+  const char* data_set;
+  double kernel_only_pct;
+  double transfer_only_pct;
+  double both_pct;
+};
+
+std::span<const PaperTable2Row> paper_table2();
+
+/// Table II bottom rows: the two overall averages.
+struct PaperTable2Averages {
+  double by_data_set_kernel_only = 270.0;
+  double by_data_set_transfer_only = 71.0;
+  double by_data_set_both = 11.0;
+  double by_application_kernel_only = 255.0;
+  double by_application_transfer_only = 68.0;
+  double by_application_both = 9.0;
+};
+
+PaperTable2Averages paper_table2_averages();
+
+}  // namespace grophecy::workloads

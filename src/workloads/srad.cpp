@@ -1,0 +1,93 @@
+#include "workloads/srad.h"
+
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+
+namespace grophecy::workloads {
+
+skeleton::AppSkeleton srad_skeleton(std::int64_t n, int iterations) {
+  GROPHECY_EXPECTS(n >= 4);
+  using skeleton::AffineExpr;
+  using skeleton::ElemType;
+
+  skeleton::AppBuilder app("srad");
+  const auto image = app.array("image", ElemType::kF32, {n, n});
+  const auto coef = app.array("c", ElemType::kF32, {n, n});
+  const auto d_n = app.array("dN", ElemType::kF32, {n, n});
+  const auto d_s = app.array("dS", ElemType::kF32, {n, n});
+  const auto d_w = app.array("dW", ElemType::kF32, {n, n});
+  const auto d_e = app.array("dE", ElemType::kF32, {n, n});
+  app.temporary(coef)
+      .temporary(d_n)
+      .temporary(d_s)
+      .temporary(d_w)
+      .temporary(d_e)
+      .iterations(iterations);
+
+  // Kernel 1: directional derivatives + diffusion coefficient.
+  {
+    skeleton::KernelBuilder& k = app.kernel("srad_prep");
+    k.parallel_loop("i", n).parallel_loop("j", n);
+    const AffineExpr i = k.var("i");
+    const AffineExpr j = k.var("j");
+    // dN/dS/dW/dE, gradient magnitude, laplacian, q, and the coefficient
+    // 1/(1 + (q - q0)/(q0 (1 + q0))): ~28 flops plus 2 divisions.
+    k.statement(/*flops=*/28.0, /*special_ops=*/2.0)
+        .load(image, {i, j})
+        .load(image, {i.shifted(-1), j})
+        .load(image, {i.shifted(1), j})
+        .load(image, {i, j.shifted(-1)})
+        .load(image, {i, j.shifted(1)})
+        .store(d_n, {i, j})
+        .store(d_s, {i, j})
+        .store(d_w, {i, j})
+        .store(d_e, {i, j})
+        .store(coef, {i, j});
+  }
+
+  // Kernel 2: divergence of the diffusion flux, image update.
+  {
+    skeleton::KernelBuilder& k = app.kernel("srad_update");
+    k.parallel_loop("i", n).parallel_loop("j", n);
+    const AffineExpr i = k.var("i");
+    const AffineExpr j = k.var("j");
+    // D = cC*dN + cS*dS + cC*dW + cE*dE; J += lambda/4 * D: ~14 flops.
+    k.statement(/*flops=*/14.0, /*special_ops=*/0.0)
+        .load(coef, {i, j})
+        .load(coef, {i.shifted(1), j})
+        .load(coef, {i, j.shifted(1)})
+        .load(d_n, {i, j})
+        .load(d_s, {i, j})
+        .load(d_w, {i, j})
+        .load(d_e, {i, j})
+        .load(image, {i, j})
+        .store(image, {i, j});
+  }
+  return app.build();
+}
+
+namespace {
+
+class SradWorkload final : public Workload {
+ public:
+  std::string name() const override { return "SRAD"; }
+
+  std::vector<DataSize> paper_data_sizes() const override {
+    return {{"1024 x 1024", 1024},
+            {"2048 x 2048", 2048},
+            {"4096 x 4096", 4096}};
+  }
+
+  skeleton::AppSkeleton make_skeleton(const DataSize& size,
+                                      int iterations) const override {
+    return srad_skeleton(size.param, iterations);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_srad() {
+  return std::make_unique<SradWorkload>();
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,21 @@
+// SRAD skeleton (paper §IV-B).
+//
+// "A diffusion method to remove speckles from ultrasonic and radar imaging
+// applications... It has two kernels: the first one generates diffusion
+// coefficients, and the second one updates the image. Data dependency among
+// the two kernels involves several arrays, and each data-parallel task in
+// the consumer kernel depends on several tasks in the producer kernel."
+//
+// The image is the only input and the only output (Table I: 2048x2048
+// transfers 16 MB each way); the coefficient and derivative arrays are
+// user-hinted temporaries (§III-B) and never cross the bus.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// Builds the SRAD skeleton directly (image side n).
+skeleton::AppSkeleton srad_skeleton(std::int64_t n, int iterations);
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,115 @@
+#include "workloads/srad_ref.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::workloads {
+
+SradReference::SradReference(std::int64_t n, std::uint64_t seed,
+                             float lambda)
+    : n_(n), lambda_(lambda) {
+  GROPHECY_EXPECTS(n >= 4);
+  GROPHECY_EXPECTS(lambda > 0.0f && lambda <= 1.0f);
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+  image_.resize(cells);
+  coef_.resize(cells);
+  d_n_.resize(cells);
+  d_s_.resize(cells);
+  d_w_.resize(cells);
+  d_e_.resize(cells);
+
+  util::Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // Smooth background (a bright disc on a dark field) with
+      // multiplicative exponential speckle, like the Rodinia input.
+      const double di = (static_cast<double>(i) - n / 2.0) / n;
+      const double dj = (static_cast<double>(j) - n / 2.0) / n;
+      const double background = di * di + dj * dj < 0.09 ? 0.8 : 0.2;
+      const double speckle = -std::log(1.0 - rng.uniform() * 0.999999);
+      image_[static_cast<std::size_t>(i * n + j)] =
+          static_cast<float>(background * speckle + 0.05);
+    }
+  }
+}
+
+double SradReference::image_mean() const {
+  double sum = 0.0;
+  for (float v : image_) sum += v;
+  return sum / static_cast<double>(image_.size());
+}
+
+double SradReference::image_variance() const {
+  const double mean = image_mean();
+  double sum_sq = 0.0;
+  for (float v : image_) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(image_.size());
+}
+
+void SradReference::step() {
+  const std::int64_t n = n_;
+  const double mean = image_mean();
+  const double variance = image_variance();
+  const float q0sqr = static_cast<float>(variance / (mean * mean));
+
+  float* image = image_.data();
+  float* coef = coef_.data();
+  float* dn = d_n_.data();
+  float* ds = d_s_.data();
+  float* dw = d_w_.data();
+  float* de = d_e_.data();
+
+  // Kernel 1: derivatives and diffusion coefficient.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t idx = i * n + j;
+      const float jc = image[idx];
+      const float jn = i > 0 ? image[idx - n] : jc;
+      const float js = i < n - 1 ? image[idx + n] : jc;
+      const float jw = j > 0 ? image[idx - 1] : jc;
+      const float je = j < n - 1 ? image[idx + 1] : jc;
+
+      dn[idx] = jn - jc;
+      ds[idx] = js - jc;
+      dw[idx] = jw - jc;
+      de[idx] = je - jc;
+
+      const float g2 = (dn[idx] * dn[idx] + ds[idx] * ds[idx] +
+                        dw[idx] * dw[idx] + de[idx] * de[idx]) /
+                       (jc * jc);
+      const float l = (dn[idx] + ds[idx] + dw[idx] + de[idx]) / jc;
+      const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+      const float den1 = 1.0f + 0.25f * l;
+      const float qsqr = num / (den1 * den1);
+      const float den2 =
+          (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+      coef[idx] = std::clamp(1.0f / (1.0f + den2), 0.0f, 1.0f);
+    }
+  }
+
+  // Kernel 2: divergence update.
+  const float quarter_lambda = 0.25f * lambda_;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t idx = i * n + j;
+      const float c_c = coef[idx];
+      const float c_s = i < n - 1 ? coef[idx + n] : c_c;
+      const float c_e = j < n - 1 ? coef[idx + 1] : c_c;
+      const float divergence = c_c * dn[idx] + c_s * ds[idx] +
+                               c_c * dw[idx] + c_e * de[idx];
+      image[idx] += quarter_lambda * divergence;
+    }
+  }
+}
+
+void SradReference::run(int count) {
+  GROPHECY_EXPECTS(count >= 0);
+  for (int i = 0; i < count; ++i) step();
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,43 @@
+// Runnable OpenMP reference implementation of SRAD.
+//
+// Speckle-Reducing Anisotropic Diffusion (Rodinia): kernel 1 computes
+// directional derivatives and the diffusion coefficient per pixel, kernel 2
+// applies the divergence update. Used by the tests to validate the
+// skeleton's two-kernel dataflow (image in/out, five temporaries) and the
+// smoothing property (variance decreases while features persist).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace grophecy::workloads {
+
+/// An n x n SRAD instance over a synthetic speckled image.
+class SradReference {
+ public:
+  /// Builds a deterministic speckled image: smooth background times
+  /// exponential multiplicative noise, as in ultrasound imagery.
+  SradReference(std::int64_t n, std::uint64_t seed, float lambda = 0.5f);
+
+  /// One diffusion iteration (both kernels).
+  void step();
+  void run(int count);
+
+  std::int64_t size() const { return n_; }
+  std::span<const float> image() const { return image_; }
+  std::span<const float> coefficients() const { return coef_; }
+
+  /// Mean and variance of the current image (used for q0 and by tests).
+  double image_mean() const;
+  double image_variance() const;
+
+ private:
+  std::int64_t n_;
+  float lambda_;
+  std::vector<float> image_;
+  std::vector<float> coef_;
+  std::vector<float> d_n_, d_s_, d_w_, d_e_;
+};
+
+}  // namespace grophecy::workloads

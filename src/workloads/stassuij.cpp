@@ -1,0 +1,87 @@
+#include "workloads/stassuij.h"
+
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+
+namespace grophecy::workloads {
+
+skeleton::AppSkeleton stassuij_skeleton(const StassuijConfig& config,
+                                        int iterations) {
+  GROPHECY_EXPECTS(config.rows >= 1);
+  GROPHECY_EXPECTS(config.dense_cols >= 1);
+  GROPHECY_EXPECTS(config.nnz_per_row >= 1 &&
+                   config.nnz_per_row <= config.rows);
+  using skeleton::AffineExpr;
+  using skeleton::ElemType;
+  const AffineExpr zero = AffineExpr::make_constant(0);
+
+  const std::int64_t m = config.rows;
+  const std::int64_t j_cols = config.dense_cols;
+  const std::int64_t nnz = config.rows * config.nnz_per_row;
+
+  skeleton::AppBuilder app("stassuij");
+  const auto a_val = app.array("a_val", ElemType::kF64, {nnz}, true);
+  const auto a_col = app.array("a_col", ElemType::kI32, {nnz}, true);
+  const auto a_rowptr =
+      app.array("a_rowptr", ElemType::kI32, {m + 1}, true);
+  const auto b = app.array("B", ElemType::kComplexF64, {m, j_cols});
+  const auto c = app.array("C", ElemType::kComplexF64, {m, j_cols});
+  app.iterations(iterations);
+
+  skeleton::KernelBuilder& k = app.kernel("spmm");
+  k.parallel_loop("i", m).parallel_loop("j", j_cols)
+      .loop("k", config.nnz_per_row);
+  const AffineExpr i = k.var("i");
+  const AffineExpr j = k.var("j");
+
+  // Row bounds: rowptr[i] and rowptr[i+1], read once per (i, j) pair.
+  k.statement(/*flops=*/1.0)
+      .at_depth(2)
+      .load(a_rowptr, {i})
+      .load(a_rowptr, {i.shifted(1)});
+  // Inner product over the row's nonzeros: real * complex multiply-add is
+  // 4 flops. a_val/a_col are indexed by the hidden CSR position (a
+  // function of i and k, uniform across the warp's j lanes); the B row is
+  // selected by a_col yet contiguous in j, hence coalesced.
+  skeleton::KernelBuilder& body = k.statement(/*flops=*/4.0);
+  body.load_gather(a_val, {zero}, /*indirect_dims=*/{0},
+                   /*dep_loops=*/{"i", "k"})
+      .load_gather(a_col, {zero}, /*indirect_dims=*/{0},
+                   /*dep_loops=*/{"i", "k"})
+      .load_gather(b, {zero, j}, /*indirect_dims=*/{0},
+                   /*dep_loops=*/{"i", "k"});
+  // Accumulator update, once per (i, j): C is both consumed (initialized
+  // by the host) and produced.
+  k.statement(/*flops=*/2.0)
+      .at_depth(2)
+      .load(c, {i, j})
+      .store(c, {i, j});
+
+  return app.build();
+}
+
+namespace {
+
+class StassuijWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Stassuij"; }
+
+  std::vector<DataSize> paper_data_sizes() const override {
+    return {{"132 x 2048", 132}};
+  }
+
+  skeleton::AppSkeleton make_skeleton(const DataSize& size,
+                                      int iterations) const override {
+    StassuijConfig config;
+    config.rows = size.param;
+    return stassuij_skeleton(config, iterations);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_stassuij() {
+  return std::make_unique<StassuijWorkload>();
+}
+
+}  // namespace grophecy::workloads

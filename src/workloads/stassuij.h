@@ -1,0 +1,35 @@
+// Stassuij skeleton (paper §IV-B).
+//
+// "Stassuij lies in the core of Green's Function Monte Carlo, which
+// performs Monte Carlo calculations for light nuclei. It multiplies a
+// 132x132 sparse matrix of real numbers with a 132x2048 dense matrix of
+// complex numbers. The sparse matrix is represented in CSR format with
+// three vectors."
+//
+// The production code is proprietary; this is the synthetic equivalent
+// (see DESIGN.md). The dense operand and the accumulator are complex
+// doubles (132x2048x16 B = 4.3 MB each — Table I: 8.5 MB in, 4.1 MB out);
+// the CSR vectors are marked sparse, triggering the conservative
+// whole-array transfer rule (§III-B). Within a warp the dense accesses are
+// coalesced along the j dimension even though the row is data dependent —
+// the per-dimension gather modeling in the skeleton IR captures exactly
+// this, which is why the paper's kernel-only projection shows a mild GPU
+// win (1.10x) that the transfer overhead turns into a 0.39x loss.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// Parameters of the synthetic Stassuij instance.
+struct StassuijConfig {
+  std::int64_t rows = 132;      ///< Sparse matrix rows (and cols).
+  std::int64_t dense_cols = 2048;
+  std::int64_t nnz_per_row = 8; ///< Average nonzeros per sparse row.
+};
+
+/// Builds the Stassuij skeleton directly.
+skeleton::AppSkeleton stassuij_skeleton(const StassuijConfig& config,
+                                        int iterations);
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,72 @@
+#include "workloads/stassuij_ref.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::workloads {
+
+CsrMatrix make_synthetic_csr(std::int64_t rows, std::int64_t nnz_per_row,
+                             std::uint64_t seed) {
+  GROPHECY_EXPECTS(rows >= 1);
+  GROPHECY_EXPECTS(nnz_per_row >= 1 && nnz_per_row <= rows);
+  util::Rng rng(seed);
+
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = rows;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    std::set<std::int32_t> cols;
+    cols.insert(static_cast<std::int32_t>(i));  // keep the diagonal
+    while (static_cast<std::int64_t>(cols.size()) < nnz_per_row)
+      cols.insert(static_cast<std::int32_t>(rng.uniform_int(0, rows - 1)));
+    for (std::int32_t col : cols) {
+      m.col_idx.push_back(col);
+      m.values.push_back(rng.normal(0.0, 1.0));
+    }
+    m.row_ptr.push_back(static_cast<std::int32_t>(m.col_idx.size()));
+  }
+  return m;
+}
+
+StassuijReference::StassuijReference(const StassuijConfig& config,
+                                     std::uint64_t seed)
+    : config_(config),
+      a_(make_synthetic_csr(config.rows, config.nnz_per_row, seed)) {
+  const std::size_t dense =
+      static_cast<std::size_t>(config.rows) * config.dense_cols;
+  b_.resize(dense);
+  c_initial_.resize(dense);
+  util::Rng rng(seed ^ 0x5ca1ab1eULL);
+  for (std::size_t idx = 0; idx < dense; ++idx) {
+    b_[idx] = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    c_initial_[idx] = {rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)};
+  }
+  c_ = c_initial_;
+}
+
+void StassuijReference::multiply() {
+  const std::int64_t rows = config_.rows;
+  const std::int64_t cols = config_.dense_cols;
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int32_t begin = a_.row_ptr[i];
+    const std::int32_t end = a_.row_ptr[i + 1];
+    std::complex<double>* c_row = c_.data() + i * cols;
+    for (std::int32_t k = begin; k < end; ++k) {
+      const double a_ik = a_.values[k];
+      const std::complex<double>* b_row =
+          b_.data() + static_cast<std::int64_t>(a_.col_idx[k]) * cols;
+      for (std::int64_t j = 0; j < cols; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void StassuijReference::reset() { c_ = c_initial_; }
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,60 @@
+// Runnable OpenMP reference implementation of Stassuij.
+//
+// C += A * B where A is a rows x rows CSR sparse matrix of real doubles and
+// B, C are rows x dense_cols matrices of complex doubles — the core
+// operation of Green's Function Monte Carlo as the paper describes it
+// (§IV-B). The sparse structure is synthesized deterministically from a
+// seed; tests validate the result against a naive dense multiply.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workloads/stassuij.h"
+
+namespace grophecy::workloads {
+
+/// CSR sparse matrix of real doubles.
+struct CsrMatrix {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<double> values;
+  std::vector<std::int32_t> col_idx;
+  std::vector<std::int32_t> row_ptr;  ///< rows + 1 entries.
+
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+/// Deterministically synthesizes a CSR matrix with ~nnz_per_row nonzeros
+/// per row (distinct, sorted columns).
+CsrMatrix make_synthetic_csr(std::int64_t rows, std::int64_t nnz_per_row,
+                             std::uint64_t seed);
+
+/// A Stassuij instance: sparse A, dense complex B, accumulator C.
+class StassuijReference {
+ public:
+  StassuijReference(const StassuijConfig& config, std::uint64_t seed);
+
+  /// C += A * B with OpenMP over (row, column-block).
+  void multiply();
+
+  const CsrMatrix& a() const { return a_; }
+  std::span<const std::complex<double>> b() const { return b_; }
+  std::span<const std::complex<double>> c() const { return c_; }
+
+  /// Resets C to its initial (host-provided) contents.
+  void reset();
+
+ private:
+  StassuijConfig config_;
+  CsrMatrix a_;
+  std::vector<std::complex<double>> b_;
+  std::vector<std::complex<double>> c_;
+  std::vector<std::complex<double>> c_initial_;
+};
+
+}  // namespace grophecy::workloads

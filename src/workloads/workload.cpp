@@ -1,0 +1,14 @@
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+std::vector<std::unique_ptr<Workload>> paper_workloads() {
+  std::vector<std::unique_ptr<Workload>> all;
+  all.push_back(make_cfd());
+  all.push_back(make_hotspot());
+  all.push_back(make_srad());
+  all.push_back(make_stassuij());
+  return all;
+}
+
+}  // namespace grophecy::workloads

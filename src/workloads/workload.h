@@ -1,0 +1,55 @@
+// The paper's benchmark suite as code skeletons (paper §IV-B).
+//
+// Four benchmarks: SRAD, HotSpot and CFD from Rodinia, plus Stassuij from
+// DOE's INCITE program (rebuilt synthetically — see DESIGN.md). Each
+// workload provides the data sizes the paper evaluates and a skeleton
+// factory; real OpenMP reference implementations live in *_ref.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::workloads {
+
+/// One of the paper's data-set configurations.
+struct DataSize {
+  std::string label;       ///< Table I label, e.g. "97K" or "1024 x 1024".
+  std::int64_t param = 0;  ///< Element count (CFD) or grid side (others).
+};
+
+/// A benchmark that can be projected by the framework.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The data sizes evaluated in the paper, smallest first.
+  virtual std::vector<DataSize> paper_data_sizes() const = 0;
+
+  /// Builds the application skeleton for a data size and iteration count.
+  virtual skeleton::AppSkeleton make_skeleton(const DataSize& size,
+                                              int iterations) const = 0;
+};
+
+/// CFD: unstructured-grid finite-volume 3D Euler solver, three kernels per
+/// iteration, indirect neighbor accesses.
+std::unique_ptr<Workload> make_cfd();
+
+/// HotSpot: structured-grid ODE solver (5-point stencil), one kernel.
+std::unique_ptr<Workload> make_hotspot();
+
+/// SRAD: speckle-reducing anisotropic diffusion, two dependent kernels.
+std::unique_ptr<Workload> make_srad();
+
+/// Stassuij: CSR sparse (real) x dense (complex) matrix multiply from
+/// Green's Function Monte Carlo.
+std::unique_ptr<Workload> make_stassuij();
+
+/// All four, in the paper's Table I order (CFD, HotSpot, SRAD, Stassuij).
+std::vector<std::unique_ptr<Workload>> paper_workloads();
+
+}  // namespace grophecy::workloads

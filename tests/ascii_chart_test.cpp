@@ -1,0 +1,91 @@
+// Tests for the ASCII chart renderer used by the figure benches.
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.h"
+#include "util/contracts.h"
+
+namespace grophecy::util {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAxesAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.set_x_label("x");
+  chart.set_y_label("y");
+  chart.add_series("rising", 'o', {0, 1, 2, 3}, {0, 1, 2, 3});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("o = rising"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+  EXPECT_NE(out.find("x"), std::string::npos);
+  // Min and max tick labels present.
+  EXPECT_NE(out.find("0"), std::string::npos);
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(AsciiChart, RisingSeriesOccupiesCorners) {
+  AsciiChart chart(20, 5);
+  chart.add_series("s", 'o', {0, 10}, {0, 10});
+  const std::string out = chart.to_string();
+  // First plot row (max y) has the marker at the far right; last plot row
+  // (min y) at the far left.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    lines.push_back(out.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  EXPECT_EQ(lines[0].back(), 'o');
+  EXPECT_EQ(lines[4][lines[4].find('|') + 1], 'o');
+}
+
+TEST(AsciiChart, LogScalePlacesDecadesEvenly) {
+  AsciiChart chart(21, 5);
+  chart.set_x_log(true);
+  chart.add_series("s", 'o', {1, 10, 100}, {1, 1, 1});
+  const std::string out = chart.to_string();
+  // All three points land on one row; the middle one in the middle column.
+  const std::size_t bottom = out.find('o');
+  ASSERT_NE(bottom, std::string::npos);
+  std::size_t line_start = out.rfind('\n', bottom);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string line = out.substr(line_start, out.find('\n', bottom) -
+                                                      line_start);
+  const std::size_t bar = line.find('|');
+  const std::size_t first = line.find('o');
+  const std::size_t second = line.find('o', first + 1);
+  const std::size_t third = line.find('o', second + 1);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_EQ(first - bar - 1, 0u);
+  EXPECT_EQ(second - bar - 1, 10u);
+  EXPECT_EQ(third - bar - 1, 20u);
+}
+
+TEST(AsciiChart, LaterSeriesOverdrawEarlier) {
+  AsciiChart chart(10, 4);
+  chart.add_series("under", 'u', {5}, {5});
+  chart.add_series("over", 'v', {5}, {5});
+  const std::string out = chart.to_string();
+  EXPECT_EQ(out.find('u'), out.find("u = under"));  // only in the legend
+  EXPECT_LT(out.find('v'), out.find("v = over"));   // plotted
+}
+
+TEST(AsciiChart, ContractsRejectBadInput) {
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.add_series("s", 'o', {}, {}), ContractViolation);
+  EXPECT_THROW(chart.add_series("s", 'o', {1, 2}, {1}), ContractViolation);
+  EXPECT_THROW(chart.to_string(), ContractViolation);  // no series
+  chart.set_x_log(true);
+  chart.add_series("s", 'o', {0.0}, {1.0});  // log of zero
+  EXPECT_THROW(chart.to_string(), ContractViolation);
+  EXPECT_THROW(AsciiChart(1, 1), ContractViolation);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  chart.add_series("flat", 'o', {1, 2, 3}, {7, 7, 7});
+  EXPECT_NO_THROW(chart.to_string());
+}
+
+}  // namespace
+}  // namespace grophecy::util

@@ -1,0 +1,208 @@
+// Tests for BRS extraction from skeletons (subscript ranges, clamping,
+// indirection widening), SectionSet coverage, and kernel footprints.
+#include <gtest/gtest.h>
+
+#include "brs/extract.h"
+#include "brs/footprint.h"
+#include "brs/section_set.h"
+#include "skeleton/builder.h"
+
+namespace grophecy::brs {
+namespace {
+
+using skeleton::AffineExpr;
+using skeleton::AppBuilder;
+using skeleton::AppSkeleton;
+using skeleton::ArrayId;
+using skeleton::ElemType;
+using skeleton::KernelBuilder;
+
+TEST(Extract, StencilNeighborClampsToArrayBounds) {
+  AppBuilder builder("s");
+  const ArrayId a = builder.array("a", ElemType::kF32, {16, 16});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 16).parallel_loop("j", 16);
+  k.statement(1.0).load(a, {k.var("i").shifted(-1), k.var("j")});
+  const AppSkeleton app = builder.build();
+
+  const Section s = access_section(
+      app, app.kernels[0], app.kernels[0].body[0].refs[0]);
+  EXPECT_EQ(s.dims[0].lower, 0);   // clamped from -1
+  EXPECT_EQ(s.dims[0].upper, 14);  // i-1 max
+  EXPECT_EQ(s.dims[1].lower, 0);
+  EXPECT_EQ(s.dims[1].upper, 15);
+  EXPECT_TRUE(s.exact);
+}
+
+TEST(Extract, StridedSubscriptYieldsStridedSection) {
+  AppBuilder builder("s");
+  const ArrayId a = builder.array("a", ElemType::kF32, {64});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 16);
+  k.statement(1.0).load(a, {k.var("i", 4, 1)});  // a[4i + 1]
+  const AppSkeleton app = builder.build();
+
+  const Section s = access_section(
+      app, app.kernels[0], app.kernels[0].body[0].refs[0]);
+  EXPECT_EQ(s.dims[0].lower, 1);
+  EXPECT_EQ(s.dims[0].upper, 61);
+  EXPECT_EQ(s.dims[0].stride, 4);
+  EXPECT_EQ(s.element_count(), 16);
+  EXPECT_TRUE(s.exact);
+}
+
+TEST(Extract, LinearizedTwoLoopSubscriptIsConservative) {
+  AppBuilder builder("s");
+  const ArrayId a = builder.array("a", ElemType::kF32, {256});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 16).parallel_loop("j", 16);
+  // a[16*i + j]: dense coverage, but two varying loops in one dim.
+  AffineExpr e = AffineExpr::make_var(k.loop_id("i"), 16);
+  e.terms.emplace_back(k.loop_id("j"), 1);
+  k.statement(1.0).load(a, {e});
+  const AppSkeleton app = builder.build();
+
+  const Section s = access_section(
+      app, app.kernels[0], app.kernels[0].body[0].refs[0]);
+  EXPECT_EQ(s.dims[0].lower, 0);
+  EXPECT_EQ(s.dims[0].upper, 255);
+  EXPECT_FALSE(s.exact);  // enclosing approximation, gcd stride 1
+  EXPECT_EQ(s.dims[0].stride, 1);
+}
+
+TEST(Extract, FullyIndirectAndSparseGetWholeArray) {
+  AppBuilder builder("s");
+  const ArrayId dense = builder.array("d", ElemType::kF32, {128});
+  const ArrayId sparse = builder.array("sp", ElemType::kF64, {99}, true);
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 8);
+  k.statement(1.0).load_indirect(dense);
+  k.statement(1.0).load(sparse, {AffineExpr::make_constant(0)});
+  const AppSkeleton app = builder.build();
+
+  const Section s0 = access_section(
+      app, app.kernels[0], app.kernels[0].body[0].refs[0]);
+  EXPECT_TRUE(s0.whole_array);
+  EXPECT_FALSE(s0.exact);
+  EXPECT_EQ(s0.element_count(), 128);
+
+  const Section s1 = access_section(
+      app, app.kernels[0], app.kernels[0].body[1].refs[0]);
+  EXPECT_TRUE(s1.whole_array);
+  EXPECT_EQ(s1.element_count(), 99);
+}
+
+TEST(Extract, GatherWidensOnlyIndirectDims) {
+  AppBuilder builder("s");
+  const ArrayId b = builder.array("B", ElemType::kComplexF64, {32, 64});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 32).parallel_loop("j", 64).loop("kk", 4);
+  k.statement(1.0);
+  k.load_gather(b, {AffineExpr::make_constant(0), k.var("j")},
+                /*indirect_dims=*/{0}, /*dep_loops=*/{"i", "kk"});
+  const AppSkeleton app = builder.build();
+
+  const Section s = access_section(
+      app, app.kernels[0], app.kernels[0].body[0].refs[0]);
+  EXPECT_EQ(s.dims[0].lower, 0);
+  EXPECT_EQ(s.dims[0].upper, 31);  // full extent (hidden row index)
+  EXPECT_EQ(s.dims[1].lower, 0);
+  EXPECT_EQ(s.dims[1].upper, 63);  // affine j range
+  EXPECT_FALSE(s.exact);
+}
+
+TEST(Extract, KernelAccessesPreserveProgramOrder) {
+  AppBuilder builder("s");
+  const ArrayId a = builder.array("a", ElemType::kF32, {8});
+  const ArrayId b = builder.array("b", ElemType::kF32, {8});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 8);
+  k.statement(1.0).load(a, {k.var("i")}).store(b, {k.var("i")});
+  const AppSkeleton app = builder.build();
+
+  const auto accesses = kernel_accesses(app, app.kernels[0]);
+  ASSERT_EQ(accesses.size(), 2u);
+  EXPECT_EQ(accesses[0].kind, skeleton::RefKind::kLoad);
+  EXPECT_EQ(accesses[1].kind, skeleton::RefKind::kStore);
+  EXPECT_EQ(accesses[0].section.array, a);
+  EXPECT_EQ(accesses[1].section.array, b);
+}
+
+TEST(SectionSet, CoversSingleMemberAndExactUnion) {
+  skeleton::ArrayDecl decl{"a", ElemType::kF32, {100}, false};
+  auto section = [&](std::int64_t lo, std::int64_t hi) {
+    Section s = Section::whole(0, decl);
+    s.whole_array = false;
+    s.dims[0] = DimSection::range(lo, hi);
+    return s;
+  };
+
+  SectionSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.covers(section(0, 0)));
+
+  set.add(section(0, 49));
+  set.add(section(50, 99));  // merges exactly into [0,99]
+  EXPECT_EQ(set.sections().size(), 1u);
+  EXPECT_TRUE(set.covers(section(10, 80)));
+  EXPECT_EQ(set.bounding_union().element_count(), 100);
+}
+
+TEST(SectionSet, DisjointPiecesDoNotFalselyCoverTheGap) {
+  skeleton::ArrayDecl decl{"a", ElemType::kF32, {100}, false};
+  auto section = [&](std::int64_t lo, std::int64_t hi) {
+    Section s = Section::whole(0, decl);
+    s.whole_array = false;
+    s.dims[0] = DimSection::range(lo, hi);
+    return s;
+  };
+
+  SectionSet set;
+  set.add(section(0, 9));
+  set.add(section(90, 99));
+  EXPECT_EQ(set.sections().size(), 2u);
+  EXPECT_TRUE(set.covers(section(0, 5)));
+  EXPECT_TRUE(set.covers(section(92, 99)));
+  EXPECT_FALSE(set.covers(section(40, 50)));  // the gap
+  // The bounding union exists but is inexact.
+  EXPECT_FALSE(set.bounding_union().exact);
+}
+
+TEST(Footprint, CountsUniqueAndDynamicTraffic) {
+  AppBuilder builder("f");
+  const ArrayId a = builder.array("a", ElemType::kF32, {64});
+  const ArrayId b = builder.array("b", ElemType::kF32, {64});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 64);
+  // Two loads of a (same section), one store of b, 3 flops, 1 special.
+  k.statement(3.0, 1.0)
+      .load(a, {k.var("i")})
+      .load(a, {k.var("i")})
+      .store(b, {k.var("i")});
+  const AppSkeleton app = builder.build();
+
+  const KernelFootprint fp = kernel_footprint(app, app.kernels[0]);
+  EXPECT_EQ(fp.unique_bytes_read, 256u);     // 64 floats, not 128
+  EXPECT_EQ(fp.unique_bytes_written, 256u);
+  EXPECT_EQ(fp.dynamic_loads, 128u);
+  EXPECT_EQ(fp.dynamic_stores, 64u);
+  EXPECT_EQ(fp.dynamic_load_bytes, 512u);
+  EXPECT_EQ(fp.dynamic_indirect_loads, 0u);
+  EXPECT_DOUBLE_EQ(fp.flops, 192.0);
+  EXPECT_DOUBLE_EQ(fp.special_ops, 64.0);
+}
+
+TEST(Footprint, TracksIndirectLoads) {
+  AppBuilder builder("f");
+  const ArrayId a = builder.array("a", ElemType::kF32, {64});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 32);
+  k.statement(1.0).load_indirect(a);
+  const AppSkeleton app = builder.build();
+  const KernelFootprint fp = kernel_footprint(app, app.kernels[0]);
+  EXPECT_EQ(fp.dynamic_indirect_loads, 32u);
+  EXPECT_EQ(fp.unique_bytes_read, 256u);  // whole array, conservatively
+}
+
+}  // namespace
+}  // namespace grophecy::brs

@@ -1,0 +1,228 @@
+// Unit + property tests for the Bounded Regular Section algebra.
+//
+// The property suite checks INTERSECT/UNION/contains against brute-force
+// element enumeration over randomly generated small sections, so the CRT
+// intersection and exactness tracking are verified exhaustively rather
+// than by example.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "brs/section.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace grophecy::brs {
+namespace {
+
+using skeleton::ArrayDecl;
+using skeleton::ElemType;
+
+std::set<std::int64_t> enumerate(const DimSection& s) {
+  std::set<std::int64_t> out;
+  if (s.is_empty()) return out;
+  for (std::int64_t v = s.lower; v <= s.upper; v += s.stride) out.insert(v);
+  return out;
+}
+
+TEST(DimSection, PointAndRangeBasics) {
+  const DimSection p = DimSection::point(5);
+  EXPECT_EQ(p.count(), 1);
+  EXPECT_TRUE(p.contains_value(5));
+  EXPECT_FALSE(p.contains_value(4));
+
+  const DimSection r = DimSection::range(0, 10, 2);
+  EXPECT_EQ(r.count(), 6);
+  EXPECT_TRUE(r.contains_value(8));
+  EXPECT_FALSE(r.contains_value(7));
+  EXPECT_FALSE(r.contains_value(12));
+}
+
+TEST(DimSection, RangeNormalizesUpperToMember) {
+  const DimSection r = DimSection::range(0, 9, 2);  // {0,2,4,6,8}
+  EXPECT_EQ(r.upper, 8);
+  EXPECT_EQ(r.count(), 5);
+}
+
+TEST(DimSection, EmptyBehaves) {
+  const DimSection e = DimSection::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.count(), 0);
+  EXPECT_FALSE(e.contains_value(0));
+}
+
+TEST(DimSection, IntersectDisjointStridePhases) {
+  // Evens vs odds never meet.
+  const DimSection evens = DimSection::range(0, 100, 2);
+  const DimSection odds = DimSection::range(1, 101, 2);
+  EXPECT_TRUE(intersect(evens, odds).is_empty());
+}
+
+TEST(DimSection, IntersectCrtCase) {
+  // {0,3,6,...} and {0,5,10,...} intersect at multiples of 15.
+  const DimSection threes = DimSection::range(0, 100, 3);
+  const DimSection fives = DimSection::range(0, 100, 5);
+  const DimSection both = intersect(threes, fives);
+  EXPECT_EQ(both.lower, 0);
+  EXPECT_EQ(both.stride, 15);
+  EXPECT_EQ(both.count(), 7);  // 0,15,...,90
+}
+
+TEST(DimSection, UnionMergesAdjacentSameStride) {
+  const DimSection a = DimSection::range(0, 4);
+  const DimSection b = DimSection::range(5, 9);
+  EXPECT_TRUE(union_is_exact(a, b));
+  const DimSection u = unite(a, b);
+  EXPECT_EQ(u, DimSection::range(0, 9));
+}
+
+TEST(DimSection, UnionDetectsInexactGap) {
+  const DimSection a = DimSection::range(0, 4);
+  const DimSection b = DimSection::range(10, 14);
+  EXPECT_FALSE(union_is_exact(a, b));
+}
+
+TEST(DimSection, ContainsRequiresPhaseAndStride) {
+  const DimSection outer = DimSection::range(0, 100, 2);
+  EXPECT_TRUE(contains(outer, DimSection::range(10, 20, 2)));
+  EXPECT_TRUE(contains(outer, DimSection::range(0, 100, 4)));
+  EXPECT_FALSE(contains(outer, DimSection::range(1, 21, 2)));   // phase
+  EXPECT_FALSE(contains(outer, DimSection::range(10, 21, 3)));  // stride
+  EXPECT_TRUE(contains(outer, DimSection::point(42)));
+  EXPECT_FALSE(contains(outer, DimSection::point(43)));
+}
+
+/// Property suite over random sections, brute-force checked.
+class SectionAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SectionAlgebraProperty, IntersectIsExactSetIntersection) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const DimSection a = DimSection::range(rng.uniform_int(-20, 20),
+                                           rng.uniform_int(-20, 60),
+                                           rng.uniform_int(1, 7));
+    const DimSection b = DimSection::range(rng.uniform_int(-20, 20),
+                                           rng.uniform_int(-20, 60),
+                                           rng.uniform_int(1, 7));
+    const DimSection isect = intersect(a, b);
+
+    std::set<std::int64_t> expected;
+    for (std::int64_t v : enumerate(a))
+      if (enumerate(b).count(v)) expected.insert(v);
+    EXPECT_EQ(enumerate(isect), expected)
+        << "a=[" << a.lower << ':' << a.upper << ':' << a.stride << "] b=["
+        << b.lower << ':' << b.upper << ':' << b.stride << ']';
+  }
+}
+
+TEST_P(SectionAlgebraProperty, UnionEnclosesAndExactnessIsHonest) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DimSection a = DimSection::range(rng.uniform_int(-20, 20),
+                                           rng.uniform_int(-20, 60),
+                                           rng.uniform_int(1, 7));
+    const DimSection b = DimSection::range(rng.uniform_int(-20, 20),
+                                           rng.uniform_int(-20, 60),
+                                           rng.uniform_int(1, 7));
+    const DimSection u = unite(a, b);
+
+    const auto set_a = enumerate(a);
+    const auto set_b = enumerate(b);
+    const auto set_u = enumerate(u);
+    // The union must enclose both operands.
+    for (std::int64_t v : set_a) EXPECT_TRUE(set_u.count(v));
+    for (std::int64_t v : set_b) EXPECT_TRUE(set_u.count(v));
+    // Exactness must match the set sizes exactly.
+    std::set<std::int64_t> exact_union = set_a;
+    exact_union.insert(set_b.begin(), set_b.end());
+    EXPECT_EQ(union_is_exact(a, b), set_u == exact_union);
+  }
+}
+
+TEST_P(SectionAlgebraProperty, ContainsNeverLies) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DimSection outer = DimSection::range(rng.uniform_int(-10, 10),
+                                               rng.uniform_int(-10, 50),
+                                               rng.uniform_int(1, 6));
+    const DimSection inner = DimSection::range(rng.uniform_int(-10, 10),
+                                               rng.uniform_int(-10, 50),
+                                               rng.uniform_int(1, 6));
+    if (!contains(outer, inner)) continue;
+    // Claimed containment must hold for every element.
+    const auto outer_set = enumerate(outer);
+    for (std::int64_t v : enumerate(inner)) EXPECT_TRUE(outer_set.count(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SectionAlgebraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Section, WholeArrayCoversEverything) {
+  ArrayDecl decl{"a", ElemType::kF32, {8, 16}, false};
+  const Section whole = Section::whole(0, decl);
+  EXPECT_TRUE(whole.whole_array);
+  EXPECT_EQ(whole.element_count(), 128);
+  EXPECT_EQ(whole.bytes(decl), 512u);
+
+  Section part = whole;
+  part.whole_array = false;
+  part.dims[0] = DimSection::range(2, 5);
+  part.dims[1] = DimSection::range(0, 7);
+  EXPECT_TRUE(contains(whole, part));
+  EXPECT_FALSE(contains(part, whole));
+}
+
+TEST(Section, IntersectReturnsNulloptWhenDisjoint) {
+  ArrayDecl decl{"a", ElemType::kF32, {100}, false};
+  Section left = Section::whole(0, decl);
+  left.whole_array = false;
+  left.dims[0] = DimSection::range(0, 10);
+  Section right = left;
+  right.dims[0] = DimSection::range(50, 60);
+  EXPECT_FALSE(intersect(left, right).has_value());
+  EXPECT_FALSE(may_overlap(left, right));
+  right.dims[0] = DimSection::range(5, 60);
+  EXPECT_TRUE(may_overlap(left, right));
+}
+
+TEST(Section, UniteTracksExactnessAcrossDims) {
+  ArrayDecl decl{"a", ElemType::kF32, {10, 10}, false};
+  Section a = Section::whole(0, decl);
+  a.whole_array = false;
+  a.dims[0] = DimSection::range(0, 4);
+  a.dims[1] = DimSection::range(0, 9);
+  Section b = a;
+  b.dims[0] = DimSection::range(5, 9);
+  // Differ in one dim, exact 1D union -> exact box union.
+  EXPECT_TRUE(unite(a, b).exact);
+
+  // Differ in two dims -> bounding box is an over-approximation.
+  Section c = a;
+  c.dims[0] = DimSection::range(5, 9);
+  c.dims[1] = DimSection::range(0, 4);
+  EXPECT_FALSE(unite(a, c).exact);
+}
+
+TEST(Section, InexactOuterCannotProveContainment) {
+  ArrayDecl decl{"a", ElemType::kF32, {100}, false};
+  Section outer = Section::whole(0, decl);
+  outer.whole_array = false;
+  outer.exact = false;  // over-approximation
+  Section inner = outer;
+  inner.exact = true;
+  inner.dims[0] = DimSection::range(0, 5);
+  EXPECT_FALSE(contains(outer, inner));
+}
+
+TEST(Section, MismatchedArraysRejected) {
+  ArrayDecl decl{"a", ElemType::kF32, {10}, false};
+  Section a = Section::whole(0, decl);
+  Section b = Section::whole(1, decl);
+  EXPECT_THROW(unite(a, b), ContractViolation);
+  EXPECT_FALSE(may_overlap(a, b));
+}
+
+}  // namespace
+}  // namespace grophecy::brs

@@ -1,0 +1,146 @@
+// Tests for Bounded Regular Section subtraction — unit cases plus a
+// brute-force property suite (the result must cover exactly every element
+// of a that is outside b when removal is provable, and never lose one).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "brs/section.h"
+#include "brs/section_set.h"
+#include "util/rng.h"
+
+namespace grophecy::brs {
+namespace {
+
+using skeleton::ArrayDecl;
+using skeleton::ElemType;
+
+std::set<std::int64_t> enumerate(const DimSection& s) {
+  std::set<std::int64_t> out;
+  if (s.is_empty()) return out;
+  for (std::int64_t v = s.lower; v <= s.upper; v += s.stride) out.insert(v);
+  return out;
+}
+
+TEST(DimSubtract, DisjointLeavesUntouched) {
+  const auto result = subtract(DimSection::range(0, 9),
+                               DimSection::range(20, 30));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], DimSection::range(0, 9));
+}
+
+TEST(DimSubtract, FullCoverRemovesEverything) {
+  EXPECT_TRUE(subtract(DimSection::range(3, 7),
+                       DimSection::range(0, 10)).empty());
+}
+
+TEST(DimSubtract, MiddleCutLeavesBothSides) {
+  const auto result = subtract(DimSection::range(0, 99),
+                               DimSection::range(40, 59));
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], DimSection::range(0, 39));
+  EXPECT_EQ(result[1], DimSection::range(60, 99));
+}
+
+TEST(DimSubtract, PhaseMismatchRemovesNothing) {
+  // Odd elements are not covered by the evens, so nothing may be removed.
+  const auto result = subtract(DimSection::range(1, 99, 2),
+                               DimSection::range(0, 100, 2));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], DimSection::range(1, 99, 2));
+}
+
+TEST(DimSubtract, CompatibleStridesCut) {
+  // a = {0,4,8,...,96}, b = evens: all members covered.
+  EXPECT_TRUE(subtract(DimSection::range(0, 96, 4),
+                       DimSection::range(0, 100, 2)).empty());
+}
+
+class DimSubtractProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimSubtractProperty, NeverLosesAnOutsideElement) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int trial = 0; trial < 400; ++trial) {
+    const DimSection a = DimSection::range(rng.uniform_int(-10, 10),
+                                           rng.uniform_int(-10, 50),
+                                           rng.uniform_int(1, 6));
+    const DimSection b = DimSection::range(rng.uniform_int(-10, 10),
+                                           rng.uniform_int(-10, 50),
+                                           rng.uniform_int(1, 6));
+    const auto pieces = subtract(a, b);
+
+    std::set<std::int64_t> kept;
+    for (const DimSection& piece : pieces) {
+      for (std::int64_t v : enumerate(piece)) {
+        kept.insert(v);
+        // Every kept element must come from a.
+        EXPECT_TRUE(a.contains_value(v));
+      }
+    }
+    // Every element of a \ b must be kept (conservativeness).
+    const auto b_set = enumerate(b);
+    for (std::int64_t v : enumerate(a)) {
+      if (!b_set.count(v)) {
+        EXPECT_TRUE(kept.count(v)) << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DimSubtractProperty,
+                         ::testing::Values(1, 2, 3));
+
+ArrayDecl grid_decl() { return {"a", ElemType::kF32, {20, 20}, false}; }
+
+Section box(std::int64_t r0, std::int64_t r1, std::int64_t c0,
+            std::int64_t c1) {
+  Section s = Section::whole(0, grid_decl());
+  s.whole_array = false;
+  s.dims[0] = DimSection::range(r0, r1);
+  s.dims[1] = DimSection::range(c0, c1);
+  return s;
+}
+
+TEST(SectionSubtract, CornerOverlapCarvesAnL) {
+  const auto pieces = subtract(box(0, 9, 0, 9), box(5, 15, 5, 15));
+  // Rows [0,4] full width + rows [5,9] columns [0,4].
+  std::int64_t kept = 0;
+  for (const Section& piece : pieces) kept += piece.element_count();
+  EXPECT_EQ(kept, 100 - 25);
+}
+
+TEST(SectionSubtract, InexactSubtrahendRemovesNothing) {
+  Section approx = box(0, 19, 0, 19);
+  approx.exact = false;
+  const auto pieces = subtract(box(0, 9, 0, 9), approx);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].element_count(), 100);
+}
+
+TEST(SectionSubtract, ContainedVanishes) {
+  EXPECT_TRUE(subtract(box(5, 9, 5, 9), box(0, 19, 0, 19)).empty());
+}
+
+TEST(SectionSet, SubtractFromAccumulatesAcrossMembers) {
+  SectionSet set;
+  set.add(box(0, 9, 0, 19));    // top half
+  set.add(box(10, 19, 0, 9));   // bottom-left quarter
+  const auto remaining = set.subtract_from(box(0, 19, 0, 19));
+  std::int64_t kept = 0;
+  for (const Section& piece : remaining) kept += piece.element_count();
+  EXPECT_EQ(kept, 100);  // bottom-right quarter
+  for (const Section& piece : remaining) {
+    EXPECT_GE(piece.dims[0].lower, 10);
+    EXPECT_GE(piece.dims[1].lower, 10);
+  }
+}
+
+TEST(SectionSet, SubtractFromEmptySetReturnsInput) {
+  SectionSet set;
+  const auto remaining = set.subtract_from(box(0, 5, 0, 5));
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].element_count(), 36);
+}
+
+}  // namespace
+}  // namespace grophecy::brs

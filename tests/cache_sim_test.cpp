@@ -1,0 +1,176 @@
+// Tests for the cache hierarchy simulator, and the cross-check it exists
+// for: the closed-form CPU traffic heuristic vs exact trace simulation.
+#include <gtest/gtest.h>
+
+#include "brs/footprint.h"
+#include "cpumodel/cache_sim.h"
+#include "cpumodel/cpu_model.h"
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+#include "workloads/hotspot.h"
+#include "workloads/srad.h"
+
+namespace grophecy::cpumodel {
+namespace {
+
+using skeleton::AppBuilder;
+using skeleton::AppSkeleton;
+using skeleton::ElemType;
+using skeleton::KernelBuilder;
+
+TEST(CacheSim, HitsAfterColdMiss) {
+  CacheSim cache({.capacity_bytes = 1024, .ways = 4, .line_bytes = 64});
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_TRUE(cache.access(0, false));
+  EXPECT_TRUE(cache.access(63, false));   // same line
+  EXPECT_FALSE(cache.access(64, false));  // next line
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheSim, LruEvictsTheColdestWay) {
+  // Direct a single set: capacity 4 lines, 4 ways -> 1 set.
+  CacheSim cache({.capacity_bytes = 256, .ways = 4, .line_bytes = 64});
+  for (std::uint64_t i = 0; i < 4; ++i) cache.access(i * 64, false);
+  cache.access(0, false);              // refresh line 0
+  cache.access(4 * 64, false);         // evicts line 1 (LRU), not 0
+  EXPECT_TRUE(cache.access(0, false));
+  EXPECT_FALSE(cache.access(1 * 64, false));  // line 1 was evicted
+}
+
+TEST(CacheSim, DirtyEvictionsAreCounted) {
+  CacheSim cache({.capacity_bytes = 128, .ways = 2, .line_bytes = 64});
+  cache.access(0, true);            // dirty
+  cache.access(128, false);         // same set (2 sets? 128/64=2 lines,
+                                    // 2 ways -> 1 set) ... fills way 2
+  cache.access(256, false);         // evicts dirty line 0
+  EXPECT_EQ(cache.dirty_evictions(), 1u);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCapacityThrashes) {
+  CacheSim cache({.capacity_bytes = 4096, .ways = 8, .line_bytes = 64});
+  // Stream 16 KiB twice: second pass still misses everywhere.
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 16384; a += 64) cache.access(a, false);
+  EXPECT_EQ(cache.hits(), 0u);
+  // Whereas an in-cache working set hits on the second pass.
+  CacheSim small({.capacity_bytes = 4096, .ways = 8, .line_bytes = 64});
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 2048; a += 64) small.access(a, false);
+  EXPECT_EQ(small.hits(), 32u);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim({.capacity_bytes = 64, .ways = 4, .line_bytes = 64}),
+               ContractViolation);
+  EXPECT_THROW(
+      CacheSim({.capacity_bytes = 1024, .ways = 4, .line_bytes = 60}),
+      ContractViolation);
+}
+
+TEST(Hierarchy, DramTrafficCountsLlcMissesAndWritebacks) {
+  CacheHierarchy hierarchy({.capacity_bytes = 512, .ways = 8},
+                           {.capacity_bytes = 4096, .ways = 8});
+  // Stream 32 KiB of stores: every line misses to DRAM once (fill) and is
+  // eventually written back.
+  for (std::uint64_t a = 0; a < 32768; a += 64) hierarchy.access(a, true);
+  // 512 lines missed; most evicted dirty (the last 64 still resident).
+  EXPECT_GE(hierarchy.dram_bytes(), 512u * 64 + (512u - 64) * 64);
+}
+
+AppSkeleton streaming(std::int64_t n) {
+  AppBuilder builder("stream");
+  const auto a = builder.array("a", ElemType::kF32, {n});
+  const auto b = builder.array("b", ElemType::kF32, {n});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", n);
+  k.statement(1.0).load(a, {k.var("i")}).store(b, {k.var("i")});
+  return builder.build();
+}
+
+TEST(Trace, StreamingKernelMovesEachByteOnce) {
+  const AppSkeleton app = streaming(1 << 16);  // 256 KiB + 256 KiB
+  const std::uint64_t dram = trace_kernel_dram_bytes(
+      app, app.kernels[0], {.capacity_bytes = 32 * 1024, .ways = 8},
+      {.capacity_bytes = 256 * 1024, .ways = 16}, 1);
+  // Read stream (256 KiB fills) + write stream (256 KiB fills via
+  // write-allocate + 256 KiB write-backs), modulo lines still resident.
+  const double expected = 3.0 * 256.0 * 1024.0;
+  EXPECT_NEAR(static_cast<double>(dram), expected, expected * 0.10);
+}
+
+TEST(Trace, CacheResidentRereadIsFree) {
+  // Two loads of the same array in one sweep: the second hits.
+  AppBuilder builder("reread");
+  const auto a = builder.array("a", ElemType::kF32, {1 << 14});
+  const auto b = builder.array("b", ElemType::kF32, {1 << 14});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 1 << 14);
+  k.statement(1.0)
+      .load(a, {k.var("i")})
+      .load(a, {k.var("i")})
+      .store(b, {k.var("i")});
+  const AppSkeleton app = builder.build();
+  const std::uint64_t dram = trace_kernel_dram_bytes(
+      app, app.kernels[0], {.capacity_bytes = 32 * 1024, .ways = 8},
+      {.capacity_bytes = 512 * 1024, .ways = 16}, 1);
+  // Identical to a single-load version: the duplicate load adds nothing.
+  const double expected = 3.0 * 64.0 * 1024.0;
+  EXPECT_NEAR(static_cast<double>(dram), expected, expected * 0.10);
+}
+
+TEST(Trace, HeuristicTracksTraceForStencils) {
+  // The roofline's closed-form traffic must land within 2x of the exact
+  // trace for the paper's stencil workloads (scaled-down instances with
+  // proportionally scaled caches).
+  for (std::int64_t n : {96, 192}) {
+    const AppSkeleton app = workloads::hotspot_skeleton(n, 1);
+    const auto& kernel = app.kernels[0];
+    // Scaled LLC: working set is 3 arrays; give the cache 1/4 of it, like
+    // a 12 MB LLC against a ~48 MB working set at 2048^2.
+    const std::uint64_t ws = 3ULL * n * n * 4;
+    const std::uint64_t dram = trace_kernel_dram_bytes(
+        app, kernel, {.capacity_bytes = 8 * 1024, .ways = 8},
+        {.capacity_bytes = ws / 4 / 64 * 64, .ways = 16}, 7);
+    const auto fp = brs::kernel_footprint(app, kernel);
+    const double heuristic = cpu_memory_traffic_bytes(fp, ws / 4);
+    EXPECT_GT(heuristic, static_cast<double>(dram) * 0.5) << n;
+    EXPECT_LT(heuristic, static_cast<double>(dram) * 2.0) << n;
+  }
+}
+
+TEST(Trace, GatherTrafficExceedsStreamingTraffic) {
+  // A random gather over a footprint larger than the LLC moves far more
+  // than a streaming read of the same volume — the effect behind the CPU
+  // model's per-gather charge.
+  AppBuilder builder("gather");
+  const std::int64_t n = 1 << 15;
+  const auto idx = builder.array("table", ElemType::kF32, {n});
+  const auto out = builder.array("out", ElemType::kF32, {n});
+  KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", n);
+  k.statement(1.0);
+  k.load_gather(idx, {skeleton::AffineExpr::make_constant(0)}, {0}, {"i"});
+  k.store(out, {k.var("i")});
+  const AppSkeleton app = builder.build();
+
+  const CacheConfig l1{.capacity_bytes = 8 * 1024, .ways = 8};
+  const CacheConfig llc{.capacity_bytes = 32 * 1024, .ways = 16};
+  const std::uint64_t gather_dram =
+      trace_kernel_dram_bytes(app, app.kernels[0], l1, llc, 3);
+  const AppSkeleton stream = streaming(n);
+  const std::uint64_t stream_dram =
+      trace_kernel_dram_bytes(stream, stream.kernels[0], l1, llc, 3);
+  EXPECT_GT(gather_dram, stream_dram * 2);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  const AppSkeleton app = workloads::srad_skeleton(64, 1);
+  const CacheConfig l1{.capacity_bytes = 8 * 1024, .ways = 8};
+  const CacheConfig llc{.capacity_bytes = 64 * 1024, .ways = 16};
+  EXPECT_EQ(trace_kernel_dram_bytes(app, app.kernels[0], l1, llc, 9),
+            trace_kernel_dram_bytes(app, app.kernels[0], l1, llc, 9));
+}
+
+}  // namespace
+}  // namespace grophecy::cpumodel

@@ -1,0 +1,126 @@
+// Tests for the future-work extensions (paper §VII): allocation-overhead
+// modeling and the pinned-vs-pageable memory-mode advisor.
+#include <gtest/gtest.h>
+
+#include "core/memory_advisor.h"
+#include "hw/registry.h"
+#include "pcie/allocation.h"
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+#include "util/units.h"
+#include "workloads/hotspot.h"
+#include "workloads/stassuij.h"
+
+namespace grophecy {
+namespace {
+
+using pcie::AllocKind;
+
+TEST(Allocation, PinningCostsMoreThanMalloc) {
+  pcie::SimulatedAllocator allocator(hw::anl_eureka().alloc, 1);
+  for (std::uint64_t bytes :
+       {std::uint64_t{4096}, std::uint64_t{util::kMiB},
+        std::uint64_t{64 * util::kMiB}}) {
+    EXPECT_GT(allocator.expected_time(bytes, AllocKind::kPinnedHost),
+              allocator.expected_time(bytes, AllocKind::kPageableHost))
+        << bytes;
+  }
+}
+
+TEST(Allocation, ExpectedTimeMonotonicInSize) {
+  pcie::SimulatedAllocator allocator(hw::anl_eureka().alloc, 1);
+  for (AllocKind kind : {AllocKind::kDevice, AllocKind::kPageableHost,
+                         AllocKind::kPinnedHost}) {
+    double prev = 0.0;
+    for (std::uint64_t bytes = 4096; bytes <= 512 * util::kMiB; bytes *= 8) {
+      const double t = allocator.expected_time(bytes, kind);
+      EXPECT_GT(t, prev) << alloc_kind_name(kind);
+      prev = t;
+    }
+  }
+}
+
+TEST(Allocation, CalibrationPredictsWithinTolerance) {
+  pcie::SimulatedAllocator calibration_allocator(hw::anl_eureka().alloc, 2);
+  const pcie::AllocationModel model =
+      pcie::AllocationCalibrator().calibrate(calibration_allocator);
+  pcie::SimulatedAllocator eval(hw::anl_eureka().alloc, 3);
+  for (AllocKind kind : {AllocKind::kDevice, AllocKind::kPageableHost,
+                         AllocKind::kPinnedHost}) {
+    for (std::uint64_t bytes = 64 * util::kKiB; bytes <= 256 * util::kMiB;
+         bytes *= 16) {
+      const double measured = eval.measure_mean(bytes, kind, 50);
+      const double predicted = model.kind(kind).predict_seconds(bytes);
+      EXPECT_NEAR(predicted, measured, measured * 0.15)
+          << alloc_kind_name(kind) << " " << bytes;
+    }
+  }
+}
+
+TEST(Allocation, OptionsValidated) {
+  pcie::AllocCalibrationOptions bad;
+  bad.replicates = 0;
+  EXPECT_THROW(pcie::AllocationCalibrator{bad}, ContractViolation);
+  pcie::LinearAllocModel model;  // uncalibrated
+  EXPECT_THROW(model.predict_seconds(1), ContractViolation);
+}
+
+TEST(MemoryAdvisor, CalibratesBothModes) {
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  // Pinned is faster per byte than pageable on this machine.
+  EXPECT_GT(advisor.pinned_model().h2d.bandwidth_gbps(),
+            advisor.pageable_model().h2d.bandwidth_gbps());
+}
+
+TEST(MemoryAdvisor, LargeReusedBuffersPreferPinned) {
+  // HotSpot 1024x1024 moves megabytes per array: transfer savings dwarf the
+  // pinning cost.
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  const core::MemoryModeReport report =
+      advisor.advise(workloads::hotspot_skeleton(1024, 1));
+  ASSERT_FALSE(report.choices.empty());
+  EXPECT_EQ(report.uniform_recommendation, hw::HostMemory::kPinned);
+  EXPECT_LE(report.mixed_s, report.all_pinned_s);
+  EXPECT_LE(report.mixed_s, report.all_pageable_s);
+}
+
+TEST(MemoryAdvisor, TinyBuffersPreferPageable) {
+  // A single tiny one-shot transfer: pinning 4 KB costs more than the
+  // transfer-time saving.
+  skeleton::AppBuilder builder("tiny");
+  const auto a = builder.array("a", skeleton::ElemType::kF32, {256});
+  const auto out = builder.array("out", skeleton::ElemType::kF32, {256});
+  skeleton::KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 256);
+  k.statement(1.0).load(a, {k.var("i")}).store(out, {k.var("i")});
+
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  const core::MemoryModeReport report = advisor.advise(builder.build());
+  for (const core::ArrayModeChoice& choice : report.choices)
+    EXPECT_EQ(choice.recommended, hw::HostMemory::kPageable)
+        << choice.array_name;
+}
+
+TEST(MemoryAdvisor, MixedNeverWorseThanUniform) {
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  const core::MemoryModeReport report =
+      advisor.advise(workloads::stassuij_skeleton({}, 1));
+  EXPECT_LE(report.mixed_s,
+            std::min(report.all_pinned_s, report.all_pageable_s) + 1e-12);
+  // Stassuij's CSR vectors are small (pageable), the dense matrices large
+  // (pinned) -> the mix should be strictly better than either uniform.
+  EXPECT_LT(report.mixed_s, report.all_pinned_s);
+}
+
+TEST(MemoryAdvisor, DescribeListsEveryArray) {
+  core::MemoryModeAdvisor advisor(hw::anl_eureka());
+  const core::MemoryModeReport report =
+      advisor.advise(workloads::stassuij_skeleton({}, 1));
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("a_val"), std::string::npos);
+  EXPECT_NE(text.find("B"), std::string::npos);
+  EXPECT_NE(text.find("recommendation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grophecy

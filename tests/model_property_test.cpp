@@ -1,0 +1,169 @@
+// Property tests for the GPU modeling stack over randomly generated
+// skeletons: every variant must characterize consistently with the
+// footprint analysis, project to finite positive times, and the machine
+// must never beat the best-achievable model by more than jitter allows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "brs/footprint.h"
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "sim/event_sim.h"
+#include "sim/gpu_sim.h"
+#include "skeleton/builder.h"
+#include "util/rng.h"
+
+namespace grophecy::gpumodel {
+namespace {
+
+/// Random but *regular* skeletons (affine refs, realistic extents):
+/// 1-2 kernels, 1-3 loops, mixed access patterns.
+skeleton::AppSkeleton random_app(util::Rng& rng) {
+  skeleton::AppBuilder builder("prop");
+  std::vector<skeleton::ArrayId> arrays_1d, arrays_2d;
+  const int n1 = static_cast<int>(rng.uniform_int(1, 2));
+  for (int i = 0; i < n1; ++i)
+    arrays_1d.push_back(builder.array(
+        "v" + std::to_string(i), skeleton::ElemType::kF32,
+        {rng.uniform_int(1024, 1 << 18)}));
+  const int n2 = static_cast<int>(rng.uniform_int(1, 2));
+  for (int i = 0; i < n2; ++i) {
+    const std::int64_t side = rng.uniform_int(64, 512);
+    arrays_2d.push_back(builder.array("m" + std::to_string(i),
+                                      skeleton::ElemType::kF32,
+                                      {side, side}));
+  }
+
+  const int kernels = static_cast<int>(rng.uniform_int(1, 2));
+  for (int kid = 0; kid < kernels; ++kid) {
+    skeleton::KernelBuilder& k = builder.kernel("k" + std::to_string(kid));
+    const bool two_d = rng.bernoulli(0.5);
+    const skeleton::ArrayId target =
+        two_d ? arrays_2d[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(arrays_2d.size()) - 1))]
+              : arrays_1d[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(arrays_1d.size()) - 1))];
+    if (two_d) {
+      const std::int64_t side = 64;  // stay within every 2D array
+      k.parallel_loop("i", side).parallel_loop("j", side);
+      if (rng.bernoulli(0.4)) k.loop("r", rng.uniform_int(4, 32));
+      k.statement(rng.uniform(1.0, 30.0), rng.bernoulli(0.3) ? 2.0 : 0.0);
+      k.load(target, {k.var("i"), k.var("j")});
+      if (rng.bernoulli(0.6))
+        k.load(target, {k.var("i").shifted(1), k.var("j")});
+      if (rng.bernoulli(0.6))
+        k.load(target, {k.var("i"), k.var("j").shifted(-1)});
+      k.store(target, {k.var("i"), k.var("j")});
+    } else {
+      k.parallel_loop("i", 1024);
+      k.statement(rng.uniform(1.0, 30.0));
+      if (rng.bernoulli(0.3)) {
+        k.load_indirect(target);
+      } else {
+        k.load(target, {k.var("i", rng.bernoulli(0.2) ? 2 : 1)});
+      }
+      k.store(target, {k.var("i")});
+    }
+  }
+  return builder.build();
+}
+
+class ModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelProperty, EveryVariantProjectsSanely) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  KernelTimeModel model(gpu);
+  Explorer explorer(gpu);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const skeleton::AppSkeleton app = random_app(rng);
+    for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+      const auto variants = explorer.explore(app, kernel);
+      ASSERT_FALSE(variants.empty());
+      for (const ProjectedKernel& projected : variants) {
+        // Finite, positive, at least the launch overhead.
+        ASSERT_TRUE(std::isfinite(projected.time.total_s));
+        ASSERT_GE(projected.time.total_s, gpu.kernel_launch_overhead_s);
+        ASSERT_GE(projected.time.compute_s, 0.0);
+        ASSERT_GE(projected.time.bandwidth_s, 0.0);
+        ASSERT_GE(projected.time.latency_s, 0.0);
+        ASSERT_GT(projected.characteristics.total_threads, 0);
+        ASSERT_GT(projected.characteristics.num_blocks, 0);
+        // Projection is a pure function of the characteristics.
+        ASSERT_DOUBLE_EQ(
+            projected.time.total_s,
+            model.project(projected.characteristics).total_s);
+      }
+    }
+  }
+}
+
+TEST_P(ModelProperty, UntransformedCharacteristicsMatchFootprint) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 1000);
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  for (int trial = 0; trial < 20; ++trial) {
+    const skeleton::AppSkeleton app = random_app(rng);
+    for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+      const brs::KernelFootprint fp = brs::kernel_footprint(app, kernel);
+      Variant plain;  // no staging/tiling/fusion: counts must line up
+      const KernelCharacteristics kc =
+          characterize(app, kernel, plain, gpu);
+      const double threads = static_cast<double>(kc.total_threads);
+      EXPECT_NEAR(kc.flops_per_thread * threads, fp.flops,
+                  fp.flops * 1e-9 + 1e-6);
+      EXPECT_NEAR(kc.special_per_thread * threads, fp.special_ops,
+                  fp.special_ops * 1e-9 + 1e-6);
+      double ref_count = 0.0;
+      for (const MemAccess& access : kc.accesses)
+        ref_count += access.count_per_thread * threads;
+      EXPECT_NEAR(ref_count,
+                  static_cast<double>(fp.dynamic_loads + fp.dynamic_stores),
+                  1e-6);
+    }
+  }
+}
+
+TEST_P(ModelProperty, MachineNeverBeatsTheModelMaterially) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 2000);
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  KernelTimeModel model(gpu);
+  sim::GpuSimulator wave(gpu, 5);
+  Explorer explorer(gpu);
+  for (int trial = 0; trial < 15; ++trial) {
+    const skeleton::AppSkeleton app = random_app(rng);
+    for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+      const ProjectedKernel best = explorer.best(app, kernel);
+      const double simulated =
+          wave.expected_launch(best.characteristics).total_s;
+      // The machine charges everything the model does and more.
+      EXPECT_GE(simulated, best.time.total_s * 0.98);
+      // ...but not absurdly more for these regular kernels.
+      EXPECT_LT(simulated, best.time.total_s * 4.0);
+    }
+  }
+}
+
+TEST_P(ModelProperty, EventSimTracksWaveSimOnRandomKernels) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3000);
+  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
+  sim::GpuSimulator wave(gpu, 5);
+  sim::EventGpuSimulator fluid(gpu, 5);
+  Explorer explorer(gpu);
+  for (int trial = 0; trial < 10; ++trial) {
+    const skeleton::AppSkeleton app = random_app(rng);
+    for (const skeleton::KernelSkeleton& kernel : app.kernels) {
+      const ProjectedKernel best = explorer.best(app, kernel);
+      const double w = wave.expected_launch(best.characteristics).total_s;
+      const double f = fluid.expected_launch(best.characteristics).total_s;
+      EXPECT_GT(f, w * 0.5);
+      EXPECT_LT(f, w * 1.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace grophecy::gpumodel

@@ -1,0 +1,179 @@
+// Tests for the overlap (streamed offload) analyzer and the Figure-1
+// matmul workload (skeleton, reference numerics, and the seq-tiling
+// transformation the explorer applies to it).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/overlap.h"
+#include "dataflow/usage_analyzer.h"
+#include "gpumodel/explorer.h"
+#include "hw/registry.h"
+#include "sim/gpu_sim.h"
+#include "skeleton/builder.h"
+#include "util/contracts.h"
+#include "workloads/matmul.h"
+
+namespace grophecy {
+namespace {
+
+skeleton::AppSkeleton streaming_app(std::int64_t n) {
+  skeleton::AppBuilder builder("stream");
+  const auto a = builder.array("a", skeleton::ElemType::kF32, {n});
+  const auto b = builder.array("b", skeleton::ElemType::kF32, {n});
+  skeleton::KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", n);
+  k.statement(1.0).load(a, {k.var("i")}).store(b, {k.var("i")});
+  return builder.build();
+}
+
+class OverlapTest : public ::testing::Test {
+ protected:
+  core::Grophecy engine_{hw::anl_eureka()};
+};
+
+TEST_F(OverlapTest, OneChunkEqualsSerial) {
+  const core::ProjectionReport report =
+      engine_.project(streaming_app(1 << 22));
+  core::OverlapAnalyzer analyzer(engine_.bus_model());
+  const core::OverlapProjection one = analyzer.at_chunks(report, 1);
+  EXPECT_NEAR(one.overlapped_s, one.serial_s, one.serial_s * 0.01);
+  EXPECT_FALSE(one.profitable());
+}
+
+TEST_F(OverlapTest, PipeliningHelpsTransferDominatedKernels) {
+  const core::ProjectionReport report =
+      engine_.project(streaming_app(1 << 24));
+  core::OverlapAnalyzer analyzer(engine_.bus_model());
+  const core::OverlapProjection best = analyzer.best(report);
+  EXPECT_TRUE(best.profitable());
+  EXPECT_GT(best.chunks, 1);
+  EXPECT_GT(best.speedup(), 1.2);
+  // But it cannot beat the slowest stage: total >= max(h2d, kernel, d2h).
+  const double h2d = engine_.bus_model().predict_seconds(
+      report.plan.input_bytes(), hw::Direction::kHostToDevice);
+  EXPECT_GT(best.overlapped_s, h2d * 0.49);  // two input arrays split it
+}
+
+TEST_F(OverlapTest, ExcessiveChunkingPaysAlpha) {
+  const core::ProjectionReport report =
+      engine_.project(streaming_app(1 << 18));
+  core::OverlapAnalyzer analyzer(engine_.bus_model(), /*max_chunks=*/4096);
+  const core::OverlapProjection best = analyzer.best(report);
+  const core::OverlapProjection extreme = analyzer.at_chunks(report, 4096);
+  EXPECT_GT(extreme.overlapped_s, best.overlapped_s);
+}
+
+TEST_F(OverlapTest, MinChunksForMemoryCoversOversizedApps) {
+  const core::ProjectionReport report =
+      engine_.project(streaming_app(1 << 24));  // 128 MB footprint
+  core::OverlapAnalyzer analyzer(engine_.bus_model());
+  // Fits easily: one chunk.
+  EXPECT_EQ(analyzer.min_chunks_for_memory(report, 1ULL << 30), 1);
+  // 128 MB footprint, 64 MB device: double buffering needs 256/64 = 4.
+  EXPECT_EQ(analyzer.min_chunks_for_memory(report, 64ULL << 20), 4);
+  // Tiny device: many chunks, rounded up.
+  EXPECT_EQ(analyzer.min_chunks_for_memory(report, 100ULL << 20),
+            static_cast<int>((2ULL * report.device_footprint_bytes +
+                              (100ULL << 20) - 1) /
+                             (100ULL << 20)));
+  EXPECT_THROW(analyzer.min_chunks_for_memory(report, 0),
+               ContractViolation);
+}
+
+TEST_F(OverlapTest, RequiresMeaningfulReport) {
+  core::OverlapAnalyzer analyzer(engine_.bus_model());
+  core::ProjectionReport empty;
+  EXPECT_THROW(analyzer.at_chunks(empty, 2), ContractViolation);
+  EXPECT_THROW(core::OverlapAnalyzer(engine_.bus_model(), 0),
+               ContractViolation);
+}
+
+TEST(Matmul, SkeletonShapeAndTransferPlan) {
+  const skeleton::AppSkeleton app = workloads::matmul_skeleton(256);
+  app.validate();
+  EXPECT_EQ(app.kernels.size(), 1u);
+  EXPECT_EQ(app.kernels[0].parallel_iterations(), 256 * 256);
+  EXPECT_DOUBLE_EQ(app.kernels[0].total_flops(),
+                   2.0 * 256.0 * 256.0 * 256.0);
+
+  dataflow::UsageAnalyzer analyzer;
+  const dataflow::TransferPlan plan = analyzer.analyze(app);
+  EXPECT_EQ(plan.input_bytes(), 2u * 256 * 256 * 4);   // A and B
+  EXPECT_EQ(plan.output_bytes(), 1u * 256 * 256 * 4);  // C
+}
+
+TEST(Matmul, ExplorerPicksSequentialTiling) {
+  const skeleton::AppSkeleton app = workloads::matmul_skeleton(512);
+  EXPECT_TRUE(gpumodel::has_reduction_staging_candidates(app,
+                                                         app.kernels[0]));
+  gpumodel::Explorer explorer(hw::anl_eureka().gpu);
+  const gpumodel::ProjectedKernel best =
+      explorer.best(app, app.kernels[0]);
+  EXPECT_GT(best.variant.seq_tile, 0);
+
+  // Tiling must beat the untiled best by a wide margin (Figure 1's point).
+  gpumodel::ExplorerOptions untiled_options;
+  untiled_options.seq_tile_factors.clear();
+  gpumodel::Explorer untiled(hw::anl_eureka().gpu, untiled_options);
+  EXPECT_GT(untiled.best(app, app.kernels[0]).time.total_s,
+            best.time.total_s * 2.0);
+}
+
+TEST(Matmul, TilingReducesMemoryInstructions) {
+  const skeleton::AppSkeleton app = workloads::matmul_skeleton(512);
+  gpumodel::Variant untiled;
+  gpumodel::Variant tiled;
+  tiled.seq_tile = 16;
+  const auto kc_untiled = gpumodel::characterize(
+      app, app.kernels[0], untiled, hw::anl_eureka().gpu);
+  const auto kc_tiled = gpumodel::characterize(
+      app, app.kernels[0], tiled, hw::anl_eureka().gpu);
+  EXPECT_LT(kc_tiled.mem_insts_per_thread(),
+            kc_untiled.mem_insts_per_thread() / 8.0);
+  EXPECT_GT(kc_tiled.smem_per_block_bytes, 0u);
+  EXPECT_GT(kc_tiled.syncs_per_thread, 0);
+}
+
+TEST(Matmul, StencilsAreNotTilingCandidates) {
+  // No reduction loop -> the explorer must not enumerate seq tiles.
+  skeleton::AppBuilder builder("s");
+  const auto a = builder.array("a", skeleton::ElemType::kF32, {64, 64});
+  skeleton::KernelBuilder& k = builder.kernel("k");
+  k.parallel_loop("i", 64).parallel_loop("j", 64);
+  k.statement(1.0).load(a, {k.var("i"), k.var("j")});
+  const skeleton::AppSkeleton app = builder.build();
+  EXPECT_FALSE(
+      gpumodel::has_reduction_staging_candidates(app, app.kernels[0]));
+}
+
+TEST(Matmul, ReferenceMatchesNaiveMultiply) {
+  workloads::MatmulReference ref(48, /*seed=*/3);
+  ref.multiply();
+  // Naive check of a few entries.
+  const std::int64_t n = ref.size();
+  for (std::int64_t i = 0; i < n; i += 13) {
+    for (std::int64_t j = 0; j < n; j += 17) {
+      float expected = 0.0f;
+      for (std::int64_t kk = 0; kk < n; ++kk)
+        expected += ref.a()[i * n + kk] * ref.b()[kk * n + j];
+      EXPECT_NEAR(ref.c()[i * n + j], expected, 1e-3f)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Matmul, SimAndModelAgreeWithinModerateGap) {
+  // Compute-bound tiled matmul: the unified instruction model keeps the
+  // projection within the machine's realism envelope.
+  const skeleton::AppSkeleton app = workloads::matmul_skeleton(512);
+  gpumodel::Explorer explorer(hw::anl_eureka().gpu);
+  const gpumodel::ProjectedKernel best =
+      explorer.best(app, app.kernels[0]);
+  sim::GpuSimulator sim(hw::anl_eureka().gpu, 1);
+  const double measured = sim.expected_launch(best.characteristics).total_s;
+  EXPECT_GT(measured, best.time.total_s * 0.99);
+  EXPECT_LT(measured, best.time.total_s * 1.8);
+}
+
+}  // namespace
+}  // namespace grophecy

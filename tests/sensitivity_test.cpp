@@ -1,0 +1,95 @@
+// Tests for machine-field scaling and the sensitivity analyzer.
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.h"
+#include "hw/machine_file.h"
+#include "hw/registry.h"
+#include "util/contracts.h"
+#include "workloads/srad.h"
+#include "workloads/stassuij.h"
+
+namespace grophecy::core {
+namespace {
+
+TEST(ScaleMachineField, ScalesNumericSkipsStringsRejectsUnknown) {
+  hw::MachineSpec machine = hw::anl_eureka();
+  const double before = machine.gpu.mem_bandwidth_gbps;
+  EXPECT_TRUE(hw::scale_machine_field(machine, "gpu.mem_bandwidth_gbps", 2.0));
+  EXPECT_DOUBLE_EQ(machine.gpu.mem_bandwidth_gbps, before * 2.0);
+
+  EXPECT_FALSE(hw::scale_machine_field(machine, "gpu.name", 2.0));
+  EXPECT_EQ(machine.gpu.name, hw::anl_eureka().gpu.name);
+
+  EXPECT_THROW(hw::scale_machine_field(machine, "gpu.nonsense", 2.0),
+               ContractViolation);
+}
+
+TEST(Sensitivity, RankedByAbsoluteElasticityAndDeterministic) {
+  const auto app = workloads::stassuij_skeleton({}, 1);
+  const auto a = analyze_sensitivity(hw::anl_eureka(), app);
+  const auto b = analyze_sensitivity(hw::anl_eureka(), app);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].field, b[i].field);
+    EXPECT_DOUBLE_EQ(a[i].elasticity, b[i].elasticity);
+    if (i > 0) {
+      EXPECT_GE(std::abs(a[i - 1].elasticity), std::abs(a[i].elasticity));
+    }
+  }
+}
+
+TEST(Sensitivity, BusBandwidthMattersWhenTransferDominates) {
+  // Stassuij at 1 iteration: the H2D bandwidth must appear with positive
+  // elasticity (faster bus -> better GPU speedup), and it must outrank
+  // GPU compute-side parameters like the core clock.
+  const auto results = analyze_sensitivity(
+      hw::anl_eureka(), workloads::stassuij_skeleton({}, 1));
+  double h2d = 0.0, clock = 0.0;
+  for (const ParameterSensitivity& entry : results) {
+    if (entry.field == "pcie.pinned_h2d.asymptotic_gbps")
+      h2d = entry.elasticity;
+    if (entry.field == "gpu.core_clock_ghz") clock = entry.elasticity;
+  }
+  EXPECT_GT(h2d, 0.1);
+  EXPECT_GT(h2d, std::abs(clock));
+}
+
+TEST(Sensitivity, BusFadesWhenTransfersAmortize) {
+  // SRAD at 64 iterations: the bus elasticity shrinks and GPU-side
+  // parameters take over (the paper's Figs. 8/10/12 as derivatives).
+  const auto amortized = analyze_sensitivity(
+      hw::anl_eureka(), workloads::srad_skeleton(1024, 64),
+      {.perturbation = 0.10, .min_elasticity = 0.0});
+  double h2d = 0.0, strongest_gpu = 0.0;
+  for (const ParameterSensitivity& entry : amortized) {
+    if (entry.field == "pcie.pinned_h2d.asymptotic_gbps")
+      h2d = entry.elasticity;
+    if (entry.field.rfind("gpu.", 0) == 0)
+      strongest_gpu =
+          std::max(strongest_gpu, std::abs(entry.elasticity));
+  }
+  EXPECT_LT(std::abs(h2d), 0.1);
+  EXPECT_GT(strongest_gpu, 0.3);
+}
+
+TEST(Sensitivity, CpuSpeedCutsBothWays) {
+  // A faster CPU baseline always REDUCES the GPU speedup.
+  const auto results = analyze_sensitivity(
+      hw::anl_eureka(), workloads::srad_skeleton(1024, 4));
+  for (const ParameterSensitivity& entry : results) {
+    if (entry.field == "cpu.mem_bandwidth_gbps") {
+      EXPECT_LT(entry.elasticity, 0.0);
+    }
+  }
+}
+
+TEST(Sensitivity, OptionsValidated) {
+  const auto app = workloads::stassuij_skeleton({}, 1);
+  EXPECT_THROW(
+      analyze_sensitivity(hw::anl_eureka(), app, {.perturbation = 0.0}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace grophecy::core

@@ -1,0 +1,228 @@
+// Unit tests for the utility layer: RNG determinism and distribution
+// sanity, statistics (the paper's error-magnitude definition), units,
+// tables, CSV quoting, and contract checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace grophecy::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i)
+    counts[static_cast<std::size_t>(rng.uniform_int(0, 5))]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMomentsAreRight) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMedianIsParameter) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.lognormal(5.0, 0.3));
+  EXPECT_NEAR(median(samples), 5.0, 0.1);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsDeterministic) {
+  Rng rng(17);
+  EXPECT_DOUBLE_EQ(rng.lognormal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.2, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(23);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ContractsRejectBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.lognormal(-1.0, 0.1), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Stats, MeanMedianBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+  const std::vector<double> bad{1.0, -2.0};
+  EXPECT_THROW(geometric_mean(bad), ContractViolation);
+}
+
+TEST(Stats, ErrorMagnitudeIsPaperDefinition) {
+  // |predicted - measured| / measured * 100 (paper §V-A).
+  EXPECT_DOUBLE_EQ(error_magnitude_percent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(error_magnitude_percent(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_difference(90.0, 100.0), -10.0);
+  EXPECT_THROW(error_magnitude_percent(1.0, 0.0), ContractViolation);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(29);
+  std::vector<double> v;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    v.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(stats.stddev(), stddev(v), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min(), min_value(v));
+  EXPECT_DOUBLE_EQ(stats.max(), max_value(v));
+}
+
+TEST(Stats, LeastSquaresRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Units, ByteFormatting) {
+  EXPECT_EQ(format_bytes(1), "1B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2KB");
+  EXPECT_EQ(format_bytes(512 * kMiB), "512MB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.00GB");
+}
+
+TEST(Units, TimeFormatting) {
+  EXPECT_EQ(format_time(12e-6), "12.00 us");
+  EXPECT_EQ(format_time(3.5e-3), "3.50 ms");
+  EXPECT_EQ(format_time(2.0), "2.00 s");
+}
+
+TEST(Units, Bandwidth) {
+  EXPECT_DOUBLE_EQ(bandwidth_gbps(2.5e9, 1.0), 2.5);
+  EXPECT_THROW(bandwidth_gbps(1.0, 0.0), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | "), std::string::npos);
+  EXPECT_NE(out.find("|    22 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ContractViolation);
+}
+
+TEST(Table, Strfmt) {
+  EXPECT_EQ(strfmt("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strfmt("%d/%d", 3, 4), "3/4");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.write_row({"a", "b,c"});
+  EXPECT_EQ(oss.str(), "a,\"b,c\"\n");
+}
+
+TEST(Contracts, ViolationMessageNamesLocation) {
+  try {
+    GROPHECY_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace grophecy::util

@@ -1,0 +1,256 @@
+// Tests for the workload suite: skeleton structure of all four paper
+// benchmarks and numerical validation of the OpenMP reference
+// implementations (HotSpot thermal behaviour, SRAD smoothing, CFD
+// conservation, Stassuij against a naive dense multiply).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "workloads/cfd.h"
+#include "workloads/cfd_ref.h"
+#include "workloads/hotspot.h"
+#include "workloads/hotspot_ref.h"
+#include "workloads/paper_reference.h"
+#include "workloads/srad.h"
+#include "workloads/srad_ref.h"
+#include "workloads/stassuij.h"
+#include "workloads/stassuij_ref.h"
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+namespace {
+
+TEST(Suite, HasTheFourPaperBenchmarks) {
+  const auto all = paper_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "CFD");
+  EXPECT_EQ(all[1]->name(), "HotSpot");
+  EXPECT_EQ(all[2]->name(), "SRAD");
+  EXPECT_EQ(all[3]->name(), "Stassuij");
+}
+
+TEST(Suite, EverySkeletonValidatesAtEverySize) {
+  for (const auto& workload : paper_workloads()) {
+    for (const DataSize& size : workload->paper_data_sizes()) {
+      const skeleton::AppSkeleton app = workload->make_skeleton(size, 3);
+      EXPECT_NO_THROW(app.validate()) << workload->name() << " " << size.label;
+      EXPECT_EQ(app.iterations, 3);
+    }
+  }
+}
+
+TEST(Suite, KernelCountsMatchThePaper) {
+  // §IV-B: CFD has three kernels per iteration, HotSpot one, SRAD two.
+  const auto all = paper_workloads();
+  auto kernels = [&](std::size_t idx) {
+    return all[idx]
+        ->make_skeleton(all[idx]->paper_data_sizes().front(), 1)
+        .kernels.size();
+  };
+  EXPECT_EQ(kernels(0), 3u);  // CFD
+  EXPECT_EQ(kernels(1), 1u);  // HotSpot
+  EXPECT_EQ(kernels(2), 2u);  // SRAD
+  EXPECT_EQ(kernels(3), 1u);  // Stassuij
+}
+
+TEST(Suite, SradTemporariesAreHinted) {
+  const skeleton::AppSkeleton app = srad_skeleton(64, 1);
+  EXPECT_EQ(app.temporaries.size(), 5u);  // c, dN, dS, dW, dE
+  EXPECT_FALSE(app.is_temporary(app.array_id("image")));
+}
+
+TEST(Suite, CfdFluxGathersAreThreadDependent) {
+  const skeleton::AppSkeleton app = cfd_skeleton(1024, 1);
+  const skeleton::KernelSkeleton& flux = app.kernels[1];
+  int gathers = 0;
+  for (const skeleton::Statement& stmt : flux.body)
+    for (const skeleton::ArrayRef& ref : stmt.refs)
+      if (!ref.indirect_dims.empty()) ++gathers;
+  EXPECT_EQ(gathers, 5);  // the five conserved variables
+}
+
+TEST(Suite, StassuijSparseVectorsAreMarkedSparse) {
+  const skeleton::AppSkeleton app = stassuij_skeleton({}, 1);
+  EXPECT_TRUE(app.array(app.array_id("a_val")).sparse);
+  EXPECT_TRUE(app.array(app.array_id("a_col")).sparse);
+  EXPECT_TRUE(app.array(app.array_id("a_rowptr")).sparse);
+  EXPECT_FALSE(app.array(app.array_id("B")).sparse);
+}
+
+TEST(PaperReference, TablesHaveTenRows) {
+  EXPECT_EQ(paper_table1().size(), 10u);
+  EXPECT_EQ(paper_table2().size(), 10u);
+  EXPECT_DOUBLE_EQ(paper_table2_averages().by_application_both, 9.0);
+}
+
+// --- HotSpot reference ---
+
+TEST(HotspotRef, TemperatureStaysBoundedAndReactsToPower) {
+  HotspotReference ref(64, /*seed=*/1);
+  const double initial_mean = [&] {
+    double sum = 0.0;
+    for (float v : ref.temperature()) sum += v;
+    return sum / static_cast<double>(ref.temperature().size());
+  }();
+  ref.run(50);
+  double sum = 0.0, max_t = 0.0;
+  for (float v : ref.temperature()) {
+    sum += v;
+    max_t = std::max<double>(max_t, v);
+  }
+  const double mean = sum / static_cast<double>(ref.temperature().size());
+  // Powered cells heat the chip; nothing explodes.
+  EXPECT_GT(mean, initial_mean);
+  EXPECT_LT(max_t, 200.0);
+}
+
+TEST(HotspotRef, ZeroPowerGridRelaxesTowardAmbient) {
+  HotspotParams params;
+  HotspotReference ref(32, /*seed=*/2, params);
+  // Use a private instance trick: run many steps; with the tiny default
+  // power density injected at few cells, the field must stay near ambient.
+  ref.run(200);
+  for (float v : ref.temperature()) {
+    EXPECT_GT(v, params.amb_temp - 5.0);
+    EXPECT_LT(v, params.amb_temp + 60.0);
+  }
+}
+
+TEST(HotspotRef, DeterministicForSeed) {
+  HotspotReference a(32, 7), b(32, 7);
+  a.run(10);
+  b.run(10);
+  for (std::size_t i = 0; i < a.temperature().size(); ++i)
+    EXPECT_EQ(a.temperature()[i], b.temperature()[i]);
+}
+
+// --- SRAD reference ---
+
+TEST(SradRef, DiffusionReducesSpeckleVariance) {
+  SradReference ref(64, /*seed=*/3);
+  const double v0 = ref.image_variance();
+  ref.run(30);
+  EXPECT_LT(ref.image_variance(), v0 * 0.8);
+}
+
+TEST(SradRef, ImagePositivityAndCoefficientRange) {
+  SradReference ref(64, /*seed=*/4);
+  ref.run(10);
+  for (float v : ref.image()) EXPECT_GT(v, 0.0f);
+  for (float c : ref.coefficients()) {
+    EXPECT_GE(c, 0.0f);
+    EXPECT_LE(c, 1.0f);
+  }
+}
+
+TEST(SradRef, MeanRoughlyPreserved) {
+  // Diffusion redistributes intensity; the mean should drift only mildly.
+  SradReference ref(64, /*seed=*/5);
+  const double m0 = ref.image_mean();
+  ref.run(20);
+  EXPECT_NEAR(ref.image_mean(), m0, m0 * 0.25);
+}
+
+// --- CFD reference ---
+
+TEST(CfdRef, DensityStaysPositive) {
+  CfdReference ref(256, /*seed=*/6);
+  ref.run(20);
+  for (float rho : ref.variable(0)) EXPECT_GT(rho, 0.0f);
+}
+
+TEST(CfdRef, MassApproximatelyConserved) {
+  CfdReference ref(512, /*seed=*/7);
+  const double m0 = ref.total_density();
+  ref.run(10);
+  EXPECT_NEAR(ref.total_density(), m0, std::abs(m0) * 0.01);
+}
+
+TEST(CfdRef, NeighborsAreValidAndSymmetricRing) {
+  CfdReference ref(64, /*seed=*/8);
+  for (std::int64_t i = 0; i < ref.size(); ++i) {
+    const auto nbrs = ref.neighbors_of(i);
+    ASSERT_EQ(nbrs.size(), static_cast<std::size_t>(kCfdNeighbors));
+    for (std::int32_t nb : nbrs) {
+      EXPECT_GE(nb, 0);
+      EXPECT_LT(nb, ref.size());
+      EXPECT_NE(nb, i);
+    }
+  }
+}
+
+TEST(CfdRef, PerturbationsDiffuseAcrossNeighbors) {
+  CfdReference ref(128, /*seed=*/9);
+  // Variance of density decreases under the exchange scheme.
+  auto variance = [&] {
+    const auto rho = ref.variable(0);
+    double mean = 0.0;
+    for (float v : rho) mean += v;
+    mean /= static_cast<double>(rho.size());
+    double var = 0.0;
+    for (float v : rho) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(rho.size());
+  };
+  const double v0 = variance();
+  ref.run(20);
+  EXPECT_LT(variance(), v0);
+}
+
+// --- Stassuij reference ---
+
+TEST(CsrSynthesis, StructureIsValid) {
+  const CsrMatrix m = make_synthetic_csr(132, 8, /*seed=*/10);
+  EXPECT_EQ(m.rows, 132);
+  EXPECT_EQ(m.row_ptr.size(), 133u);
+  EXPECT_EQ(m.row_ptr.front(), 0);
+  EXPECT_EQ(m.nnz(), m.row_ptr.back());
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    EXPECT_EQ(m.row_ptr[i + 1] - m.row_ptr[i], 8);  // exactly 8 per row
+    bool has_diagonal = false;
+    for (std::int32_t k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+      EXPECT_GE(m.col_idx[k], 0);
+      EXPECT_LT(m.col_idx[k], m.cols);
+      if (k > m.row_ptr[i]) {
+        EXPECT_GT(m.col_idx[k], m.col_idx[k - 1]);
+      }
+      if (m.col_idx[k] == i) has_diagonal = true;
+    }
+    EXPECT_TRUE(has_diagonal);
+  }
+}
+
+TEST(StassuijRef, MatchesNaiveDenseMultiply) {
+  StassuijConfig config;
+  config.rows = 24;
+  config.dense_cols = 16;
+  config.nnz_per_row = 4;
+  StassuijReference ref(config, /*seed=*/11);
+
+  // Naive: dense A from CSR, C0 + A*B.
+  const CsrMatrix& a = ref.a();
+  std::vector<std::complex<double>> expected(ref.c().begin(), ref.c().end());
+  for (std::int64_t i = 0; i < config.rows; ++i)
+    for (std::int32_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+      for (std::int64_t j = 0; j < config.dense_cols; ++j)
+        expected[i * config.dense_cols + j] +=
+            a.values[k] * ref.b()[a.col_idx[k] * config.dense_cols + j];
+
+  ref.multiply();
+  for (std::size_t idx = 0; idx < expected.size(); ++idx) {
+    EXPECT_NEAR(ref.c()[idx].real(), expected[idx].real(), 1e-9);
+    EXPECT_NEAR(ref.c()[idx].imag(), expected[idx].imag(), 1e-9);
+  }
+}
+
+TEST(StassuijRef, ResetRestoresAccumulator) {
+  StassuijReference ref({.rows = 16, .dense_cols = 8, .nnz_per_row = 3},
+                        /*seed=*/12);
+  const std::complex<double> before = ref.c()[0];
+  ref.multiply();
+  ref.reset();
+  EXPECT_EQ(ref.c()[0], before);
+}
+
+}  // namespace
+}  // namespace grophecy::workloads
