@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_calibration.dir/bench/ablation_calibration.cpp.o"
+  "CMakeFiles/ablation_calibration.dir/bench/ablation_calibration.cpp.o.d"
+  "bench/ablation_calibration"
+  "bench/ablation_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_cache.dir/bench/ablation_cpu_cache.cpp.o"
+  "CMakeFiles/ablation_cpu_cache.dir/bench/ablation_cpu_cache.cpp.o.d"
+  "bench/ablation_cpu_cache"
+  "bench/ablation_cpu_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

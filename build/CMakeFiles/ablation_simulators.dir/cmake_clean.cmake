@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simulators.dir/bench/ablation_simulators.cpp.o"
+  "CMakeFiles/ablation_simulators.dir/bench/ablation_simulators.cpp.o.d"
+  "bench/ablation_simulators"
+  "bench/ablation_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_report.dir/bench/exploration_report.cpp.o"
+  "CMakeFiles/exploration_report.dir/bench/exploration_report.cpp.o.d"
+  "bench/exploration_report"
+  "bench/exploration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

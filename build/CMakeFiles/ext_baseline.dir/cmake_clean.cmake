@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baseline.dir/bench/ext_baseline.cpp.o"
+  "CMakeFiles/ext_baseline.dir/bench/ext_baseline.cpp.o.d"
+  "bench/ext_baseline"
+  "bench/ext_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_mode.dir/bench/ext_memory_mode.cpp.o"
+  "CMakeFiles/ext_memory_mode.dir/bench/ext_memory_mode.cpp.o.d"
+  "bench/ext_memory_mode"
+  "bench/ext_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_overlap.dir/bench/ext_overlap.cpp.o"
+  "CMakeFiles/ext_overlap.dir/bench/ext_overlap.cpp.o.d"
+  "bench/ext_overlap"
+  "bench/ext_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

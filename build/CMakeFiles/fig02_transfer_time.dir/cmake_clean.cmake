@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_transfer_time.dir/bench/fig02_transfer_time.cpp.o"
+  "CMakeFiles/fig02_transfer_time.dir/bench/fig02_transfer_time.cpp.o.d"
+  "bench/fig02_transfer_time"
+  "bench/fig02_transfer_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_transfer_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

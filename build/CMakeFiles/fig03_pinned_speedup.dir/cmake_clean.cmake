@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pinned_speedup.dir/bench/fig03_pinned_speedup.cpp.o"
+  "CMakeFiles/fig03_pinned_speedup.dir/bench/fig03_pinned_speedup.cpp.o.d"
+  "bench/fig03_pinned_speedup"
+  "bench/fig03_pinned_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pinned_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

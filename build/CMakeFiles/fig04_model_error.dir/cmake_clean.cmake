@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_model_error.dir/bench/fig04_model_error.cpp.o"
+  "CMakeFiles/fig04_model_error.dir/bench/fig04_model_error.cpp.o.d"
+  "bench/fig04_model_error"
+  "bench/fig04_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_transfer_scatter.dir/bench/fig05_transfer_scatter.cpp.o"
+  "CMakeFiles/fig05_transfer_scatter.dir/bench/fig05_transfer_scatter.cpp.o.d"
+  "bench/fig05_transfer_scatter"
+  "bench/fig05_transfer_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_transfer_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_error_scatter.dir/bench/fig06_error_scatter.cpp.o"
+  "CMakeFiles/fig06_error_scatter.dir/bench/fig06_error_scatter.cpp.o.d"
+  "bench/fig06_error_scatter"
+  "bench/fig06_error_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_error_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

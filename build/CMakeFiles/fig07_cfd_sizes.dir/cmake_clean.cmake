@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cfd_sizes.dir/bench/fig07_cfd_sizes.cpp.o"
+  "CMakeFiles/fig07_cfd_sizes.dir/bench/fig07_cfd_sizes.cpp.o.d"
+  "bench/fig07_cfd_sizes"
+  "bench/fig07_cfd_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cfd_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

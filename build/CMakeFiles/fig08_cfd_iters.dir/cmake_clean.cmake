@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cfd_iters.dir/bench/fig08_cfd_iters.cpp.o"
+  "CMakeFiles/fig08_cfd_iters.dir/bench/fig08_cfd_iters.cpp.o.d"
+  "bench/fig08_cfd_iters"
+  "bench/fig08_cfd_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cfd_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

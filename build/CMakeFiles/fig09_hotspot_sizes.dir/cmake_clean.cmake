@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hotspot_sizes.dir/bench/fig09_hotspot_sizes.cpp.o"
+  "CMakeFiles/fig09_hotspot_sizes.dir/bench/fig09_hotspot_sizes.cpp.o.d"
+  "bench/fig09_hotspot_sizes"
+  "bench/fig09_hotspot_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hotspot_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hotspot_iters.dir/bench/fig10_hotspot_iters.cpp.o"
+  "CMakeFiles/fig10_hotspot_iters.dir/bench/fig10_hotspot_iters.cpp.o.d"
+  "bench/fig10_hotspot_iters"
+  "bench/fig10_hotspot_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hotspot_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_srad_sizes.dir/bench/fig11_srad_sizes.cpp.o"
+  "CMakeFiles/fig11_srad_sizes.dir/bench/fig11_srad_sizes.cpp.o.d"
+  "bench/fig11_srad_sizes"
+  "bench/fig11_srad_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_srad_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_srad_iters.dir/bench/fig12_srad_iters.cpp.o"
+  "CMakeFiles/fig12_srad_iters.dir/bench/fig12_srad_iters.cpp.o.d"
+  "bench/fig12_srad_iters"
+  "bench/fig12_srad_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_srad_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_brs.dir/bench/micro_brs.cpp.o"
+  "CMakeFiles/micro_brs.dir/bench/micro_brs.cpp.o.d"
+  "bench/micro_brs"
+  "bench/micro_brs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_brs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

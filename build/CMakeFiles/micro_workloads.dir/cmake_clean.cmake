@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_workloads.dir/bench/micro_workloads.cpp.o"
+  "CMakeFiles/micro_workloads.dir/bench/micro_workloads.cpp.o.d"
+  "bench/micro_workloads"
+  "bench/micro_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_report.dir/bench/paper_report.cpp.o"
+  "CMakeFiles/paper_report.dir/bench/paper_report.cpp.o.d"
+  "bench/paper_report"
+  "bench/paper_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_measured.dir/bench/table1_measured.cpp.o"
+  "CMakeFiles/table1_measured.dir/bench/table1_measured.cpp.o.d"
+  "bench/table1_measured"
+  "bench/table1_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speedup_error.dir/bench/table2_speedup_error.cpp.o"
+  "CMakeFiles/table2_speedup_error.dir/bench/table2_speedup_error.cpp.o.d"
+  "bench/table2_speedup_error"
+  "bench/table2_speedup_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedup_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_demo.dir/capture_demo.cpp.o"
+  "CMakeFiles/capture_demo.dir/capture_demo.cpp.o.d"
+  "capture_demo"
+  "capture_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

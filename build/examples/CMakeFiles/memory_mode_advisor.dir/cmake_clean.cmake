@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_mode_advisor.dir/memory_mode_advisor.cpp.o"
+  "CMakeFiles/memory_mode_advisor.dir/memory_mode_advisor.cpp.o.d"
+  "memory_mode_advisor"
+  "memory_mode_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_mode_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_reuse.dir/pipeline_reuse.cpp.o"
+  "CMakeFiles/pipeline_reuse.dir/pipeline_reuse.cpp.o.d"
+  "pipeline_reuse"
+  "pipeline_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_plan.dir/porting_plan.cpp.o"
+  "CMakeFiles/porting_plan.dir/porting_plan.cpp.o.d"
+  "porting_plan"
+  "porting_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_skeleton.dir/project_skeleton.cpp.o"
+  "CMakeFiles/project_skeleton.dir/project_skeleton.cpp.o.d"
+  "project_skeleton"
+  "project_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

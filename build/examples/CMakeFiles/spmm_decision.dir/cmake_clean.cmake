@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_decision.dir/spmm_decision.cpp.o"
+  "CMakeFiles/spmm_decision.dir/spmm_decision.cpp.o.d"
+  "spmm_decision"
+  "spmm_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_advisor.dir/stencil_advisor.cpp.o"
+  "CMakeFiles/stencil_advisor.dir/stencil_advisor.cpp.o.d"
+  "stencil_advisor"
+  "stencil_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

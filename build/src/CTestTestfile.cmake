@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("hw")
+subdirs("pcie")
+subdirs("skeleton")
+subdirs("brs")
+subdirs("capture")
+subdirs("dataflow")
+subdirs("cpumodel")
+subdirs("gpumodel")
+subdirs("sim")
+subdirs("workloads")
+subdirs("core")

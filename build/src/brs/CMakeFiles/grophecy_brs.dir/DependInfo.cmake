@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/brs/extract.cpp" "src/brs/CMakeFiles/grophecy_brs.dir/extract.cpp.o" "gcc" "src/brs/CMakeFiles/grophecy_brs.dir/extract.cpp.o.d"
+  "/root/repo/src/brs/footprint.cpp" "src/brs/CMakeFiles/grophecy_brs.dir/footprint.cpp.o" "gcc" "src/brs/CMakeFiles/grophecy_brs.dir/footprint.cpp.o.d"
+  "/root/repo/src/brs/section.cpp" "src/brs/CMakeFiles/grophecy_brs.dir/section.cpp.o" "gcc" "src/brs/CMakeFiles/grophecy_brs.dir/section.cpp.o.d"
+  "/root/repo/src/brs/section_set.cpp" "src/brs/CMakeFiles/grophecy_brs.dir/section_set.cpp.o" "gcc" "src/brs/CMakeFiles/grophecy_brs.dir/section_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_brs.dir/extract.cpp.o"
+  "CMakeFiles/grophecy_brs.dir/extract.cpp.o.d"
+  "CMakeFiles/grophecy_brs.dir/footprint.cpp.o"
+  "CMakeFiles/grophecy_brs.dir/footprint.cpp.o.d"
+  "CMakeFiles/grophecy_brs.dir/section.cpp.o"
+  "CMakeFiles/grophecy_brs.dir/section.cpp.o.d"
+  "CMakeFiles/grophecy_brs.dir/section_set.cpp.o"
+  "CMakeFiles/grophecy_brs.dir/section_set.cpp.o.d"
+  "libgrophecy_brs.a"
+  "libgrophecy_brs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_brs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_capture.dir/recorder.cpp.o"
+  "CMakeFiles/grophecy_capture.dir/recorder.cpp.o.d"
+  "libgrophecy_capture.a"
+  "libgrophecy_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_core.dir/experiment.cpp.o"
+  "CMakeFiles/grophecy_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/grophecy_core.dir/grophecy.cpp.o"
+  "CMakeFiles/grophecy_core.dir/grophecy.cpp.o.d"
+  "CMakeFiles/grophecy_core.dir/memory_advisor.cpp.o"
+  "CMakeFiles/grophecy_core.dir/memory_advisor.cpp.o.d"
+  "CMakeFiles/grophecy_core.dir/overlap.cpp.o"
+  "CMakeFiles/grophecy_core.dir/overlap.cpp.o.d"
+  "CMakeFiles/grophecy_core.dir/report.cpp.o"
+  "CMakeFiles/grophecy_core.dir/report.cpp.o.d"
+  "CMakeFiles/grophecy_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/grophecy_core.dir/sensitivity.cpp.o.d"
+  "libgrophecy_core.a"
+  "libgrophecy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpumodel/cache_sim.cpp" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cache_sim.cpp.o" "gcc" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/cpumodel/cpu_model.cpp" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cpu_model.cpp.o" "gcc" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/cpumodel/cpu_sim.cpp" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cpu_sim.cpp.o" "gcc" "src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/cpu_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grophecy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/brs/CMakeFiles/grophecy_brs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_cpumodel.dir/cache_sim.cpp.o"
+  "CMakeFiles/grophecy_cpumodel.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/grophecy_cpumodel.dir/cpu_model.cpp.o"
+  "CMakeFiles/grophecy_cpumodel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/grophecy_cpumodel.dir/cpu_sim.cpp.o"
+  "CMakeFiles/grophecy_cpumodel.dir/cpu_sim.cpp.o.d"
+  "libgrophecy_cpumodel.a"
+  "libgrophecy_cpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_cpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

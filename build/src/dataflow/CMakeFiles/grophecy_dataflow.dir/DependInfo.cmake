@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/transfer_plan.cpp" "src/dataflow/CMakeFiles/grophecy_dataflow.dir/transfer_plan.cpp.o" "gcc" "src/dataflow/CMakeFiles/grophecy_dataflow.dir/transfer_plan.cpp.o.d"
+  "/root/repo/src/dataflow/usage_analyzer.cpp" "src/dataflow/CMakeFiles/grophecy_dataflow.dir/usage_analyzer.cpp.o" "gcc" "src/dataflow/CMakeFiles/grophecy_dataflow.dir/usage_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grophecy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/brs/CMakeFiles/grophecy_brs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/grophecy_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_dataflow.dir/transfer_plan.cpp.o"
+  "CMakeFiles/grophecy_dataflow.dir/transfer_plan.cpp.o.d"
+  "CMakeFiles/grophecy_dataflow.dir/usage_analyzer.cpp.o"
+  "CMakeFiles/grophecy_dataflow.dir/usage_analyzer.cpp.o.d"
+  "libgrophecy_dataflow.a"
+  "libgrophecy_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpumodel/characteristics.cpp" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/characteristics.cpp.o" "gcc" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/characteristics.cpp.o.d"
+  "/root/repo/src/gpumodel/explorer.cpp" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/explorer.cpp.o" "gcc" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/explorer.cpp.o.d"
+  "/root/repo/src/gpumodel/kernel_model.cpp" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/kernel_model.cpp.o" "gcc" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/gpumodel/occupancy.cpp" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/occupancy.cpp.o" "gcc" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpumodel/transform.cpp" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/transform.cpp.o" "gcc" "src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grophecy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/brs/CMakeFiles/grophecy_brs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_gpumodel.dir/characteristics.cpp.o"
+  "CMakeFiles/grophecy_gpumodel.dir/characteristics.cpp.o.d"
+  "CMakeFiles/grophecy_gpumodel.dir/explorer.cpp.o"
+  "CMakeFiles/grophecy_gpumodel.dir/explorer.cpp.o.d"
+  "CMakeFiles/grophecy_gpumodel.dir/kernel_model.cpp.o"
+  "CMakeFiles/grophecy_gpumodel.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/grophecy_gpumodel.dir/occupancy.cpp.o"
+  "CMakeFiles/grophecy_gpumodel.dir/occupancy.cpp.o.d"
+  "CMakeFiles/grophecy_gpumodel.dir/transform.cpp.o"
+  "CMakeFiles/grophecy_gpumodel.dir/transform.cpp.o.d"
+  "libgrophecy_gpumodel.a"
+  "libgrophecy_gpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_hw.dir/machine.cpp.o"
+  "CMakeFiles/grophecy_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/grophecy_hw.dir/machine_file.cpp.o"
+  "CMakeFiles/grophecy_hw.dir/machine_file.cpp.o.d"
+  "CMakeFiles/grophecy_hw.dir/registry.cpp.o"
+  "CMakeFiles/grophecy_hw.dir/registry.cpp.o.d"
+  "libgrophecy_hw.a"
+  "libgrophecy_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

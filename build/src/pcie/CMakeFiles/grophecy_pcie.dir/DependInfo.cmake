@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/allocation.cpp" "src/pcie/CMakeFiles/grophecy_pcie.dir/allocation.cpp.o" "gcc" "src/pcie/CMakeFiles/grophecy_pcie.dir/allocation.cpp.o.d"
+  "/root/repo/src/pcie/bus.cpp" "src/pcie/CMakeFiles/grophecy_pcie.dir/bus.cpp.o" "gcc" "src/pcie/CMakeFiles/grophecy_pcie.dir/bus.cpp.o.d"
+  "/root/repo/src/pcie/calibrator.cpp" "src/pcie/CMakeFiles/grophecy_pcie.dir/calibrator.cpp.o" "gcc" "src/pcie/CMakeFiles/grophecy_pcie.dir/calibrator.cpp.o.d"
+  "/root/repo/src/pcie/linear_model.cpp" "src/pcie/CMakeFiles/grophecy_pcie.dir/linear_model.cpp.o" "gcc" "src/pcie/CMakeFiles/grophecy_pcie.dir/linear_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grophecy_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_pcie.dir/allocation.cpp.o"
+  "CMakeFiles/grophecy_pcie.dir/allocation.cpp.o.d"
+  "CMakeFiles/grophecy_pcie.dir/bus.cpp.o"
+  "CMakeFiles/grophecy_pcie.dir/bus.cpp.o.d"
+  "CMakeFiles/grophecy_pcie.dir/calibrator.cpp.o"
+  "CMakeFiles/grophecy_pcie.dir/calibrator.cpp.o.d"
+  "CMakeFiles/grophecy_pcie.dir/linear_model.cpp.o"
+  "CMakeFiles/grophecy_pcie.dir/linear_model.cpp.o.d"
+  "libgrophecy_pcie.a"
+  "libgrophecy_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

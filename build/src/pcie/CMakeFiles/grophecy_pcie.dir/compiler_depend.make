@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grophecy_pcie.
+# This may be replaced when dependencies are built.

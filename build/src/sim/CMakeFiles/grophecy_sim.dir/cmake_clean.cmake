@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/grophecy_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/grophecy_sim.dir/gpu_sim.cpp.o"
+  "CMakeFiles/grophecy_sim.dir/gpu_sim.cpp.o.d"
+  "libgrophecy_sim.a"
+  "libgrophecy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skeleton/builder.cpp" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/builder.cpp.o" "gcc" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/builder.cpp.o.d"
+  "/root/repo/src/skeleton/parse.cpp" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/parse.cpp.o" "gcc" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/parse.cpp.o.d"
+  "/root/repo/src/skeleton/print.cpp" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/print.cpp.o" "gcc" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/print.cpp.o.d"
+  "/root/repo/src/skeleton/serialize.cpp" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/serialize.cpp.o" "gcc" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/serialize.cpp.o.d"
+  "/root/repo/src/skeleton/skeleton.cpp" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/skeleton.cpp.o" "gcc" "src/skeleton/CMakeFiles/grophecy_skeleton.dir/skeleton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

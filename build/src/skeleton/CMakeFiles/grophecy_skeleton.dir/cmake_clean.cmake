@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_skeleton.dir/builder.cpp.o"
+  "CMakeFiles/grophecy_skeleton.dir/builder.cpp.o.d"
+  "CMakeFiles/grophecy_skeleton.dir/parse.cpp.o"
+  "CMakeFiles/grophecy_skeleton.dir/parse.cpp.o.d"
+  "CMakeFiles/grophecy_skeleton.dir/print.cpp.o"
+  "CMakeFiles/grophecy_skeleton.dir/print.cpp.o.d"
+  "CMakeFiles/grophecy_skeleton.dir/serialize.cpp.o"
+  "CMakeFiles/grophecy_skeleton.dir/serialize.cpp.o.d"
+  "CMakeFiles/grophecy_skeleton.dir/skeleton.cpp.o"
+  "CMakeFiles/grophecy_skeleton.dir/skeleton.cpp.o.d"
+  "libgrophecy_skeleton.a"
+  "libgrophecy_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

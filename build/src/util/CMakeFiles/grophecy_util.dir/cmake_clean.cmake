@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/grophecy_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/csv.cpp.o"
+  "CMakeFiles/grophecy_util.dir/csv.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/logging.cpp.o"
+  "CMakeFiles/grophecy_util.dir/logging.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/rng.cpp.o"
+  "CMakeFiles/grophecy_util.dir/rng.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/stats.cpp.o"
+  "CMakeFiles/grophecy_util.dir/stats.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/table.cpp.o"
+  "CMakeFiles/grophecy_util.dir/table.cpp.o.d"
+  "CMakeFiles/grophecy_util.dir/units.cpp.o"
+  "CMakeFiles/grophecy_util.dir/units.cpp.o.d"
+  "libgrophecy_util.a"
+  "libgrophecy_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cfd.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/cfd.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/cfd.cpp.o.d"
+  "/root/repo/src/workloads/cfd_ref.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/cfd_ref.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/cfd_ref.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/hotspot_ref.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/hotspot_ref.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/hotspot_ref.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/paper_reference.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/paper_reference.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/paper_reference.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/srad.cpp.o.d"
+  "/root/repo/src/workloads/srad_ref.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/srad_ref.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/srad_ref.cpp.o.d"
+  "/root/repo/src/workloads/stassuij.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/stassuij.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/stassuij.cpp.o.d"
+  "/root/repo/src/workloads/stassuij_ref.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/stassuij_ref.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/stassuij_ref.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/grophecy_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/grophecy_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

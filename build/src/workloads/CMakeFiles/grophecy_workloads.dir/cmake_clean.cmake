@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_workloads.dir/cfd.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/cfd.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/cfd_ref.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/cfd_ref.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/hotspot_ref.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/hotspot_ref.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/paper_reference.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/srad.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/srad.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/srad_ref.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/srad_ref.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/stassuij.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/stassuij.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/stassuij_ref.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/stassuij_ref.cpp.o.d"
+  "CMakeFiles/grophecy_workloads.dir/workload.cpp.o"
+  "CMakeFiles/grophecy_workloads.dir/workload.cpp.o.d"
+  "libgrophecy_workloads.a"
+  "libgrophecy_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

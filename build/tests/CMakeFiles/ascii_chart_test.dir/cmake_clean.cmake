@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_chart_test.dir/ascii_chart_test.cpp.o"
+  "CMakeFiles/ascii_chart_test.dir/ascii_chart_test.cpp.o.d"
+  "ascii_chart_test"
+  "ascii_chart_test.pdb"
+  "ascii_chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

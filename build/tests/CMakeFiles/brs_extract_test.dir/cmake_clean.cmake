@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brs_extract_test.dir/brs_extract_test.cpp.o"
+  "CMakeFiles/brs_extract_test.dir/brs_extract_test.cpp.o.d"
+  "brs_extract_test"
+  "brs_extract_test.pdb"
+  "brs_extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brs_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brs_section_test.dir/brs_section_test.cpp.o"
+  "CMakeFiles/brs_section_test.dir/brs_section_test.cpp.o.d"
+  "brs_section_test"
+  "brs_section_test.pdb"
+  "brs_section_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brs_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brs_subtract_test.dir/brs_subtract_test.cpp.o"
+  "CMakeFiles/brs_subtract_test.dir/brs_subtract_test.cpp.o.d"
+  "brs_subtract_test"
+  "brs_subtract_test.pdb"
+  "brs_subtract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brs_subtract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

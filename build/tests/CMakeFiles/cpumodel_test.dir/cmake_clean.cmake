@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpumodel_test.dir/cpumodel_test.cpp.o"
+  "CMakeFiles/cpumodel_test.dir/cpumodel_test.cpp.o.d"
+  "cpumodel_test"
+  "cpumodel_test.pdb"
+  "cpumodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpumodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_oracle_test.dir/dataflow_oracle_test.cpp.o"
+  "CMakeFiles/dataflow_oracle_test.dir/dataflow_oracle_test.cpp.o.d"
+  "dataflow_oracle_test"
+  "dataflow_oracle_test.pdb"
+  "dataflow_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_parse_test.dir/skeleton_parse_test.cpp.o"
+  "CMakeFiles/skeleton_parse_test.dir/skeleton_parse_test.cpp.o.d"
+  "skeleton_parse_test"
+  "skeleton_parse_test.pdb"
+  "skeleton_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

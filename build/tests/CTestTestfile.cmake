@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/skeleton_test[1]_include.cmake")
+include("/root/repo/build/tests/brs_section_test[1]_include.cmake")
+include("/root/repo/build/tests/brs_extract_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build/tests/gpumodel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cpumodel_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/skeleton_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_matmul_test[1]_include.cmake")
+include("/root/repo/build/tests/ascii_chart_test[1]_include.cmake")
+include("/root/repo/build/tests/event_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/model_property_test[1]_include.cmake")
+include("/root/repo/build/tests/brs_subtract_test[1]_include.cmake")
+include("/root/repo/build/tests/capture_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_file_test[1]_include.cmake")
+include("/root/repo/build/tests/sensitivity_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_sim_test[1]_include.cmake")
