@@ -5,10 +5,17 @@
 //
 // For each configuration we calibrate, then evaluate the mean error
 // magnitude over the full 1B..512MB size grid against fresh measurements.
+//
+// Ablation C injects the paper's §V-A anomaly (occasional 2x-slow
+// transfers) into the measurement path and compares how the mean-based
+// paper procedure, a median estimator, the robust pipeline (MAD rejection
+// + adaptive replication), and a Theil–Sen sweep fit recover the
+// noiseless ground-truth (alpha, beta).
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "hw/registry.h"
 #include "pcie/bus.h"
 #include "pcie/calibrator.h"
@@ -85,6 +92,63 @@ int main() {
   }
   rep_table.print(std::cout);
   std::printf("\n(averaging ~10 runs, as the paper does, suppresses the "
-              "alpha jitter of single-shot calibration)\n");
+              "alpha jitter of single-shot calibration)\n\n");
+
+  std::printf("Ablation C: calibration under the paper's SS V-A anomaly "
+              "(5%% of transfers 2x slow)\n\n");
+  // Ground truth: the noiseless two-point parameters of the simulated link.
+  const pcie::SimulatedBus truth_bus(machine.pcie, 0);
+  const std::uint64_t large = pcie::CalibrationOptions{}.large_bytes;
+  const double true_alpha = truth_bus.expected_time(
+      1, hw::Direction::kHostToDevice, hw::HostMemory::kPinned);
+  const double true_beta =
+      truth_bus.expected_time(large, hw::Direction::kHostToDevice,
+                              hw::HostMemory::kPinned) /
+      static_cast<double>(large);
+
+  struct Variant {
+    const char* name;
+    pcie::CalibrationOptions options;
+  };
+  pcie::CalibrationOptions median_options;
+  median_options.estimator = pcie::ProbeEstimator::kMedian;
+  pcie::CalibrationOptions theil_sen_options = pcie::CalibrationOptions::robust();
+  theil_sen_options.fit = pcie::FitMethod::kTheilSen;
+  const Variant variants[] = {
+      {"paper (mean, two-point)", pcie::CalibrationOptions::paper()},
+      {"median, two-point", median_options},
+      {"robust (MAD + adaptive)", pcie::CalibrationOptions::robust()},
+      {"Theil-Sen sweep", theil_sen_options},
+  };
+
+  util::TextTable fault_table({"Calibrator", "Mean alpha err", "Max alpha err",
+                               "Mean beta err", "Max beta err"});
+  for (const Variant& variant : variants) {
+    std::vector<double> alpha_errors, beta_errors;
+    for (int trial = 0; trial < 12; ++trial) {
+      pcie::SimulatedBus bus(machine.pcie, 300 + trial);
+      faults::FaultInjector faulty(
+          bus, faults::FaultPlan::paper_outliers(0.05, 2.0, 900 + trial));
+      const pcie::CalibrationReport report =
+          pcie::TransferCalibrator(variant.options)
+              .calibrate_robust(faulty, hw::HostMemory::kPinned,
+                                &machine.pcie);
+      alpha_errors.push_back(util::error_magnitude_percent(
+          report.model.h2d.alpha_s, true_alpha));
+      beta_errors.push_back(util::error_magnitude_percent(
+          report.model.h2d.beta_s_per_byte, true_beta));
+    }
+    fault_table.add_row({variant.name,
+                         strfmt("%.1f%%", util::mean(alpha_errors)),
+                         strfmt("%.1f%%", util::max_value(alpha_errors)),
+                         strfmt("%.1f%%", util::mean(beta_errors)),
+                         strfmt("%.1f%%", util::max_value(beta_errors))});
+  }
+  fault_table.print(std::cout);
+  std::printf("\n(a single 2x outlier among ten averaged runs moves the "
+              "mean ~10%%; the median and the MAD-filtering pipeline shrug "
+              "it off. Theil-Sen trades a worse alpha — its intercept "
+              "absorbs the mid-size non-linearity — for outlier-robust "
+              "slopes without designated probe sizes)\n");
   return 0;
 }

@@ -1,0 +1,69 @@
+// Robustness report: the calibration degradation ladder, end to end.
+//
+// Walks one machine through increasingly hostile measurement conditions —
+// a healthy link, the paper's §V-A slow outliers, a flaky link (transient
+// failures + hangs), and a dead measurement path — and prints the full
+// CalibrationReport for each, showing retries, rejected samples, watchdog
+// timeouts, and finally the graceful fall-back to the spec-derived model.
+// See docs/robustness.md for the policies on display here.
+#include <cstdio>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "hw/registry.h"
+#include "pcie/bus.h"
+#include "pcie/calibrator.h"
+
+namespace {
+
+struct Scenario {
+  const char* title;
+  const char* blurb;
+  grophecy::faults::FaultPlan plan;
+};
+
+}  // namespace
+
+int main() {
+  using namespace grophecy;
+
+  const hw::MachineSpec machine = hw::anl_eureka();
+  pcie::CalibrationOptions options = pcie::CalibrationOptions::robust();
+  // Tight watchdog so the flaky scenario's hangs surface as timeouts
+  // rather than as (astronomically) slow samples.
+  options.robustness.timeout_s = 1.0;
+
+  const Scenario scenarios[] = {
+      {"healthy link", "no faults; robustness machinery stays idle",
+       faults::FaultPlan{}},
+      {"paper SS V-A outliers", "5% of transfers take 2x the expected time",
+       faults::FaultPlan::paper_outliers(0.05, 2.0)},
+      {"flaky link", "20% transient failures, 2% hangs (caught by watchdog)",
+       faults::FaultPlan::flaky(0.2, 0.02)},
+      {"dead measurement path", "every observation throws; expect fallback",
+       faults::FaultPlan::broken()},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    std::printf("=== %s ===\n(%s)\n\n", scenario.title, scenario.blurb);
+    pcie::SimulatedBus bus(machine.pcie, 7);
+    faults::FaultInjector faulty(bus, scenario.plan);
+    const pcie::CalibrationReport report =
+        pcie::TransferCalibrator(options).calibrate_robust(
+            faulty, hw::HostMemory::kPinned, &machine.pcie);
+    std::printf("%s", report.describe().c_str());
+    const faults::FaultStats& stats = faulty.stats();
+    std::printf(
+        "  injected: %llu calls, %llu slow, %llu failures, %llu hangs\n\n",
+        static_cast<unsigned long long>(stats.calls),
+        static_cast<unsigned long long>(stats.slow),
+        static_cast<unsigned long long>(stats.failures),
+        static_cast<unsigned long long>(stats.hangs));
+  }
+  std::printf(
+      "(the ladder never throws at the caller: measurements are retried, "
+      "outliers rejected, hangs timed out, and only when a direction is "
+      "unmeasurable does the pipeline degrade — on record — to the "
+      "spec-derived model)\n");
+  return 0;
+}

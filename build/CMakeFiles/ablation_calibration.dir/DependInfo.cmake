@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/capture/CMakeFiles/grophecy_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/grophecy_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/grophecy_core.dir/DependInfo.cmake"
   "/root/repo/build/src/dataflow/CMakeFiles/grophecy_dataflow.dir/DependInfo.cmake"
   "/root/repo/build/src/pcie/CMakeFiles/grophecy_pcie.dir/DependInfo.cmake"

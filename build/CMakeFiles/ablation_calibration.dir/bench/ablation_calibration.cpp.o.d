@@ -157,10 +157,14 @@ CMakeFiles/ablation_calibration.dir/bench/ablation_calibration.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/registry.h \
- /root/repo/src/hw/machine.h /root/repo/src/pcie/bus.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/array \
- /root/repo/src/pcie/calibrator.h /root/repo/src/pcie/linear_model.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/faults/fault_injector.h /root/repo/src/pcie/bus.h \
+ /root/repo/src/hw/machine.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/array /root/repo/src/sim/gpu_sim.h \
+ /root/repo/src/gpumodel/characteristics.h \
+ /root/repo/src/gpumodel/transform.h /root/repo/src/skeleton/skeleton.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/hw/registry.h /root/repo/src/pcie/calibrator.h \
+ /usr/include/c++/12/limits /root/repo/src/pcie/linear_model.h \
  /root/repo/src/util/units.h /root/repo/src/util/stats.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/util/table.h

@@ -160,5 +160,6 @@ CMakeFiles/calibration_report.dir/bench/calibration_report.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/machine.h \
  /root/repo/src/pcie/bus.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/array /root/repo/src/pcie/calibrator.h \
- /root/repo/src/pcie/linear_model.h /root/repo/src/util/units.h \
- /root/repo/src/util/table.h /usr/include/c++/12/cstddef
+ /usr/include/c++/12/limits /root/repo/src/pcie/linear_model.h \
+ /root/repo/src/util/units.h /root/repo/src/util/table.h \
+ /usr/include/c++/12/cstddef

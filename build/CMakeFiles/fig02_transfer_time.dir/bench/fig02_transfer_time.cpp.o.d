@@ -160,6 +160,7 @@ CMakeFiles/fig02_transfer_time.dir/bench/fig02_transfer_time.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/registry.h \
  /root/repo/src/hw/machine.h /root/repo/src/pcie/bus.h \
  /root/repo/src/util/rng.h /usr/include/c++/12/array \
- /root/repo/src/pcie/calibrator.h /root/repo/src/pcie/linear_model.h \
- /root/repo/src/util/units.h /root/repo/src/util/ascii_chart.h \
- /root/repo/src/util/table.h /usr/include/c++/12/cstddef
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/linear_model.h /root/repo/src/util/units.h \
+ /root/repo/src/util/ascii_chart.h /root/repo/src/util/table.h \
+ /usr/include/c++/12/cstddef

@@ -167,7 +167,7 @@ CMakeFiles/fig04_model_error.dir/bench/fig04_model_error.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/registry.h \
  /root/repo/src/hw/machine.h /root/repo/src/pcie/bus.h \
  /root/repo/src/util/rng.h /usr/include/c++/12/array \
- /root/repo/src/pcie/calibrator.h /root/repo/src/pcie/linear_model.h \
- /root/repo/src/util/units.h /root/repo/src/util/stats.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /root/repo/src/util/table.h
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/linear_model.h /root/repo/src/util/units.h \
+ /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /root/repo/src/util/table.h

@@ -168,13 +168,13 @@ CMakeFiles/fig12_srad_iters.dir/bench/fig12_srad_iters.cpp.o: \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
- /root/repo/src/cpumodel/cpu_sim.h /root/repo/src/cpumodel/cpu_model.h \
- /root/repo/src/brs/footprint.h /root/repo/src/util/rng.h \
- /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/sim/event_sim.h \
- /root/repo/src/sim/gpu_sim.h /root/repo/src/hw/registry.h \
- /root/repo/src/workloads/workload.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/bus.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/units.h /root/repo/src/cpumodel/cpu_sim.h \
+ /root/repo/src/cpumodel/cpu_model.h /root/repo/src/brs/footprint.h \
+ /root/repo/src/sim/event_sim.h /root/repo/src/sim/gpu_sim.h \
+ /root/repo/src/hw/registry.h /root/repo/src/workloads/workload.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_report.dir/bench/robustness_report.cpp.o"
+  "CMakeFiles/robustness_report.dir/bench/robustness_report.cpp.o.d"
+  "bench/robustness_report"
+  "bench/robustness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

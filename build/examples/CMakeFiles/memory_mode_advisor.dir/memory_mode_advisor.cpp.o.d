@@ -134,9 +134,10 @@ examples/CMakeFiles/memory_mode_advisor.dir/memory_mode_advisor.cpp.o: \
  /root/repo/src/hw/machine.h /root/repo/src/pcie/linear_model.h \
  /root/repo/src/pcie/allocation.h /root/repo/src/util/rng.h \
  /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/hw/registry.h \
- /root/repo/src/workloads/stassuij.h /root/repo/src/workloads/workload.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/limits /root/repo/src/util/units.h \
+ /root/repo/src/hw/registry.h /root/repo/src/workloads/stassuij.h \
+ /root/repo/src/workloads/workload.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

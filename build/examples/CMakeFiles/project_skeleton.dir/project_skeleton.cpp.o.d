@@ -138,12 +138,13 @@ examples/CMakeFiles/project_skeleton.dir/project_skeleton.cpp.o: \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
- /root/repo/src/cpumodel/cpu_sim.h /root/repo/src/cpumodel/cpu_model.h \
- /root/repo/src/brs/footprint.h /root/repo/src/util/rng.h \
- /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/sim/event_sim.h \
- /root/repo/src/sim/gpu_sim.h /root/repo/src/util/contracts.h \
- /usr/include/c++/12/stdexcept /root/repo/src/core/memory_advisor.h \
- /root/repo/src/pcie/allocation.h /root/repo/src/hw/machine_file.h \
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/bus.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/units.h /root/repo/src/cpumodel/cpu_sim.h \
+ /root/repo/src/cpumodel/cpu_model.h /root/repo/src/brs/footprint.h \
+ /root/repo/src/sim/event_sim.h /root/repo/src/sim/gpu_sim.h \
+ /root/repo/src/util/contracts.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/core/memory_advisor.h /root/repo/src/pcie/allocation.h \
+ /root/repo/src/hw/machine_file.h /root/repo/src/util/error.h \
  /root/repo/src/hw/registry.h /root/repo/src/skeleton/parse.h \
  /root/repo/src/skeleton/print.h

@@ -14,5 +14,6 @@ subdirs("dataflow")
 subdirs("cpumodel")
 subdirs("gpumodel")
 subdirs("sim")
+subdirs("faults")
 subdirs("workloads")
 subdirs("core")

@@ -137,12 +137,12 @@ src/core/CMakeFiles/grophecy_core.dir/grophecy.cpp.o: \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
- /root/repo/src/cpumodel/cpu_sim.h /root/repo/src/cpumodel/cpu_model.h \
- /root/repo/src/brs/footprint.h /root/repo/src/util/rng.h \
- /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/sim/event_sim.h \
- /root/repo/src/sim/gpu_sim.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/bus.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/units.h /root/repo/src/cpumodel/cpu_sim.h \
+ /root/repo/src/cpumodel/cpu_model.h /root/repo/src/brs/footprint.h \
+ /root/repo/src/sim/event_sim.h /root/repo/src/sim/gpu_sim.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -161,8 +161,7 @@ src/core/CMakeFiles/grophecy_core.dir/grophecy.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

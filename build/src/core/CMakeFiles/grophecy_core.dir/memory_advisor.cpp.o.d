@@ -134,8 +134,8 @@ src/core/CMakeFiles/grophecy_core.dir/memory_advisor.cpp.o: \
  /root/repo/src/hw/machine.h /root/repo/src/pcie/linear_model.h \
  /root/repo/src/pcie/allocation.h /root/repo/src/util/rng.h \
  /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/limits /root/repo/src/util/units.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

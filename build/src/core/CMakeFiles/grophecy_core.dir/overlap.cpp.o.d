@@ -136,7 +136,10 @@ src/core/CMakeFiles/grophecy_core.dir/overlap.cpp.o: \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/pcie/calibrator.h /usr/include/c++/12/limits \
+ /root/repo/src/pcie/bus.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/units.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

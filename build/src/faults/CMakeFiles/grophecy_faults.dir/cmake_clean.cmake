@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grophecy_faults.dir/fault_injector.cpp.o"
+  "CMakeFiles/grophecy_faults.dir/fault_injector.cpp.o.d"
+  "libgrophecy_faults.a"
+  "libgrophecy_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grophecy_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrophecy_faults.a"
+)

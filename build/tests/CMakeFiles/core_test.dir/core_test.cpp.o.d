@@ -301,10 +301,10 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
+ /root/repo/src/pcie/calibrator.h /root/repo/src/pcie/bus.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/units.h \
  /root/repo/src/cpumodel/cpu_sim.h /root/repo/src/cpumodel/cpu_model.h \
- /root/repo/src/brs/footprint.h /root/repo/src/util/rng.h \
- /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/sim/event_sim.h \
+ /root/repo/src/brs/footprint.h /root/repo/src/sim/event_sim.h \
  /root/repo/src/sim/gpu_sim.h /root/repo/src/hw/registry.h \
  /root/repo/src/workloads/workload.h /root/repo/src/skeleton/builder.h \
  /root/repo/src/util/contracts.h /root/repo/src/util/stats.h

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faults_test.cpp" "tests/CMakeFiles/faults_test.dir/faults_test.cpp.o" "gcc" "tests/CMakeFiles/faults_test.dir/faults_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/grophecy_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/grophecy_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grophecy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/grophecy_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/grophecy_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpumodel/CMakeFiles/grophecy_cpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grophecy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpumodel/CMakeFiles/grophecy_gpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grophecy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/brs/CMakeFiles/grophecy_brs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/grophecy_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/grophecy_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grophecy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -293,17 +293,21 @@ tests/CMakeFiles/machine_file_test.dir/machine_file_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/grophecy.h /root/repo/src/core/report.h \
- /root/repo/src/dataflow/transfer_plan.h /root/repo/src/brs/section.h \
- /root/repo/src/skeleton/skeleton.h /usr/include/c++/12/span \
- /root/repo/src/hw/machine.h /root/repo/src/pcie/linear_model.h \
- /root/repo/src/gpumodel/explorer.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/grophecy.h \
+ /root/repo/src/core/report.h /root/repo/src/dataflow/transfer_plan.h \
+ /root/repo/src/brs/section.h /root/repo/src/skeleton/skeleton.h \
+ /usr/include/c++/12/span /root/repo/src/hw/machine.h \
+ /root/repo/src/pcie/linear_model.h /root/repo/src/gpumodel/explorer.h \
  /root/repo/src/gpumodel/kernel_model.h \
  /root/repo/src/gpumodel/characteristics.h \
  /root/repo/src/gpumodel/transform.h /root/repo/src/gpumodel/occupancy.h \
+ /root/repo/src/pcie/calibrator.h /root/repo/src/pcie/bus.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/units.h \
  /root/repo/src/cpumodel/cpu_sim.h /root/repo/src/cpumodel/cpu_model.h \
- /root/repo/src/brs/footprint.h /root/repo/src/util/rng.h \
- /root/repo/src/pcie/bus.h /root/repo/src/pcie/calibrator.h \
- /root/repo/src/util/units.h /root/repo/src/sim/event_sim.h \
+ /root/repo/src/brs/footprint.h /root/repo/src/sim/event_sim.h \
  /root/repo/src/sim/gpu_sim.h /root/repo/src/hw/machine_file.h \
- /root/repo/src/hw/registry.h /root/repo/src/skeleton/builder.h
+ /root/repo/src/util/error.h /root/repo/src/hw/registry.h \
+ /root/repo/src/skeleton/builder.h

@@ -322,4 +322,5 @@ tests/CMakeFiles/model_property_test.dir/model_property_test.cpp.o: \
  /root/repo/src/gpumodel/transform.h /root/repo/src/hw/machine.h \
  /root/repo/src/gpumodel/occupancy.h /root/repo/src/hw/registry.h \
  /root/repo/src/sim/event_sim.h /root/repo/src/sim/gpu_sim.h \
- /root/repo/src/util/rng.h /root/repo/src/skeleton/builder.h
+ /root/repo/src/util/rng.h /root/repo/src/skeleton/builder.h \
+ /root/repo/src/util/table.h

@@ -295,6 +295,7 @@ tests/CMakeFiles/sensitivity_test.dir/sensitivity_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/sensitivity.h /root/repo/src/hw/machine.h \
  /root/repo/src/skeleton/skeleton.h /usr/include/c++/12/span \
- /root/repo/src/hw/machine_file.h /root/repo/src/hw/registry.h \
- /root/repo/src/util/contracts.h /root/repo/src/workloads/srad.h \
- /root/repo/src/workloads/workload.h /root/repo/src/workloads/stassuij.h
+ /root/repo/src/hw/machine_file.h /root/repo/src/util/error.h \
+ /root/repo/src/hw/registry.h /root/repo/src/util/contracts.h \
+ /root/repo/src/workloads/srad.h /root/repo/src/workloads/workload.h \
+ /root/repo/src/workloads/stassuij.h

@@ -293,9 +293,13 @@ tests/CMakeFiles/skeleton_parse_test.dir/skeleton_parse_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/brs/footprint.h /root/repo/src/skeleton/skeleton.h \
- /usr/include/c++/12/span /root/repo/src/dataflow/usage_analyzer.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/brs/footprint.h \
+ /root/repo/src/skeleton/skeleton.h /usr/include/c++/12/span \
+ /root/repo/src/dataflow/usage_analyzer.h \
  /root/repo/src/dataflow/transfer_plan.h /root/repo/src/brs/section.h \
  /root/repo/src/hw/machine.h /root/repo/src/pcie/linear_model.h \
- /root/repo/src/skeleton/parse.h /root/repo/src/skeleton/serialize.h \
- /root/repo/src/workloads/workload.h
+ /root/repo/src/skeleton/parse.h /root/repo/src/util/error.h \
+ /root/repo/src/skeleton/serialize.h /root/repo/src/workloads/workload.h

@@ -29,3 +29,4 @@ include("/root/repo/build/tests/machine_file_test[1]_include.cmake")
 include("/root/repo/build/tests/sensitivity_test[1]_include.cmake")
 include("/root/repo/build/tests/golden_test[1]_include.cmake")
 include("/root/repo/build/tests/cache_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")

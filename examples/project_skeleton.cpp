@@ -82,11 +82,9 @@ int main(int argc, char** argv) {
       std::printf("%s", advisor.advise(app).describe().c_str());
     }
     return 0;
-  } catch (const skeleton::ParseError& e) {
-    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
-    return 1;
-  } catch (const hw::MachineParseError& e) {
-    std::fprintf(stderr, "machine file: %s\n", e.what());
+  } catch (const grophecy::ParseError& e) {
+    // what() already names the offending file and line.
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   } catch (const grophecy::ContractViolation& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/verify.sh              release build + ctest (the tier-1 gate)
+#   scripts/verify.sh --sanitize   additionally build and test under
+#                                  AddressSanitizer + UBSan (asan-ubsan preset)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "=== verify: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+run_preset default
+if [[ "${1:-}" == "--sanitize" ]]; then
+  run_preset asan-ubsan
+fi
+echo "=== verify: OK ==="

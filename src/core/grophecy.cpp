@@ -32,14 +32,16 @@ Seeds derive_seeds(std::uint64_t master) {
   return seeds;
 }
 
-pcie::BusModel calibrate(const hw::MachineSpec& machine,
-                         const ProjectionOptions& options,
-                         std::uint64_t seed) {
+pcie::CalibrationReport calibrate(const hw::MachineSpec& machine,
+                                  const ProjectionOptions& options,
+                                  std::uint64_t seed) {
   // Calibration runs on its own bus instance: on real hardware it is a
-  // separate synthetic-benchmark invocation with its own noise.
+  // separate synthetic-benchmark invocation with its own noise. The
+  // machine spec serves as the degradation fallback, so engine
+  // construction survives a measurement path that cannot converge.
   pcie::SimulatedBus bus(machine.pcie, seed);
   pcie::TransferCalibrator calibrator(options.calibration);
-  return calibrator.calibrate(bus, options.memory);
+  return calibrator.calibrate_robust(bus, options.memory, &machine.pcie);
 }
 
 }  // namespace
@@ -49,7 +51,7 @@ Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
       options_(std::move(options)),
       measurement_bus_(machine_.pcie,
                        derive_seeds(options_.seed).measurement_bus),
-      bus_model_(
+      calibration_report_(
           calibrate(machine_, options_, derive_seeds(options_.seed).calibration_bus)),
       explorer_(machine_.gpu, options_.explorer),
       gpu_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
@@ -59,8 +61,13 @@ Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
   if (options_.measurement_noise)
     measurement_bus_.set_noise(*options_.measurement_noise);
   GROPHECY_LOG(kInfo) << "calibrated " << machine_.name << ": H2D "
-                      << bus_model_.h2d.describe() << ", D2H "
-                      << bus_model_.d2h.describe();
+                      << bus_model().h2d.describe() << ", D2H "
+                      << bus_model().d2h.describe();
+  if (calibration_report_.used_fallback) {
+    GROPHECY_LOG(kWarn) << machine_.name
+                        << ": calibration degraded to spec-derived model — "
+                        << calibration_report_.warning;
+  }
 }
 
 ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
@@ -70,6 +77,7 @@ ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
   report.app_name = app.name;
   report.machine_name = machine_.name;
   report.iterations = app.iterations;
+  report.calibration = calibration_report_.summary();
 
   // --- transfer plan (data usage analysis) ---
   dataflow::UsageAnalyzer analyzer;
@@ -143,7 +151,7 @@ ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
       TransferResult result;
       result.transfer = transfer;
       result.predicted_s =
-          bus_model_.predict_seconds(transfer.bytes, transfer.direction);
+          bus_model().predict_seconds(transfer.bytes, transfer.direction);
       result.measured_s = measurement_bus_.measure_mean(
           transfer.bytes, transfer.direction, options_.memory,
           options_.measurement_runs);

@@ -59,7 +59,17 @@ class Grophecy {
   explicit Grophecy(hw::MachineSpec machine, ProjectionOptions options = {});
 
   /// The bus model calibrated at construction.
-  const pcie::BusModel& bus_model() const { return bus_model_; }
+  const pcie::BusModel& bus_model() const {
+    return calibration_report_.model;
+  }
+
+  /// Full account of how that model was obtained: fit quality, per-probe
+  /// telemetry (retries, rejected samples, timeouts), and whether the
+  /// pipeline degraded to the spec-derived fallback. Construction never
+  /// throws on calibration failure — it degrades and records why here.
+  const pcie::CalibrationReport& calibration_report() const {
+    return calibration_report_;
+  }
 
   /// Projects (and "measures") one application. Stochastic measurement
   /// streams advance with every call; calling twice yields independent
@@ -73,7 +83,7 @@ class Grophecy {
   hw::MachineSpec machine_;
   ProjectionOptions options_;
   pcie::SimulatedBus measurement_bus_;
-  pcie::BusModel bus_model_;
+  pcie::CalibrationReport calibration_report_;
   gpumodel::Explorer explorer_;
   sim::GpuSimulator gpu_sim_;
   sim::EventGpuSimulator event_sim_;

@@ -85,6 +85,10 @@ std::string ProjectionReport::describe() const {
   std::ostringstream oss;
   oss << "=== " << app_name << " on " << machine_name
       << " (iterations=" << iterations << ") ===\n";
+  if (calibration.used_fallback) {
+    oss << "WARNING: calibration degraded to spec-derived bus model — "
+        << calibration.warning << '\n';
+  }
   oss << "transfers: " << util::format_bytes(plan.input_bytes()) << " in, "
       << util::format_bytes(plan.output_bytes()) << " out\n";
   for (const KernelResult& k : kernels) {

@@ -8,6 +8,7 @@
 
 #include "dataflow/transfer_plan.h"
 #include "gpumodel/explorer.h"
+#include "pcie/calibrator.h"
 
 namespace grophecy::core {
 
@@ -36,6 +37,11 @@ struct ProjectionReport {
   dataflow::TransferPlan plan;
   std::vector<KernelResult> kernels;
   std::vector<TransferResult> transfers;
+
+  /// Health of the bus-model calibration behind every transfer prediction.
+  /// When calibration.used_fallback is true, transfer predictions rest on
+  /// the spec-derived model, not on measurements — treat them accordingly.
+  pcie::CalibrationSummary calibration;
 
   /// Device-resident footprint: every array any kernel touches must live
   /// in GPU memory for the whole offload (paper §II-B allocation model).

@@ -1,0 +1,158 @@
+// Deterministic fault injection for the measurement layer.
+//
+// The paper's own measurements were noisy: §V-A reports CFD transfers that
+// "inexplicably" took about twice the expected time. A calibration pipeline
+// that averages a handful of runs (§III-C averages ten) silently bakes such
+// outliers into alpha and beta, corrupting every downstream prediction.
+// Before trusting the robust pipeline in pcie::TransferCalibrator, we need
+// a way to *script* the failure modes it defends against.
+//
+// FaultInjector wraps any pcie::TransferTimer (and FaultyKernelTimer wraps
+// any sim::KernelTimer) and perturbs the wrapped observations according to
+// a FaultPlan:
+//
+//   slow outliers     occasional transfers take `slow_factor` x as long
+//                     (the §V-A anomaly; the scenario the acceptance tests
+//                     and bench/ablation_calibration.cpp reproduce)
+//   heavy tail        occasional Pareto-distributed slowdowns — rare but
+//                     extreme, the regime where means are meaningless
+//   transient failures observations fail outright with MeasurementError
+//                     (probabilistically, or the first `fail_first` calls,
+//                     or always) — exercises retry/backoff and fallback
+//   hangs             observations take `hang_factor` x as long; the
+//                     calibrator's watchdog surfaces them as timeouts
+//   drift             every observation is (1 + drift_per_call)^n slower —
+//                     a warming link or a busy host, defeating "measure
+//                     once, trust forever" calibration
+//
+// Everything is seeded: the same (plan, wrapped-timer seed) pair replays
+// the same fault sequence, so tests can assert exact behaviour. Fault
+// decisions consume a dedicated RNG stream; the wrapped timer's stream is
+// untouched, so a plan with all faults disabled is observation-for-
+// observation identical to the bare timer.
+#pragma once
+
+#include <cstdint>
+
+#include "pcie/bus.h"
+#include "sim/gpu_sim.h"
+#include "util/rng.h"
+
+namespace grophecy::faults {
+
+/// Scripts which faults fire and how hard. Default: no faults at all.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17ULL;  ///< Seed of the fault-decision stream.
+
+  /// --- slow outliers (paper §V-A) ---
+  double slow_probability = 0.0;  ///< Per-observation outlier probability.
+  double slow_factor = 2.0;       ///< Slowdown of an outlier observation.
+
+  /// --- heavy-tailed slowdowns ---
+  /// With probability `heavy_tail_probability`, multiply the observation by
+  /// a Pareto(shape) factor >= 1, capped at `heavy_tail_cap`. Smaller shape
+  /// = heavier tail (shape <= 1 has no finite mean before the cap).
+  double heavy_tail_probability = 0.0;
+  double heavy_tail_shape = 1.5;
+  double heavy_tail_cap = 50.0;
+
+  /// --- transient measurement failures (thrown MeasurementError) ---
+  double failure_probability = 0.0;  ///< Per-observation failure chance.
+  int fail_first = 0;                ///< The first N observations fail.
+  bool always_fail = false;          ///< Every observation fails.
+
+  /// --- stuck/hung observations ---
+  /// With probability `hang_probability` the observation takes
+  /// `hang_factor` x the clean time. A measurement harness with a watchdog
+  /// (RobustnessOptions::timeout_s) surfaces these as timeouts.
+  double hang_probability = 0.0;
+  double hang_factor = 1000.0;
+
+  /// --- slow drift ---
+  /// Observation n (0-based) is additionally scaled by
+  /// (1 + drift_per_call)^n.
+  double drift_per_call = 0.0;
+
+  /// The paper's §V-A scenario: `probability` of a `factor`-times-slow
+  /// transfer, everything else clean.
+  static FaultPlan paper_outliers(double probability = 0.05,
+                                  double factor = 2.0,
+                                  std::uint64_t seed = 0xFA17ULL);
+
+  /// A flaky link: transient failures plus occasional hangs.
+  static FaultPlan flaky(double failure_probability = 0.2,
+                         double hang_probability = 0.02,
+                         std::uint64_t seed = 0xFA17ULL);
+
+  /// A dead measurement path: every observation throws.
+  static FaultPlan broken(std::uint64_t seed = 0xFA17ULL);
+};
+
+/// Counts of what the injector actually did (telemetry for tests/benches).
+struct FaultStats {
+  std::uint64_t calls = 0;         ///< Observations requested.
+  std::uint64_t returned = 0;      ///< Observations that produced a value.
+  std::uint64_t slow = 0;          ///< Slow-outlier faults injected.
+  std::uint64_t heavy_tail = 0;    ///< Heavy-tail faults injected.
+  std::uint64_t failures = 0;      ///< MeasurementErrors thrown.
+  std::uint64_t hangs = 0;         ///< Hang faults injected.
+};
+
+/// The fault logic itself, independent of what is being measured: feed it
+/// a clean observation, get back a perturbed one (or MeasurementError).
+/// Shared by FaultInjector (transfers) and FaultyKernelTimer (kernels).
+class FaultEngine {
+ public:
+  explicit FaultEngine(FaultPlan plan);
+
+  /// Applies the plan to one clean observation. Throws MeasurementError
+  /// for failure faults; otherwise returns the perturbed duration.
+  double transform(double clean_seconds);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+/// A TransferTimer that injects faults into another TransferTimer.
+/// Drop-in: calibration code cannot tell it from real (mis)behaving
+/// hardware, which is the point.
+class FaultInjector final : public pcie::TransferTimer {
+ public:
+  /// Wraps `inner` (not owned; must outlive the injector).
+  FaultInjector(pcie::TransferTimer& inner, FaultPlan plan);
+
+  double time_transfer(std::uint64_t bytes, hw::Direction dir,
+                       hw::HostMemory mem) override;
+
+  const FaultStats& stats() const { return engine_.stats(); }
+  const FaultPlan& plan() const { return engine_.plan(); }
+
+ private:
+  pcie::TransferTimer& inner_;
+  FaultEngine engine_;
+};
+
+/// A KernelTimer that injects faults into another KernelTimer (the GPU
+/// simulators' launch timings).
+class FaultyKernelTimer final : public sim::KernelTimer {
+ public:
+  /// Wraps `inner` (not owned; must outlive the wrapper).
+  FaultyKernelTimer(sim::KernelTimer& inner, FaultPlan plan);
+
+  double run_launch_seconds(
+      const gpumodel::KernelCharacteristics& kc) override;
+
+  const FaultStats& stats() const { return engine_.stats(); }
+  const FaultPlan& plan() const { return engine_.plan(); }
+
+ private:
+  sim::KernelTimer& inner_;
+  FaultEngine engine_;
+};
+
+}  // namespace grophecy::faults

@@ -252,10 +252,14 @@ MachineSpec parse_machine(std::string_view text) {
 
 MachineSpec parse_machine_file(const std::string& path) {
   std::ifstream file(path);
-  if (!file) throw MachineParseError(0, "cannot open file: " + path);
+  if (!file) throw MachineParseError(path, 0, "cannot open file");
   std::ostringstream contents;
   contents << file.rdbuf();
-  return parse_machine(contents.str());
+  try {
+    return parse_machine(contents.str());
+  } catch (const MachineParseError& e) {
+    throw MachineParseError(path, e.line(), e.message());
+  }
 }
 
 std::string serialize_machine(const MachineSpec& machine) {

@@ -24,25 +24,24 @@
 // doubles as a complete, documented record of a machine's parameters.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "hw/machine.h"
+#include "util/error.h"
 
 namespace grophecy::hw {
 
-/// Error in a .gmach document; what() includes "line N: ...".
-class MachineParseError : public std::runtime_error {
+/// Error in a .gmach document. A grophecy::ParseError (ErrorKind::kParse);
+/// what() is "<file>: line <N>: <message>", with the file part present when
+/// the document came from a file (parse_machine_file attaches the path).
+class MachineParseError : public grophecy::ParseError {
  public:
   MachineParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
-  int line() const { return line_; }
-
- private:
-  int line_;
+      : grophecy::ParseError("", line, message) {}
+  MachineParseError(std::string file, int line, std::string message)
+      : grophecy::ParseError(std::move(file), line, std::move(message)) {}
 };
 
 /// Parses a .gmach document into a MachineSpec.

@@ -1,8 +1,10 @@
 #include "pcie/bus.h"
 
 #include <cmath>
+#include <vector>
 
 #include "util/contracts.h"
+#include "util/stats.h"
 #include "util/units.h"
 
 namespace grophecy::pcie {
@@ -50,6 +52,16 @@ double SimulatedBus::measure_mean(std::uint64_t bytes, hw::Direction dir,
   double sum = 0.0;
   for (int i = 0; i < runs; ++i) sum += time_transfer(bytes, dir, mem);
   return sum / runs;
+}
+
+double SimulatedBus::measure_median(std::uint64_t bytes, hw::Direction dir,
+                                    hw::HostMemory mem, int runs) {
+  GROPHECY_EXPECTS(runs > 0);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i)
+    samples.push_back(time_transfer(bytes, dir, mem));
+  return util::median(samples);
 }
 
 void SimulatedBus::set_noise(const hw::PcieNoiseProfile& noise) {

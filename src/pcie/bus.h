@@ -49,9 +49,19 @@ class SimulatedBus final : public TransferTimer {
                        hw::HostMemory mem) override;
 
   /// Arithmetic mean of `runs` independent observations (the paper averages
-  /// 10 runs for every reported time).
+  /// 10 runs for every reported time). Outlier-sensitive: a single 2x-slow
+  /// transfer (the paper's §V-A anomaly) among 10 runs inflates the result
+  /// by 10%, which two-point calibration then bakes into alpha or beta.
+  /// Prefer measure_median, or the robust calibration pipeline
+  /// (TransferCalibrator::calibrate_robust), when outliers are possible.
   double measure_mean(std::uint64_t bytes, hw::Direction dir,
                       hw::HostMemory mem, int runs);
+
+  /// Median of `runs` independent observations. Robust to occasional
+  /// outlier transfers: up to half the runs can be arbitrarily slow without
+  /// moving the result beyond the sample spread.
+  double measure_median(std::uint64_t bytes, hw::Direction dir,
+                        hw::HostMemory mem, int runs);
 
   /// Replaces the noise profile (used by experiments that need the paper's
   /// occasionally-2x-slow outlier transfers, §V-A).

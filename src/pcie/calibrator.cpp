@@ -1,34 +1,260 @@
 #include "pcie/calibrator.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/contracts.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 namespace grophecy::pcie {
 
+namespace {
+
+/// Relative 95% CI half-width of the sample mean; infinite when the sample
+/// is too small to estimate a spread.
+double rel_half_width(std::span<const double> samples) {
+  if (samples.size() < 2) return std::numeric_limits<double>::infinity();
+  const double m = util::mean(samples);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  const double sd = util::stddev(samples);
+  return 1.96 * sd / std::sqrt(static_cast<double>(samples.size())) / m;
+}
+
+/// Bounded exponential backoff before retry `attempt` (0-based).
+double backoff_seconds(const RobustnessOptions& r, int attempt) {
+  return std::min(r.backoff_initial_s * std::pow(2.0, attempt),
+                  r.backoff_max_s);
+}
+
+const char* direction_name(hw::Direction dir) {
+  return dir == hw::Direction::kHostToDevice ? "H2D" : "D2H";
+}
+
+}  // namespace
+
+RobustnessOptions RobustnessOptions::robust() {
+  RobustnessOptions r;
+  r.max_retries = 3;
+  r.timeout_s = 60.0;
+  r.reject_outliers = true;
+  r.adaptive = true;
+  return r;
+}
+
+CalibrationOptions CalibrationOptions::paper() { return {}; }
+
+CalibrationOptions CalibrationOptions::robust() {
+  CalibrationOptions options;
+  options.estimator = ProbeEstimator::kMedian;
+  options.robustness = RobustnessOptions::robust();
+  return options;
+}
+
+int CalibrationReport::total_retries() const {
+  int n = 0;
+  for (const auto* dir : {&h2d, &d2h})
+    for (const ProbeTelemetry& probe : dir->probes) n += probe.retries;
+  return n;
+}
+
+int CalibrationReport::total_rejected() const {
+  int n = 0;
+  for (const auto* dir : {&h2d, &d2h})
+    for (const ProbeTelemetry& probe : dir->probes)
+      n += probe.samples_rejected;
+  return n;
+}
+
+int CalibrationReport::total_timeouts() const {
+  int n = 0;
+  for (const auto* dir : {&h2d, &d2h})
+    for (const ProbeTelemetry& probe : dir->probes) n += probe.timeouts;
+  return n;
+}
+
+CalibrationSummary CalibrationReport::summary() const {
+  CalibrationSummary s;
+  s.converged = converged;
+  s.used_fallback = used_fallback;
+  s.retries = total_retries();
+  s.rejected_samples = total_rejected();
+  s.timeouts = total_timeouts();
+  s.warning = warning;
+  return s;
+}
+
+std::string CalibrationReport::describe() const {
+  std::string out =
+      converged ? "calibration: converged\n"
+                : "calibration: DEGRADED (spec-derived fallback)\n";
+  const std::pair<const char*, const DirectionCalibration*> directions[] = {
+      {"H2D", &h2d}, {"D2H", &d2h}};
+  for (const auto& [label, dir] : directions) {
+    out += util::strfmt("  %s: %s%s (r^2=%.4f)\n", label,
+                        dir->model.describe().c_str(),
+                        dir->from_spec ? " [from spec]" : "",
+                        dir->r_squared);
+    for (const ProbeTelemetry& probe : dir->probes) {
+      out += util::strfmt(
+          "    probe %s: kept %d, rejected %d, retries %d (timeouts %d, "
+          "backoff %.0f ms), CI half-width %.2f%%\n",
+          util::format_bytes(probe.bytes).c_str(), probe.samples_kept,
+          probe.samples_rejected, probe.retries, probe.timeouts,
+          probe.backoff_total_s * 1e3, probe.rel_half_width * 100.0);
+    }
+  }
+  if (!warning.empty()) out += "  warning: " + warning + "\n";
+  return out;
+}
+
 TransferCalibrator::TransferCalibrator(CalibrationOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   GROPHECY_EXPECTS(options_.small_bytes > 0);
   GROPHECY_EXPECTS(options_.small_bytes < options_.large_bytes);
   GROPHECY_EXPECTS(options_.replicates > 0);
+  const RobustnessOptions& r = options_.robustness;
+  GROPHECY_EXPECTS(r.max_retries >= 0);
+  GROPHECY_EXPECTS(r.backoff_initial_s > 0.0);
+  GROPHECY_EXPECTS(r.backoff_max_s >= r.backoff_initial_s);
+  GROPHECY_EXPECTS(r.timeout_s > 0.0);
+  GROPHECY_EXPECTS(r.outlier_z > 0.0);
+  GROPHECY_EXPECTS(r.target_rel_half_width > 0.0);
+  GROPHECY_EXPECTS(r.max_replicates >= options_.replicates);
+  for (std::uint64_t bytes : options_.sweep_bytes) GROPHECY_EXPECTS(bytes > 0);
+}
+
+bool TransferCalibrator::measure_probe(TransferTimer& timer,
+                                       std::uint64_t bytes,
+                                       hw::Direction dir, hw::HostMemory mem,
+                                       ProbeTelemetry& tel,
+                                       std::string& failure) const {
+  const RobustnessOptions& r = options_.robustness;
+  tel.bytes = bytes;
+
+  std::vector<double> samples;
+  // Draws one sample, retrying transient failures with bounded exponential
+  // backoff. Returns false when the retry budget is exhausted.
+  auto draw_one = [&]() -> bool {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        const double t = timer.time_transfer(bytes, dir, mem);
+        if (t > r.timeout_s)
+          throw MeasurementError(
+              util::strfmt("transfer exceeded %.1f s watchdog", r.timeout_s),
+              /*timed_out=*/true);
+        samples.push_back(t);
+        return true;
+      } catch (const MeasurementError& e) {
+        if (e.timed_out()) ++tel.timeouts;
+        if (attempt >= r.max_retries) {
+          failure = util::strfmt(
+              "%s probe at %s failed after %d attempt(s): %s",
+              direction_name(dir), util::format_bytes(bytes).c_str(),
+              attempt + 1, e.what());
+          return false;
+        }
+        tel.backoff_total_s += backoff_seconds(r, attempt);
+        ++tel.retries;
+      }
+    }
+  };
+
+  for (int i = 0; i < options_.replicates; ++i)
+    if (!draw_one()) return false;
+
+  auto kept_of = [&](std::span<const double> all) {
+    return r.reject_outliers ? util::mad_filter(all, r.outlier_z)
+                             : std::vector<double>(all.begin(), all.end());
+  };
+  std::vector<double> kept = kept_of(samples);
+
+  if (r.adaptive) {
+    while (static_cast<int>(samples.size()) < r.max_replicates &&
+           rel_half_width(kept) > r.target_rel_half_width) {
+      if (!draw_one()) return false;
+      kept = kept_of(samples);
+    }
+  }
+
+  tel.samples_kept = static_cast<int>(kept.size());
+  tel.samples_rejected = static_cast<int>(samples.size() - kept.size());
+  tel.estimate_s = options_.estimator == ProbeEstimator::kMean
+                       ? util::mean(kept)
+                       : util::median(kept);
+  const double achieved = rel_half_width(kept);
+  tel.rel_half_width = std::isfinite(achieved) ? achieved : 0.0;
+  return true;
+}
+
+bool TransferCalibrator::try_calibrate_direction(TransferTimer& timer,
+                                                 hw::Direction dir,
+                                                 hw::HostMemory mem,
+                                                 DirectionCalibration& out,
+                                                 std::string& failure) const {
+  std::vector<std::uint64_t> sizes;
+  if (options_.fit == FitMethod::kTwoPoint) {
+    sizes = {options_.small_bytes, options_.large_bytes};
+  } else if (!options_.sweep_bytes.empty()) {
+    sizes = options_.sweep_bytes;
+  } else {
+    // Default Theil–Sen sweep: the two paper probes plus log-spaced
+    // interior sizes. Small sizes are deliberately over-represented —
+    // they are the only ones whose residuals resolve alpha.
+    sizes = {options_.small_bytes, 4 * util::kKiB,   16 * util::kKiB,
+             64 * util::kKiB,      256 * util::kKiB, util::kMiB,
+             16 * util::kMiB,      128 * util::kMiB, options_.large_bytes};
+    sizes.erase(std::remove_if(sizes.begin(), sizes.end(),
+                               [&](std::uint64_t b) {
+                                 return b > options_.large_bytes;
+                               }),
+                sizes.end());
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  }
+
+  for (std::uint64_t bytes : sizes) {
+    out.probes.emplace_back();
+    if (!measure_probe(timer, bytes, dir, mem, out.probes.back(), failure))
+      return false;
+  }
+
+  if (options_.fit == FitMethod::kTwoPoint) {
+    const double t_small = out.probes.front().estimate_s;
+    const double t_large = out.probes.back().estimate_s;
+    out.model.alpha_s = t_small;
+    out.model.beta_s_per_byte =
+        t_large / static_cast<double>(options_.large_bytes);
+    out.r_squared = 1.0;  // exact by construction at the two probes
+  } else {
+    std::vector<double> x, y;
+    for (const ProbeTelemetry& probe : out.probes) {
+      x.push_back(static_cast<double>(probe.bytes));
+      y.push_back(probe.estimate_s);
+    }
+    const util::LinearFit fit = util::theil_sen(x, y);
+    out.model.alpha_s = fit.intercept;
+    out.model.beta_s_per_byte = fit.slope;
+    out.r_squared = fit.r_squared;
+  }
+
+  if (!(out.model.alpha_s > 0.0 && out.model.beta_s_per_byte > 0.0)) {
+    failure = util::strfmt(
+        "%s fit produced non-physical parameters (alpha=%g s, beta=%g s/B)",
+        direction_name(dir), out.model.alpha_s, out.model.beta_s_per_byte);
+    return false;
+  }
+  return true;
 }
 
 LinearTransferModel TransferCalibrator::calibrate_direction(
     TransferTimer& timer, hw::Direction dir, hw::HostMemory mem) const {
-  auto mean_of = [&](std::uint64_t bytes) {
-    double sum = 0.0;
-    for (int i = 0; i < options_.replicates; ++i)
-      sum += timer.time_transfer(bytes, dir, mem);
-    return sum / options_.replicates;
-  };
-
-  const double t_small = mean_of(options_.small_bytes);
-  const double t_large = mean_of(options_.large_bytes);
-
-  LinearTransferModel model;
-  model.alpha_s = t_small;
-  model.beta_s_per_byte =
-      t_large / static_cast<double>(options_.large_bytes);
-  GROPHECY_ENSURES(model.alpha_s > 0.0 && model.beta_s_per_byte > 0.0);
-  return model;
+  DirectionCalibration out;
+  std::string failure;
+  if (!try_calibrate_direction(timer, dir, mem, out, failure))
+    throw CalibrationError(failure);
+  return out.model;
 }
 
 BusModel TransferCalibrator::calibrate(TransferTimer& timer,
@@ -38,6 +264,37 @@ BusModel TransferCalibrator::calibrate(TransferTimer& timer,
   bus.h2d = calibrate_direction(timer, hw::Direction::kHostToDevice, mem);
   bus.d2h = calibrate_direction(timer, hw::Direction::kDeviceToHost, mem);
   return bus;
+}
+
+CalibrationReport TransferCalibrator::calibrate_robust(
+    TransferTimer& timer, hw::HostMemory mem,
+    const hw::PcieSpec* fallback_spec) const {
+  CalibrationReport report;
+  report.model.memory_mode = mem;
+
+  bool all_ok = true;
+  const std::pair<hw::Direction, DirectionCalibration*> directions[] = {
+      {hw::Direction::kHostToDevice, &report.h2d},
+      {hw::Direction::kDeviceToHost, &report.d2h}};
+  for (const auto& [dir, dir_cal] : directions) {
+    std::string failure;
+    if (try_calibrate_direction(timer, dir, mem, *dir_cal, failure)) continue;
+    all_ok = false;
+    if (fallback_spec == nullptr) throw CalibrationError(failure);
+    // Degradation ladder, last rung: a trustworthy-but-blind model derived
+    // from the machine spec, with the reason on record.
+    dir_cal->model = model_from_spec(fallback_spec->profile(dir, mem));
+    dir_cal->from_spec = true;
+    dir_cal->r_squared = 0.0;
+    report.used_fallback = true;
+    if (!report.warning.empty()) report.warning += "; ";
+    report.warning += failure + " — using spec-derived model";
+  }
+
+  report.converged = all_ok;
+  report.model.h2d = report.h2d.model;
+  report.model.d2h = report.d2h.model;
+  return report;
 }
 
 }  // namespace grophecy::pcie

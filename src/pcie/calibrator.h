@@ -1,16 +1,42 @@
-// Two-point calibration of the linear transfer model (paper §III-C).
+// Calibration of the linear transfer model (paper §III-C), in two grades.
+//
+// The paper's procedure:
 //
 // "To determine alpha, we measure the transfer time t_S of a single byte;
 //  we then set alpha = t_S. To determine beta, we measure the time t_L of a
 //  large transfer of size s_L = 512MB and then set beta = t_L / s_L. Both
 //  t_S and t_L are averaged across ten runs."
 //
-// The calibrator runs this synthetic benchmark against any TransferTimer,
-// which is how GROPHECY++ "automatically measures the values of the two
-// parameters for each new system on which it runs".
+// calibrate() reproduces that exactly. It is also fragile: §V-A reports
+// occasional transfers taking ~2x the expected time, and a single such
+// outlier among ten averaged runs corrupts alpha or beta by ~10% — which
+// then skews *every* downstream prediction. calibrate_robust() is the
+// hardened pipeline (see docs/robustness.md):
+//
+//   * per-sample retry with bounded exponential backoff on
+//     MeasurementError (transient failures),
+//   * a watchdog timeout converting stuck/hung observations into
+//     retryable timeouts,
+//   * median/MAD outlier rejection before estimating each probe,
+//   * adaptive replication: sampling continues until the relative 95% CI
+//     half-width of the probe estimate drops below a target (or a budget
+//     cap is hit),
+//   * an optional Theil–Sen median-of-slopes fit over a multi-size probe
+//     sweep instead of the two-point fit, and
+//   * graceful degradation: when measurement cannot converge, the
+//     spec-derived model (pcie::bus_model_from_spec) is returned with a
+//     structured warning instead of garbage or an escaped exception.
+//
+// calibrate_robust() returns a CalibrationReport carrying the model plus
+// fit quality, per-probe telemetry (kept/rejected samples, retries,
+// timeouts, recorded backoff), and the degradation status, so callers can
+// audit how trustworthy the parameters are.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "hw/machine.h"
 #include "pcie/bus.h"
@@ -19,12 +45,124 @@
 
 namespace grophecy::pcie {
 
+/// How probe estimates are turned into (alpha, beta).
+enum class FitMethod {
+  /// Paper §III-C: alpha = t(small), beta = t(large) / large.
+  kTwoPoint,
+  /// Theil–Sen median-of-slopes over CalibrationOptions::sweep_bytes.
+  /// Robust to outlier *probes* (breakdown ~29%), at the price of an
+  /// intercept that absorbs some of the mid-size non-linearity.
+  kTheilSen,
+};
+
+/// How replicate samples of one probe reduce to a single estimate.
+enum class ProbeEstimator {
+  kMean,    ///< Paper default; outlier-sensitive (see SimulatedBus docs).
+  kMedian,  ///< Robust to up to half the samples being wild.
+};
+
+/// Knobs of the robust measurement loop. The default-constructed value
+/// disables everything so the pipeline reproduces the paper's procedure
+/// sample-for-sample; robust() is the recommended hardened profile.
+struct RobustnessOptions {
+  /// Extra attempts per sample when the timer throws MeasurementError.
+  /// 0 disables retrying (any failure immediately fails the probe).
+  int max_retries = 0;
+  /// Backoff before retry k is min(backoff_initial_s * 2^k, backoff_max_s).
+  /// Recorded in the telemetry; the simulated harness does not sleep, a
+  /// real-hardware timer would.
+  double backoff_initial_s = 1e-3;
+  double backoff_max_s = 0.25;
+  /// Samples slower than this are treated as hung and converted into
+  /// retryable timeout failures (MeasurementError with timed_out() true).
+  double timeout_s = std::numeric_limits<double>::infinity();
+  /// Median/MAD outlier rejection (modified z-score > outlier_z is
+  /// dropped) before the probe estimate is computed.
+  bool reject_outliers = false;
+  double outlier_z = 3.5;
+  /// Adaptive replication: after the initial CalibrationOptions::replicates
+  /// samples, keep sampling until the relative 95% CI half-width of the
+  /// kept samples' mean is <= target_rel_half_width, or max_replicates
+  /// samples have been drawn.
+  bool adaptive = false;
+  double target_rel_half_width = 0.02;
+  int max_replicates = 200;
+
+  /// The recommended hardened profile: 3 retries, outlier rejection,
+  /// adaptive replication to 2% CI, 60 s watchdog.
+  static RobustnessOptions robust();
+};
+
 /// Knobs of the calibration procedure; defaults are the paper's choices.
 /// The ablation bench sweeps these to justify them.
 struct CalibrationOptions {
   std::uint64_t small_bytes = 1;                  ///< alpha probe size.
   std::uint64_t large_bytes = 512 * util::kMiB;   ///< beta probe size.
   int replicates = 10;                            ///< runs averaged per probe.
+  FitMethod fit = FitMethod::kTwoPoint;
+  ProbeEstimator estimator = ProbeEstimator::kMean;
+  /// Probe sizes for FitMethod::kTheilSen; when empty, a default
+  /// log-spaced sweep from small_bytes to large_bytes is used.
+  std::vector<std::uint64_t> sweep_bytes;
+  RobustnessOptions robustness;
+
+  /// The paper's procedure (same as default construction).
+  static CalibrationOptions paper();
+  /// Two-point fit hardened with RobustnessOptions::robust() and a
+  /// median estimator.
+  static CalibrationOptions robust();
+};
+
+/// What happened while measuring one probe size (one direction).
+struct ProbeTelemetry {
+  std::uint64_t bytes = 0;
+  int samples_kept = 0;      ///< Samples surviving outlier rejection.
+  int samples_rejected = 0;  ///< Samples dropped by the median/MAD filter.
+  int retries = 0;           ///< Failed attempts that were retried.
+  int timeouts = 0;          ///< Of those, watchdog timeouts.
+  double backoff_total_s = 0.0;  ///< Total backoff the policy would sleep.
+  double estimate_s = 0.0;       ///< The probe's final estimate.
+  double rel_half_width = 0.0;   ///< Achieved relative 95% CI half-width.
+};
+
+/// Calibration outcome for one direction.
+struct DirectionCalibration {
+  LinearTransferModel model;
+  std::vector<ProbeTelemetry> probes;
+  /// Fit quality over the probe estimates (1.0 for the two-point fit,
+  /// which is exact by construction).
+  double r_squared = 1.0;
+  /// True when this direction's model came from hw::PcieSpec instead of
+  /// measurements.
+  bool from_spec = false;
+};
+
+/// Compact health summary, embeddable in higher-level reports
+/// (core::ProjectionReport) without dragging the full telemetry along.
+struct CalibrationSummary {
+  bool converged = true;      ///< Measurements produced the model.
+  bool used_fallback = false; ///< Model degraded to the spec-derived one.
+  int retries = 0;
+  int rejected_samples = 0;
+  int timeouts = 0;
+  std::string warning;        ///< Non-empty when degraded.
+};
+
+/// Everything calibrate_robust() learned: the model plus the evidence.
+struct CalibrationReport {
+  BusModel model;
+  DirectionCalibration h2d;
+  DirectionCalibration d2h;
+  bool converged = false;      ///< Both directions measured successfully.
+  bool used_fallback = false;  ///< Spec-derived degradation was taken.
+  std::string warning;         ///< Why degradation happened (if it did).
+
+  int total_retries() const;
+  int total_rejected() const;
+  int total_timeouts() const;
+  CalibrationSummary summary() const;
+  /// Multi-line human-readable account (model, fit quality, telemetry).
+  std::string describe() const;
 };
 
 /// Calibrates LinearTransferModel / BusModel instances from measurements.
@@ -32,7 +170,10 @@ class TransferCalibrator {
  public:
   explicit TransferCalibrator(CalibrationOptions options = {});
 
-  /// Calibrates one direction. Requires small_bytes < large_bytes.
+  /// Calibrates one direction, honoring every option (fit method,
+  /// estimator, robustness). Throws CalibrationError when the probes
+  /// cannot be measured within the retry budget. With default options this
+  /// is the paper's procedure, sample for sample.
   LinearTransferModel calibrate_direction(TransferTimer& timer,
                                           hw::Direction dir,
                                           hw::HostMemory mem) const;
@@ -42,9 +183,33 @@ class TransferCalibrator {
   BusModel calibrate(TransferTimer& timer,
                      hw::HostMemory mem = hw::HostMemory::kPinned) const;
 
+  /// The resilient pipeline (see file comment). Degradation ladder:
+  ///   1. every sample retried up to robustness.max_retries times,
+  ///   2. a probe whose retry budget is exhausted fails the direction,
+  ///   3. a failed direction degrades to the spec-derived model when
+  ///      `fallback_spec` is provided (report.used_fallback set, warning
+  ///      populated, nothing thrown),
+  ///   4. without `fallback_spec`, CalibrationError is thrown.
+  /// With default options the measurement sequence is sample-for-sample
+  /// identical to calibrate().
+  CalibrationReport calibrate_robust(
+      TransferTimer& timer, hw::HostMemory mem = hw::HostMemory::kPinned,
+      const hw::PcieSpec* fallback_spec = nullptr) const;
+
   const CalibrationOptions& options() const { return options_; }
 
  private:
+  /// Returns false (with `failure` set) when the direction could not be
+  /// calibrated; `out` keeps whatever telemetry was gathered either way.
+  bool try_calibrate_direction(TransferTimer& timer, hw::Direction dir,
+                               hw::HostMemory mem, DirectionCalibration& out,
+                               std::string& failure) const;
+  /// Returns false (with `failure` set) when the probe's retry budget was
+  /// exhausted; `tel` keeps whatever telemetry was gathered either way.
+  bool measure_probe(TransferTimer& timer, std::uint64_t bytes,
+                     hw::Direction dir, hw::HostMemory mem,
+                     ProbeTelemetry& tel, std::string& failure) const;
+
   CalibrationOptions options_;
 };
 

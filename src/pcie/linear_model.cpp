@@ -22,4 +22,21 @@ std::string LinearTransferModel::describe() const {
                       bandwidth_gbps());
 }
 
+LinearTransferModel model_from_spec(const hw::PcieDirectionProfile& profile) {
+  GROPHECY_EXPECTS(profile.latency_s > 0.0);
+  GROPHECY_EXPECTS(profile.asymptotic_gbps > 0.0);
+  LinearTransferModel model;
+  model.alpha_s = profile.latency_s;
+  model.beta_s_per_byte = 1.0 / (profile.asymptotic_gbps * util::kGB);
+  return model;
+}
+
+BusModel bus_model_from_spec(const hw::PcieSpec& spec, hw::HostMemory mem) {
+  BusModel bus;
+  bus.memory_mode = mem;
+  bus.h2d = model_from_spec(spec.profile(hw::Direction::kHostToDevice, mem));
+  bus.d2h = model_from_spec(spec.profile(hw::Direction::kDeviceToHost, mem));
+  return bus;
+}
+
 }  // namespace grophecy::pcie

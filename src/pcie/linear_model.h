@@ -46,4 +46,14 @@ struct BusModel {
   }
 };
 
+/// Spec-derived model: alpha from the profile's latency floor, beta from
+/// its asymptotic bandwidth. This is the degradation fallback when
+/// measurement-based calibration cannot converge (docs/robustness.md):
+/// trustworthy headline parameters, but blind to whatever real-system
+/// effects calibration would have absorbed.
+LinearTransferModel model_from_spec(const hw::PcieDirectionProfile& profile);
+
+/// Spec-derived models for both directions under one memory mode.
+BusModel bus_model_from_spec(const hw::PcieSpec& spec, hw::HostMemory mem);
+
 }  // namespace grophecy::pcie

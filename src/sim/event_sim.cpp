@@ -227,12 +227,4 @@ double EventGpuSimulator::run_launch_seconds(
   return rng_.lognormal(base, gpu_.timing_jitter_sigma * 0.5);
 }
 
-double EventGpuSimulator::measure_launch_seconds(
-    const gpumodel::KernelCharacteristics& kc, int runs) {
-  GROPHECY_EXPECTS(runs > 0);
-  double sum = 0.0;
-  for (int i = 0; i < runs; ++i) sum += run_launch_seconds(kc);
-  return sum / runs;
-}
-
 }  // namespace grophecy::sim

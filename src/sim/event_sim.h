@@ -30,7 +30,7 @@
 namespace grophecy::sim {
 
 /// Fluid discrete-event simulator of a GpuSpec.
-class EventGpuSimulator {
+class EventGpuSimulator final : public KernelTimer {
  public:
   EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed);
 
@@ -38,11 +38,7 @@ class EventGpuSimulator {
   SimBreakdown expected_launch(const gpumodel::KernelCharacteristics& kc) const;
 
   /// One observation with per-block lognormal jitter (plus launch jitter).
-  double run_launch_seconds(const gpumodel::KernelCharacteristics& kc);
-
-  /// Arithmetic mean of `runs` observations.
-  double measure_launch_seconds(const gpumodel::KernelCharacteristics& kc,
-                                int runs);
+  double run_launch_seconds(const gpumodel::KernelCharacteristics& kc) override;
 
   const hw::GpuSpec& gpu() const { return gpu_; }
 

@@ -132,18 +132,18 @@ SimBreakdown GpuSimulator::expected_launch(
   return out;
 }
 
-double GpuSimulator::run_launch_seconds(
-    const gpumodel::KernelCharacteristics& kc) {
-  const double base = expected_launch(kc).total_s;
-  return rng_.lognormal(base, gpu_.timing_jitter_sigma);
-}
-
-double GpuSimulator::measure_launch_seconds(
+double KernelTimer::measure_launch_seconds(
     const gpumodel::KernelCharacteristics& kc, int runs) {
   GROPHECY_EXPECTS(runs > 0);
   double sum = 0.0;
   for (int i = 0; i < runs; ++i) sum += run_launch_seconds(kc);
   return sum / runs;
+}
+
+double GpuSimulator::run_launch_seconds(
+    const gpumodel::KernelCharacteristics& kc) {
+  const double base = expected_launch(kc).total_s;
+  return rng_.lognormal(base, gpu_.timing_jitter_sigma);
 }
 
 }  // namespace grophecy::sim

@@ -41,8 +41,25 @@ struct SimBreakdown {
   int waves = 0;  ///< Block scheduling waves (incl. partial final wave).
 };
 
+/// Anything that can time one launch of a characterized kernel. Implemented
+/// by the simulators here; on a real system it would wrap a kernel launch +
+/// cudaEvent timing. The faults module wraps any KernelTimer to inject
+/// measurement faults, exactly as it wraps pcie::TransferTimer.
+class KernelTimer {
+ public:
+  virtual ~KernelTimer() = default;
+
+  /// One noisy observation of a launch. Each call is independent.
+  virtual double run_launch_seconds(
+      const gpumodel::KernelCharacteristics& kc) = 0;
+
+  /// Arithmetic mean of `runs` observations (paper: mean of ten runs).
+  double measure_launch_seconds(const gpumodel::KernelCharacteristics& kc,
+                                int runs);
+};
+
 /// Stochastic simulator of a GpuSpec executing characterized kernels.
-class GpuSimulator {
+class GpuSimulator final : public KernelTimer {
  public:
   GpuSimulator(hw::GpuSpec gpu, std::uint64_t seed);
 
@@ -50,11 +67,7 @@ class GpuSimulator {
   SimBreakdown expected_launch(const gpumodel::KernelCharacteristics& kc) const;
 
   /// One noisy observation of a launch.
-  double run_launch_seconds(const gpumodel::KernelCharacteristics& kc);
-
-  /// Arithmetic mean of `runs` observations (paper: mean of ten runs).
-  double measure_launch_seconds(const gpumodel::KernelCharacteristics& kc,
-                                int runs);
+  double run_launch_seconds(const gpumodel::KernelCharacteristics& kc) override;
 
   const hw::GpuSpec& gpu() const { return gpu_; }
 

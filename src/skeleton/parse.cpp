@@ -424,10 +424,14 @@ AppSkeleton parse_skeleton(std::string_view text) {
 
 AppSkeleton parse_skeleton_file(const std::string& path) {
   std::ifstream file(path);
-  if (!file) throw ParseError(0, "cannot open file: " + path);
+  if (!file) throw ParseError(path, 0, "cannot open file");
   std::ostringstream contents;
   contents << file.rdbuf();
-  return parse_skeleton(contents.str());
+  try {
+    return parse_skeleton(contents.str());
+  } catch (const ParseError& e) {
+    throw ParseError(path, e.line(), e.message());
+  }
 }
 
 }  // namespace grophecy::skeleton

@@ -35,33 +35,34 @@
 // `?` for a data-dependent dimension; `deps=` names the loops the hidden
 // index depends on (CSR SpMM: `load B[?][j] deps=i,k`).
 //
-// Parse errors throw skeleton::ParseError with a line number and message.
+// Parse errors throw skeleton::ParseError (a grophecy::ParseError, kind
+// ErrorKind::kParse) with the source name, line number, and message.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "skeleton/skeleton.h"
+#include "util/error.h"
 
 namespace grophecy::skeleton {
 
-/// Error in a .gskel document; what() includes "line N: ...".
-class ParseError : public std::runtime_error {
+/// Error in a .gskel document. what() is "<file>: line <N>: <message>";
+/// the file part is present when the document came from a file
+/// (parse_skeleton_file attaches the path on rethrow).
+class ParseError : public grophecy::ParseError {
  public:
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
-  int line() const { return line_; }
-
- private:
-  int line_;
+      : grophecy::ParseError("", line, message) {}
+  ParseError(std::string file, int line, std::string message)
+      : grophecy::ParseError(std::move(file), line, std::move(message)) {}
 };
 
 /// Parses a .gskel document into a validated AppSkeleton.
 AppSkeleton parse_skeleton(std::string_view text);
 
-/// Reads and parses a .gskel file; throws ParseError / ContractViolation.
+/// Reads and parses a .gskel file; throws ParseError (with the file path
+/// attached) / ContractViolation.
 AppSkeleton parse_skeleton_file(const std::string& path);
 
 }  // namespace grophecy::skeleton

@@ -1,0 +1,109 @@
+// Error taxonomy of the framework.
+//
+// Black-box measurement layers fail in distinguishable ways, and callers
+// need to react differently to each: a failed transfer timing is worth
+// retrying, a calibration that cannot converge is not, and a malformed
+// input file is a user error. Every exception the framework throws for a
+// *runtime* condition derives from grophecy::Error and carries an
+// ErrorKind so callers can branch on category without enumerating
+// concrete types. (Programming errors — violated preconditions — remain
+// grophecy::ContractViolation, a std::logic_error; see util/contracts.h.)
+//
+// The taxonomy:
+//
+//   MeasurementError  one observation failed (transient; retryable)
+//   CalibrationError  the calibration pipeline exhausted its retry/sample
+//                     budget (fatal for this run; fall back or abort)
+//   ParseError        malformed .gskel / .gmach input (user must fix it)
+//
+// See docs/robustness.md for the retry and degradation policies built on
+// top of this hierarchy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace grophecy {
+
+/// Category of a framework error; see the table above.
+enum class ErrorKind {
+  kMeasurement,
+  kCalibration,
+  kParse,
+};
+
+/// Base of all runtime errors thrown by the framework.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  ErrorKind kind() const { return kind_; }
+
+  /// True when retrying the failed operation may succeed (transient
+  /// faults). Calibration and parse errors are never retryable.
+  bool retryable() const { return kind_ == ErrorKind::kMeasurement; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// A single measurement (transfer timing, kernel timing) failed.
+/// Transient by definition: the retry policy in the calibration pipeline
+/// catches these and retries with bounded exponential backoff.
+class MeasurementError : public Error {
+ public:
+  explicit MeasurementError(const std::string& what, bool timed_out = false)
+      : Error(ErrorKind::kMeasurement, what), timed_out_(timed_out) {}
+
+  /// True when the measurement was abandoned because it exceeded the
+  /// watchdog timeout (a stuck/hung transfer), as opposed to failing fast.
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  bool timed_out_;
+};
+
+/// The calibration pipeline could not produce a trustworthy model within
+/// its retry and replication budgets. Callers either degrade to the
+/// spec-derived fallback model (see pcie::TransferCalibrator) or abort.
+class CalibrationError : public Error {
+ public:
+  explicit CalibrationError(const std::string& what)
+      : Error(ErrorKind::kCalibration, what) {}
+};
+
+/// Malformed textual input (.gskel or .gmach). Carries the source name and
+/// line so tooling can point the user at the offending location; what() is
+/// "<file>: line <N>: <message>" (file/line parts omitted when unknown).
+class ParseError : public Error {
+ public:
+  ParseError(std::string file, int line, std::string message)
+      : Error(ErrorKind::kParse, format(file, line, message)),
+        file_(std::move(file)),
+        line_(line),
+        message_(std::move(message)) {}
+
+  /// Source file name; empty when parsing an in-memory string.
+  const std::string& file() const { return file_; }
+  /// 1-based line number; 0 when no line applies (e.g. unreadable file).
+  int line() const { return line_; }
+  /// The bare message, without the file/line prefix.
+  const std::string& message() const { return message_; }
+
+ private:
+  static std::string format(const std::string& file, int line,
+                            const std::string& message) {
+    std::string out;
+    if (!file.empty()) out += file + ": ";
+    if (line > 0) out += "line " + std::to_string(line) + ": ";
+    out += message;
+    return out;
+  }
+
+  std::string file_;
+  int line_;
+  std::string message_;
+};
+
+}  // namespace grophecy

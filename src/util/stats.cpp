@@ -32,6 +32,40 @@ double median(std::span<const double> values) {
   return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
 
+double mad(std::span<const double> values) {
+  GROPHECY_EXPECTS(!values.empty());
+  const double med = median(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - med));
+  return median(deviations);
+}
+
+std::vector<double> mad_filter(std::span<const double> values,
+                               double z_cutoff) {
+  GROPHECY_EXPECTS(!values.empty());
+  GROPHECY_EXPECTS(z_cutoff > 0.0);
+  const double med = median(values);
+  const double sigma = kMadToSigma * mad(values);
+  if (sigma == 0.0) return std::vector<double>(values.begin(), values.end());
+  std::vector<double> kept;
+  kept.reserve(values.size());
+  for (double v : values)
+    if (std::abs(v - med) / sigma <= z_cutoff) kept.push_back(v);
+  return kept;
+}
+
+double trimmed_mean(std::span<const double> values, double trim_fraction) {
+  GROPHECY_EXPECTS(!values.empty());
+  GROPHECY_EXPECTS(trim_fraction >= 0.0 && trim_fraction < 0.5);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto trim = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * trim_fraction);
+  return mean(std::span<const double>(sorted.data() + trim,
+                                      sorted.size() - 2 * trim));
+}
+
 double percentile(std::span<const double> values, double pct) {
   GROPHECY_EXPECTS(!values.empty());
   GROPHECY_EXPECTS(pct >= 0.0 && pct <= 100.0);
@@ -126,6 +160,35 @@ LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;
   fit.r_squared = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit theil_sen(std::span<const double> x, std::span<const double> y) {
+  GROPHECY_EXPECTS(x.size() == y.size());
+  GROPHECY_EXPECTS(x.size() >= 2);
+  std::vector<double> slopes;
+  slopes.reserve(x.size() * (x.size() - 1) / 2);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = i + 1; j < x.size(); ++j)
+      if (x[i] != x[j]) slopes.push_back((y[j] - y[i]) / (x[j] - x[i]));
+  GROPHECY_EXPECTS(!slopes.empty());
+
+  LinearFit fit;
+  fit.slope = median(slopes);
+  std::vector<double> residuals;
+  residuals.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    residuals.push_back(y[i] - fit.slope * x[i]);
+  fit.intercept = median(residuals);
+
+  double ss_res = 0.0, syy = 0.0;
+  const double my = mean(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += r * r;
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  fit.r_squared = (syy > 0.0) ? std::max(0.0, 1.0 - ss_res / syy) : 1.0;
   return fit;
 }
 

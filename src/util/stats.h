@@ -21,6 +21,26 @@ double stddev(std::span<const double> values);
 /// Median (average of middle pair for even sizes). Requires non-empty.
 double median(std::span<const double> values);
 
+/// Median absolute deviation from the median (raw, unscaled). Requires
+/// non-empty input. Multiply by kMadToSigma for a robust sigma estimate
+/// under approximately normal noise.
+double mad(std::span<const double> values);
+
+/// Consistency factor turning a MAD into a normal-sigma estimate.
+inline constexpr double kMadToSigma = 1.4826;
+
+/// Removes MAD-based outliers: keeps values whose modified z-score
+/// |x - median| / (kMadToSigma * MAD) is <= z_cutoff. Degenerate samples
+/// (MAD == 0) are returned unchanged — with no spread there is no basis
+/// for rejection. Requires non-empty input and z_cutoff > 0; always keeps
+/// at least the values at the median.
+std::vector<double> mad_filter(std::span<const double> values,
+                               double z_cutoff);
+
+/// Mean after symmetrically trimming floor(n * trim_fraction) values from
+/// each end. Requires non-empty input and trim_fraction in [0, 0.5).
+double trimmed_mean(std::span<const double> values, double trim_fraction);
+
 /// Inclusive percentile in [0, 100] by linear interpolation. Non-empty input.
 double percentile(std::span<const double> values, double pct);
 
@@ -64,5 +84,13 @@ struct LinearFit {
   double r_squared = 0.0;
 };
 LinearFit least_squares(std::span<const double> x, std::span<const double> y);
+
+/// Theil–Sen robust line fit: slope = median of all pairwise slopes,
+/// intercept = median of (y_i - slope * x_i). Breakdown point ~29%: up to
+/// that fraction of wild outliers leaves the fit essentially unchanged,
+/// where least_squares (and the two-point calibration it generalizes) can
+/// be corrupted by a single bad sample. Requires >= 2 distinct x values.
+/// r_squared is computed against the data, as for least_squares.
+LinearFit theil_sen(std::span<const double> x, std::span<const double> y);
 
 }  // namespace grophecy::util

@@ -3,6 +3,8 @@
 // use (calibrating and projecting against a user-defined machine).
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "core/grophecy.h"
 #include "hw/machine_file.h"
 #include "hw/registry.h"
@@ -66,6 +68,57 @@ TEST(MachineFile, ErrorsCarryLineNumbers) {
   EXPECT_THROW(parse_machine(""), MachineParseError);
   EXPECT_THROW(parse_machine_file("/no/such/file.gmach"),
                MachineParseError);
+}
+
+TEST(MachineFile, ErrorsAreTypedParseErrors) {
+  // MachineParseError slots into the framework taxonomy: catchable as
+  // grophecy::ParseError and as grophecy::Error with kind kParse.
+  try {
+    parse_machine("gpu.frobs 3\n");
+    FAIL() << "expected an error";
+  } catch (const grophecy::Error& e) {
+    EXPECT_EQ(e.kind(), grophecy::ErrorKind::kParse);
+    EXPECT_FALSE(e.retryable());
+  }
+  try {
+    parse_machine("gpu.num_sms nope\n");
+    FAIL() << "expected an error";
+  } catch (const grophecy::ParseError& e) {
+    EXPECT_TRUE(e.file().empty());  // in-memory document, no file
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(e.message().find("expected number"), std::string::npos);
+  }
+}
+
+TEST(MachineFile, OutOfRangeValuesAreParseErrors) {
+  EXPECT_THROW(parse_machine("cpu.clock_ghz 1e999\n"), MachineParseError);
+  EXPECT_THROW(parse_machine("cpu.clock_ghz 3..2\n"), MachineParseError);
+}
+
+TEST(MachineFile, FileErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "bad_machine.gmach";
+  {
+    std::ofstream out(path);
+    out << "name ok_so_far\ngpu.frobs 3\n";
+  }
+  try {
+    parse_machine_file(path);
+    FAIL() << "expected MachineParseError";
+  } catch (const MachineParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  // Unreadable files carry the path too, with no line number.
+  try {
+    parse_machine_file("/no/such/file.gmach");
+    FAIL() << "expected MachineParseError";
+  } catch (const MachineParseError& e) {
+    EXPECT_EQ(e.file(), "/no/such/file.gmach");
+    EXPECT_EQ(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
 TEST(MachineFile, SerializeRoundTripsEveryRegisteredMachine) {

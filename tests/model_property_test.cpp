@@ -13,6 +13,7 @@
 #include "sim/gpu_sim.h"
 #include "skeleton/builder.h"
 #include "util/rng.h"
+#include "util/table.h"
 
 namespace grophecy::gpumodel {
 namespace {
@@ -22,22 +23,25 @@ namespace {
 skeleton::AppSkeleton random_app(util::Rng& rng) {
   skeleton::AppBuilder builder("prop");
   std::vector<skeleton::ArrayId> arrays_1d, arrays_2d;
+  // strfmt instead of "x" + std::to_string(i): the latter trips a GCC 12
+  // -Wrestrict false positive on operator+(const char*, std::string&&).
   const int n1 = static_cast<int>(rng.uniform_int(1, 2));
-  for (int i = 0; i < n1; ++i)
-    arrays_1d.push_back(builder.array(
-        "v" + std::to_string(i), skeleton::ElemType::kF32,
-        {rng.uniform_int(1024, 1 << 18)}));
+  for (int i = 0; i < n1; ++i) {
+    arrays_1d.push_back(builder.array(util::strfmt("v%d", i),
+                                      skeleton::ElemType::kF32,
+                                      {rng.uniform_int(1024, 1 << 18)}));
+  }
   const int n2 = static_cast<int>(rng.uniform_int(1, 2));
   for (int i = 0; i < n2; ++i) {
     const std::int64_t side = rng.uniform_int(64, 512);
-    arrays_2d.push_back(builder.array("m" + std::to_string(i),
+    arrays_2d.push_back(builder.array(util::strfmt("m%d", i),
                                       skeleton::ElemType::kF32,
                                       {side, side}));
   }
 
   const int kernels = static_cast<int>(rng.uniform_int(1, 2));
   for (int kid = 0; kid < kernels; ++kid) {
-    skeleton::KernelBuilder& k = builder.kernel("k" + std::to_string(kid));
+    skeleton::KernelBuilder& k = builder.kernel(util::strfmt("k%d", kid));
     const bool two_d = rng.bernoulli(0.5);
     const skeleton::ArrayId target =
         two_d ? arrays_2d[static_cast<std::size_t>(rng.uniform_int(

@@ -155,6 +155,100 @@ TEST(Calibrator, OptionsAreValidated) {
   bad = {};
   bad.replicates = 0;
   EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+  bad = {};
+  bad.robustness.max_retries = -1;
+  EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+  bad = {};
+  bad.robustness.backoff_max_s = bad.robustness.backoff_initial_s / 2.0;
+  EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+  bad = {};
+  bad.robustness.timeout_s = 0.0;
+  EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+  bad = {};
+  bad.robustness.max_replicates = bad.replicates - 1;
+  EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+  bad = {};
+  bad.sweep_bytes = {0};
+  EXPECT_THROW(TransferCalibrator{bad}, ContractViolation);
+}
+
+TEST(SimulatedBus, MedianIgnoresOutliersTheMeanCannot) {
+  hw::PcieSpec spec = eureka_pcie();
+  spec.noise.outlier_probability = 0.3;
+  spec.noise.outlier_factor = 2.0;
+  SimulatedBus bus(spec, 5);
+  const double expected = bus.expected_time(util::kMiB,
+                                            Direction::kHostToDevice,
+                                            HostMemory::kPinned);
+  const double mean = bus.measure_mean(util::kMiB, Direction::kHostToDevice,
+                                       HostMemory::kPinned, 400);
+  const double median = bus.measure_median(
+      util::kMiB, Direction::kHostToDevice, HostMemory::kPinned, 400);
+  EXPECT_GT(mean, expected * 1.2);    // mean dragged up by 30% 2x outliers
+  EXPECT_NEAR(median, expected, expected * 0.05);
+}
+
+TEST(Calibrator, RobustPipelineWithDefaultOptionsMatchesPaperProcedure) {
+  // The hardened entry point replays the paper's measurement sequence
+  // sample for sample when no robustness knob is turned: same-seeded buses
+  // must yield bit-identical models (the golden tests depend on this).
+  SimulatedBus paper_bus(eureka_pcie(), 17);
+  SimulatedBus robust_bus(eureka_pcie(), 17);
+  const TransferCalibrator calibrator;
+  const BusModel paper = calibrator.calibrate(paper_bus);
+  const CalibrationReport report = calibrator.calibrate_robust(robust_bus);
+  EXPECT_DOUBLE_EQ(paper.h2d.alpha_s, report.model.h2d.alpha_s);
+  EXPECT_DOUBLE_EQ(paper.h2d.beta_s_per_byte,
+                   report.model.h2d.beta_s_per_byte);
+  EXPECT_DOUBLE_EQ(paper.d2h.alpha_s, report.model.d2h.alpha_s);
+  EXPECT_DOUBLE_EQ(paper.d2h.beta_s_per_byte,
+                   report.model.d2h.beta_s_per_byte);
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.used_fallback);
+  ASSERT_EQ(report.h2d.probes.size(), 2u);
+  EXPECT_EQ(report.h2d.probes[0].samples_kept, 10);
+  EXPECT_EQ(report.h2d.probes[0].samples_rejected, 0);
+}
+
+TEST(Calibrator, TheilSenSweepRecoversTheModel) {
+  const hw::PcieSpec spec = eureka_pcie();
+  SimulatedBus bus(spec, 23);
+  CalibrationOptions options;
+  options.fit = FitMethod::kTheilSen;
+  const CalibrationReport report =
+      TransferCalibrator(options).calibrate_robust(bus);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.h2d.probes.size(), 2u);
+  EXPECT_GT(report.h2d.r_squared, 0.999);
+  EXPECT_NEAR(report.model.h2d.bandwidth_gbps(),
+              spec.pinned_h2d.asymptotic_gbps,
+              spec.pinned_h2d.asymptotic_gbps * 0.03);
+}
+
+TEST(Calibrator, AdaptiveReplicationTightensTheSmallProbe) {
+  // The 1B probe is the noisiest; adaptive replication should keep
+  // sampling it beyond the initial ten until the CI target is met.
+  SimulatedBus bus(eureka_pcie(), 29);
+  CalibrationOptions options = CalibrationOptions::robust();
+  options.robustness.target_rel_half_width = 0.01;
+  const CalibrationReport report =
+      TransferCalibrator(options).calibrate_robust(bus);
+  EXPECT_TRUE(report.converged);
+  const ProbeTelemetry& small = report.h2d.probes.front();
+  EXPECT_GT(small.samples_kept + small.samples_rejected, options.replicates);
+  EXPECT_LE(small.rel_half_width, 0.01 + 1e-12);
+  // describe() renders the full telemetry without crashing.
+  EXPECT_NE(report.describe().find("probe 1B"), std::string::npos);
+}
+
+TEST(LinearModel, SpecDerivedModelMatchesTheSpec) {
+  const hw::PcieSpec spec = eureka_pcie();
+  const BusModel model = bus_model_from_spec(spec, HostMemory::kPinned);
+  EXPECT_DOUBLE_EQ(model.h2d.alpha_s, spec.pinned_h2d.latency_s);
+  EXPECT_NEAR(model.h2d.bandwidth_gbps(), spec.pinned_h2d.asymptotic_gbps,
+              1e-9);
+  EXPECT_DOUBLE_EQ(model.d2h.alpha_s, spec.pinned_d2h.latency_s);
+  EXPECT_EQ(model.memory_mode, HostMemory::kPinned);
 }
 
 TEST(Calibrator, WorksOnEveryRegisteredMachine) {

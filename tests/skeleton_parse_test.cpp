@@ -4,6 +4,8 @@
 // same transfer plan / projection inputs).
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "brs/footprint.h"
 #include "dataflow/usage_analyzer.h"
 #include "skeleton/parse.h"
@@ -217,8 +219,66 @@ TEST(Serialize, RoundTripPreservesEveryWorkload) {
   }
 }
 
+TEST(ParseErrors, AreTypedParseErrors) {
+  // skeleton::ParseError slots into the framework taxonomy: catchable as
+  // grophecy::ParseError and as grophecy::Error with kind kParse.
+  try {
+    parse_skeleton("app x\nfrobnicate");
+    FAIL() << "expected an error";
+  } catch (const grophecy::Error& e) {
+    EXPECT_EQ(e.kind(), grophecy::ErrorKind::kParse);
+    EXPECT_FALSE(e.retryable());
+  }
+  try {
+    parse_skeleton("app x\narray a f32[nope]");
+    FAIL() << "expected an error";
+  } catch (const grophecy::ParseError& e) {
+    EXPECT_TRUE(e.file().empty());  // in-memory document, no file
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(e.message().find("expected integer"), std::string::npos);
+  }
+}
+
+TEST(ParseErrors, OutOfRangeValuesAreParseErrors) {
+  // Values that overflow the numeric types must be diagnosed, not UB.
+  EXPECT_THROW(parse_skeleton("app x\narray a f32[99999999999999999999]"),
+               ParseError);
+  EXPECT_THROW(parse_skeleton("app x iterations=99999999999999999999"),
+               ParseError);
+  EXPECT_THROW(
+      parse_skeleton("app x\narray a f32[4]\nkernel k\n"
+                     "  for i in 0..4\n  stmt flops=1e999"),
+      ParseError);
+}
+
 TEST(ParseFile, MissingFileThrows) {
   EXPECT_THROW(parse_skeleton_file("/nonexistent/path.gskel"), ParseError);
+}
+
+TEST(ParseFile, ErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "bad_app.gskel";
+  {
+    std::ofstream out(path);
+    out << "app x\narray a zz[4]\n";
+  }
+  try {
+    parse_skeleton_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(e.message().find("unknown element type"), std::string::npos);
+  }
+  try {
+    parse_skeleton_file("/nonexistent/path.gskel");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "/nonexistent/path.gskel");
+    EXPECT_EQ(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
 }  // namespace

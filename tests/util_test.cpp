@@ -163,6 +163,46 @@ TEST(Stats, LeastSquaresRecoversLine) {
   EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
 }
 
+TEST(Stats, MadMatchesHandComputation) {
+  // median = 3, absolute deviations {2, 1, 0, 1, 6} => MAD = 1.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(mad(v), 1.0);
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(mad(constant), 0.0);
+}
+
+TEST(Stats, MadFilterDropsOnlyTheOutliers) {
+  // A tight cluster plus one wild point: modified z-score of 100 is huge.
+  const std::vector<double> v{10.0, 10.2, 9.8, 10.1, 9.9, 100.0};
+  const std::vector<double> kept = mad_filter(v, 3.5);
+  ASSERT_EQ(kept.size(), 5u);
+  for (double x : kept) EXPECT_LT(x, 11.0);
+  // Degenerate spread (MAD == 0) must not divide by zero or drop anything.
+  const std::vector<double> constant{5.0, 5.0, 5.0, 7.0};
+  EXPECT_EQ(mad_filter(constant, 3.5).size(), constant.size());
+}
+
+TEST(Stats, TrimmedMeanDiscardsTheTails) {
+  const std::vector<double> v{0.0, 10.0, 10.0, 10.0, 1000.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.2), 10.0);  // trims one from each end
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.0), mean(v));
+}
+
+TEST(Stats, TheilSenShrugsOffOutliersLeastSquaresCannot) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  y[5] = 500.0;  // one corrupted observation
+  y[20] = -100.0;
+  const LinearFit robust = theil_sen(x, y);
+  EXPECT_NEAR(robust.slope, 2.0, 1e-9);
+  EXPECT_NEAR(robust.intercept, 3.0, 1e-9);
+  const LinearFit naive = least_squares(x, y);
+  EXPECT_GT(std::abs(naive.slope - 2.0), 0.1);
+}
+
 TEST(Units, ByteFormatting) {
   EXPECT_EQ(format_bytes(1), "1B");
   EXPECT_EQ(format_bytes(2 * kKiB), "2KB");
