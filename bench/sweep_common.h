@@ -1,6 +1,13 @@
 // Shared drivers for the speedup-sweep figures (Figs. 7-12): speedup vs
 // data size and speedup vs iteration count, each printing measured speedup,
 // the prediction with data transfer time, and the prediction without it.
+//
+// Both drivers run their grid through exec::SweepEngine rather than a bare
+// serial loop: a configuration that fails or hangs becomes a structured
+// entry in the sweep summary instead of aborting the bench, and the
+// remaining rows still print. In the fault-free path the engine executes
+// the same projections in the same order, so the tables are byte-identical
+// to the pre-engine output (and the summary stays silent).
 #pragma once
 
 #include <cstdio>
@@ -9,6 +16,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "exec/sweep.h"
 #include "util/ascii_chart.h"
 #include "util/contracts.h"
 #include "util/table.h"
@@ -16,27 +24,44 @@
 
 namespace grophecy::bench {
 
-inline const workloads::Workload& find_workload(
-    const std::vector<std::unique_ptr<workloads::Workload>>& all,
-    const std::string& name) {
-  for (const auto& w : all)
-    if (w->name() == name) return *w;
-  throw ContractViolation("unknown workload: " + name);
+/// Prints the engine's account of a sweep that did not go cleanly; silent
+/// for an all-ok run so healthy benches keep their exact output.
+inline void report_sweep_health(const exec::SweepSummary& summary) {
+  if (summary.failed > 0 || summary.degraded || summary.retried > 0)
+    std::printf("\n%s", summary.describe().c_str());
 }
 
 /// Figs. 7/9/11: speedup across the paper's data sizes (one iteration).
 inline void print_size_sweep(const std::string& workload_name,
                              const char* figure) {
   const auto all = workloads::paper_workloads();
-  const workloads::Workload& workload = find_workload(all, workload_name);
+  const workloads::Workload& workload =
+      workloads::find_workload(all, workload_name);
   core::ExperimentRunner runner;
+
+  std::vector<exec::JobSpec> jobs;
+  for (const workloads::DataSize& size : workload.paper_data_sizes())
+    jobs.push_back({workload_name, size.label, 1});
+
+  exec::SweepEngine engine;
+  const exec::SweepSummary summary =
+      engine.run(jobs, [&](const exec::JobSpec& spec) {
+        return runner.run(workload,
+                          workloads::find_data_size(workload, spec.size_label),
+                          spec.iterations);
+      });
 
   util::TextTable table({"Data Size", "Measured", "Predicted w/ transfer",
                          "err", "Predicted w/o transfer", "err"});
-  for (const workloads::DataSize& size : workload.paper_data_sizes()) {
-    core::ProjectionReport report = runner.run(workload, size);
+  for (const exec::JobOutcome& outcome : summary.outcomes) {
+    if (!outcome.ok()) {
+      table.add_row({outcome.spec.size_label,
+                     "failed: " + outcome.error->kind, "-", "-", "-", "-"});
+      continue;
+    }
+    const core::ProjectionReport& report = *outcome.report;
     table.add_row({
-        size.label,
+        outcome.spec.size_label,
         util::strfmt("%.2fx", report.measured_speedup()),
         util::strfmt("%.2fx", report.predicted_speedup_both()),
         util::strfmt("%.0f%%", report.speedup_error_both_pct()),
@@ -49,6 +74,7 @@ inline void print_size_sweep(const std::string& workload_name,
               figure, workload_name.c_str());
   table.print(std::cout);
   util::export_csv_if_requested(table, std::string("size_sweep_") + workload_name);
+  report_sweep_health(summary);
 }
 
 /// Figs. 8/10/12: speedup as a function of iteration count for one data
@@ -59,23 +85,39 @@ inline void print_iteration_sweep(const std::string& workload_name,
                                   const char* figure,
                                   double paper_limit_error_pct) {
   const auto all = workloads::paper_workloads();
-  const workloads::Workload& workload = find_workload(all, workload_name);
-  workloads::DataSize size;
-  for (const workloads::DataSize& candidate : workload.paper_data_sizes())
-    if (candidate.label == size_label) size = candidate;
+  const workloads::Workload& workload =
+      workloads::find_workload(all, workload_name);
+  const workloads::DataSize size =
+      workloads::find_data_size(workload, size_label);
   GROPHECY_EXPECTS(size.param != 0);
 
   core::ExperimentRunner runner;
   util::TextTable table({"Iterations", "Measured", "Pred w/ transfer",
                          "err", "Pred w/o transfer", "err"});
 
+  const std::vector<int> iteration_counts = {1,  2,  4,  8,   16,  32,
+                                             64, 128, 256, 512};
+  std::vector<exec::JobSpec> jobs;
+  for (int iterations : iteration_counts)
+    jobs.push_back({workload_name, size_label, iterations});
+
+  exec::SweepEngine engine;
+  const exec::SweepSummary summary =
+      engine.run(jobs, [&](const exec::JobSpec& spec) {
+        return runner.run(workload, size, spec.iterations);
+      });
+
   int twice_as_accurate_until = 0;
   double limit_error = 0.0;
   std::vector<double> xs, measured, with_transfer, without_transfer;
-  const std::vector<int> iteration_counts = {1,  2,  4,  8,   16,  32,
-                                             64, 128, 256, 512};
-  for (int iterations : iteration_counts) {
-    core::ProjectionReport report = runner.run(workload, size, iterations);
+  for (const exec::JobOutcome& outcome : summary.outcomes) {
+    const int iterations = outcome.spec.iterations;
+    if (!outcome.ok()) {
+      table.add_row({util::strfmt("%d", iterations),
+                     "failed: " + outcome.error->kind, "-", "-", "-", "-"});
+      continue;
+    }
+    const core::ProjectionReport& report = *outcome.report;
     const double with_err = report.speedup_error_both_pct();
     const double without_err = report.speedup_error_kernel_only_pct();
     if (with_err * 2.0 <= without_err)
@@ -124,6 +166,7 @@ inline void print_iteration_sweep(const std::string& workload_name,
   std::printf("\ntransfer-aware prediction at least 2x more accurate through "
               "%d iterations; limit error %.1f%% (paper: %.2f%%)\n",
               twice_as_accurate_until, limit_error, paper_limit_error_pct);
+  report_sweep_health(summary);
 }
 
 }  // namespace grophecy::bench

@@ -1,0 +1,92 @@
+#include "exec/journal.h"
+
+#include <fstream>
+#include <optional>
+
+#include "util/checksum.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GROPHECY_HAVE_FSYNC 1
+#endif
+
+namespace grophecy::exec {
+
+namespace {
+
+constexpr std::string_view kPrefix = "{\"crc\":\"";      // then 8 hex chars
+constexpr std::string_view kMiddle = "\",\"rec\":";      // then the payload
+constexpr std::size_t kCrcHexLen = 8;
+
+/// Extracts and verifies one journal line; empty optional when torn or
+/// corrupt.
+std::optional<std::string> validate_line(std::string_view line) {
+  if (line.size() < kPrefix.size() + kCrcHexLen + kMiddle.size() + 1)
+    return std::nullopt;
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::string_view crc = line.substr(kPrefix.size(), kCrcHexLen);
+  const std::size_t rec_at = kPrefix.size() + kCrcHexLen;
+  if (line.substr(rec_at, kMiddle.size()) != kMiddle) return std::nullopt;
+  if (line.back() != '}') return std::nullopt;
+  const std::string_view payload = line.substr(
+      rec_at + kMiddle.size(), line.size() - rec_at - kMiddle.size() - 1);
+  if (util::crc32_hex(payload) != crc) return std::nullopt;
+  return std::string(payload);
+}
+
+}  // namespace
+
+ResultJournal::~ResultJournal() { close(); }
+
+JournalReadResult ResultJournal::read(const std::string& path) {
+  JournalReadResult result;
+  std::ifstream file(path);
+  if (!file) return result;  // missing journal == nothing to resume
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    if (auto payload = validate_line(line))
+      result.records.push_back(std::move(*payload));
+    else
+      ++result.corrupt_lines;
+  }
+  return result;
+}
+
+void ResultJournal::open_append(const std::string& path) {
+  GROPHECY_EXPECTS(!is_open());
+  file_ = std::fopen(path.c_str(), "ab");
+  if (!file_)
+    throw UsageError("cannot open sweep journal for append: " + path);
+}
+
+void ResultJournal::append(std::string_view payload) {
+  GROPHECY_EXPECTS(is_open());
+  GROPHECY_EXPECTS(payload.find('\n') == std::string_view::npos);
+  std::string line;
+  line.reserve(payload.size() + 32);
+  line += kPrefix;
+  line += util::crc32_hex(payload);
+  line += kMiddle;
+  line += payload;
+  line += "}\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0)
+    throw MeasurementError("sweep journal write failed");
+#ifdef GROPHECY_HAVE_FSYNC
+  // Push the record through the OS cache: an acknowledged append must
+  // survive an immediate crash, not just a clean process exit.
+  fsync(fileno(file_));
+#endif
+}
+
+void ResultJournal::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace grophecy::exec

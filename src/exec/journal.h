@@ -1,0 +1,75 @@
+// Crash-safe append-only result journal.
+//
+// A thousand-point sweep campaign must survive the process dying at any
+// instant — power loss, OOM kill, ctrl-C — losing at most the record that
+// was mid-write. The journal provides exactly that contract and nothing
+// more:
+//
+//   * append-only: one record per line, never rewritten, never reordered;
+//   * checksummed: every line carries a CRC-32 of its payload, so a torn
+//     final line (the crash artifact) is detected and skipped on read
+//     instead of being parsed as garbage;
+//   * durable: every append is flushed and fsync'd before returning, so
+//     an acknowledged record survives an immediate crash;
+//   * tolerant: read() never throws on a damaged file — it returns every
+//     record whose checksum verifies and counts the lines that did not.
+//
+// Line format (strict JSON, one object per line):
+//
+//   {"crc":"<8 lowercase hex>","rec":<payload>}
+//
+// where <payload> is the caller's record (exec::JobRecord serializes to a
+// flat JSON object) and the checksum covers the payload bytes exactly.
+// The journal itself treats payloads as opaque strings; pairing records
+// to jobs is the SweepEngine's business (see exec/sweep.h).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grophecy::exec {
+
+/// Everything a read recovered from a journal file.
+struct JournalReadResult {
+  /// Checksum-verified payloads, in file order (append order).
+  std::vector<std::string> records;
+  /// Lines that failed the format or checksum check — normally 0, or 1
+  /// when the final line was torn by a crash mid-append.
+  int corrupt_lines = 0;
+};
+
+/// The journal file handle. Opening is separate from reading so a resume
+/// can first read the existing records, then append new ones to the same
+/// file.
+class ResultJournal {
+ public:
+  ResultJournal() = default;
+  ~ResultJournal();
+
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  /// Reads and verifies `path`. A missing file is an empty journal, not
+  /// an error; a damaged file yields its valid records plus a count of
+  /// the rest. Never throws.
+  static JournalReadResult read(const std::string& path);
+
+  /// Opens `path` for appending (created if missing). Throws
+  /// grophecy::UsageError when the file cannot be opened.
+  void open_append(const std::string& path);
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one record, then flushes and fsyncs. The payload must be a
+  /// single line (no '\n'); the checksum wrapper is added here.
+  void append(std::string_view payload);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace grophecy::exec

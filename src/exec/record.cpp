@@ -1,0 +1,146 @@
+// JobSpec identity and JobRecord (de)serialization for the sweep journal.
+#include <cstdint>
+
+#include "exec/sweep.h"
+#include "util/jsonl.h"
+#include "util/table.h"
+
+namespace grophecy::exec {
+
+std::string JobSpec::key() const {
+  return workload + "/" + size_label + "/x" + std::to_string(iterations);
+}
+
+std::string JobSpec::fingerprint() const {
+  // FNV-1a 64. The separator byte keeps ("ab","c") distinct from
+  // ("a","bc"); the iteration count is folded in via the key.
+  const std::string identity =
+      workload + '\x1f' + size_label + '\x1f' + std::to_string(iterations);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char byte : identity) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return util::strfmt("%016llx", static_cast<unsigned long long>(hash));
+}
+
+std::string JobRecord::to_json() const {
+  util::FlatJson object;
+  object.emplace_back("fp", fingerprint);
+  object.emplace_back("workload", workload);
+  object.emplace_back("size", size_label);
+  object.emplace_back("iterations", static_cast<double>(iterations));
+  object.emplace_back("status", status);
+  object.emplace_back("attempts", static_cast<double>(attempts));
+  object.emplace_back("elapsed_s", elapsed_s);
+  if (status != "ok") {
+    object.emplace_back("error_kind", error_kind);
+    object.emplace_back("error_message", error_message);
+  } else {
+    object.emplace_back("machine", machine);
+    object.emplace_back("predicted_kernel_s", predicted_kernel_s);
+    object.emplace_back("measured_kernel_s", measured_kernel_s);
+    object.emplace_back("predicted_transfer_s", predicted_transfer_s);
+    object.emplace_back("measured_transfer_s", measured_transfer_s);
+    object.emplace_back("measured_cpu_s", measured_cpu_s);
+    object.emplace_back("input_bytes", input_bytes);
+    object.emplace_back("output_bytes", output_bytes);
+    object.emplace_back("calibration_fallback", calibration_fallback);
+  }
+  return util::write_flat_json(object);
+}
+
+std::optional<JobRecord> JobRecord::from_json(std::string_view payload) {
+  const auto object = util::parse_flat_json(payload);
+  if (!object) return std::nullopt;
+
+  JobRecord record;
+  const auto fp = util::json_string(*object, "fp");
+  const auto workload = util::json_string(*object, "workload");
+  const auto size = util::json_string(*object, "size");
+  const auto iterations = util::json_number(*object, "iterations");
+  const auto status = util::json_string(*object, "status");
+  const auto attempts = util::json_number(*object, "attempts");
+  const auto elapsed = util::json_number(*object, "elapsed_s");
+  if (!fp || !workload || !size || !iterations || !status || !attempts ||
+      !elapsed)
+    return std::nullopt;
+  if (*status != "ok" && *status != "failed") return std::nullopt;
+  record.fingerprint = *fp;
+  record.workload = *workload;
+  record.size_label = *size;
+  record.iterations = static_cast<int>(*iterations);
+  record.status = *status;
+  record.attempts = static_cast<int>(*attempts);
+  record.elapsed_s = *elapsed;
+
+  if (*status != "ok") {
+    record.error_kind = util::json_string(*object, "error_kind").value_or("");
+    record.error_message =
+        util::json_string(*object, "error_message").value_or("");
+    return record;
+  }
+
+  const auto machine = util::json_string(*object, "machine");
+  const auto pk = util::json_number(*object, "predicted_kernel_s");
+  const auto mk = util::json_number(*object, "measured_kernel_s");
+  const auto pt = util::json_number(*object, "predicted_transfer_s");
+  const auto mt = util::json_number(*object, "measured_transfer_s");
+  const auto cpu = util::json_number(*object, "measured_cpu_s");
+  const auto in_b = util::json_number(*object, "input_bytes");
+  const auto out_b = util::json_number(*object, "output_bytes");
+  const auto fallback = util::json_bool(*object, "calibration_fallback");
+  if (!machine || !pk || !mk || !pt || !mt || !cpu || !in_b || !out_b ||
+      !fallback)
+    return std::nullopt;
+  record.machine = *machine;
+  record.predicted_kernel_s = *pk;
+  record.measured_kernel_s = *mk;
+  record.predicted_transfer_s = *pt;
+  record.measured_transfer_s = *mt;
+  record.measured_cpu_s = *cpu;
+  record.input_bytes = *in_b;
+  record.output_bytes = *out_b;
+  record.calibration_fallback = *fallback;
+  return record;
+}
+
+JobRecord JobRecord::from_report(const JobSpec& spec,
+                                 const core::ProjectionReport& report,
+                                 int attempts, double elapsed_s) {
+  JobRecord record;
+  record.fingerprint = spec.fingerprint();
+  record.workload = spec.workload;
+  record.size_label = spec.size_label;
+  record.iterations = spec.iterations;
+  record.status = "ok";
+  record.attempts = attempts;
+  record.elapsed_s = elapsed_s;
+  record.machine = report.machine_name;
+  record.predicted_kernel_s = report.predicted_kernel_s;
+  record.measured_kernel_s = report.measured_kernel_s;
+  record.predicted_transfer_s = report.predicted_transfer_s;
+  record.measured_transfer_s = report.measured_transfer_s;
+  record.measured_cpu_s = report.measured_cpu_s;
+  record.input_bytes = static_cast<double>(report.plan.input_bytes());
+  record.output_bytes = static_cast<double>(report.plan.output_bytes());
+  record.calibration_fallback = report.calibration.used_fallback;
+  return record;
+}
+
+core::ProjectionReport JobRecord::to_report() const {
+  core::ProjectionReport report;
+  report.app_name = workload + " " + size_label;
+  report.machine_name = machine;
+  report.iterations = iterations;
+  report.predicted_kernel_s = predicted_kernel_s;
+  report.measured_kernel_s = measured_kernel_s;
+  report.predicted_transfer_s = predicted_transfer_s;
+  report.measured_transfer_s = measured_transfer_s;
+  report.measured_cpu_s = measured_cpu_s;
+  report.calibration.used_fallback = calibration_fallback;
+  report.calibration.converged = !calibration_fallback;
+  return report;
+}
+
+}  // namespace grophecy::exec

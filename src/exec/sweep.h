@@ -1,0 +1,231 @@
+// The resilient sweep engine.
+//
+// The paper's evaluation — and every figure/table bench in this repo — is
+// a grid of (workload × data size × iteration count) projections. Run
+// naively, that grid has the robustness of its weakest point: one thrown
+// MeasurementError or one hung measurement aborts the whole campaign and
+// discards every completed result. PR 1 hardened the *probe* level
+// (pcie::TransferCalibrator::calibrate_robust); this module lifts the same
+// contract to the *sweep* level:
+//
+//   * isolation   each job runs supervised; a failure becomes a structured
+//                 JobError record in the summary, never an escaped
+//                 exception, and the rest of the sweep continues;
+//   * deadlines   a wall-clock watchdog per attempt converts hangs into
+//                 timed-out JobErrors (the job is abandoned, the sweep
+//                 moves on);
+//   * retries     transient failures (MeasurementError, watchdog
+//                 timeouts) are retried with the same bounded exponential
+//                 backoff policy as the PR 1 calibrator; CalibrationError,
+//                 ParseError, UsageError and ContractViolation are
+//                 permanent — retrying cannot help;
+//   * journaling  every finished job (ok or failed) is appended to a
+//                 crash-safe checksummed journal (exec::ResultJournal)
+//                 keyed by a deterministic job fingerprint, fsync'd before
+//                 the next job starts;
+//   * resume      a sweep pointed at an existing journal re-runs only the
+//                 jobs that are missing or failed; completed results are
+//                 replayed from the journal without re-measuring.
+//
+// The engine executes jobs strictly in order, one at a time, so a
+// fault-free sweep is call-for-call identical to the bare serial loop it
+// replaced — the figure benches produce byte-identical tables.
+//
+// See docs/robustness.md ("The sweep-level degradation ladder") for the
+// full policy write-up.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+
+namespace grophecy::exec {
+
+/// One point of the sweep grid. The spec is pure data — the engine hands
+/// it to the caller's job function for execution — so a job is
+/// re-creatable from its journal record alone.
+struct JobSpec {
+  std::string workload;    ///< Workload name (e.g. "CFD").
+  std::string size_label;  ///< Data-size label (e.g. "97K").
+  int iterations = 1;
+
+  /// Human-readable identity, e.g. "CFD/97K/x1".
+  std::string key() const;
+
+  /// Deterministic 64-bit fingerprint of key() as 16 hex chars; the
+  /// journal key. Stable across processes and platforms (FNV-1a).
+  std::string fingerprint() const;
+};
+
+/// Why a job (or one attempt of it) failed.
+struct JobError {
+  /// Error taxonomy bucket: "measurement", "timeout", "calibration",
+  /// "parse", "usage", "contract", or "exception".
+  std::string kind;
+  std::string message;
+  bool timed_out = false;   ///< The deadline watchdog fired.
+  bool retryable = false;   ///< Transient: retry may succeed.
+};
+
+/// The journaled snapshot of one finished job: identity, outcome, and the
+/// scalar results every sweep table derives its columns from. This is the
+/// unit the journal stores and resume replays.
+struct JobRecord {
+  std::string fingerprint;
+  std::string workload;
+  std::string size_label;
+  int iterations = 1;
+
+  std::string status;        ///< "ok" or "failed".
+  int attempts = 0;
+  double elapsed_s = 0.0;
+  std::string error_kind;    ///< Empty when ok.
+  std::string error_message; ///< Empty when ok.
+
+  // Result scalars (meaningful when status == "ok"); every derived metric
+  // of core::ProjectionReport (speedups, error percentages, limits) is a
+  // function of these.
+  std::string machine;
+  double predicted_kernel_s = 0.0;
+  double measured_kernel_s = 0.0;
+  double predicted_transfer_s = 0.0;
+  double measured_transfer_s = 0.0;
+  double measured_cpu_s = 0.0;
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  bool calibration_fallback = false;  ///< Degraded-mode flag, bubbled up.
+
+  /// Flat-JSON payload for the journal line.
+  std::string to_json() const;
+  /// Parses a journal payload; std::nullopt when malformed (a corrupt
+  /// record is skipped, never fatal).
+  static std::optional<JobRecord> from_json(std::string_view payload);
+
+  /// Snapshot of a completed projection.
+  static JobRecord from_report(const JobSpec& spec,
+                               const core::ProjectionReport& report,
+                               int attempts, double elapsed_s);
+
+  /// Reconstructs a ProjectionReport holding the journaled scalars. All
+  /// derived metrics (speedups, errors, limits) match the original
+  /// report; the structural detail (per-kernel/per-transfer breakdown,
+  /// transfer plan) is empty — it is not journaled.
+  core::ProjectionReport to_report() const;
+};
+
+/// How one job of the sweep ended.
+enum class JobStatus {
+  kOk,       ///< Executed in this run and succeeded.
+  kResumed,  ///< Replayed from the journal; not re-executed.
+  kFailed,   ///< Permanently failed (retries exhausted or not retryable).
+};
+
+/// Everything the engine knows about one job after the sweep.
+struct JobOutcome {
+  JobSpec spec;
+  JobStatus status = JobStatus::kFailed;
+  int attempts = 0;          ///< Executions this run (0 when resumed).
+  double elapsed_s = 0.0;    ///< Wall clock across attempts this run.
+  double backoff_s = 0.0;    ///< Total backoff the retry policy imposed.
+  JobRecord record;          ///< Journaled snapshot (also for in-memory runs).
+  /// The projection, for ok/resumed jobs. Executed jobs carry the full
+  /// report; resumed jobs carry the scalar reconstruction
+  /// (JobRecord::to_report). Empty for failed jobs.
+  std::optional<core::ProjectionReport> report;
+  std::optional<JobError> error;  ///< The final error, for failed jobs.
+
+  bool ok() const { return status != JobStatus::kFailed; }
+};
+
+/// Engine knobs. Defaults are the transparent profile: no journal, no
+/// deadline, retries on transient failures only — a fault-free sweep
+/// behaves exactly like the serial loop it replaced.
+struct SweepOptions {
+  /// Extra attempts per job on a retryable failure. Mirrors the PR 1
+  /// calibration policy (pcie::RobustnessOptions).
+  int max_retries = 3;
+  /// Backoff before retry k is min(backoff_initial_s * 2^k, backoff_max_s),
+  /// recorded in the outcome; the simulated harness does not sleep.
+  double backoff_initial_s = 1e-3;
+  double backoff_max_s = 0.25;
+  /// Wall-clock deadline per attempt. Infinity (the default) runs jobs
+  /// inline; a finite deadline runs each attempt on a supervised thread
+  /// and abandons it when the deadline passes. Job functions used with a
+  /// finite deadline must tolerate abandonment (see SweepEngine docs).
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Journal file path; empty disables journaling (and resume).
+  std::string journal_path;
+  /// Replay journaled "ok" records instead of re-running their jobs.
+  bool resume = true;
+};
+
+/// Sweep-wide accounting, the dashboard a campaign is judged by.
+struct SweepSummary {
+  std::vector<JobOutcome> outcomes;  ///< One per job, in submission order.
+
+  int ok = 0;            ///< Executed and succeeded this run.
+  int resumed = 0;       ///< Replayed from the journal (skipped).
+  int failed = 0;        ///< Permanently failed.
+  int retried = 0;       ///< Jobs that needed more than one attempt.
+  int attempts = 0;      ///< Total executions across all jobs.
+  double backoff_total_s = 0.0;
+  /// True when any successful projection ran in degraded mode (its
+  /// calibration fell back to the spec-derived bus model).
+  bool degraded = false;
+  /// Journal lines that failed validation on resume (torn tail: <= 1
+  /// after a crash; more indicates real corruption).
+  int journal_corrupt_lines = 0;
+
+  /// The outcome of one spec, or nullptr when it was not in the sweep.
+  const JobOutcome* find(const JobSpec& spec) const;
+
+  /// Multi-line human-readable account.
+  std::string describe() const;
+};
+
+/// Runs batches of projection jobs with fault isolation, deadlines,
+/// retries, and crash-safe journaling.
+///
+/// The job function maps a spec to its projection; it may throw anything.
+/// With a finite deadline the attempt runs on a worker thread, and a
+/// timed-out attempt's thread is *abandoned* (it keeps running; its result
+/// is discarded) — such job functions must only touch state that is safe
+/// to race with a subsequent attempt, or be pure. Abandoned threads are
+/// joined in the engine destructor, so they must terminate eventually
+/// (simulated hangs do; a truly infinite loop would block teardown — real
+/// deployments should isolate such jobs in processes, not threads).
+class SweepEngine {
+ public:
+  using JobFn = std::function<core::ProjectionReport(const JobSpec&)>;
+
+  explicit SweepEngine(SweepOptions options = {});
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Runs every job, in order, one at a time. Never throws for job
+  /// failures; see SweepSummary. Throws UsageError only when the journal
+  /// file cannot be opened.
+  SweepSummary run(const std::vector<JobSpec>& jobs, const JobFn& fn);
+
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  struct AttemptResult {
+    std::optional<core::ProjectionReport> report;
+    JobError error;  ///< Meaningful when report is empty.
+  };
+
+  AttemptResult run_attempt(const JobSpec& spec, const JobFn& fn);
+
+  SweepOptions options_;
+  std::vector<std::thread> abandoned_;  ///< Timed-out attempt threads.
+};
+
+}  // namespace grophecy::exec

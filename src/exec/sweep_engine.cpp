@@ -1,0 +1,243 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <map>
+#include <sstream>
+
+#include "exec/journal.h"
+#include "exec/sweep.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace grophecy::exec {
+
+namespace {
+
+/// Maps the exception in flight to the sweep error taxonomy. Only
+/// measurement failures and watchdog timeouts are transient; everything
+/// else is a property of the configuration, and retrying cannot help.
+JobError classify_current_exception() {
+  JobError error;
+  try {
+    throw;
+  } catch (const MeasurementError& e) {
+    error.kind = e.timed_out() ? "timeout" : "measurement";
+    error.timed_out = e.timed_out();
+    error.retryable = true;
+    error.message = e.what();
+  } catch (const CalibrationError& e) {
+    error.kind = "calibration";
+    error.message = e.what();
+  } catch (const ParseError& e) {
+    error.kind = "parse";
+    error.message = e.what();
+  } catch (const UsageError& e) {
+    error.kind = "usage";
+    error.message = e.what();
+  } catch (const ContractViolation& e) {
+    error.kind = "contract";
+    error.message = e.what();
+  } catch (const std::exception& e) {
+    error.kind = "exception";
+    error.message = e.what();
+  } catch (...) {
+    error.kind = "exception";
+    error.message = "unknown exception";
+  }
+  return error;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
+  GROPHECY_EXPECTS(options_.max_retries >= 0);
+  GROPHECY_EXPECTS(options_.backoff_initial_s >= 0.0);
+  GROPHECY_EXPECTS(options_.backoff_max_s >= options_.backoff_initial_s);
+  GROPHECY_EXPECTS(options_.deadline_s > 0.0);
+}
+
+SweepEngine::~SweepEngine() {
+  for (std::thread& thread : abandoned_)
+    if (thread.joinable()) thread.join();
+}
+
+SweepEngine::AttemptResult SweepEngine::run_attempt(const JobSpec& spec,
+                                                    const JobFn& fn) {
+  if (std::isinf(options_.deadline_s)) {
+    // No watchdog: run inline, call-for-call identical to the bare loop.
+    try {
+      return {fn(spec), {}};
+    } catch (...) {
+      return {std::nullopt, classify_current_exception()};
+    }
+  }
+
+  // Supervised attempt: the job runs on a worker thread while this thread
+  // watches the clock. The task copies fn and spec so an abandoned worker
+  // never dereferences caller stack frames after run() returns.
+  std::packaged_task<core::ProjectionReport()> task(
+      [fn, spec] { return fn(spec); });
+  std::future<core::ProjectionReport> future = task.get_future();
+  std::thread worker(std::move(task));
+  const auto deadline = std::chrono::duration<double>(options_.deadline_s);
+  if (future.wait_for(deadline) != std::future_status::ready) {
+    abandoned_.push_back(std::move(worker));
+    JobError error;
+    error.kind = "timeout";
+    error.timed_out = true;
+    error.retryable = true;
+    error.message = util::strfmt(
+        "job %s exceeded the %.3gs deadline; attempt abandoned",
+        spec.key().c_str(), options_.deadline_s);
+    return {std::nullopt, error};
+  }
+  worker.join();
+  try {
+    return {future.get(), {}};
+  } catch (...) {
+    return {std::nullopt, classify_current_exception()};
+  }
+}
+
+SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
+                              const JobFn& fn) {
+  SweepSummary summary;
+  summary.outcomes.reserve(jobs.size());
+
+  // Load whatever a previous (possibly killed) run journaled. Later
+  // records win, so a re-run of a previously failed job supersedes it.
+  std::map<std::string, JobRecord> journaled;
+  ResultJournal journal;
+  if (!options_.journal_path.empty()) {
+    JournalReadResult previous = ResultJournal::read(options_.journal_path);
+    summary.journal_corrupt_lines = previous.corrupt_lines;
+    for (const std::string& payload : previous.records) {
+      if (auto record = JobRecord::from_json(payload))
+        journaled[record->fingerprint] = std::move(*record);
+      else
+        ++summary.journal_corrupt_lines;
+    }
+    journal.open_append(options_.journal_path);
+  }
+
+  for (const JobSpec& spec : jobs) {
+    JobOutcome outcome;
+    outcome.spec = spec;
+    const std::string fingerprint = spec.fingerprint();
+
+    // Resume: a journaled success is replayed, not re-measured. Failed
+    // records do not shortcut — the whole point of resuming is giving the
+    // missing and failed jobs another chance.
+    const auto it = journaled.find(fingerprint);
+    if (options_.resume && it != journaled.end() &&
+        it->second.status == "ok") {
+      outcome.status = JobStatus::kResumed;
+      outcome.record = it->second;
+      outcome.report = it->second.to_report();
+      ++summary.resumed;
+      summary.degraded |= outcome.record.calibration_fallback;
+      summary.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    while (true) {
+      ++outcome.attempts;
+      ++summary.attempts;
+      AttemptResult attempt = run_attempt(spec, fn);
+      if (attempt.report) {
+        outcome.status = JobStatus::kOk;
+        outcome.report = std::move(attempt.report);
+        break;
+      }
+      outcome.error = attempt.error;
+      if (attempt.error.retryable &&
+          outcome.attempts <= options_.max_retries) {
+        // Bounded exponential backoff, same shape as the PR 1 calibration
+        // policy. Recorded, not slept: the simulated harness must stay
+        // fast and deterministic; a real-hardware runner would sleep.
+        const double backoff =
+            std::min(options_.backoff_initial_s *
+                         std::pow(2.0, outcome.attempts - 1),
+                     options_.backoff_max_s);
+        outcome.backoff_s += backoff;
+        continue;
+      }
+      outcome.status = JobStatus::kFailed;
+      break;
+    }
+    outcome.elapsed_s = seconds_since(start);
+    summary.backoff_total_s += outcome.backoff_s;
+    if (outcome.attempts > 1) ++summary.retried;
+
+    if (outcome.status == JobStatus::kOk) {
+      ++summary.ok;
+      outcome.record = JobRecord::from_report(
+          spec, *outcome.report, outcome.attempts, outcome.elapsed_s);
+      summary.degraded |= outcome.record.calibration_fallback;
+    } else {
+      ++summary.failed;
+      outcome.record.fingerprint = fingerprint;
+      outcome.record.workload = spec.workload;
+      outcome.record.size_label = spec.size_label;
+      outcome.record.iterations = spec.iterations;
+      outcome.record.status = "failed";
+      outcome.record.attempts = outcome.attempts;
+      outcome.record.elapsed_s = outcome.elapsed_s;
+      outcome.record.error_kind = outcome.error->kind;
+      outcome.record.error_message = outcome.error->message;
+    }
+    if (journal.is_open()) journal.append(outcome.record.to_json());
+    summary.outcomes.push_back(std::move(outcome));
+  }
+  return summary;
+}
+
+const JobOutcome* SweepSummary::find(const JobSpec& spec) const {
+  const std::string fingerprint = spec.fingerprint();
+  for (const JobOutcome& outcome : outcomes)
+    if (outcome.record.fingerprint == fingerprint ||
+        outcome.spec.fingerprint() == fingerprint)
+      return &outcome;
+  return nullptr;
+}
+
+std::string SweepSummary::describe() const {
+  std::ostringstream oss;
+  oss << "sweep: " << outcomes.size() << " jobs — " << ok << " ok, "
+      << resumed << " resumed, " << failed << " failed ("
+      << retried << " retried; " << attempts << " attempts; "
+      << util::strfmt("%.3f", backoff_total_s) << "s backoff)";
+  if (degraded) oss << " [DEGRADED: spec-derived calibration in use]";
+  if (journal_corrupt_lines > 0)
+    oss << " [journal: " << journal_corrupt_lines << " corrupt line(s)]";
+  oss << '\n';
+  for (const JobOutcome& outcome : outcomes) {
+    oss << "  " << outcome.spec.key() << ": ";
+    switch (outcome.status) {
+      case JobStatus::kOk:
+        oss << util::strfmt("ok (%d attempt%s)", outcome.attempts,
+                            outcome.attempts == 1 ? "" : "s");
+        break;
+      case JobStatus::kResumed:
+        oss << "resumed from journal";
+        break;
+      case JobStatus::kFailed:
+        oss << "FAILED [" << outcome.error->kind << "] "
+            << outcome.error->message;
+        break;
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace grophecy::exec

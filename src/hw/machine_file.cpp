@@ -2,9 +2,11 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "hw/registry.h"
@@ -22,14 +24,20 @@ struct Field {
 };
 
 double parse_double(const std::string& value, int line) {
+  double parsed = 0.0;
   try {
     std::size_t consumed = 0;
-    const double parsed = std::stod(value, &consumed);
+    parsed = std::stod(value, &consumed);
     if (consumed != value.size()) throw std::invalid_argument(value);
-    return parsed;
   } catch (const std::exception&) {
     throw MachineParseError(line, "expected number, got '" + value + "'");
   }
+  // NaN and infinity parse as doubles but poison every downstream model
+  // quantity; a machine description containing them is malformed input.
+  if (!std::isfinite(parsed))
+    throw MachineParseError(line,
+                            "expected finite number, got '" + value + "'");
+  return parsed;
 }
 
 Field double_field(std::function<double&(MachineSpec&)> access) {
@@ -201,6 +209,7 @@ MachineSpec parse_machine(std::string_view text) {
   MachineSpec machine = anl_eureka();  // default seed: the paper's testbed
   bool any_field = false;
   bool base_allowed = true;
+  std::set<std::string> seen_keys;
 
   int line_number = 0;
   std::size_t pos = 0;
@@ -242,6 +251,11 @@ MachineSpec parse_machine(std::string_view text) {
     const auto it = registry.find(key);
     if (it == registry.end())
       throw MachineParseError(line_number, "unknown field '" + key + "'");
+    // A repeated key is almost certainly an editing mistake; silently
+    // letting the last one win would hide it (same rationale as rejecting
+    // unknown keys).
+    if (!seen_keys.insert(key).second)
+      throw MachineParseError(line_number, "duplicate field '" + key + "'");
     it->second.set(machine, value, line_number);
     any_field = true;
   }

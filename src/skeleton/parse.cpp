@@ -1,9 +1,11 @@
 #include "skeleton/parse.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -75,14 +77,19 @@ std::int64_t parse_int(const std::string& token, int line) {
 }
 
 double parse_number(const std::string& token, int line) {
+  double value = 0.0;
   try {
     std::size_t consumed = 0;
-    const double value = std::stod(token, &consumed);
+    value = std::stod(token, &consumed);
     if (consumed != token.size()) throw std::invalid_argument(token);
-    return value;
   } catch (const std::exception&) {
     throw ParseError(line, "expected number, got '" + token + "'");
   }
+  // "nan" and "inf" are valid doubles but meaningless work amounts; a
+  // skeleton containing them is malformed input, not a modeling choice.
+  if (!std::isfinite(value))
+    throw ParseError(line, "expected finite number, got '" + token + "'");
+  return value;
 }
 
 /// key=value attribute, or nullopt if the token has no '='.
@@ -215,7 +222,19 @@ AppSkeleton parse_skeleton(std::string_view text) {
   std::optional<AppBuilder> app;
   KernelBuilder* kernel = nullptr;
   bool have_statement = false;
+  std::string kernel_name;
+  int kernel_line = 0;
+  std::set<std::string> array_names;
+  std::set<std::string> kernel_names;
   std::vector<std::pair<std::string, int>> pending_temporaries;
+
+  // A kernel with no statements does no work and almost always means the
+  // document was cut off mid-kernel; reject it at the kernel's own line.
+  const auto check_kernel_complete = [&]() {
+    if (kernel && !have_statement)
+      throw ParseError(kernel_line, "kernel '" + kernel_name +
+                                        "' has no statements (truncated?)");
+  };
 
   for (const Line& line : lines) {
     const std::string& head = line.tokens.front();
@@ -227,12 +246,16 @@ AppSkeleton parse_skeleton(std::string_view text) {
       app.emplace(line.tokens[1]);
       for (std::size_t i = 2; i < line.tokens.size(); ++i) {
         const auto attr = split_attr(line.tokens[i]);
-        if (attr && attr->first == "iterations")
-          app->iterations(
-              static_cast<int>(parse_int(attr->second, n)));
-        else
+        if (attr && attr->first == "iterations") {
+          try {
+            app->iterations(static_cast<int>(parse_int(attr->second, n)));
+          } catch (const ContractViolation& e) {
+            throw ParseError(n, e.what());
+          }
+        } else {
           throw ParseError(n, "unknown app attribute '" + line.tokens[i] +
                                   "'");
+        }
       }
       continue;
     }
@@ -250,8 +273,19 @@ AppSkeleton parse_skeleton(std::string_view text) {
       if (spec.subscripts.empty())
         throw ParseError(n, "array needs at least one extent");
       std::vector<std::int64_t> dims;
-      for (const std::string& extent : spec.subscripts)
-        dims.push_back(parse_int(extent, n));
+      std::int64_t total_elements = 1;
+      for (const std::string& extent : spec.subscripts) {
+        const std::int64_t dim = parse_int(extent, n);
+        if (dim <= 0)
+          throw ParseError(n, "array extent must be positive, got '" +
+                                  extent + "'");
+        // Cap the element count so bytes() (elements x up-to-16-byte
+        // elements) cannot overflow 64 bits further down the pipeline.
+        if (dim > (std::int64_t{1} << 58) / total_elements)
+          throw ParseError(n, "array too large (element count exceeds 2^58)");
+        total_elements *= dim;
+        dims.push_back(dim);
+      }
       bool sparse = false, temporary = false;
       for (std::size_t i = 3; i < line.tokens.size(); ++i) {
         if (line.tokens[i] == "sparse")
@@ -262,15 +296,30 @@ AppSkeleton parse_skeleton(std::string_view text) {
           throw ParseError(n, "unknown array attribute '" + line.tokens[i] +
                                   "'");
       }
-      const ArrayId id =
-          app->array(line.tokens[1], *type, std::move(dims), sparse);
-      if (temporary) app->temporary(id);
+      if (!array_names.insert(line.tokens[1]).second)
+        throw ParseError(n, "duplicate array '" + line.tokens[1] + "'");
+      try {
+        const ArrayId id =
+            app->array(line.tokens[1], *type, std::move(dims), sparse);
+        if (temporary) app->temporary(id);
+      } catch (const ContractViolation& e) {
+        throw ParseError(n, e.what());
+      }
       continue;
     }
 
     if (head == "kernel") {
       if (line.tokens.size() < 2) throw ParseError(n, "kernel needs a name");
-      kernel = &app->kernel(line.tokens[1]);
+      check_kernel_complete();
+      if (!kernel_names.insert(line.tokens[1]).second)
+        throw ParseError(n, "duplicate kernel '" + line.tokens[1] + "'");
+      try {
+        kernel = &app->kernel(line.tokens[1]);
+      } catch (const ContractViolation& e) {
+        throw ParseError(n, e.what());
+      }
+      kernel_name = line.tokens[1];
+      kernel_line = n;
       have_statement = false;
       for (std::size_t i = 2; i < line.tokens.size(); ++i) {
         const auto attr = split_attr(line.tokens[i]);
@@ -414,6 +463,7 @@ AppSkeleton parse_skeleton(std::string_view text) {
   }
 
   if (!app) throw ParseError(1, "missing 'app' line");
+  check_kernel_complete();
   try {
     return app->build();
   } catch (const ContractViolation& e) {

@@ -1,0 +1,36 @@
+#include "util/checksum.h"
+
+#include <array>
+
+#include "util/table.h"
+
+namespace grophecy::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::string_view data) {
+  return strfmt("%08x", crc32(data));
+}
+
+}  // namespace grophecy::util

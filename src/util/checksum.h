@@ -1,0 +1,23 @@
+// CRC-32 checksums (the IEEE 802.3 polynomial, as used by zip/png).
+//
+// The sweep result journal (exec::ResultJournal) stamps every record with
+// a checksum so a crash mid-append — a torn final line — is detected on
+// the next read instead of being parsed as garbage. CRC-32 is not
+// cryptographic; it detects corruption, not tampering, which is exactly
+// the contract a local crash-safe journal needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grophecy::util {
+
+/// CRC-32 of `data` (IEEE polynomial, reflected, init/final 0xFFFFFFFF).
+/// crc32("123456789") == 0xCBF43926, the standard check value.
+std::uint32_t crc32(std::string_view data);
+
+/// The checksum as fixed-width lowercase hex ("cbf43926").
+std::string crc32_hex(std::string_view data);
+
+}  // namespace grophecy::util

@@ -15,6 +15,9 @@
 //   CalibrationError  the calibration pipeline exhausted its retry/sample
 //                     budget (fatal for this run; fall back or abort)
 //   ParseError        malformed .gskel / .gmach input (user must fix it)
+//   UsageError        invalid user-supplied value outside a document — an
+//                     unknown workload or machine name, a bad CLI argument
+//                     (user must fix the request, not a file)
 //
 // See docs/robustness.md for the retry and degradation policies built on
 // top of this hierarchy.
@@ -30,6 +33,7 @@ enum class ErrorKind {
   kMeasurement,
   kCalibration,
   kParse,
+  kUsage,
 };
 
 /// Base of all runtime errors thrown by the framework.
@@ -104,6 +108,16 @@ class ParseError : public Error {
   std::string file_;
   int line_;
   std::string message_;
+};
+
+/// An invalid user-supplied value that is not part of a parsed document:
+/// an unknown workload or machine name, an out-of-range CLI argument.
+/// Bad input, not a broken invariant — never a ContractViolation, and
+/// never retryable; the user must fix the request.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what)
+      : Error(ErrorKind::kUsage, what) {}
 };
 
 }  // namespace grophecy

@@ -1,0 +1,208 @@
+#include "util/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.h"
+
+namespace grophecy::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20)
+          out += strfmt("\\u%04x", ch);
+        else
+          out += ch;
+    }
+  }
+  return out;
+}
+
+std::string write_flat_json(const FlatJson& object) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : object) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(key) + "\":";
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      out += '"' + json_escape(*s) + '"';
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      out += strfmt("%.17g", *d);
+    } else {
+      out += std::get<bool>(value) ? "true" : "false";
+    }
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Cursor over the input; every helper returns false on malformed input.
+struct Reader {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos;
+  }
+
+  bool consume(char expected) {
+    if (eof() || peek() != expected) return false;
+    ++pos;
+    return true;
+  }
+
+  bool read_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (eof()) return false;
+      const char ch = text[pos++];
+      if (ch == '"') return true;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text[pos++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') code |= hex - '0';
+            else if (hex >= 'a' && hex <= 'f') code |= hex - 'a' + 10;
+            else if (hex >= 'A' && hex <= 'F') code |= hex - 'A' + 10;
+            else return false;
+          }
+          // The writer only emits \u escapes for control bytes; anything
+          // in the Latin-1 range round-trips, the rest is rejected.
+          if (code > 0xFF) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+  }
+
+  bool read_value(JsonScalar& out) {
+    if (eof()) return false;
+    const char ch = peek();
+    if (ch == '"') {
+      std::string s;
+      if (!read_string(s)) return false;
+      out = std::move(s);
+      return true;
+    }
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      out = true;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      out = false;
+      return true;
+    }
+    // Number: delegate to strtod over the JSON number charset.
+    const std::size_t start = pos;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '-' || peek() == '+' || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E'))
+      ++pos;
+    if (pos == start) return false;
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value))
+      return false;
+    out = value;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<FlatJson> parse_flat_json(std::string_view text) {
+  Reader reader{text};
+  reader.skip_ws();
+  if (!reader.consume('{')) return std::nullopt;
+  FlatJson object;
+  reader.skip_ws();
+  if (reader.consume('}')) {
+    reader.skip_ws();
+    return reader.eof() ? std::make_optional(object) : std::nullopt;
+  }
+  while (true) {
+    reader.skip_ws();
+    std::string key;
+    if (!reader.read_string(key)) return std::nullopt;
+    reader.skip_ws();
+    if (!reader.consume(':')) return std::nullopt;
+    reader.skip_ws();
+    JsonScalar value;
+    if (!reader.read_value(value)) return std::nullopt;
+    object.emplace_back(std::move(key), std::move(value));
+    reader.skip_ws();
+    if (reader.consume(',')) continue;
+    if (reader.consume('}')) break;
+    return std::nullopt;
+  }
+  reader.skip_ws();
+  if (!reader.eof()) return std::nullopt;
+  return object;
+}
+
+std::optional<std::string> json_string(const FlatJson& object,
+                                       std::string_view key) {
+  for (const auto& [name, value] : object)
+    if (name == key)
+      if (const auto* s = std::get_if<std::string>(&value)) return *s;
+  return std::nullopt;
+}
+
+std::optional<double> json_number(const FlatJson& object,
+                                  std::string_view key) {
+  for (const auto& [name, value] : object)
+    if (name == key)
+      if (const auto* d = std::get_if<double>(&value)) return *d;
+  return std::nullopt;
+}
+
+std::optional<bool> json_bool(const FlatJson& object, std::string_view key) {
+  for (const auto& [name, value] : object)
+    if (name == key)
+      if (const auto* b = std::get_if<bool>(&value)) return *b;
+  return std::nullopt;
+}
+
+}  // namespace grophecy::util

@@ -1,5 +1,7 @@
 #include "workloads/workload.h"
 
+#include "util/error.h"
+
 namespace grophecy::workloads {
 
 std::vector<std::unique_ptr<Workload>> paper_workloads() {
@@ -9,6 +11,32 @@ std::vector<std::unique_ptr<Workload>> paper_workloads() {
   all.push_back(make_srad());
   all.push_back(make_stassuij());
   return all;
+}
+
+const Workload& find_workload(
+    const std::vector<std::unique_ptr<Workload>>& all,
+    const std::string& name) {
+  for (const auto& workload : all)
+    if (workload->name() == name) return *workload;
+  std::string valid;
+  for (const auto& workload : all) {
+    if (!valid.empty()) valid += ", ";
+    valid += workload->name();
+  }
+  throw UsageError("unknown workload '" + name + "' (valid: " + valid + ")");
+}
+
+DataSize find_data_size(const Workload& workload, const std::string& label) {
+  const std::vector<DataSize> sizes = workload.paper_data_sizes();
+  for (const DataSize& size : sizes)
+    if (size.label == label) return size;
+  std::string valid;
+  for (const DataSize& size : sizes) {
+    if (!valid.empty()) valid += ", ";
+    valid += size.label;
+  }
+  throw UsageError("unknown data size '" + label + "' for " +
+                   workload.name() + " (valid: " + valid + ")");
 }
 
 }  // namespace grophecy::workloads

@@ -52,4 +52,14 @@ std::unique_ptr<Workload> make_stassuij();
 /// All four, in the paper's Table I order (CFD, HotSpot, SRAD, Stassuij).
 std::vector<std::unique_ptr<Workload>> paper_workloads();
 
+/// Looks up a workload by name. An unknown name is bad user input, not a
+/// broken invariant: throws grophecy::UsageError listing the valid names.
+const Workload& find_workload(
+    const std::vector<std::unique_ptr<Workload>>& all,
+    const std::string& name);
+
+/// Looks up one of `workload`'s paper data sizes by its Table I label.
+/// Throws grophecy::UsageError listing the valid labels when absent.
+DataSize find_data_size(const Workload& workload, const std::string& label);
+
 }  // namespace grophecy::workloads

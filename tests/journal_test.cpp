@@ -1,0 +1,270 @@
+// Tests for the crash-safe result journal and its building blocks: CRC-32
+// checksums, the flat-JSON codec, the checksummed line format, torn-write
+// tolerance (the acceptance scenario: killing a sweep mid-append loses at
+// most the in-flight record), and JobRecord round-tripping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/report.h"
+#include "exec/journal.h"
+#include "exec/sweep.h"
+#include "util/checksum.h"
+#include "util/jsonl.h"
+
+namespace grophecy::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique temp file path, removed when the fixture dies.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("grophecy_journal_test_" + name +
+                std::to_string(::getpid()) + ".jsonl"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- CRC-32 ---
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32_hex("123456789"), "cbf43926");
+}
+
+TEST(Crc32, EmptyAndSensitivity) {
+  EXPECT_EQ(util::crc32(""), 0u);
+  EXPECT_NE(util::crc32("abc"), util::crc32("abd"));
+  EXPECT_NE(util::crc32("abc"), util::crc32("acb"));
+}
+
+// --- flat JSON ---
+
+TEST(FlatJson, RoundTripsEveryScalarType) {
+  util::FlatJson object;
+  object.emplace_back("name", std::string("CFD \"97K\"\n\ttab\\slash"));
+  object.emplace_back("value", 3.14159265358979);
+  object.emplace_back("negative", -1e-9);
+  object.emplace_back("flag", true);
+  object.emplace_back("off", false);
+
+  const std::string text = util::write_flat_json(object);
+  const auto parsed = util::parse_flat_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*util::json_string(*parsed, "name"), "CFD \"97K\"\n\ttab\\slash");
+  EXPECT_EQ(*util::json_number(*parsed, "value"), 3.14159265358979);
+  EXPECT_EQ(*util::json_number(*parsed, "negative"), -1e-9);
+  EXPECT_EQ(*util::json_bool(*parsed, "flag"), true);
+  EXPECT_EQ(*util::json_bool(*parsed, "off"), false);
+}
+
+TEST(FlatJson, RejectsMalformedInputWithoutThrowing) {
+  EXPECT_FALSE(util::parse_flat_json("").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":1").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":}").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":nan}").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":[1,2]}").has_value());  // nested
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":{\"b\":1}}").has_value());
+  EXPECT_FALSE(util::parse_flat_json("{\"a\":1} trailing").has_value());
+  EXPECT_TRUE(util::parse_flat_json("{}").has_value());
+  EXPECT_TRUE(util::parse_flat_json(" {\"a\": 1 } ").has_value());
+}
+
+// --- the journal itself ---
+
+TEST(ResultJournal, MissingFileIsAnEmptyJournal) {
+  const JournalReadResult result = ResultJournal::read("/nonexistent/nope");
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.corrupt_lines, 0);
+}
+
+TEST(ResultJournal, AppendThenReadRoundTrips) {
+  TempFile file("roundtrip");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"a\":1}");
+    journal.append("{\"b\":\"two\"}");
+  }
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0], "{\"a\":1}");
+  EXPECT_EQ(result.records[1], "{\"b\":\"two\"}");
+  EXPECT_EQ(result.corrupt_lines, 0);
+}
+
+TEST(ResultJournal, ReopenAppendsAfterExistingRecords) {
+  TempFile file("reopen");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"run\":1}");
+  }
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"run\":2}");
+  }
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[1], "{\"run\":2}");
+}
+
+TEST(ResultJournal, TornFinalLineLosesOnlyTheInFlightRecord) {
+  TempFile file("torn");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"job\":1}");
+    journal.append("{\"job\":2}");
+    journal.append("{\"job\":3}");
+  }
+  // Simulate a crash mid-append: chop the file mid-way through the last
+  // record (no trailing newline, checksum incomplete).
+  const auto size = fs::file_size(file.path());
+  fs::resize_file(file.path(), size - 7);
+
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0], "{\"job\":1}");
+  EXPECT_EQ(result.records[1], "{\"job\":2}");
+  EXPECT_EQ(result.corrupt_lines, 1);
+}
+
+TEST(ResultJournal, BitFlipInAnyRecordIsDetected) {
+  TempFile file("bitflip");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"job\":1}");
+    journal.append("{\"job\":2}");
+  }
+  std::string contents;
+  {
+    std::ifstream in(file.path());
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Flip one payload character of the first record.
+  const auto at = contents.find("\"job\":1");
+  ASSERT_NE(at, std::string::npos);
+  contents[at + 6] = '7';
+  {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << contents;
+  }
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0], "{\"job\":2}");
+  EXPECT_EQ(result.corrupt_lines, 1);
+}
+
+// --- JobSpec fingerprints ---
+
+TEST(JobSpec, FingerprintIsDeterministicAndDiscriminates) {
+  const JobSpec a{"CFD", "97K", 1};
+  EXPECT_EQ(a.fingerprint(), (JobSpec{"CFD", "97K", 1}).fingerprint());
+  EXPECT_EQ(a.fingerprint().size(), 16u);
+  EXPECT_NE(a.fingerprint(), (JobSpec{"CFD", "97K", 2}).fingerprint());
+  EXPECT_NE(a.fingerprint(), (JobSpec{"CFD", "193K", 1}).fingerprint());
+  EXPECT_NE(a.fingerprint(), (JobSpec{"SRAD", "97K", 1}).fingerprint());
+  // The separator keeps concatenation ambiguities apart.
+  EXPECT_NE((JobSpec{"ab", "c", 1}).fingerprint(),
+            (JobSpec{"a", "bc", 1}).fingerprint());
+}
+
+// --- JobRecord ---
+
+core::ProjectionReport sample_report() {
+  core::ProjectionReport report;
+  report.app_name = "CFD 97K";
+  report.machine_name = "anl_eureka";
+  report.iterations = 4;
+  report.predicted_kernel_s = 0.0123;
+  report.measured_kernel_s = 0.0119;
+  report.predicted_transfer_s = 0.0456;
+  report.measured_transfer_s = 0.0441;
+  report.measured_cpu_s = 0.321;
+  report.calibration.used_fallback = false;
+  return report;
+}
+
+TEST(JobRecord, JsonRoundTripPreservesEverything) {
+  const JobSpec spec{"CFD", "97K", 4};
+  const JobRecord record =
+      JobRecord::from_report(spec, sample_report(), 2, 0.75);
+  const auto parsed = JobRecord::from_json(record.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->fingerprint, spec.fingerprint());
+  EXPECT_EQ(parsed->workload, "CFD");
+  EXPECT_EQ(parsed->size_label, "97K");
+  EXPECT_EQ(parsed->iterations, 4);
+  EXPECT_EQ(parsed->status, "ok");
+  EXPECT_EQ(parsed->attempts, 2);
+  EXPECT_EQ(parsed->elapsed_s, 0.75);
+  EXPECT_EQ(parsed->machine, "anl_eureka");
+  EXPECT_EQ(parsed->predicted_kernel_s, 0.0123);
+  EXPECT_EQ(parsed->measured_cpu_s, 0.321);
+  EXPECT_FALSE(parsed->calibration_fallback);
+}
+
+TEST(JobRecord, FailedRecordRoundTripsTheError) {
+  JobRecord record;
+  record.fingerprint = JobSpec{"CFD", "97K", 1}.fingerprint();
+  record.workload = "CFD";
+  record.size_label = "97K";
+  record.iterations = 1;
+  record.status = "failed";
+  record.attempts = 4;
+  record.elapsed_s = 1.5;
+  record.error_kind = "calibration";
+  record.error_message = "probe budget exhausted: \"broken link\"";
+  const auto parsed = JobRecord::from_json(record.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, "failed");
+  EXPECT_EQ(parsed->error_kind, "calibration");
+  EXPECT_EQ(parsed->error_message, "probe budget exhausted: \"broken link\"");
+}
+
+TEST(JobRecord, RejectsMalformedPayloads) {
+  EXPECT_FALSE(JobRecord::from_json("not json").has_value());
+  EXPECT_FALSE(JobRecord::from_json("{}").has_value());
+  EXPECT_FALSE(
+      JobRecord::from_json("{\"fp\":\"x\",\"status\":\"weird\"}").has_value());
+}
+
+TEST(JobRecord, ReconstructedReportMatchesEveryDerivedMetric) {
+  const core::ProjectionReport original = sample_report();
+  const JobSpec spec{"CFD", "97K", 4};
+  const JobRecord record = JobRecord::from_report(spec, original, 1, 0.1);
+  const core::ProjectionReport rebuilt = record.to_report();
+
+  EXPECT_EQ(rebuilt.app_name, original.app_name);
+  EXPECT_EQ(rebuilt.iterations, original.iterations);
+  EXPECT_DOUBLE_EQ(rebuilt.measured_speedup(), original.measured_speedup());
+  EXPECT_DOUBLE_EQ(rebuilt.predicted_speedup_both(),
+                   original.predicted_speedup_both());
+  EXPECT_DOUBLE_EQ(rebuilt.predicted_speedup_kernel_only(),
+                   original.predicted_speedup_kernel_only());
+  EXPECT_DOUBLE_EQ(rebuilt.speedup_error_both_pct(),
+                   original.speedup_error_both_pct());
+  EXPECT_DOUBLE_EQ(rebuilt.speedup_error_limit_pct(),
+                   original.speedup_error_limit_pct());
+  EXPECT_DOUBLE_EQ(rebuilt.measured_speedup_limit(),
+                   original.measured_speedup_limit());
+}
+
+}  // namespace
+}  // namespace grophecy::exec

@@ -1,0 +1,177 @@
+// A corpus of malformed .gskel and .gmach inputs — truncated documents,
+// non-finite numbers, duplicate keys, absurd counts — asserting that every
+// one surfaces as a typed grophecy::ParseError that carries the source file
+// and line, and that nothing in the parsing path aborts the process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hw/machine_file.h"
+#include "skeleton/parse.h"
+#include "util/error.h"
+
+namespace grophecy {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempInputFile {
+ public:
+  TempInputFile(const std::string& name, const std::string& contents)
+      : path_((fs::temp_directory_path() /
+               ("grophecy_malformed_" + name + std::to_string(::getpid())))
+                  .string()) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempInputFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct BrokenDoc {
+  const char* name;      ///< Corpus entry label (test failure messages).
+  const char* contents;  ///< The malformed document.
+};
+
+/// Asserts `parse(file-with-contents)` throws a grophecy::ParseError whose
+/// file() is the path it was given and whose line() points into the file.
+template <typename ParseFileFn>
+void expect_parse_error_with_location(const BrokenDoc& doc,
+                                      ParseFileFn parse_file) {
+  TempInputFile file(doc.name, doc.contents);
+  try {
+    parse_file(file.path());
+    ADD_FAILURE() << doc.name << ": expected a ParseError, parsed fine";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kParse) << doc.name;
+    EXPECT_EQ(error.file(), file.path()) << doc.name;
+    EXPECT_GT(error.line(), 0) << doc.name;
+    EXPECT_FALSE(error.message().empty()) << doc.name;
+    // what() embeds the location for operator-facing logs.
+    EXPECT_NE(std::string(error.what()).find(file.path()), std::string::npos)
+        << doc.name;
+  } catch (const std::exception& other) {
+    ADD_FAILURE() << doc.name << ": wrong exception type: " << other.what();
+  }
+}
+
+// --- .gskel corpus ---
+
+const std::vector<BrokenDoc>& broken_skeletons() {
+  static const std::vector<BrokenDoc> corpus = {
+      {"empty", ""},
+      {"comment_only", "# nothing here\n"},
+      {"truncated_kernel",
+       "app t\narray a f32[16]\nkernel k\n  parallel for i in 0..16\n"},
+      {"truncated_mid_token",
+       // Cut at an arbitrary byte boundary, mid-way through "flops=1".
+       "app t\narray a f32[16]\nkernel k\n  parallel for i in 0..16\n"
+       "  stmt flo"},
+      {"nan_flops",
+       "app t\narray a f32[16]\nkernel k\n  for i in 0..16\n"
+       "  stmt flops=nan\n    load a[i]\n"},
+      {"inf_flops",
+       "app t\narray a f32[16]\nkernel k\n  for i in 0..16\n"
+       "  stmt flops=inf\n    load a[i]\n"},
+      {"negative_extent", "app t\narray a f32[-4]\n"},
+      {"zero_extent", "app t\narray a f32[0]\n"},
+      {"huge_extent",
+       // Element count far beyond the 2^58 cap: would overflow the byte
+       // accounting if accepted.
+       "app t\narray a f64[9223372036854775807]\n"},
+      {"huge_extent_product",
+       // Each dimension is fine; the product is not.
+       "app t\narray a f64[2147483647][2147483647][2147483647]\n"},
+      {"duplicate_array", "app t\narray a f32[16]\narray a f32[16]\n"},
+      {"duplicate_kernel",
+       "app t\narray a f32[16]\n"
+       "kernel k\n  for i in 0..16\n  stmt flops=1\n    load a[i]\n"
+       "kernel k\n  for i in 0..16\n  stmt flops=1\n    load a[i]\n"},
+      {"unknown_type", "app t\narray a f16[16]\n"},
+      {"unknown_array_in_load",
+       "app t\narray a f32[16]\nkernel k\n  for i in 0..16\n"
+       "  stmt flops=1\n    load ghost[i]\n"},
+      {"garbage_line", "app t\n\x01\x02 binary junk\n"},
+      {"bad_iterations", "app t iterations=-3\n"},
+  };
+  return corpus;
+}
+
+TEST(MalformedSkeleton, EveryCorpusEntryThrowsTypedParseErrorWithLocation) {
+  for (const BrokenDoc& doc : broken_skeletons())
+    expect_parse_error_with_location(
+        doc, [](const std::string& path) { skeleton::parse_skeleton_file(path); });
+}
+
+TEST(MalformedSkeleton, InMemoryParsingReportsLineWithoutFile) {
+  try {
+    skeleton::parse_skeleton("app t\narray a f32[nan]\n");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_TRUE(error.file().empty());
+    EXPECT_EQ(error.line(), 2);
+  }
+}
+
+TEST(MalformedSkeleton, UnreadableFileIsAParseErrorNotAnAbort) {
+  try {
+    skeleton::parse_skeleton_file("/nonexistent/no_such.gskel");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.file(), "/nonexistent/no_such.gskel");
+  }
+}
+
+// --- .gmach corpus ---
+
+const std::vector<BrokenDoc>& broken_machines() {
+  static const std::vector<BrokenDoc> corpus = {
+      {"unknown_key", "name m\ncpu.cores 8\n"},  // typo for cpu.threads
+      {"missing_value", "cpu.threads\n"},
+      {"nan_value", "cpu.mem_bandwidth_gbps nan\n"},
+      {"inf_value", "gpu.mem_bandwidth_gbps inf\n"},
+      {"negative_inf", "gpu.mem_bandwidth_gbps -inf\n"},
+      {"not_a_number", "cpu.threads twelve\n"},
+      {"duplicate_key", "cpu.threads 8\ncpu.threads 16\n"},
+      {"base_not_first", "cpu.threads 8\nbase pcie3_kepler\n"},
+      {"unknown_base", "base vaporware9000\n"},
+      {"trailing_garbage", "cpu.threads 8 extra tokens\n"},
+  };
+  return corpus;
+}
+
+TEST(MalformedMachine, EveryCorpusEntryThrowsTypedParseErrorWithLocation) {
+  for (const BrokenDoc& doc : broken_machines())
+    expect_parse_error_with_location(
+        doc, [](const std::string& path) { hw::parse_machine_file(path); });
+}
+
+TEST(MalformedMachine, DuplicateKeyNamesTheOffendingLine) {
+  try {
+    hw::parse_machine("cpu.threads 8\ngpu.num_sms 4\ncpu.threads 16\n");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 3);
+    EXPECT_NE(std::string(error.what()).find("cpu.threads"),
+              std::string::npos);
+  }
+}
+
+TEST(MalformedMachine, UnreadableFileIsAParseErrorNotAnAbort) {
+  try {
+    hw::parse_machine_file("/nonexistent/no_such.gmach");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.file(), "/nonexistent/no_such.gmach");
+  }
+}
+
+}  // namespace
+}  // namespace grophecy
