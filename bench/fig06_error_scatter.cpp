@@ -7,10 +7,15 @@
 // Shape checks: CFD's kernel error dominates (the model cannot see the
 // replay/latency cost of its data-dependent gathers); HotSpot and SRAD sit
 // at ~10% or below for both axes at most sizes.
+//
+// The grid runs through exec::SweepRequest on the SweepEngine worker pool;
+// per-job deterministic seeds keep the table byte-identical for any worker
+// count.
 #include <cstdio>
 #include <iostream>
 
-#include "core/experiment.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -18,21 +23,36 @@ int main() {
   using namespace grophecy;
   using util::strfmt;
 
-  core::ExperimentRunner runner;
+  std::vector<std::string> names;
+  for (const auto& workload : workloads::paper_workloads())
+    names.push_back(workload->name());
+
+  exec::SweepEngine engine;
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .workloads(names)
+                                         .sizes(exec::all_sizes)
+                                         .run(engine);
+
   util::TextTable table({"Application", "Data Size", "Kernel error",
                          "Transfer error", "Dominant"});
-
-  for (const auto& workload : workloads::paper_workloads()) {
-    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
-      core::ProjectionReport report = runner.run(*workload, size);
+  for (std::size_t index = 0; index < summary.outcomes.size(); ++index) {
+    const exec::JobOutcome& outcome = summary.outcomes[index];
+    if (!outcome.ok()) {
+      table.add_row({outcome.spec.workload, outcome.spec.size_label,
+                     std::string("failed: ") + to_string(outcome.error->kind),
+                     "-", "-"});
+    } else {
+      const core::ProjectionReport& report = *outcome.report;
       const double kernel_err = report.kernel_error_pct();
       const double transfer_err = report.transfer_error_pct();
-      table.add_row({workload->name(), size.label,
+      table.add_row({outcome.spec.workload, outcome.spec.size_label,
                      strfmt("%.1f%%", kernel_err),
                      strfmt("%.1f%%", transfer_err),
                      kernel_err > transfer_err ? "kernel" : "transfer"});
     }
-    table.add_separator();
+    if (index + 1 == summary.outcomes.size() ||
+        summary.outcomes[index + 1].spec.workload != outcome.spec.workload)
+      table.add_separator();
   }
 
   std::printf("Figure 6 — transfer vs kernel prediction error per "

@@ -2,27 +2,39 @@
 // data size and speedup vs iteration count, each printing measured speedup,
 // the prediction with data transfer time, and the prediction without it.
 //
-// Both drivers run their grid through exec::SweepEngine rather than a bare
-// serial loop: a configuration that fails or hangs becomes a structured
-// entry in the sweep summary instead of aborting the bench, and the
-// remaining rows still print. In the fault-free path the engine executes
-// the same projections in the same order, so the tables are byte-identical
-// to the pre-engine output (and the summary stays silent).
+// Both drivers declare their grid through exec::SweepRequest and run it on
+// exec::SweepEngine: a configuration that fails or hangs becomes a
+// structured entry in the sweep summary instead of aborting the bench, and
+// the remaining rows still print. Jobs execute on the engine's worker pool
+// (all cores by default; GROPHECY_SWEEP_WORKERS=1 forces the serial path)
+// with per-job deterministic seeds, so every table is byte-identical for
+// any worker count. All jobs of a bench share one calibration via the
+// process-wide pcie::CalibrationCache.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
-#include "exec/sweep.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
 #include "util/ascii_chart.h"
-#include "util/contracts.h"
 #include "util/table.h"
-#include "workloads/workload.h"
 
 namespace grophecy::bench {
+
+/// Engine options shared by the sweep benches: worker count from
+/// GROPHECY_SWEEP_WORKERS when set (0 = all cores), all cores otherwise.
+inline exec::SweepOptions bench_sweep_options() {
+  exec::SweepOptions options;
+  if (const char* env = std::getenv("GROPHECY_SWEEP_WORKERS")) {
+    const int workers = std::atoi(env);
+    if (workers >= 0) options.workers = workers;
+  }
+  return options;
+}
 
 /// Prints the engine's account of a sweep that did not go cleanly; silent
 /// for an all-ok run so healthy benches keep their exact output.
@@ -34,29 +46,19 @@ inline void report_sweep_health(const exec::SweepSummary& summary) {
 /// Figs. 7/9/11: speedup across the paper's data sizes (one iteration).
 inline void print_size_sweep(const std::string& workload_name,
                              const char* figure) {
-  const auto all = workloads::paper_workloads();
-  const workloads::Workload& workload =
-      workloads::find_workload(all, workload_name);
-  core::ExperimentRunner runner;
-
-  std::vector<exec::JobSpec> jobs;
-  for (const workloads::DataSize& size : workload.paper_data_sizes())
-    jobs.push_back({workload_name, size.label, 1});
-
-  exec::SweepEngine engine;
-  const exec::SweepSummary summary =
-      engine.run(jobs, [&](const exec::JobSpec& spec) {
-        return runner.run(workload,
-                          workloads::find_data_size(workload, spec.size_label),
-                          spec.iterations);
-      });
+  exec::SweepEngine engine(bench_sweep_options());
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .workloads({workload_name})
+                                         .sizes(exec::all_sizes)
+                                         .run(engine);
 
   util::TextTable table({"Data Size", "Measured", "Predicted w/ transfer",
                          "err", "Predicted w/o transfer", "err"});
   for (const exec::JobOutcome& outcome : summary.outcomes) {
     if (!outcome.ok()) {
       table.add_row({outcome.spec.size_label,
-                     "failed: " + outcome.error->kind, "-", "-", "-", "-"});
+                     std::string("failed: ") + to_string(outcome.error->kind),
+                     "-", "-", "-", "-"});
       continue;
     }
     const core::ProjectionReport& report = *outcome.report;
@@ -84,29 +86,17 @@ inline void print_iteration_sweep(const std::string& workload_name,
                                   const std::string& size_label,
                                   const char* figure,
                                   double paper_limit_error_pct) {
-  const auto all = workloads::paper_workloads();
-  const workloads::Workload& workload =
-      workloads::find_workload(all, workload_name);
-  const workloads::DataSize size =
-      workloads::find_data_size(workload, size_label);
-  GROPHECY_EXPECTS(size.param != 0);
-
-  core::ExperimentRunner runner;
-  util::TextTable table({"Iterations", "Measured", "Pred w/ transfer",
-                         "err", "Pred w/o transfer", "err"});
-
   const std::vector<int> iteration_counts = {1,  2,  4,  8,   16,  32,
                                              64, 128, 256, 512};
-  std::vector<exec::JobSpec> jobs;
-  for (int iterations : iteration_counts)
-    jobs.push_back({workload_name, size_label, iterations});
+  exec::SweepEngine engine(bench_sweep_options());
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .workloads({workload_name})
+                                         .sizes({size_label})
+                                         .iterations(iteration_counts)
+                                         .run(engine);
 
-  exec::SweepEngine engine;
-  const exec::SweepSummary summary =
-      engine.run(jobs, [&](const exec::JobSpec& spec) {
-        return runner.run(workload, size, spec.iterations);
-      });
-
+  util::TextTable table({"Iterations", "Measured", "Pred w/ transfer",
+                         "err", "Pred w/o transfer", "err"});
   int twice_as_accurate_until = 0;
   double limit_error = 0.0;
   std::vector<double> xs, measured, with_transfer, without_transfer;
@@ -114,7 +104,8 @@ inline void print_iteration_sweep(const std::string& workload_name,
     const int iterations = outcome.spec.iterations;
     if (!outcome.ok()) {
       table.add_row({util::strfmt("%d", iterations),
-                     "failed: " + outcome.error->kind, "-", "-", "-", "-"});
+                     std::string("failed: ") + to_string(outcome.error->kind),
+                     "-", "-", "-", "-"});
       continue;
     }
     const core::ProjectionReport& report = *outcome.report;

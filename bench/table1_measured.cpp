@@ -2,10 +2,16 @@
 // data transfer sizes for each application and data size, with the paper's
 // published values printed alongside. The "Percent Transfer" column shows
 // the fraction of the overall time due to data transfer.
+//
+// The (workload × data size) grid runs through exec::SweepRequest on the
+// SweepEngine worker pool; per-job deterministic seeds keep the table
+// byte-identical for any worker count, and the whole grid calibrates the
+// machine once via the process-wide pcie::CalibrationCache.
 #include <cstdio>
 #include <iostream>
 
-#include "core/experiment.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
 #include "util/table.h"
 #include "util/units.h"
 #include "workloads/paper_reference.h"
@@ -15,21 +21,33 @@ int main() {
   using namespace grophecy;
   using util::strfmt;
 
-  core::ExperimentRunner runner;
+  std::vector<std::string> names;
+  for (const auto& workload : workloads::paper_workloads())
+    names.push_back(workload->name());
+
+  exec::SweepEngine engine;
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .workloads(names)
+                                         .sizes(exec::all_sizes)
+                                         .run(engine);
 
   util::TextTable table({"Application", "Data Size", "Kernel (ms)",
                          "paper", "Transfer (ms)", "paper", "% Xfer",
                          "paper", "In (MB)", "paper", "Out (MB)", "paper"});
 
   const auto paper_rows = workloads::paper_table1();
-  std::size_t paper_idx = 0;
-  for (const auto& workload : workloads::paper_workloads()) {
-    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
-      core::ProjectionReport report = runner.run(*workload, size);
-      const auto& paper = paper_rows[paper_idx++];
+  for (std::size_t index = 0; index < summary.outcomes.size(); ++index) {
+    const exec::JobOutcome& outcome = summary.outcomes[index];
+    const auto& paper = paper_rows[index];
+    if (!outcome.ok()) {
+      table.add_row({outcome.spec.workload, outcome.spec.size_label,
+                     std::string("failed: ") + to_string(outcome.error->kind),
+                     "-", "-", "-", "-", "-", "-", "-", "-", "-"});
+    } else {
+      const core::ProjectionReport& report = *outcome.report;
       table.add_row({
-          workload->name(),
-          size.label,
+          outcome.spec.workload,
+          outcome.spec.size_label,
           strfmt("%.2f", util::seconds_to_ms(report.measured_kernel_s)),
           strfmt("%.1f", paper.kernel_ms),
           strfmt("%.2f", util::seconds_to_ms(report.measured_transfer_s)),
@@ -44,7 +62,10 @@ int main() {
           strfmt("%.1f", paper.output_mb),
       });
     }
-    table.add_separator();
+    // Keep the paper's visual grouping: separator after each workload.
+    if (index + 1 == summary.outcomes.size() ||
+        summary.outcomes[index + 1].spec.workload != outcome.spec.workload)
+      table.add_separator();
   }
 
   std::printf("Table I — measured kernel/transfer times and transfer sizes\n");

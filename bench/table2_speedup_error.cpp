@@ -6,11 +6,16 @@
 // Also prints the §V-B4 Stassuij story: the kernel-only prediction calls
 // the GPU a win while the data-transfer-aware prediction correctly calls
 // it a loss.
+//
+// The grid runs through exec::SweepRequest on the SweepEngine worker pool;
+// per-job deterministic seeds keep the table byte-identical for any worker
+// count, and the grid shares one calibration via pcie::CalibrationCache.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/paper_reference.h"
@@ -20,29 +25,66 @@ int main() {
   using namespace grophecy;
   using util::strfmt;
 
-  core::ExperimentRunner runner;
+  std::vector<std::string> names;
+  for (const auto& workload : workloads::paper_workloads())
+    names.push_back(workload->name());
+
+  exec::SweepEngine engine;
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .workloads(names)
+                                         .sizes(exec::all_sizes)
+                                         .run(engine);
 
   util::TextTable table({"Application", "Data Set", "Kernel Only", "paper",
                          "Transfer Only", "paper", "Kernel+Transfer",
                          "paper"});
 
   const auto paper_rows = workloads::paper_table2();
-  std::size_t paper_idx = 0;
 
   std::vector<double> all_kernel_only, all_transfer_only, all_both;
   std::vector<double> app_kernel_only, app_transfer_only, app_both;
+  std::vector<double> wk_kernel_only, wk_transfer_only, wk_both;
 
   core::ProjectionReport stassuij_report;
 
-  for (const auto& workload : workloads::paper_workloads()) {
-    std::vector<double> wk_kernel_only, wk_transfer_only, wk_both;
-    for (const workloads::DataSize& size : workload->paper_data_sizes()) {
-      core::ProjectionReport report = runner.run(*workload, size);
-      if (workload->name() == "Stassuij") stassuij_report = report;
-      const auto& paper = paper_rows[paper_idx++];
+  // Closes the current workload group: per-workload average row (when the
+  // group has more than one size) plus the separator the paper's layout
+  // uses.
+  auto close_group = [&](const std::string& app) {
+    if (wk_both.empty()) return;
+    all_kernel_only.insert(all_kernel_only.end(), wk_kernel_only.begin(),
+                           wk_kernel_only.end());
+    all_transfer_only.insert(all_transfer_only.end(),
+                             wk_transfer_only.begin(), wk_transfer_only.end());
+    all_both.insert(all_both.end(), wk_both.begin(), wk_both.end());
+    app_kernel_only.push_back(util::mean(wk_kernel_only));
+    app_transfer_only.push_back(util::mean(wk_transfer_only));
+    app_both.push_back(util::mean(wk_both));
+    if (wk_both.size() > 1) {
+      table.add_row({app, "Average",
+                     strfmt("%.0f%%", util::mean(wk_kernel_only)), "",
+                     strfmt("%.0f%%", util::mean(wk_transfer_only)), "",
+                     strfmt("%.0f%%", util::mean(wk_both)), ""});
+    }
+    table.add_separator();
+    wk_kernel_only.clear();
+    wk_transfer_only.clear();
+    wk_both.clear();
+  };
+
+  for (std::size_t index = 0; index < summary.outcomes.size(); ++index) {
+    const exec::JobOutcome& outcome = summary.outcomes[index];
+    if (!outcome.ok()) {
+      table.add_row({outcome.spec.workload, outcome.spec.size_label,
+                     std::string("failed: ") + to_string(outcome.error->kind),
+                     "-", "-", "-", "-", "-"});
+    } else {
+      const core::ProjectionReport& report = *outcome.report;
+      if (outcome.spec.workload == "Stassuij") stassuij_report = report;
+      const auto& paper = paper_rows[index];
       table.add_row({
-          workload->name(),
-          size.label,
+          outcome.spec.workload,
+          outcome.spec.size_label,
           strfmt("%.0f%%", report.speedup_error_kernel_only_pct()),
           strfmt("%.0f%%", paper.kernel_only_pct),
           strfmt("%.0f%%", report.speedup_error_transfer_only_pct()),
@@ -54,21 +96,9 @@ int main() {
       wk_transfer_only.push_back(report.speedup_error_transfer_only_pct());
       wk_both.push_back(report.speedup_error_both_pct());
     }
-    all_kernel_only.insert(all_kernel_only.end(), wk_kernel_only.begin(),
-                           wk_kernel_only.end());
-    all_transfer_only.insert(all_transfer_only.end(),
-                             wk_transfer_only.begin(), wk_transfer_only.end());
-    all_both.insert(all_both.end(), wk_both.begin(), wk_both.end());
-    app_kernel_only.push_back(util::mean(wk_kernel_only));
-    app_transfer_only.push_back(util::mean(wk_transfer_only));
-    app_both.push_back(util::mean(wk_both));
-    if (workload->paper_data_sizes().size() > 1) {
-      table.add_row({workload->name(), "Average",
-                     strfmt("%.0f%%", util::mean(wk_kernel_only)), "",
-                     strfmt("%.0f%%", util::mean(wk_transfer_only)), "",
-                     strfmt("%.0f%%", util::mean(wk_both)), ""});
-    }
-    table.add_separator();
+    if (index + 1 == summary.outcomes.size() ||
+        summary.outcomes[index + 1].spec.workload != outcome.spec.workload)
+      close_group(outcome.spec.workload);
   }
 
   const auto paper_avg = workloads::paper_table2_averages();

@@ -4,19 +4,38 @@
 #   scripts/verify.sh              release build + ctest (the tier-1 gate)
 #   scripts/verify.sh --sanitize   additionally build and test under
 #                                  AddressSanitizer + UBSan (asan-ubsan preset)
+#   scripts/verify.sh --tsan       additionally build under ThreadSanitizer
+#                                  and run the concurrency-sensitive suites
+#                                  (sweep engine, determinism, journal,
+#                                  calibration cache)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_preset() {
   local preset="$1"
+  shift
   echo "=== verify: ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
-  ctest --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
 
 run_preset default
-if [[ "${1:-}" == "--sanitize" ]]; then
-  run_preset asan-ubsan
-fi
+for arg in "$@"; do
+  case "${arg}" in
+    --sanitize)
+      run_preset asan-ubsan
+      ;;
+    --tsan)
+      # TSan slows everything ~10x; focus it on the code that actually
+      # shares state across threads (ctest names are GTest suite.test).
+      run_preset tsan --no-tests=error -R \
+        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache)\.'
+      ;;
+    *)
+      echo "unknown option: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
 echo "=== verify: OK ==="

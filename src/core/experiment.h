@@ -13,6 +13,10 @@
 namespace grophecy::core {
 
 /// Runs paper experiments against one machine.
+///
+/// Construction validates the options (ProjectionOptions::validate) so a
+/// bad knob fails fast with a UsageError naming the field instead of a
+/// contract violation deep inside the calibrator.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(hw::MachineSpec machine = hw::anl_eureka(),
@@ -27,6 +31,10 @@ class ExperimentRunner {
       const workloads::Workload& workload, int iterations = 1);
 
   Grophecy& engine() { return engine_; }
+  /// Read-only access for callers that only inspect calibration or
+  /// options (project() mutates measurement streams, so it needs the
+  /// mutable accessor).
+  const Grophecy& engine() const { return engine_; }
 
  private:
   Grophecy engine_;

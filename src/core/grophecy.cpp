@@ -5,9 +5,12 @@
 #include <limits>
 
 #include "dataflow/usage_analyzer.h"
+#include "pcie/calibration_cache.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/table.h"
 #include "util/units.h"
 
 namespace grophecy::core {
@@ -39,25 +42,78 @@ pcie::CalibrationReport calibrate(const hw::MachineSpec& machine,
   // separate synthetic-benchmark invocation with its own noise. The
   // machine spec serves as the degradation fallback, so engine
   // construction survives a measurement path that cannot converge.
-  pcie::SimulatedBus bus(machine.pcie, seed);
-  pcie::TransferCalibrator calibrator(options.calibration);
-  return calibrator.calibrate_robust(bus, options.memory, &machine.pcie);
+  auto measure = [&] {
+    pcie::SimulatedBus bus(machine.pcie, seed);
+    pcie::TransferCalibrator calibrator(options.calibration);
+    return calibrator.calibrate_robust(bus, options.memory, &machine.pcie);
+  };
+  if (!options.use_calibration_cache) return measure();
+  const std::string key = pcie::calibration_cache_key(
+      machine.pcie, options.calibration, options.memory, seed);
+  return pcie::CalibrationCache::instance().get_or_calibrate(key, measure);
+}
+
+/// Pass-through used in the constructor initializer list so invalid
+/// options surface as UsageError *before* any member (notably the
+/// calibrator, which enforces the same ranges as hard contracts) runs.
+ProjectionOptions validated(ProjectionOptions options) {
+  options.validate();
+  return options;
 }
 
 }  // namespace
 
+void ProjectionOptions::validate() const {
+  auto require = [](bool ok, const char* field, const std::string& why) {
+    if (!ok)
+      throw UsageError(util::strfmt("ProjectionOptions.%s %s", field,
+                                    why.c_str()));
+  };
+  require(measurement_runs > 0, "measurement_runs",
+          util::strfmt("must be positive, got %d", measurement_runs));
+  require(calibration.replicates > 0, "calibration.replicates",
+          util::strfmt("must be positive, got %d", calibration.replicates));
+  require(calibration.small_bytes > 0, "calibration.small_bytes",
+          "must be positive");
+  require(calibration.small_bytes < calibration.large_bytes,
+          "calibration.large_bytes", "must exceed small_bytes");
+  const pcie::RobustnessOptions& r = calibration.robustness;
+  require(r.max_retries >= 0, "calibration.robustness.max_retries",
+          util::strfmt("must be non-negative, got %d", r.max_retries));
+  require(r.timeout_s > 0.0, "calibration.robustness.timeout_s",
+          util::strfmt("must be positive, got %g", r.timeout_s));
+  require(r.backoff_initial_s > 0.0, "calibration.robustness.backoff_initial_s",
+          "must be positive");
+  require(r.backoff_max_s >= r.backoff_initial_s,
+          "calibration.robustness.backoff_max_s",
+          "must be >= backoff_initial_s");
+  require(r.outlier_z > 0.0, "calibration.robustness.outlier_z",
+          "must be positive");
+  require(r.target_rel_half_width > 0.0,
+          "calibration.robustness.target_rel_half_width", "must be positive");
+  require(r.max_replicates >= calibration.replicates,
+          "calibration.robustness.max_replicates",
+          "must be >= calibration.replicates");
+  for (std::uint64_t bytes : calibration.sweep_bytes)
+    require(bytes > 0, "calibration.sweep_bytes", "entries must be positive");
+  for (int fuse : fusion_candidates)
+    require(fuse >= 1, "fusion_candidates",
+            util::strfmt("entries must be >= 1, got %d", fuse));
+}
+
 Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
     : machine_(std::move(machine)),
-      options_(std::move(options)),
+      options_(validated(std::move(options))),
       measurement_bus_(machine_.pcie,
                        derive_seeds(options_.seed).measurement_bus),
-      calibration_report_(
-          calibrate(machine_, options_, derive_seeds(options_.seed).calibration_bus)),
+      calibration_report_(calibrate(
+          machine_, options_,
+          options_.calibration_seed.value_or(
+              derive_seeds(options_.seed).calibration_bus))),
       explorer_(machine_.gpu, options_.explorer),
       gpu_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
       event_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
       cpu_sim_(machine_.cpu, derive_seeds(options_.seed).cpu) {
-  GROPHECY_EXPECTS(options_.measurement_runs > 0);
   if (options_.measurement_noise)
     measurement_bus_.set_noise(*options_.measurement_noise);
   GROPHECY_LOG(kInfo) << "calibrated " << machine_.name << ": H2D "

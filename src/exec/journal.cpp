@@ -56,14 +56,14 @@ JournalReadResult ResultJournal::read(const std::string& path) {
 }
 
 void ResultJournal::open_append(const std::string& path) {
-  GROPHECY_EXPECTS(!is_open());
+  std::lock_guard<std::mutex> lock(mutex_);
+  GROPHECY_EXPECTS(file_ == nullptr);
   file_ = std::fopen(path.c_str(), "ab");
   if (!file_)
     throw UsageError("cannot open sweep journal for append: " + path);
 }
 
-void ResultJournal::append(std::string_view payload) {
-  GROPHECY_EXPECTS(is_open());
+void ResultJournal::append(std::string_view payload, bool sync_now) {
   GROPHECY_EXPECTS(payload.find('\n') == std::string_view::npos);
   std::string line;
   line.reserve(payload.size() + 32);
@@ -72,17 +72,29 @@ void ResultJournal::append(std::string_view payload) {
   line += kMiddle;
   line += payload;
   line += "}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  GROPHECY_EXPECTS(file_ != nullptr);
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0)
     throw MeasurementError("sweep journal write failed");
+  if (sync_now) sync_locked();
+}
+
+void ResultJournal::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) sync_locked();
+}
+
+void ResultJournal::sync_locked() {
 #ifdef GROPHECY_HAVE_FSYNC
-  // Push the record through the OS cache: an acknowledged append must
+  // Push the record(s) through the OS cache: an acknowledged append must
   // survive an immediate crash, not just a clean process exit.
   fsync(fileno(file_));
 #endif
 }
 
 void ResultJournal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (file_) {
     std::fclose(file_);
     file_ = nullptr;

@@ -9,8 +9,13 @@
 //   * checksummed: every line carries a CRC-32 of its payload, so a torn
 //     final line (the crash artifact) is detected and skipped on read
 //     instead of being parsed as garbage;
-//   * durable: every append is flushed and fsync'd before returning, so
-//     an acknowledged record survives an immediate crash;
+//   * durable: an append is flushed to the OS immediately and fsync'd
+//     either inline (the default) or at the caller's next sync() — the
+//     sweep engine batches the fsync per committed run of jobs; an
+//     acknowledged record survives an immediate crash, an unsynced tail
+//     is at worst the torn-line case the reader already tolerates;
+//   * thread-safe: append/sync/close serialize on an internal mutex, so
+//     concurrent writers cannot interleave bytes of two records;
 //   * tolerant: read() never throws on a damaged file — it returns every
 //     record whose checksum verifies and counts the lines that did not.
 //
@@ -25,6 +30,7 @@
 #pragma once
 
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,13 +68,22 @@ class ResultJournal {
 
   bool is_open() const { return file_ != nullptr; }
 
-  /// Appends one record, then flushes and fsyncs. The payload must be a
-  /// single line (no '\n'); the checksum wrapper is added here.
-  void append(std::string_view payload);
+  /// Appends one record, flushed to the OS immediately. The payload must
+  /// be a single line (no '\n'); the checksum wrapper is added here.
+  /// With sync_now (the default) the record is also fsync'd before
+  /// returning; pass false to batch the fsync and call sync() once per
+  /// group of appends.
+  void append(std::string_view payload, bool sync_now = true);
+
+  /// Pushes everything appended so far through the OS cache (fsync).
+  void sync();
 
   void close();
 
  private:
+  void sync_locked();
+
+  mutable std::mutex mutex_;  ///< Serializes append/sync/close.
   std::FILE* file_ = nullptr;
 };
 

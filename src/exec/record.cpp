@@ -1,27 +1,52 @@
 // JobSpec identity and JobRecord (de)serialization for the sweep journal.
+//
+// This file is the JSONL boundary of the sweep types: in memory the error
+// taxonomy is grophecy::ErrorKind and the record status is RecordStatus;
+// the strings ("measurement", "timeout", ..., "ok"/"failed") exist only
+// on the wire, written and parsed here. The journal format is unchanged
+// from the stringly-typed era, so any previously written journal resumes.
 #include <cstdint>
 
 #include "exec/sweep.h"
+#include "util/checksum.h"
 #include "util/jsonl.h"
 #include "util/table.h"
 
 namespace grophecy::exec {
 
+namespace {
+
+constexpr const char* to_string(RecordStatus status) {
+  return status == RecordStatus::kOk ? "ok" : "failed";
+}
+
+std::optional<RecordStatus> record_status_from_string(std::string_view name) {
+  if (name == "ok") return RecordStatus::kOk;
+  if (name == "failed") return RecordStatus::kFailed;
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::string JobSpec::key() const {
   return workload + "/" + size_label + "/x" + std::to_string(iterations);
 }
 
+/// The canonical identity string behind fingerprint() and stream_seed().
+/// The separator byte keeps ("ab","c") distinct from ("a","bc"); the
+/// iteration count is folded in via its decimal form.
+static std::string identity_of(const JobSpec& spec) {
+  return spec.workload + '\x1f' + spec.size_label + '\x1f' +
+         std::to_string(spec.iterations);
+}
+
 std::string JobSpec::fingerprint() const {
-  // FNV-1a 64. The separator byte keeps ("ab","c") distinct from
-  // ("a","bc"); the iteration count is folded in via the key.
-  const std::string identity =
-      workload + '\x1f' + size_label + '\x1f' + std::to_string(iterations);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (unsigned char byte : identity) {
-    hash ^= byte;
-    hash *= 0x100000001b3ULL;
-  }
-  return util::strfmt("%016llx", static_cast<unsigned long long>(hash));
+  return util::strfmt("%016llx", static_cast<unsigned long long>(
+                                     util::fnv1a64(identity_of(*this))));
+}
+
+std::uint64_t JobSpec::stream_seed(std::uint64_t base_seed) const {
+  return util::splitmix64(base_seed ^ util::fnv1a64(identity_of(*this)));
 }
 
 std::string JobRecord::to_json() const {
@@ -30,11 +55,13 @@ std::string JobRecord::to_json() const {
   object.emplace_back("workload", workload);
   object.emplace_back("size", size_label);
   object.emplace_back("iterations", static_cast<double>(iterations));
-  object.emplace_back("status", status);
+  object.emplace_back("status", std::string(to_string(status)));
   object.emplace_back("attempts", static_cast<double>(attempts));
   object.emplace_back("elapsed_s", elapsed_s);
-  if (status != "ok") {
-    object.emplace_back("error_kind", error_kind);
+  if (status != RecordStatus::kOk) {
+    object.emplace_back(
+        "error_kind",
+        std::string(error_kind ? grophecy::to_string(*error_kind) : ""));
     object.emplace_back("error_message", error_message);
   } else {
     object.emplace_back("machine", machine);
@@ -65,17 +92,23 @@ std::optional<JobRecord> JobRecord::from_json(std::string_view payload) {
   if (!fp || !workload || !size || !iterations || !status || !attempts ||
       !elapsed)
     return std::nullopt;
-  if (*status != "ok" && *status != "failed") return std::nullopt;
+  const auto parsed_status = record_status_from_string(*status);
+  if (!parsed_status) return std::nullopt;
   record.fingerprint = *fp;
   record.workload = *workload;
   record.size_label = *size;
   record.iterations = static_cast<int>(*iterations);
-  record.status = *status;
+  record.status = *parsed_status;
   record.attempts = static_cast<int>(*attempts);
   record.elapsed_s = *elapsed;
 
-  if (*status != "ok") {
-    record.error_kind = util::json_string(*object, "error_kind").value_or("");
+  if (record.status != RecordStatus::kOk) {
+    // An unknown kind string (from a future or foreign writer) degrades
+    // to kException rather than rejecting the record: the identity and
+    // message are still worth replaying.
+    if (const auto kind = util::json_string(*object, "error_kind"))
+      record.error_kind =
+          error_kind_from_string(*kind).value_or(ErrorKind::kException);
     record.error_message =
         util::json_string(*object, "error_message").value_or("");
     return record;
@@ -113,7 +146,7 @@ JobRecord JobRecord::from_report(const JobSpec& spec,
   record.workload = spec.workload;
   record.size_label = spec.size_label;
   record.iterations = spec.iterations;
-  record.status = "ok";
+  record.status = RecordStatus::kOk;
   record.attempts = attempts;
   record.elapsed_s = elapsed_s;
   record.machine = report.machine_name;

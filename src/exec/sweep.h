@@ -1,4 +1,4 @@
-// The resilient sweep engine.
+// The resilient, parallel sweep engine.
 //
 // The paper's evaluation — and every figure/table bench in this repo — is
 // a grid of (workload × data size × iteration count) projections. Run
@@ -21,28 +21,45 @@
 //                 permanent — retrying cannot help;
 //   * journaling  every finished job (ok or failed) is appended to a
 //                 crash-safe checksummed journal (exec::ResultJournal)
-//                 keyed by a deterministic job fingerprint, fsync'd before
-//                 the next job starts;
+//                 keyed by a deterministic job fingerprint and made
+//                 durable before the sweep moves past it;
 //   * resume      a sweep pointed at an existing journal re-runs only the
 //                 jobs that are missing or failed; completed results are
 //                 replayed from the journal without re-measuring.
 //
-// The engine executes jobs strictly in order, one at a time, so a
-// fault-free sweep is call-for-call identical to the bare serial loop it
-// replaced — the figure benches produce byte-identical tables.
+// Independent grid points additionally run *concurrently* on a fixed-size
+// worker pool (SweepOptions::workers) without giving up determinism:
 //
-// See docs/robustness.md ("The sweep-level degradation ladder") for the
-// full policy write-up.
+//   * jobs are claimed in submission order; each job's result must be a
+//     pure function of its spec (the SweepRequest builder arranges this by
+//     giving every job its own engine seeded from the job fingerprint), so
+//     measured values are identical regardless of worker count or
+//     scheduling order;
+//   * finished jobs pass through a sequenced committer that appends them
+//     to the journal and the summary in submission order — the journal
+//     bytes and the summary are the same for 1 worker or 100;
+//   * journal appends stay crash-safe behind a mutex, with the fsync
+//     batched per committed run of consecutive jobs instead of per record.
+//
+// With workers == 1 the engine executes jobs strictly in order, one at a
+// time, call-for-call identical to the bare serial loop it replaced.
+//
+// See docs/robustness.md ("The sweep-level degradation ladder" and
+// "Concurrency and determinism") for the full policy write-up, and
+// exec/sweep_request.h for the builder every bench constructs its grid
+// through.
 #pragma once
 
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/report.h"
+#include "util/error.h"
 
 namespace grophecy::exec {
 
@@ -57,19 +74,31 @@ struct JobSpec {
   /// Human-readable identity, e.g. "CFD/97K/x1".
   std::string key() const;
 
-  /// Deterministic 64-bit fingerprint of key() as 16 hex chars; the
-  /// journal key. Stable across processes and platforms (FNV-1a).
+  /// Deterministic 64-bit fingerprint of the identity as 16 hex chars;
+  /// the journal key. Stable across processes and platforms (FNV-1a).
   std::string fingerprint() const;
+
+  /// Deterministic per-job RNG seed: a pure function of (base_seed, this
+  /// spec), decorrelated across specs. Jobs seeded this way measure the
+  /// same values regardless of worker count or scheduling order.
+  std::uint64_t stream_seed(std::uint64_t base_seed) const;
 };
 
-/// Why a job (or one attempt of it) failed.
+/// Why a job (or one attempt of it) failed. The kind is the framework's
+/// ErrorKind taxonomy (util/error.h); string forms exist only at the
+/// JSONL boundary (JobRecord) and in human-readable output.
 struct JobError {
-  /// Error taxonomy bucket: "measurement", "timeout", "calibration",
-  /// "parse", "usage", "contract", or "exception".
-  std::string kind;
+  ErrorKind kind = ErrorKind::kException;
   std::string message;
   bool timed_out = false;   ///< The deadline watchdog fired.
   bool retryable = false;   ///< Transient: retry may succeed.
+};
+
+/// How a journaled job ended. Serialized as "ok"/"failed" at the JSONL
+/// boundary only (see record.cpp); the journal format is unchanged.
+enum class RecordStatus {
+  kOk,
+  kFailed,
 };
 
 /// The journaled snapshot of one finished job: identity, outcome, and the
@@ -81,15 +110,16 @@ struct JobRecord {
   std::string size_label;
   int iterations = 1;
 
-  std::string status;        ///< "ok" or "failed".
+  RecordStatus status = RecordStatus::kFailed;
   int attempts = 0;
   double elapsed_s = 0.0;
-  std::string error_kind;    ///< Empty when ok.
-  std::string error_message; ///< Empty when ok.
+  /// Why the job failed; empty when ok.
+  std::optional<ErrorKind> error_kind;
+  std::string error_message;  ///< Empty when ok.
 
-  // Result scalars (meaningful when status == "ok"); every derived metric
-  // of core::ProjectionReport (speedups, error percentages, limits) is a
-  // function of these.
+  // Result scalars (meaningful when status == RecordStatus::kOk); every
+  // derived metric of core::ProjectionReport (speedups, error
+  // percentages, limits) is a function of these.
   std::string machine;
   double predicted_kernel_s = 0.0;
   double measured_kernel_s = 0.0;
@@ -99,6 +129,8 @@ struct JobRecord {
   double input_bytes = 0.0;
   double output_bytes = 0.0;
   bool calibration_fallback = false;  ///< Degraded-mode flag, bubbled up.
+
+  bool ok() const { return status == RecordStatus::kOk; }
 
   /// Flat-JSON payload for the journal line.
   std::string to_json() const;
@@ -144,8 +176,16 @@ struct JobOutcome {
 
 /// Engine knobs. Defaults are the transparent profile: no journal, no
 /// deadline, retries on transient failures only — a fault-free sweep
-/// behaves exactly like the serial loop it replaced.
+/// behaves exactly like the serial loop it replaced, modulo the worker
+/// pool (set workers = 1 for strictly serial in-order execution).
 struct SweepOptions {
+  /// Size of the worker pool executing independent jobs concurrently.
+  /// 0 (the default) means std::thread::hardware_concurrency(); 1
+  /// preserves the strictly serial in-order execution of the pre-pool
+  /// engine. With more than one worker the job function is called
+  /// concurrently and must be thread-safe (the SweepRequest builder's
+  /// per-job-engine functions are).
+  int workers = 0;
   /// Extra attempts per job on a retryable failure. Mirrors the PR 1
   /// calibration policy (pcie::RobustnessOptions).
   int max_retries = 3;
@@ -162,6 +202,12 @@ struct SweepOptions {
   std::string journal_path;
   /// Replay journaled "ok" records instead of re-running their jobs.
   bool resume = true;
+  /// Record per-job wall-clock time in journal records. Disable to make
+  /// the journal bytes a pure function of the jobs and their results —
+  /// bitwise identical across runs and worker counts (the determinism
+  /// suite relies on this; timing stays available in JobOutcome either
+  /// way).
+  bool record_wall_time = true;
 };
 
 /// Sweep-wide accounting, the dashboard a campaign is judged by.
@@ -184,21 +230,25 @@ struct SweepSummary {
   /// The outcome of one spec, or nullptr when it was not in the sweep.
   const JobOutcome* find(const JobSpec& spec) const;
 
-  /// Multi-line human-readable account.
+  /// Multi-line human-readable account. Deliberately excludes wall-clock
+  /// values, so a deterministic sweep describes identically across runs
+  /// and worker counts.
   std::string describe() const;
 };
 
 /// Runs batches of projection jobs with fault isolation, deadlines,
-/// retries, and crash-safe journaling.
+/// retries, crash-safe journaling, and a deterministic worker pool.
 ///
 /// The job function maps a spec to its projection; it may throw anything.
-/// With a finite deadline the attempt runs on a worker thread, and a
-/// timed-out attempt's thread is *abandoned* (it keeps running; its result
-/// is discarded) — such job functions must only touch state that is safe
-/// to race with a subsequent attempt, or be pure. Abandoned threads are
-/// joined in the engine destructor, so they must terminate eventually
-/// (simulated hangs do; a truly infinite loop would block teardown — real
-/// deployments should isolate such jobs in processes, not threads).
+/// With workers > 1 it is called concurrently from pool threads and must
+/// be thread-safe. With a finite deadline each attempt runs on a
+/// supervised thread, and a timed-out attempt's thread is *abandoned* (it
+/// keeps running; its result is discarded) — such job functions must only
+/// touch state that is safe to race with a subsequent attempt, or be
+/// pure. Abandoned threads are joined in the engine destructor, so they
+/// must terminate eventually (simulated hangs do; a truly infinite loop
+/// would block teardown — real deployments should isolate such jobs in
+/// processes, not threads).
 class SweepEngine {
  public:
   using JobFn = std::function<core::ProjectionReport(const JobSpec&)>;
@@ -209,12 +259,17 @@ class SweepEngine {
   SweepEngine(const SweepEngine&) = delete;
   SweepEngine& operator=(const SweepEngine&) = delete;
 
-  /// Runs every job, in order, one at a time. Never throws for job
+  /// Runs every job; outcomes, summary counters, and journal appends are
+  /// in submission order regardless of worker count. Never throws for job
   /// failures; see SweepSummary. Throws UsageError only when the journal
   /// file cannot be opened.
   SweepSummary run(const std::vector<JobSpec>& jobs, const JobFn& fn);
 
   const SweepOptions& options() const { return options_; }
+
+  /// The pool size run() will use: options().workers, with 0 resolved to
+  /// std::thread::hardware_concurrency() (at least 1).
+  int effective_workers() const;
 
  private:
   struct AttemptResult {
@@ -223,8 +278,12 @@ class SweepEngine {
   };
 
   AttemptResult run_attempt(const JobSpec& spec, const JobFn& fn);
+  /// The supervised retry loop for one job (thread-safe; called from pool
+  /// workers). Produces a fully-populated outcome including its record.
+  JobOutcome execute_job(const JobSpec& spec, const JobFn& fn);
 
   SweepOptions options_;
+  std::mutex abandoned_mutex_;          ///< Guards abandoned_ across workers.
   std::vector<std::thread> abandoned_;  ///< Timed-out attempt threads.
 };
 

@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <sstream>
@@ -23,27 +25,28 @@ JobError classify_current_exception() {
   try {
     throw;
   } catch (const MeasurementError& e) {
-    error.kind = e.timed_out() ? "timeout" : "measurement";
+    error.kind =
+        e.timed_out() ? ErrorKind::kTimeout : ErrorKind::kMeasurement;
     error.timed_out = e.timed_out();
     error.retryable = true;
     error.message = e.what();
   } catch (const CalibrationError& e) {
-    error.kind = "calibration";
+    error.kind = ErrorKind::kCalibration;
     error.message = e.what();
   } catch (const ParseError& e) {
-    error.kind = "parse";
+    error.kind = ErrorKind::kParse;
     error.message = e.what();
   } catch (const UsageError& e) {
-    error.kind = "usage";
+    error.kind = ErrorKind::kUsage;
     error.message = e.what();
   } catch (const ContractViolation& e) {
-    error.kind = "contract";
+    error.kind = ErrorKind::kContract;
     error.message = e.what();
   } catch (const std::exception& e) {
-    error.kind = "exception";
+    error.kind = ErrorKind::kException;
     error.message = e.what();
   } catch (...) {
-    error.kind = "exception";
+    error.kind = ErrorKind::kException;
     error.message = "unknown exception";
   }
   return error;
@@ -55,9 +58,31 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Folds one committed outcome into the summary counters. Called in
+/// submission order only, so the resulting summary is identical for any
+/// worker count.
+void tally(SweepSummary& summary, const JobOutcome& outcome) {
+  switch (outcome.status) {
+    case JobStatus::kOk:
+      ++summary.ok;
+      break;
+    case JobStatus::kResumed:
+      ++summary.resumed;
+      break;
+    case JobStatus::kFailed:
+      ++summary.failed;
+      break;
+  }
+  if (outcome.attempts > 1) ++summary.retried;
+  summary.attempts += outcome.attempts;
+  summary.backoff_total_s += outcome.backoff_s;
+  summary.degraded |= outcome.record.calibration_fallback;
+}
+
 }  // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
+  GROPHECY_EXPECTS(options_.workers >= 0);
   GROPHECY_EXPECTS(options_.max_retries >= 0);
   GROPHECY_EXPECTS(options_.backoff_initial_s >= 0.0);
   GROPHECY_EXPECTS(options_.backoff_max_s >= options_.backoff_initial_s);
@@ -67,6 +92,12 @@ SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
 SweepEngine::~SweepEngine() {
   for (std::thread& thread : abandoned_)
     if (thread.joinable()) thread.join();
+}
+
+int SweepEngine::effective_workers() const {
+  if (options_.workers > 0) return options_.workers;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
 
 SweepEngine::AttemptResult SweepEngine::run_attempt(const JobSpec& spec,
@@ -89,9 +120,12 @@ SweepEngine::AttemptResult SweepEngine::run_attempt(const JobSpec& spec,
   std::thread worker(std::move(task));
   const auto deadline = std::chrono::duration<double>(options_.deadline_s);
   if (future.wait_for(deadline) != std::future_status::ready) {
-    abandoned_.push_back(std::move(worker));
+    {
+      std::lock_guard<std::mutex> lock(abandoned_mutex_);
+      abandoned_.push_back(std::move(worker));
+    }
     JobError error;
-    error.kind = "timeout";
+    error.kind = ErrorKind::kTimeout;
     error.timed_out = true;
     error.retryable = true;
     error.message = util::strfmt(
@@ -105,6 +139,59 @@ SweepEngine::AttemptResult SweepEngine::run_attempt(const JobSpec& spec,
   } catch (...) {
     return {std::nullopt, classify_current_exception()};
   }
+}
+
+JobOutcome SweepEngine::execute_job(const JobSpec& spec, const JobFn& fn) {
+  JobOutcome outcome;
+  outcome.spec = spec;
+
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    ++outcome.attempts;
+    AttemptResult attempt = run_attempt(spec, fn);
+    if (attempt.report) {
+      outcome.status = JobStatus::kOk;
+      outcome.report = std::move(attempt.report);
+      break;
+    }
+    outcome.error = attempt.error;
+    if (attempt.error.retryable && outcome.attempts <= options_.max_retries) {
+      // Bounded exponential backoff, same shape as the PR 1 calibration
+      // policy. Recorded, not slept: the simulated harness must stay
+      // fast and deterministic; a real-hardware runner would sleep.
+      const double backoff =
+          std::min(options_.backoff_initial_s *
+                       std::pow(2.0, outcome.attempts - 1),
+                   options_.backoff_max_s);
+      outcome.backoff_s += backoff;
+      continue;
+    }
+    outcome.status = JobStatus::kFailed;
+    break;
+  }
+  outcome.elapsed_s = seconds_since(start);
+  // The journaled wall-clock time is the one nondeterministic field of a
+  // record; zeroing it (record_wall_time = false) makes the journal bytes
+  // a pure function of the results.
+  const double recorded_elapsed =
+      options_.record_wall_time ? outcome.elapsed_s : 0.0;
+
+  if (outcome.status == JobStatus::kOk) {
+    outcome.record = JobRecord::from_report(spec, *outcome.report,
+                                            outcome.attempts,
+                                            recorded_elapsed);
+  } else {
+    outcome.record.fingerprint = spec.fingerprint();
+    outcome.record.workload = spec.workload;
+    outcome.record.size_label = spec.size_label;
+    outcome.record.iterations = spec.iterations;
+    outcome.record.status = RecordStatus::kFailed;
+    outcome.record.attempts = outcome.attempts;
+    outcome.record.elapsed_s = recorded_elapsed;
+    outcome.record.error_kind = outcome.error->kind;
+    outcome.record.error_message = outcome.error->message;
+  }
+  return outcome;
 }
 
 SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
@@ -128,76 +215,110 @@ SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
     journal.open_append(options_.journal_path);
   }
 
-  for (const JobSpec& spec : jobs) {
+  // Resume decisions are made up front (deterministically, in submission
+  // order): a journaled success is replayed, not re-measured. Failed
+  // records do not shortcut — the whole point of resuming is giving the
+  // missing and failed jobs another chance.
+  auto resumed_outcome =
+      [&](const JobSpec& spec) -> std::optional<JobOutcome> {
+    if (!options_.resume) return std::nullopt;
+    const auto it = journaled.find(spec.fingerprint());
+    if (it == journaled.end() || it->second.status != RecordStatus::kOk)
+      return std::nullopt;
     JobOutcome outcome;
     outcome.spec = spec;
-    const std::string fingerprint = spec.fingerprint();
+    outcome.status = JobStatus::kResumed;
+    outcome.record = it->second;
+    outcome.report = it->second.to_report();
+    return outcome;
+  };
 
-    // Resume: a journaled success is replayed, not re-measured. Failed
-    // records do not shortcut — the whole point of resuming is giving the
-    // missing and failed jobs another chance.
-    const auto it = journaled.find(fingerprint);
-    if (options_.resume && it != journaled.end() &&
-        it->second.status == "ok") {
-      outcome.status = JobStatus::kResumed;
-      outcome.record = it->second;
-      outcome.report = it->second.to_report();
-      ++summary.resumed;
-      summary.degraded |= outcome.record.calibration_fallback;
+  const int workers =
+      std::max(1, std::min<int>(effective_workers(),
+                                static_cast<int>(jobs.size())));
+
+  if (workers <= 1) {
+    // Strictly serial, in submission order — call-for-call identical to
+    // the bare loop the engine replaced. Each record is made durable
+    // (fsync) before the next job starts.
+    for (const JobSpec& spec : jobs) {
+      JobOutcome outcome;
+      if (auto resumed = resumed_outcome(spec))
+        outcome = std::move(*resumed);
+      else
+        outcome = execute_job(spec, fn);
+      tally(summary, outcome);
+      if (journal.is_open() && outcome.status != JobStatus::kResumed)
+        journal.append(outcome.record.to_json());
       summary.outcomes.push_back(std::move(outcome));
-      continue;
     }
-
-    const auto start = std::chrono::steady_clock::now();
-    while (true) {
-      ++outcome.attempts;
-      ++summary.attempts;
-      AttemptResult attempt = run_attempt(spec, fn);
-      if (attempt.report) {
-        outcome.status = JobStatus::kOk;
-        outcome.report = std::move(attempt.report);
-        break;
-      }
-      outcome.error = attempt.error;
-      if (attempt.error.retryable &&
-          outcome.attempts <= options_.max_retries) {
-        // Bounded exponential backoff, same shape as the PR 1 calibration
-        // policy. Recorded, not slept: the simulated harness must stay
-        // fast and deterministic; a real-hardware runner would sleep.
-        const double backoff =
-            std::min(options_.backoff_initial_s *
-                         std::pow(2.0, outcome.attempts - 1),
-                     options_.backoff_max_s);
-        outcome.backoff_s += backoff;
-        continue;
-      }
-      outcome.status = JobStatus::kFailed;
-      break;
-    }
-    outcome.elapsed_s = seconds_since(start);
-    summary.backoff_total_s += outcome.backoff_s;
-    if (outcome.attempts > 1) ++summary.retried;
-
-    if (outcome.status == JobStatus::kOk) {
-      ++summary.ok;
-      outcome.record = JobRecord::from_report(
-          spec, *outcome.report, outcome.attempts, outcome.elapsed_s);
-      summary.degraded |= outcome.record.calibration_fallback;
-    } else {
-      ++summary.failed;
-      outcome.record.fingerprint = fingerprint;
-      outcome.record.workload = spec.workload;
-      outcome.record.size_label = spec.size_label;
-      outcome.record.iterations = spec.iterations;
-      outcome.record.status = "failed";
-      outcome.record.attempts = outcome.attempts;
-      outcome.record.elapsed_s = outcome.elapsed_s;
-      outcome.record.error_kind = outcome.error->kind;
-      outcome.record.error_message = outcome.error->message;
-    }
-    if (journal.is_open()) journal.append(outcome.record.to_json());
-    summary.outcomes.push_back(std::move(outcome));
+    return summary;
   }
+
+  // Parallel execution with a sequenced committer. Workers claim jobs in
+  // submission order and publish finished outcomes into `ready`; this
+  // thread commits them — journal append, summary counters, outcome list
+  // — strictly in submission order, so every observable artifact of the
+  // sweep is identical to the serial run of the same job results. The
+  // fsync is batched: one sync per drained run of consecutive outcomes
+  // instead of one per record (each record is still flushed to the OS
+  // before commit proceeds, and a crash loses at most the unsynced tail —
+  // exactly the torn-tail case the journal reader already tolerates).
+  std::atomic<std::size_t> next_job{0};
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::map<std::size_t, JobOutcome> ready;
+
+  auto worker_loop = [&] {
+    while (true) {
+      const std::size_t index =
+          next_job.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) return;
+      const JobSpec& spec = jobs[index];
+      JobOutcome outcome;
+      if (auto resumed = resumed_outcome(spec))
+        outcome = std::move(*resumed);
+      else
+        outcome = execute_job(spec, fn);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ready.emplace(index, std::move(outcome));
+      }
+      ready_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) pool.emplace_back(worker_loop);
+
+  std::size_t committed = 0;
+  while (committed < jobs.size()) {
+    std::vector<JobOutcome> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready_cv.wait(lock, [&] { return ready.count(committed) != 0; });
+      // Drain every consecutive outcome that is already finished.
+      for (auto it = ready.find(committed); it != ready.end();
+           it = ready.find(committed + batch.size())) {
+        batch.push_back(std::move(it->second));
+        ready.erase(it);
+      }
+    }
+    bool appended = false;
+    for (JobOutcome& outcome : batch) {
+      tally(summary, outcome);
+      if (journal.is_open() && outcome.status != JobStatus::kResumed) {
+        journal.append(outcome.record.to_json(), /*sync_now=*/false);
+        appended = true;
+      }
+      summary.outcomes.push_back(std::move(outcome));
+    }
+    if (appended) journal.sync();
+    committed += batch.size();
+  }
+
+  for (std::thread& thread : pool) thread.join();
   return summary;
 }
 
@@ -231,7 +352,7 @@ std::string SweepSummary::describe() const {
         oss << "resumed from journal";
         break;
       case JobStatus::kFailed:
-        oss << "FAILED [" << outcome.error->kind << "] "
+        oss << "FAILED [" << to_string(outcome.error->kind) << "] "
             << outcome.error->message;
         break;
     }

@@ -1,0 +1,104 @@
+#include "exec/sweep_request.h"
+
+#include <utility>
+
+#include "core/experiment.h"
+#include "util/error.h"
+#include "workloads/workload.h"
+
+namespace grophecy::exec {
+
+SweepRequest::SweepRequest(hw::MachineSpec machine)
+    : machine_(std::move(machine)) {}
+
+SweepRequest SweepRequest::on(hw::MachineSpec machine) {
+  return SweepRequest(std::move(machine));
+}
+
+SweepRequest& SweepRequest::workloads(std::vector<std::string> names) {
+  workloads_ = std::move(names);
+  return *this;
+}
+
+SweepRequest& SweepRequest::sizes(std::vector<std::string> labels) {
+  size_labels_ = std::move(labels);
+  return *this;
+}
+
+SweepRequest& SweepRequest::sizes(AllSizes) {
+  size_labels_.clear();
+  return *this;
+}
+
+SweepRequest& SweepRequest::iterations(std::vector<int> counts) {
+  iterations_ = std::move(counts);
+  return *this;
+}
+
+SweepRequest& SweepRequest::options(core::ProjectionOptions options) {
+  options_ = std::move(options);
+  return *this;
+}
+
+SweepRequest& SweepRequest::seed(std::uint64_t base_seed) {
+  base_seed_ = base_seed;
+  return *this;
+}
+
+std::vector<JobSpec> SweepRequest::jobs() const {
+  if (workloads_.empty())
+    throw UsageError("SweepRequest: no workloads selected");
+  if (iterations_.empty())
+    throw UsageError("SweepRequest: no iteration counts selected");
+  const auto all = workloads::paper_workloads();
+  std::vector<JobSpec> specs;
+  for (const std::string& name : workloads_) {
+    const workloads::Workload& workload = workloads::find_workload(all, name);
+    std::vector<std::string> labels = size_labels_;
+    if (labels.empty())
+      for (const workloads::DataSize& size : workload.paper_data_sizes())
+        labels.push_back(size.label);
+    for (const std::string& label : labels) {
+      workloads::find_data_size(workload, label);  // validate early
+      for (int iterations : iterations_)
+        specs.push_back({name, label, iterations});
+    }
+  }
+  return specs;
+}
+
+SweepEngine::JobFn SweepRequest::job_fn() const {
+  // The lambda captures by value: a request may go out of scope while the
+  // engine still holds the function. Everything job-specific is derived
+  // inside the call, so concurrent invocations share nothing mutable.
+  const hw::MachineSpec machine = machine_;
+  const core::ProjectionOptions base_options = options_;
+  const std::uint64_t base_seed = base_seed_;
+  return [machine, base_options,
+          base_seed](const JobSpec& spec) -> core::ProjectionReport {
+    const auto all = workloads::paper_workloads();
+    const workloads::Workload& workload =
+        workloads::find_workload(all, spec.workload);
+    const workloads::DataSize size =
+        workloads::find_data_size(workload, spec.size_label);
+    core::ProjectionOptions options = base_options;
+    // Measurement streams: per job, a pure function of (base, identity).
+    options.seed = spec.stream_seed(base_seed);
+    // Calibration: per system, shared by every job of the request — one
+    // CalibrationCache entry per sweep instead of one per job.
+    options.calibration_seed = base_seed;
+    core::ExperimentRunner runner(machine, std::move(options));
+    return runner.run(workload, size, spec.iterations);
+  };
+}
+
+SweepSummary SweepRequest::run(SweepEngine& engine) const {
+  return engine.run(jobs(), job_fn());
+}
+
+SweepSummary SweepRequest::run(SweepOptions options) const {
+  SweepEngine engine(std::move(options));
+  return run(engine);
+}
+
+}  // namespace grophecy::exec

@@ -1,0 +1,101 @@
+// The one way to name and run a sweep grid.
+//
+// Before this builder existed the repo had three ways to spell the same
+// thing: hand-rolled JobSpec vectors in paper_report, per-bench grid loops
+// in sweep_common.h, and ad-hoc loops in tests. SweepRequest collapses
+// them: a grid is (machine) x (workloads) x (data sizes) x (iteration
+// counts), declared fluently and expanded deterministically:
+//
+//   exec::SweepEngine engine({.workers = 8});
+//   exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+//                                    .workloads({"CFD", "SRAD"})
+//                                    .sizes(exec::all_sizes)
+//                                    .iterations({1, 8})
+//                                    .run(engine);
+//
+// JobSpec stays journal-facing pure data; the request is the *recipe* that
+// produces the specs and the job function. The job function it builds is
+// thread-safe by construction: every job gets its own ExperimentRunner
+// whose master seed is JobSpec::stream_seed(base_seed) — a pure function
+// of the job's identity — so measured values are identical for any worker
+// count or scheduling order. Calibration, by contrast, is seeded from the
+// base seed alone (shared across jobs), so all jobs of one request hit one
+// pcie::CalibrationCache entry and the system calibrates once per sweep,
+// not once per job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "exec/sweep.h"
+#include "hw/machine.h"
+
+namespace grophecy::exec {
+
+/// Tag selecting every paper data size of each workload (the default).
+struct AllSizes {};
+inline constexpr AllSizes all_sizes{};
+
+/// Fluent builder for a sweep grid; see file comment.
+class SweepRequest {
+ public:
+  /// Starts a request against one machine.
+  static SweepRequest on(hw::MachineSpec machine);
+
+  /// Selects the workloads by name, in grid order. Unknown names throw
+  /// UsageError (listing the valid names) when the grid is expanded.
+  SweepRequest& workloads(std::vector<std::string> names);
+
+  /// Selects data sizes by Table I label, applied to every selected
+  /// workload. Labels a workload lacks throw UsageError at expansion.
+  SweepRequest& sizes(std::vector<std::string> labels);
+  /// Selects every paper data size of each workload (the default).
+  SweepRequest& sizes(AllSizes);
+
+  /// Selects the iteration counts (default {1}).
+  SweepRequest& iterations(std::vector<int> counts);
+
+  /// Projection knobs applied to every job. The per-job master seed and
+  /// the shared calibration seed are derived from base_seed regardless of
+  /// options.seed / options.calibration_seed (the request owns seeding;
+  /// see seed()).
+  SweepRequest& options(core::ProjectionOptions options);
+
+  /// Sets the base seed (default: ProjectionOptions{}.seed). Per-job
+  /// measurement streams are stream_seed(base); calibration is seeded
+  /// from base alone so the whole request shares one calibration.
+  SweepRequest& seed(std::uint64_t base_seed);
+
+  /// Expands the grid: workloads x sizes x iterations, in declaration
+  /// order. Pure data — this is what run() submits and the journal keys.
+  /// Throws UsageError for unknown workload names or size labels, and for
+  /// an empty grid dimension.
+  std::vector<JobSpec> jobs() const;
+
+  /// The thread-safe job function described in the file comment. Exposed
+  /// so callers with special engine needs can still run the canonical
+  /// per-job construction through their own SweepEngine invocation.
+  SweepEngine::JobFn job_fn() const;
+
+  /// Expands the grid and runs it on the given engine.
+  SweepSummary run(SweepEngine& engine) const;
+
+  /// Convenience: constructs a SweepEngine(options) and runs on it.
+  SweepSummary run(SweepOptions options = {}) const;
+
+  const hw::MachineSpec& machine() const { return machine_; }
+
+ private:
+  explicit SweepRequest(hw::MachineSpec machine);
+
+  hw::MachineSpec machine_;
+  std::vector<std::string> workloads_;
+  std::vector<std::string> size_labels_;  ///< Empty => all paper sizes.
+  std::vector<int> iterations_{1};
+  core::ProjectionOptions options_;
+  std::uint64_t base_seed_ = core::ProjectionOptions{}.seed;
+};
+
+}  // namespace grophecy::exec

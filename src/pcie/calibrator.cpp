@@ -89,6 +89,12 @@ std::string CalibrationReport::describe() const {
   std::string out =
       converged ? "calibration: converged\n"
                 : "calibration: DEGRADED (spec-derived fallback)\n";
+  if (from_cache || cache_hits + cache_misses > 0)
+    out += util::strfmt(
+        "  cache: %s (process-wide: %llu hit(s), %llu miss(es))\n",
+        from_cache ? "HIT — measurements skipped" : "miss — measured here",
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses));
   const std::pair<const char*, const DirectionCalibration*> directions[] = {
       {"H2D", &h2d}, {"D2H", &d2h}};
   for (const auto& [label, dir] : directions) {

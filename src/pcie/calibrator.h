@@ -157,6 +157,17 @@ struct CalibrationReport {
   bool used_fallback = false;  ///< Spec-derived degradation was taken.
   std::string warning;         ///< Why degradation happened (if it did).
 
+  /// --- calibration-cache provenance (see pcie::CalibrationCache) ---
+  /// True when this report was served from the process-wide cache instead
+  /// of being measured by the holder; the measured values are identical
+  /// either way (calibration is a pure function of machine, options, and
+  /// seed), only the work was skipped.
+  bool from_cache = false;
+  /// Process-wide cache counters at the moment this report was obtained
+  /// (0/0 when the cache was bypassed).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
   int total_retries() const;
   int total_rejected() const;
   int total_timeouts() const;

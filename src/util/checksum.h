@@ -20,4 +20,18 @@ std::uint32_t crc32(std::string_view data);
 /// The checksum as fixed-width lowercase hex ("cbf43926").
 std::string crc32_hex(std::string_view data);
 
+/// FNV-1a 64-bit hash of `data`. Deterministic across platforms and
+/// processes; used for sweep job fingerprints, per-job RNG stream
+/// derivation, and calibration-cache keys. Not cryptographic.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Folds `value` into an FNV-1a hash in progress (for hashing structs
+/// field by field: start from fnv1a64("") or a previous fold).
+std::uint64_t fnv1a64_fold(std::uint64_t hash, std::uint64_t value);
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer. Seeding a
+/// stochastic stream with splitmix64(base ^ fnv1a64(key)) gives every key
+/// a decorrelated stream that is a pure function of (base, key).
+std::uint64_t splitmix64(std::uint64_t value);
+
 }  // namespace grophecy::util

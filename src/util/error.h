@@ -23,18 +23,59 @@
 // top of this hierarchy.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace grophecy {
 
 /// Category of a framework error; see the table above.
+///
+/// The first four kinds are carried by thrown grophecy::Error subclasses.
+/// The last three classify failures that are observed rather than thrown
+/// by the framework itself — the sweep engine (exec::JobError) buckets a
+/// watchdog-abandoned attempt as kTimeout, a ContractViolation as
+/// kContract, and any foreign exception as kException — so the whole
+/// stack, including the result journal, speaks one enum instead of ad-hoc
+/// strings.
 enum class ErrorKind {
   kMeasurement,
   kCalibration,
   kParse,
   kUsage,
+  kTimeout,    ///< A supervised attempt exceeded its wall-clock deadline.
+  kContract,   ///< A ContractViolation (programming error) was caught.
+  kException,  ///< An exception from outside the taxonomy was caught.
 };
+
+/// Stable lowercase name of a kind; these exact strings are the journal
+/// (JSONL) representation, so they must never change meaning.
+constexpr const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kMeasurement: return "measurement";
+    case ErrorKind::kCalibration: return "calibration";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kUsage: return "usage";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kContract: return "contract";
+    case ErrorKind::kException: return "exception";
+  }
+  return "exception";
+}
+
+/// Inverse of to_string; std::nullopt for an unknown name. The JSONL
+/// reader funnels journal strings through this, so a journal written by
+/// any prior version of the format parses.
+inline std::optional<ErrorKind> error_kind_from_string(
+    std::string_view name) {
+  for (ErrorKind kind :
+       {ErrorKind::kMeasurement, ErrorKind::kCalibration, ErrorKind::kParse,
+        ErrorKind::kUsage, ErrorKind::kTimeout, ErrorKind::kContract,
+        ErrorKind::kException})
+    if (name == to_string(kind)) return kind;
+  return std::nullopt;
+}
 
 /// Base of all runtime errors thrown by the framework.
 class Error : public std::runtime_error {
@@ -46,7 +87,9 @@ class Error : public std::runtime_error {
 
   /// True when retrying the failed operation may succeed (transient
   /// faults). Calibration and parse errors are never retryable.
-  bool retryable() const { return kind_ == ErrorKind::kMeasurement; }
+  bool retryable() const {
+    return kind_ == ErrorKind::kMeasurement || kind_ == ErrorKind::kTimeout;
+  }
 
  private:
   ErrorKind kind_;

@@ -1,0 +1,261 @@
+// Tests for the process-wide calibration cache: key construction (stable
+// for equal inputs, sensitive to every input the calibrator reads),
+// single-flight semantics under concurrency, eviction of failed flights,
+// counter bookkeeping, and the Grophecy-level wiring (a second engine for
+// the same system reuses the first one's calibration bit-for-bit; the
+// cache can be bypassed per engine).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "hw/registry.h"
+#include "pcie/calibration_cache.h"
+#include "util/error.h"
+
+namespace grophecy::pcie {
+namespace {
+
+/// The singleton is shared by every test in this binary (and by any
+/// engine a test constructs), so each test starts from a clean slate.
+class CalibrationCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CalibrationCache::instance().clear(); }
+  void TearDown() override { CalibrationCache::instance().clear(); }
+};
+
+CalibrationReport stub_report(double alpha_s) {
+  CalibrationReport report;
+  report.model.h2d.alpha_s = alpha_s;
+  report.model.h2d.beta_s_per_byte = 4e-10;
+  report.model.d2h = report.model.h2d;
+  report.converged = true;
+  return report;
+}
+
+// --- the key ---
+
+TEST(CalibrationCacheKey, StableForEqualInputs) {
+  const hw::MachineSpec machine = hw::anl_eureka();
+  const CalibrationOptions options = CalibrationOptions::robust();
+  const std::string a = calibration_cache_key(machine.pcie, options,
+                                              hw::HostMemory::kPinned, 42);
+  const std::string b = calibration_cache_key(machine.pcie, options,
+                                              hw::HostMemory::kPinned, 42);
+  EXPECT_EQ(a, b);
+  // Human-debuggable prefix: the machine's interconnect name.
+  EXPECT_EQ(a.rfind(machine.pcie.name + "/", 0), 0u);
+}
+
+TEST(CalibrationCacheKey, SensitiveToEveryInputTheCalibratorReads) {
+  const hw::MachineSpec machine = hw::anl_eureka();
+  const CalibrationOptions options;
+  const std::string base = calibration_cache_key(machine.pcie, options,
+                                                 hw::HostMemory::kPinned, 42);
+
+  // A different calibration seed produces different samples.
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, options,
+                                        hw::HostMemory::kPinned, 43));
+
+  // A different memory mode reads a different profile.
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, options,
+                                        hw::HostMemory::kPageable, 42));
+
+  // Any procedure knob: replication, fit, probe sweep, robustness.
+  CalibrationOptions more_replicates = options;
+  more_replicates.replicates += 1;
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, more_replicates,
+                                        hw::HostMemory::kPinned, 42));
+  CalibrationOptions theil_sen = options;
+  theil_sen.fit = FitMethod::kTheilSen;
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, theil_sen,
+                                        hw::HostMemory::kPinned, 42));
+  CalibrationOptions sweep = options;
+  sweep.sweep_bytes = {1, 4096};
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, sweep,
+                                        hw::HostMemory::kPinned, 42));
+  CalibrationOptions retries = options;
+  retries.robustness.max_retries = 3;
+  EXPECT_NE(base, calibration_cache_key(machine.pcie, retries,
+                                        hw::HostMemory::kPinned, 42));
+
+  // Any physical link parameter: the simulated bus would time transfers
+  // differently, so the cached model would be wrong for the new machine.
+  hw::PcieSpec slower = machine.pcie;
+  slower.pinned_h2d.latency_s *= 2.0;
+  EXPECT_NE(base, calibration_cache_key(slower, options,
+                                        hw::HostMemory::kPinned, 42));
+  hw::PcieSpec noisy = machine.pcie;
+  noisy.noise.outlier_probability = 0.5;
+  EXPECT_NE(base, calibration_cache_key(noisy, options,
+                                        hw::HostMemory::kPinned, 42));
+}
+
+// --- get_or_calibrate ---
+
+TEST_F(CalibrationCacheTest, MissRunsTheFactoryHitDoesNot) {
+  CalibrationCache& cache = CalibrationCache::instance();
+  int factory_calls = 0;
+  const auto factory = [&] {
+    ++factory_calls;
+    return stub_report(10e-6);
+  };
+
+  const CalibrationReport first = cache.get_or_calibrate("k", factory);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_EQ(first.cache_hits, 0u);
+
+  const CalibrationReport second = cache.get_or_calibrate("k", factory);
+  EXPECT_EQ(factory_calls, 1);  // served from the cache
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(second.model.h2d.alpha_s, first.model.h2d.alpha_s);
+
+  // A different key is a different system: the factory runs again.
+  cache.get_or_calibrate("other", factory);
+  EXPECT_EQ(factory_calls, 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  const CalibrationCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(CalibrationCacheTest, SingleFlightUnderConcurrentCallers) {
+  CalibrationCache& cache = CalibrationCache::instance();
+  std::atomic<int> factory_calls{0};
+  const auto factory = [&] {
+    factory_calls.fetch_add(1);
+    // Give late arrivals a chance to pile onto the in-flight future.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return stub_report(12e-6);
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<CalibrationReport> reports(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      reports[i] = cache.get_or_calibrate("shared", factory);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(factory_calls.load(), 1);
+  int owners = 0;
+  for (const CalibrationReport& report : reports) {
+    if (!report.from_cache) ++owners;
+    EXPECT_DOUBLE_EQ(report.model.h2d.alpha_s, 12e-6);
+  }
+  EXPECT_EQ(owners, 1);
+  const CalibrationCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST_F(CalibrationCacheTest, ThrowingFactoryIsEvictedSoRetrySucceeds) {
+  CalibrationCache& cache = CalibrationCache::instance();
+  EXPECT_THROW(cache.get_or_calibrate(
+                   "flaky",
+                   []() -> CalibrationReport {
+                     throw CalibrationError("link down");
+                   }),
+               CalibrationError);
+  EXPECT_EQ(cache.size(), 0u);  // failure is not cached
+
+  const CalibrationReport retried =
+      cache.get_or_calibrate("flaky", [] { return stub_report(9e-6); });
+  EXPECT_FALSE(retried.from_cache);
+  EXPECT_DOUBLE_EQ(retried.model.h2d.alpha_s, 9e-6);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);  // both attempts were misses
+}
+
+TEST_F(CalibrationCacheTest, ClearDropsEntriesAndZeroesCounters) {
+  CalibrationCache& cache = CalibrationCache::instance();
+  cache.get_or_calibrate("a", [] { return stub_report(1e-6); });
+  cache.get_or_calibrate("a", [] { return stub_report(1e-6); });
+  ASSERT_EQ(cache.size(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  int factory_calls = 0;
+  cache.get_or_calibrate("a", [&] {
+    ++factory_calls;
+    return stub_report(1e-6);
+  });
+  EXPECT_EQ(factory_calls, 1);  // the old entry is really gone
+}
+
+// --- Grophecy wiring ---
+
+TEST_F(CalibrationCacheTest, SecondEngineReusesTheFirstOnesCalibration) {
+  const core::Grophecy first(hw::anl_eureka());
+  EXPECT_FALSE(first.calibration_report().from_cache);
+  EXPECT_EQ(first.calibration_report().cache_misses, 1u);
+
+  const core::Grophecy second(hw::anl_eureka());
+  EXPECT_TRUE(second.calibration_report().from_cache);
+  EXPECT_EQ(second.calibration_report().cache_hits, 1u);
+
+  // The cached model is bit-identical to a fresh measurement (calibration
+  // is a pure function of machine, options, and seed).
+  EXPECT_DOUBLE_EQ(second.bus_model().h2d.alpha_s,
+                   first.bus_model().h2d.alpha_s);
+  EXPECT_DOUBLE_EQ(second.bus_model().h2d.beta_s_per_byte,
+                   first.bus_model().h2d.beta_s_per_byte);
+  EXPECT_DOUBLE_EQ(second.bus_model().d2h.alpha_s,
+                   first.bus_model().d2h.alpha_s);
+  EXPECT_DOUBLE_EQ(second.bus_model().d2h.beta_s_per_byte,
+                   first.bus_model().d2h.beta_s_per_byte);
+}
+
+TEST_F(CalibrationCacheTest, CalibrationSeedDecouplesJobsFromTheCache) {
+  // The parallel-sweep arrangement: every job gets a distinct measurement
+  // seed but pins calibration_seed to the shared base, so the whole sweep
+  // shares one calibration entry.
+  core::ProjectionOptions job_a;
+  job_a.seed = 1111;
+  job_a.calibration_seed = 42;
+  core::ProjectionOptions job_b;
+  job_b.seed = 2222;
+  job_b.calibration_seed = 42;
+
+  const core::Grophecy engine_a(hw::anl_eureka(), job_a);
+  const core::Grophecy engine_b(hw::anl_eureka(), job_b);
+  EXPECT_FALSE(engine_a.calibration_report().from_cache);
+  EXPECT_TRUE(engine_b.calibration_report().from_cache);
+  EXPECT_DOUBLE_EQ(engine_b.bus_model().h2d.alpha_s,
+                   engine_a.bus_model().h2d.alpha_s);
+  EXPECT_EQ(CalibrationCache::instance().size(), 1u);
+}
+
+TEST_F(CalibrationCacheTest, BypassLeavesTheCacheUntouched) {
+  core::ProjectionOptions bypass;
+  bypass.use_calibration_cache = false;
+  const core::Grophecy uncached(hw::anl_eureka(), bypass);
+  EXPECT_FALSE(uncached.calibration_report().from_cache);
+  EXPECT_EQ(uncached.calibration_report().cache_hits, 0u);
+  EXPECT_EQ(uncached.calibration_report().cache_misses, 0u);
+  EXPECT_EQ(CalibrationCache::instance().size(), 0u);
+  EXPECT_EQ(CalibrationCache::instance().stats().misses, 0u);
+
+  // Bypassing changes where the work happens, never the numbers.
+  const core::Grophecy cached(hw::anl_eureka());
+  EXPECT_DOUBLE_EQ(uncached.bus_model().h2d.alpha_s,
+                   cached.bus_model().h2d.alpha_s);
+  EXPECT_DOUBLE_EQ(uncached.bus_model().d2h.beta_s_per_byte,
+                   cached.bus_model().d2h.beta_s_per_byte);
+}
+
+}  // namespace
+}  // namespace grophecy::pcie

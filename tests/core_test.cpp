@@ -9,6 +9,7 @@
 #include "hw/registry.h"
 #include "skeleton/builder.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/stats.h"
 #include "workloads/workload.h"
 
@@ -184,9 +185,31 @@ TEST(Grophecy, MeasurementNoiseOverrideInflatesTransferError) {
 }
 
 TEST(Grophecy, RejectsBadOptions) {
+  // Bad knobs are user input, not broken invariants: UsageError, naming
+  // the offending field, before any calibration work happens.
   ProjectionOptions bad;
   bad.measurement_runs = 0;
-  EXPECT_THROW(Grophecy(hw::anl_eureka(), bad), ContractViolation);
+  try {
+    Grophecy engine(hw::anl_eureka(), bad);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("measurement_runs"),
+              std::string::npos);
+  }
+
+  ProjectionOptions bad_replicates;
+  bad_replicates.calibration.replicates = -1;
+  try {
+    Grophecy engine(hw::anl_eureka(), bad_replicates);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("calibration.replicates"),
+              std::string::npos);
+  }
+
+  ProjectionOptions bad_timeout;
+  bad_timeout.calibration.robustness.timeout_s = 0.0;
+  EXPECT_THROW(Grophecy(hw::anl_eureka(), bad_timeout), UsageError);
 }
 
 TEST(Grophecy, DeviceFootprintTracked) {

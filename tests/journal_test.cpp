@@ -211,7 +211,7 @@ TEST(JobRecord, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(parsed->workload, "CFD");
   EXPECT_EQ(parsed->size_label, "97K");
   EXPECT_EQ(parsed->iterations, 4);
-  EXPECT_EQ(parsed->status, "ok");
+  EXPECT_EQ(parsed->status, RecordStatus::kOk);
   EXPECT_EQ(parsed->attempts, 2);
   EXPECT_EQ(parsed->elapsed_s, 0.75);
   EXPECT_EQ(parsed->machine, "anl_eureka");
@@ -226,15 +226,15 @@ TEST(JobRecord, FailedRecordRoundTripsTheError) {
   record.workload = "CFD";
   record.size_label = "97K";
   record.iterations = 1;
-  record.status = "failed";
+  record.status = RecordStatus::kFailed;
   record.attempts = 4;
   record.elapsed_s = 1.5;
-  record.error_kind = "calibration";
+  record.error_kind = ErrorKind::kCalibration;
   record.error_message = "probe budget exhausted: \"broken link\"";
   const auto parsed = JobRecord::from_json(record.to_json());
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->status, "failed");
-  EXPECT_EQ(parsed->error_kind, "calibration");
+  EXPECT_EQ(parsed->status, RecordStatus::kFailed);
+  EXPECT_EQ(parsed->error_kind, ErrorKind::kCalibration);
   EXPECT_EQ(parsed->error_message, "probe budget exhausted: \"broken link\"");
 }
 

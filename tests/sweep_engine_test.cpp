@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <thread>
 
 #include "core/experiment.h"
@@ -76,7 +77,12 @@ std::vector<JobSpec> three_jobs() {
 TEST(SweepEngine, FaultFreeSweepRunsEveryJobOnceInOrder)
 {
   std::vector<std::string> executed;
-  SweepEngine engine;
+  // workers = 1: this test asserts strict serial execution order and the
+  // lambda mutates unsynchronized state. The parallel path is covered by
+  // sweep_determinism_test.
+  SweepOptions serial;
+  serial.workers = 1;
+  SweepEngine engine(serial);
   const SweepSummary summary =
       engine.run(three_jobs(), [&](const JobSpec& spec) {
         executed.push_back(spec.size_label);
@@ -95,6 +101,7 @@ TEST(SweepEngine, FaultFreeSweepRunsEveryJobOnceInOrder)
 TEST(SweepEngine, TransientFailureIsRetriedWithBoundedBackoff) {
   std::map<std::string, int> calls;
   SweepOptions options;
+  options.workers = 1;  // unsynchronized call counting
   options.max_retries = 3;
   options.backoff_initial_s = 0.001;
   options.backoff_max_s = 0.002;  // cap below initial * 2^2 to see bounding
@@ -117,6 +124,7 @@ TEST(SweepEngine, TransientFailureIsRetriedWithBoundedBackoff) {
 
 TEST(SweepEngine, RetryBudgetExhaustionFailsTheJobNotTheSweep) {
   SweepOptions options;
+  options.workers = 1;
   options.max_retries = 2;
   SweepEngine engine(options);
   const SweepSummary summary =
@@ -131,25 +139,26 @@ TEST(SweepEngine, RetryBudgetExhaustionFailsTheJobNotTheSweep) {
   EXPECT_EQ(b->status, JobStatus::kFailed);
   EXPECT_EQ(b->attempts, 3);  // 1 + 2 retries
   ASSERT_TRUE(b->error.has_value());
-  EXPECT_EQ(b->error->kind, "measurement");
+  EXPECT_EQ(b->error->kind, ErrorKind::kMeasurement);
   EXPECT_TRUE(b->error->retryable);
 }
 
 TEST(SweepEngine, PermanentErrorsAreNeverRetried) {
   struct Case {
     std::function<void()> thrower;
-    const char* kind;
+    ErrorKind kind;
   };
   const Case cases[] = {
-      {[] { throw CalibrationError("no converge"); }, "calibration"},
-      {[] { throw skeleton::ParseError(3, "bad line"); }, "parse"},
-      {[] { throw UsageError("unknown workload"); }, "usage"},
-      {[] { throw ContractViolation("invariant"); }, "contract"},
-      {[] { throw std::runtime_error("misc"); }, "exception"},
+      {[] { throw CalibrationError("no converge"); }, ErrorKind::kCalibration},
+      {[] { throw skeleton::ParseError(3, "bad line"); }, ErrorKind::kParse},
+      {[] { throw UsageError("unknown workload"); }, ErrorKind::kUsage},
+      {[] { throw ContractViolation("invariant"); }, ErrorKind::kContract},
+      {[] { throw std::runtime_error("misc"); }, ErrorKind::kException},
   };
   for (const Case& test_case : cases) {
     int calls = 0;
     SweepOptions options;
+    options.workers = 1;
     options.max_retries = 5;
     SweepEngine engine(options);
     const SweepSummary summary =
@@ -158,11 +167,12 @@ TEST(SweepEngine, PermanentErrorsAreNeverRetried) {
           test_case.thrower();
           return {};
         });
-    EXPECT_EQ(summary.failed, 1) << test_case.kind;
-    EXPECT_EQ(calls, 1) << test_case.kind;  // no retry
+    EXPECT_EQ(summary.failed, 1) << to_string(test_case.kind);
+    EXPECT_EQ(calls, 1) << to_string(test_case.kind);  // no retry
     ASSERT_TRUE(summary.outcomes[0].error.has_value());
     EXPECT_EQ(summary.outcomes[0].error->kind, test_case.kind);
-    EXPECT_FALSE(summary.outcomes[0].error->retryable) << test_case.kind;
+    EXPECT_FALSE(summary.outcomes[0].error->retryable)
+        << to_string(test_case.kind);
   }
 }
 
@@ -182,6 +192,7 @@ TEST(SweepEngine, DegradedCalibrationBubblesUp) {
 
 TEST(SweepEngine, DeadlineConvertsAHangIntoATimedOutJobError) {
   SweepOptions options;
+  options.workers = 1;  // the elapsed-time bound assumes serial execution
   options.deadline_s = 0.05;
   options.max_retries = 0;
   SweepEngine engine(options);
@@ -199,7 +210,7 @@ TEST(SweepEngine, DeadlineConvertsAHangIntoATimedOutJobError) {
   const JobOutcome* b = summary.find({"W", "b", 1});
   ASSERT_NE(b, nullptr);
   ASSERT_TRUE(b->error.has_value());
-  EXPECT_EQ(b->error->kind, "timeout");
+  EXPECT_EQ(b->error->kind, ErrorKind::kTimeout);
   EXPECT_TRUE(b->error->timed_out);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -237,17 +248,27 @@ TEST(SweepEngine, FaultInjectorHangSurfacesAsTimeoutNotAStuckSweep) {
 
   pcie::SimulatedBus bus(machine.pcie, 7);
   faults::FaultInjector injector(bus, plan);
+  // A timed-out attempt is abandoned, not cancelled: its thread may still
+  // be realizing the stall when the retry re-enters the injector. The
+  // injector call itself is microseconds, so serializing it (but not the
+  // sleep) keeps the shared RNG race-free without affecting the deadline.
+  std::mutex injector_mutex;
 
   SweepOptions options;
+  options.workers = 1;  // the injector's scripted stream is shared state
   options.deadline_s = 0.05;
   options.max_retries = 1;
   SweepEngine engine(options);
   const SweepSummary summary =
       engine.run(three_jobs(), [&](const JobSpec& spec) {
         if (spec.size_label == "b") {
-          const double simulated_s = injector.time_transfer(
-              util::kMiB, hw::Direction::kHostToDevice,
-              hw::HostMemory::kPinned);
+          double simulated_s = 0.0;
+          {
+            std::lock_guard<std::mutex> lock(injector_mutex);
+            simulated_s = injector.time_transfer(
+                util::kMiB, hw::Direction::kHostToDevice,
+                hw::HostMemory::kPinned);
+          }
           // Realize the simulated stall as wall-clock time, capped so an
           // abandoned attempt still terminates promptly at teardown. The
           // hang_factor makes simulated_s seconds long; the cap keeps the
@@ -263,10 +284,13 @@ TEST(SweepEngine, FaultInjectorHangSurfacesAsTimeoutNotAStuckSweep) {
   const JobOutcome* b = summary.find({"W", "b", 1});
   ASSERT_NE(b, nullptr);
   ASSERT_TRUE(b->error.has_value());
-  EXPECT_EQ(b->error->kind, "timeout");
+  EXPECT_EQ(b->error->kind, ErrorKind::kTimeout);
   EXPECT_TRUE(b->error->timed_out);
   EXPECT_EQ(b->attempts, 2);  // timed out, retried, timed out again
-  EXPECT_GE(injector.stats().hangs, 1u);
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex);
+    EXPECT_GE(injector.stats().hangs, 1u);
+  }
 }
 
 // --- journaling + resume ---
@@ -276,6 +300,7 @@ TEST(SweepEngine, JournalReplaysCompletedJobsAndRerunsFailedOnes) {
   std::map<std::string, int> calls;
 
   SweepOptions options;
+  options.workers = 1;  // unsynchronized call counting
   options.journal_path = journal.path();
   options.max_retries = 0;
   const auto jobs = three_jobs();
@@ -328,6 +353,7 @@ TEST(SweepEngine, JournalReplaysCompletedJobsAndRerunsFailedOnes) {
 TEST(SweepEngine, ResumeDisabledReRunsEverything) {
   TempJournal journal("noresume");
   SweepOptions options;
+  options.workers = 1;  // unsynchronized call counting
   options.journal_path = journal.path();
   options.resume = false;
   int calls = 0;
@@ -344,6 +370,7 @@ TEST(SweepEngine, ResumeDisabledReRunsEverything) {
 TEST(SweepEngine, TornJournalTailResumesCleanly) {
   TempJournal journal("torn");
   SweepOptions options;
+  options.workers = 1;  // unsynchronized call counting
   options.journal_path = journal.path();
   const auto jobs = three_jobs();
   {
@@ -398,6 +425,10 @@ TEST(SweepEngine, ChaosSweepPreservesCompletedWorkAndResumes) {
 
   TempJournal journal("chaos");
   SweepOptions options;
+  // workers = 1: the scripted fail_first transients must land on the first
+  // job deterministically. The 8-worker chaos variant lives in
+  // sweep_determinism_test.
+  options.workers = 1;
   options.journal_path = journal.path();
   options.max_retries = 3;
 
@@ -432,7 +463,7 @@ TEST(SweepEngine, ChaosSweepPreservesCompletedWorkAndResumes) {
     const JobOutcome* failed = summary.find({"CFD", poisoned, 1});
     ASSERT_NE(failed, nullptr);
     EXPECT_EQ(failed->attempts, 1);
-    EXPECT_EQ(failed->error->kind, "calibration");
+    EXPECT_EQ(failed->error->kind, ErrorKind::kCalibration);
   }
 
   {  // Run 2: faults cleared; only the poisoned job re-executes.
