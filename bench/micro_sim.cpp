@@ -1,0 +1,267 @@
+// micro_sim — projection hot-path throughput benchmark.
+//
+// Measures projections/second of the discrete-event simulator's two
+// engines (cohort fast path vs retained reference) across workload shapes
+// and grid sizes, serial and with 8 workers, and emits a machine-readable
+// BENCH_sim.json for scripts/bench_compare (the CI perf-smoke gate).
+//
+//   ./build/bench/micro_sim [--out FILE] [--quick]
+//
+// Each JSON entry carries the measured throughputs, the cohort/reference
+// speedup, and the minimum speedup this PR's acceptance demands (5x on
+// >= 64k-block jitter-free grids, 2x on jittered runs). bench_compare
+// gates on the speedups — they are machine-portable, unlike absolute
+// throughput, which it only tracks as a warning. See docs/performance.md.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpumodel/characteristics.h"
+#include "hw/registry.h"
+#include "sim/event_sim.h"
+#include "skeleton/builder.h"
+
+namespace {
+
+using grophecy::gpumodel::KernelCharacteristics;
+using grophecy::gpumodel::Variant;
+using grophecy::sim::EventGpuSimulator;
+using grophecy::sim::EventSimOptions;
+using grophecy::sim::SimEngine;
+
+constexpr int kWorkers = 8;
+
+struct Workload {
+  const char* name;
+  grophecy::skeleton::AppSkeleton app;
+};
+
+grophecy::skeleton::AppSkeleton stream_app(std::int64_t n) {
+  grophecy::skeleton::AppBuilder builder("stream");
+  const auto a = builder.array("a", grophecy::skeleton::ElemType::kF32, {n});
+  const auto b = builder.array("b", grophecy::skeleton::ElemType::kF32, {n});
+  auto& k = builder.kernel("copy");
+  k.parallel_loop("i", n);
+  k.statement(1.0).load(a, {k.var("i")}).store(b, {k.var("i")});
+  return builder.build();
+}
+
+grophecy::skeleton::AppSkeleton compute_app(std::int64_t n) {
+  grophecy::skeleton::AppBuilder builder("compute");
+  const auto a = builder.array("a", grophecy::skeleton::ElemType::kF32, {n});
+  const auto b = builder.array("b", grophecy::skeleton::ElemType::kF32, {n});
+  auto& k = builder.kernel("iterate");
+  k.parallel_loop("i", n);
+  k.statement(96.0, 8.0).load(a, {k.var("i")}).store(b, {k.var("i")});
+  return builder.build();
+}
+
+grophecy::skeleton::AppSkeleton gather_app(std::int64_t n) {
+  grophecy::skeleton::AppBuilder builder("gather");
+  const auto a = builder.array("a", grophecy::skeleton::ElemType::kF32, {n});
+  const auto idx =
+      builder.array("idx", grophecy::skeleton::ElemType::kI32, {n});
+  const auto out = builder.array("out", grophecy::skeleton::ElemType::kF32,
+                                 {n});
+  auto& k = builder.kernel("gather");
+  k.parallel_loop("i", n);
+  k.statement(4.0)
+      .load(idx, {k.var("i")})
+      .load_indirect(a)
+      .store(out, {k.var("i")});
+  return builder.build();
+}
+
+/// Characteristics of the workload's kernel resized to `grid_blocks`.
+KernelCharacteristics characteristics_for(const Workload& workload,
+                                          std::int64_t grid_blocks,
+                                          const grophecy::hw::GpuSpec& gpu) {
+  Variant variant;
+  variant.block_size = 256;
+  KernelCharacteristics kc = grophecy::gpumodel::characterize(
+      workload.app, workload.app.kernels[0], variant, gpu);
+  kc.num_blocks = grid_blocks;
+  kc.total_threads = grid_blocks * variant.block_size;
+  return kc;
+}
+
+/// Calls `fn` until ~min_seconds of wall clock accumulate; returns
+/// calls/second.
+template <typename Fn>
+double throughput(Fn&& fn, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::int64_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(iters) / elapsed;
+}
+
+/// Aggregate calls/second of `kWorkers` threads, each running its own
+/// simulator instance (the sweep engine's deployment shape).
+template <typename MakeFn>
+double throughput_parallel(MakeFn&& make_fn, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::atomic<bool> go{false};
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      auto fn = make_fn(w);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const auto start = clock::now();
+      std::int64_t iters = 0;
+      do {
+        fn();
+        ++iters;
+      } while (std::chrono::duration<double>(clock::now() - start).count() <
+               min_seconds);
+      total.fetch_add(iters, std::memory_order_relaxed);
+    });
+  }
+  const auto start = clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return static_cast<double>(total.load()) / wall;
+}
+
+struct Entry {
+  std::string name;
+  std::string workload;
+  std::int64_t grid_blocks = 0;
+  std::string mode;  // "expected" | "jittered"
+  double cohort_per_sec_w1 = 0.0;
+  double cohort_per_sec_w8 = 0.0;
+  double reference_per_sec = 0.0;
+  double speedup = 0.0;
+  double min_speedup = 1.0;
+};
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_sim.v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"workload\": \"%s\", \"grid_blocks\": %lld,"
+        " \"mode\": \"%s\", \"cohort_per_sec_w1\": %.6g,"
+        " \"cohort_per_sec_w8\": %.6g, \"reference_per_sec\": %.6g,"
+        " \"speedup\": %.6g, \"min_speedup\": %.3g}%s\n",
+        e.name.c_str(), e.workload.c_str(),
+        static_cast<long long>(e.grid_blocks), e.mode.c_str(),
+        e.cohort_per_sec_w1, e.cohort_per_sec_w8, e.reference_per_sec,
+        e.speedup, e.min_speedup, i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sim.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double min_seconds = quick ? 0.02 : 0.15;
+
+  const grophecy::hw::GpuSpec gpu = grophecy::hw::anl_eureka().gpu;
+  const std::int64_t chunk = 1 << 20;
+  std::vector<Workload> workloads;
+  workloads.push_back(Workload{"stream", stream_app(chunk)});
+  workloads.push_back(Workload{"compute", compute_app(chunk)});
+  workloads.push_back(Workload{"gather", gather_app(chunk)});
+
+  const std::vector<std::int64_t> grids{4096, 65536, 262144};
+  std::vector<Entry> entries;
+
+  std::printf("%-24s %14s %14s %14s %9s\n", "entry", "cohort/s (w1)",
+              "cohort/s (w8)", "reference/s", "speedup");
+  for (const Workload& workload : workloads) {
+    for (const std::int64_t grid : grids) {
+      const KernelCharacteristics kc = characteristics_for(workload, grid,
+                                                           gpu);
+      for (const bool jittered : {false, true}) {
+        // Jittered reference runs on big grids dominate the bench budget;
+        // one jittered grid size per workload is enough for the gate.
+        if (jittered && grid != 65536) continue;
+
+        Entry entry;
+        entry.workload = workload.name;
+        entry.grid_blocks = grid;
+        entry.mode = jittered ? "jittered" : "expected";
+        entry.name = entry.mode + "/" + workload.name + "/" +
+                     std::to_string(grid);
+        entry.min_speedup =
+            jittered ? 2.0 : (grid >= 65536 ? 5.0 : 1.0);
+
+        EventGpuSimulator cohort(gpu, 7);
+        EventGpuSimulator reference(
+            gpu, 7, EventSimOptions{SimEngine::kReference, 0.0});
+        auto measure = [&](EventGpuSimulator& sim) {
+          return jittered
+                     ? throughput([&] { (void)sim.run_launch_seconds(kc); },
+                                  min_seconds)
+                     : throughput([&] { (void)sim.expected_launch(kc); },
+                                  min_seconds);
+        };
+        entry.cohort_per_sec_w1 = measure(cohort);
+        entry.reference_per_sec = measure(reference);
+        entry.cohort_per_sec_w8 = throughput_parallel(
+            [&](int worker) {
+              auto sim = std::make_shared<EventGpuSimulator>(
+                  gpu, 100 + static_cast<std::uint64_t>(worker));
+              return [sim, &kc, jittered] {
+                if (jittered)
+                  (void)sim->run_launch_seconds(kc);
+                else
+                  (void)sim->expected_launch(kc);
+              };
+            },
+            min_seconds);
+        entry.speedup = entry.cohort_per_sec_w1 / entry.reference_per_sec;
+        std::printf("%-24s %14.0f %14.0f %14.0f %8.1fx\n",
+                    entry.name.c_str(), entry.cohort_per_sec_w1,
+                    entry.cohort_per_sec_w8, entry.reference_per_sec,
+                    entry.speedup);
+        entries.push_back(std::move(entry));
+      }
+    }
+  }
+
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+
+  bool ok = true;
+  for (const Entry& entry : entries) {
+    if (entry.speedup < entry.min_speedup) {
+      std::fprintf(stderr, "FAIL: %s speedup %.2fx < required %.2fx\n",
+                   entry.name.c_str(), entry.speedup, entry.min_speedup);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,9 @@
 #                                  and run the concurrency-sensitive suites
 #                                  (sweep engine, determinism, journal,
 #                                  calibration cache)
+#   scripts/verify.sh --bench      additionally run the micro_sim hot-path
+#                                  benchmark and gate it against the
+#                                  checked-in bench/BENCH_sim.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,11 @@ for arg in "$@"; do
       # shares state across threads (ctest names are GTest suite.test).
       run_preset tsan --no-tests=error -R \
         '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache)\.'
+      ;;
+    --bench)
+      echo "=== verify: bench (micro_sim vs bench/BENCH_sim.json) ==="
+      ./build/bench/micro_sim --out build/BENCH_sim.json
+      scripts/bench_compare bench/BENCH_sim.json build/BENCH_sim.json
       ;;
     *)
       echo "unknown option: ${arg}" >&2

@@ -96,6 +96,9 @@ void ProjectionOptions::validate() const {
           "must be >= calibration.replicates");
   for (std::uint64_t bytes : calibration.sweep_bytes)
     require(bytes > 0, "calibration.sweep_bytes", "entries must be positive");
+  require(event_sim.jitter_quantum >= 0.0, "event_sim.jitter_quantum",
+          util::strfmt("must be non-negative, got %g",
+                       event_sim.jitter_quantum));
   for (int fuse : fusion_candidates)
     require(fuse >= 1, "fusion_candidates",
             util::strfmt("entries must be >= 1, got %d", fuse));
@@ -112,7 +115,8 @@ Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
               derive_seeds(options_.seed).calibration_bus))),
       explorer_(machine_.gpu, options_.explorer),
       gpu_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
-      event_sim_(machine_.gpu, derive_seeds(options_.seed).gpu),
+      event_sim_(machine_.gpu, derive_seeds(options_.seed).gpu,
+                 options_.event_sim),
       cpu_sim_(machine_.cpu, derive_seeds(options_.seed).cpu) {
   if (options_.measurement_noise)
     measurement_bus_.set_noise(*options_.measurement_noise);

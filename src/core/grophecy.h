@@ -51,6 +51,9 @@ struct ProjectionOptions {
   /// (sim::EventGpuSimulator) instead of the wave-based one: greedy block
   /// scheduling + chip-wide DRAM contention.
   bool detailed_sim = false;
+  /// Engine selection and tuning for the detailed simulator (cohort fast
+  /// path by default; SimEngine::kReference restores the original loop).
+  sim::EventSimOptions event_sim;
   /// Serve calibration from the process-wide pcie::CalibrationCache: one
   /// synthetic-benchmark run per (machine, calibration options, memory
   /// mode, calibration seed) per process, as the paper intends ("invoked

@@ -1,26 +1,57 @@
 #include "gpumodel/explorer.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "util/contracts.h"
 
 namespace grophecy::gpumodel {
 
-Explorer::Explorer(hw::GpuSpec gpu, ExplorerOptions options)
-    : model_(std::move(gpu), options.model), options_(std::move(options)) {
-  GROPHECY_EXPECTS(!options_.block_sizes.empty());
-  GROPHECY_EXPECTS(!options_.unroll_factors.empty());
+namespace {
+
+/// Projection memo capacity; beyond it the memo is flushed wholesale.
+/// Distinct characteristics per kernel are few (variants frequently
+/// collapse — unroll past the loop count, staging with nothing to stage),
+/// so a flush only fires on sweeps over very many distinct kernels.
+constexpr std::size_t kProjectionMemoCap = 512;
+
+/// Flattens the model-relevant characteristics into an exact memo key.
+/// Excludes kernel_name, Variant, syncs_per_thread, work_per_thread, and
+/// redundant_work_fraction: project() never reads them (their effect is
+/// already folded into the instruction/access counts by characterize()).
+std::vector<double> projection_key(const KernelCharacteristics& kc) {
+  std::vector<double> key;
+  key.reserve(8 + kc.accesses.size() * 6);
+  key.push_back(static_cast<double>(kc.num_blocks));
+  key.push_back(static_cast<double>(kc.variant.block_size));
+  key.push_back(static_cast<double>(kc.regs_per_thread));
+  key.push_back(static_cast<double>(kc.smem_per_block_bytes));
+  key.push_back(kc.flops_per_thread);
+  key.push_back(kc.special_per_thread);
+  key.push_back(kc.index_insts_per_thread);
+  key.push_back(static_cast<double>(kc.accesses.size()));
+  for (const MemAccess& access : kc.accesses) {
+    key.push_back(static_cast<double>(static_cast<int>(access.cls)));
+    key.push_back(access.is_load ? 1.0 : 0.0);
+    key.push_back(static_cast<double>(access.stride_elems));
+    key.push_back(static_cast<double>(access.elem_bytes));
+    key.push_back(access.count_per_thread);
+    key.push_back(access.gathered_stream ? 1.0 : 0.0);
+  }
+  return key;
 }
 
-std::vector<ProjectedKernel> Explorer::explore(
-    const skeleton::AppSkeleton& app, const skeleton::KernelSkeleton& kernel,
-    int fuse_iterations) const {
-  GROPHECY_EXPECTS(fuse_iterations >= 1);
-  const hw::GpuSpec& gpu = model_.gpu();
-
+/// Shared enumeration order of explore() and best(): identical sequences
+/// keep best() equivalent to min_element over explore().
+template <typename Fn>
+void for_each_variant(const ExplorerOptions& options, const hw::GpuSpec& gpu,
+                      const skeleton::AppSkeleton& app,
+                      const skeleton::KernelSkeleton& kernel,
+                      int fuse_iterations, Fn&& fn) {
   std::vector<int> seq_tiles{0};
   if (has_reduction_staging_candidates(app, kernel)) {
-    for (int tile : options_.seq_tile_factors)
+    for (int tile : options.seq_tile_factors)
       if (tile > 0) seq_tiles.push_back(tile);
   }
 
@@ -28,17 +59,16 @@ std::vector<ProjectedKernel> Explorer::explore(
   for (const skeleton::Loop& loop : kernel.loops)
     if (loop.parallel) ++parallel_levels;
   const int max_swap =
-      options_.explore_loop_interchange && parallel_levels >= 2 ? 1 : 0;
+      options.explore_loop_interchange && parallel_levels >= 2 ? 1 : 0;
 
-  std::vector<ProjectedKernel> projections;
-  for (int block_size : options_.block_sizes) {
+  for (int block_size : options.block_sizes) {
     if (block_size < gpu.warp_size || block_size > gpu.max_threads_per_block)
       continue;
-    for (int unroll : options_.unroll_factors) {
+    for (int unroll : options.unroll_factors) {
       for (int seq_tile : seq_tiles) {
         for (int swapped = 0; swapped <= max_swap; ++swapped) {
           for (int staged = 0;
-               staged <= (options_.explore_smem_staging ? 1 : 0);
+               staged <= (options.explore_smem_staging ? 1 : 0);
                ++staged) {
             Variant variant;
             variant.block_size = block_size;
@@ -47,34 +77,138 @@ std::vector<ProjectedKernel> Explorer::explore(
             variant.swap_parallel_loops = swapped != 0;
             variant.seq_tile = seq_tile;
             variant.fuse_iterations = fuse_iterations;
-
-            ProjectedKernel projected;
-            projected.variant = variant;
-            projected.characteristics =
-                characterize(app, kernel, variant, gpu);
-            projected.time = model_.project(projected.characteristics);
-            if (!projected.time.feasible) continue;
-            projections.push_back(std::move(projected));
+            fn(variant);
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+Explorer::Explorer(hw::GpuSpec gpu, ExplorerOptions options)
+    : model_(std::move(gpu), options.model), options_(std::move(options)) {
+  GROPHECY_EXPECTS(!options_.block_sizes.empty());
+  GROPHECY_EXPECTS(!options_.unroll_factors.empty());
+}
+
+Occupancy Explorer::occupancy_for(const KernelCharacteristics& kc) const {
+  // block_size <= max_threads_per_block (< 2^16), regs fit 16 bits, smem
+  // fits 32: the triple packs losslessly into one word.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kc.variant.block_size) << 48) |
+      (static_cast<std::uint64_t>(kc.regs_per_thread) << 32) |
+      static_cast<std::uint64_t>(kc.smem_per_block_bytes);
+  const auto it = occupancy_memo_.find(key);
+  if (it != occupancy_memo_.end()) {
+    ++stats_.occupancy_hits;
+    return it->second;
+  }
+  ++stats_.occupancy_misses;
+  const Occupancy occ =
+      compute_occupancy(model_.gpu(), kc.variant.block_size,
+                        kc.regs_per_thread, kc.smem_per_block_bytes);
+  occupancy_memo_.emplace(key, occ);
+  return occ;
+}
+
+const KernelTimeBreakdown* Explorer::find_projection(
+    const std::vector<double>& key) const {
+  for (const ProjectionMemoEntry& entry : projection_memo_)
+    if (entry.key == key) return &entry.time;
+  return nullptr;
+}
+
+void Explorer::remember_projection(std::vector<double> key,
+                                   const KernelTimeBreakdown& time) const {
+  if (projection_memo_.size() >= kProjectionMemoCap)
+    projection_memo_.clear();
+  projection_memo_.push_back(ProjectionMemoEntry{std::move(key), time});
+}
+
+std::vector<ProjectedKernel> Explorer::explore(
+    const skeleton::AppSkeleton& app, const skeleton::KernelSkeleton& kernel,
+    int fuse_iterations) const {
+  GROPHECY_EXPECTS(fuse_iterations >= 1);
+  const hw::GpuSpec& gpu = model_.gpu();
+
+  std::vector<ProjectedKernel> projections;
+  for_each_variant(
+      options_, gpu, app, kernel, fuse_iterations,
+      [&](const Variant& variant) {
+        ++stats_.variants;
+        ProjectedKernel projected;
+        projected.variant = variant;
+        projected.characteristics = characterize(app, kernel, variant, gpu);
+
+        std::vector<double> key = projection_key(projected.characteristics);
+        if (const KernelTimeBreakdown* cached = find_projection(key)) {
+          ++stats_.projection_hits;
+          projected.time = *cached;
+        } else {
+          ++stats_.projection_misses;
+          projected.time = model_.project(
+              projected.characteristics,
+              occupancy_for(projected.characteristics));
+          remember_projection(std::move(key), projected.time);
+        }
+        if (!projected.time.feasible) {
+          ++stats_.infeasible;
+          return;
+        }
+        projections.push_back(std::move(projected));
+      });
   return projections;
 }
 
 ProjectedKernel Explorer::best(const skeleton::AppSkeleton& app,
                                const skeleton::KernelSkeleton& kernel,
                                int fuse_iterations) const {
-  std::vector<ProjectedKernel> projections =
-      explore(app, kernel, fuse_iterations);
-  GROPHECY_EXPECTS(!projections.empty());
-  auto fastest = std::min_element(
-      projections.begin(), projections.end(),
-      [](const ProjectedKernel& a, const ProjectedKernel& b) {
-        return a.time.total_s < b.time.total_s;
+  GROPHECY_EXPECTS(fuse_iterations >= 1);
+  const hw::GpuSpec& gpu = model_.gpu();
+
+  ProjectedKernel winner;
+  double cutoff = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for_each_variant(
+      options_, gpu, app, kernel, fuse_iterations,
+      [&](const Variant& variant) {
+        ++stats_.variants;
+        ProjectedKernel projected;
+        projected.variant = variant;
+        projected.characteristics = characterize(app, kernel, variant, gpu);
+
+        std::vector<double> key = projection_key(projected.characteristics);
+        if (const KernelTimeBreakdown* cached = find_projection(key)) {
+          ++stats_.projection_hits;
+          projected.time = *cached;
+        } else {
+          ++stats_.projection_misses;
+          const auto time = model_.project_if_below(
+              projected.characteristics,
+              occupancy_for(projected.characteristics), cutoff);
+          if (!time) {
+            // A single bound already reached the incumbent: the variant
+            // cannot win, and its partial projection is not memoizable.
+            ++stats_.pruned;
+            return;
+          }
+          projected.time = *time;
+          remember_projection(std::move(key), projected.time);
+        }
+        if (!projected.time.feasible) {
+          ++stats_.infeasible;
+          return;
+        }
+        if (projected.time.total_s < cutoff) {
+          cutoff = projected.time.total_s;
+          winner = std::move(projected);
+          found = true;
+        }
       });
-  return *fastest;
+  GROPHECY_EXPECTS(found);
+  return winner;
 }
 
 }  // namespace grophecy::gpumodel

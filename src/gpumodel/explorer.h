@@ -6,11 +6,28 @@
 // performance and the transformations necessary to reach it" (§II-C).
 // Iteration fusion is explored at the application level by the orchestrator
 // because its payoff depends on the iteration count.
+//
+// The exploration loop is a projection hot path (sweeps call best() for
+// every kernel of every job), so the Explorer memoizes the two pure
+// sub-computations that repeat across variants — occupancy, keyed on the
+// exact (block_size, regs, smem) triple, and whole projections, keyed on
+// the model-relevant characteristics content — and best() prunes variants
+// whose single-bound lower bound already matches or exceeds the incumbent
+// (KernelTimeModel::project_if_below). Pruning cannot change the winner:
+// total_s = max(bounds) + launch_s, so one bound at the cutoff proves the
+// variant cannot beat it, and the incumbent only advances on strictly
+// smaller totals (the same first-of-equals tie-break as min_element).
+//
+// Memoization makes Explorer stateful: instances are NOT thread-safe.
+// Sweeps already give each worker its own engine (core/sweep.h).
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "gpumodel/kernel_model.h"
+#include "gpumodel/occupancy.h"
 #include "skeleton/skeleton.h"
 
 namespace grophecy::gpumodel {
@@ -37,6 +54,18 @@ struct ExplorerOptions {
   ModelOptions model;
 };
 
+/// Lifetime counters of one Explorer's work, for tests and the micro_sim
+/// bench. Monotonic; cheap to maintain.
+struct ExploreStats {
+  std::uint64_t variants = 0;          ///< Variants enumerated.
+  std::uint64_t infeasible = 0;        ///< Rejected by occupancy.
+  std::uint64_t pruned = 0;            ///< Dominance-pruned in best().
+  std::uint64_t occupancy_hits = 0;
+  std::uint64_t occupancy_misses = 0;
+  std::uint64_t projection_hits = 0;
+  std::uint64_t projection_misses = 0;
+};
+
 /// Enumerates and ranks kernel variants on a given GPU.
 class Explorer {
  public:
@@ -49,6 +78,8 @@ class Explorer {
 
   /// The fastest feasible variant. Requires at least one feasible variant
   /// (always true for valid kernels: plain block sizes are feasible).
+  /// Equivalent to min_element over explore() but prunes dominated
+  /// variants before paying for their full projection.
   ProjectedKernel best(const skeleton::AppSkeleton& app,
                        const skeleton::KernelSkeleton& kernel,
                        int fuse_iterations = 1) const;
@@ -56,10 +87,27 @@ class Explorer {
   const ExplorerOptions& options() const { return options_; }
   const hw::GpuSpec& gpu() const { return model_.gpu(); }
   const KernelTimeModel& model() const { return model_; }
+  const ExploreStats& stats() const { return stats_; }
 
  private:
+  /// A fully projected characteristics record: key = the fields
+  /// KernelTimeModel reads, flattened to doubles (ints <= 2^53 are exact).
+  struct ProjectionMemoEntry {
+    std::vector<double> key;
+    KernelTimeBreakdown time;
+  };
+
+  Occupancy occupancy_for(const KernelCharacteristics& kc) const;
+  const KernelTimeBreakdown* find_projection(
+      const std::vector<double>& key) const;
+  void remember_projection(std::vector<double> key,
+                           const KernelTimeBreakdown& time) const;
+
   KernelTimeModel model_;
   ExplorerOptions options_;
+  mutable ExploreStats stats_;
+  mutable std::unordered_map<std::uint64_t, Occupancy> occupancy_memo_;
+  mutable std::vector<ProjectionMemoEntry> projection_memo_;
 };
 
 }  // namespace grophecy::gpumodel

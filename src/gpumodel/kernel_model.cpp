@@ -12,9 +12,16 @@ namespace grophecy::gpumodel {
 namespace {
 /// Minimum memory transaction granularity for scattered lanes, bytes.
 constexpr double kScatterGranularity = 32.0;
-/// Instruction slots consumed by one special-function op relative to a MAD
-/// (must match the simulator's cost so compute-bound kernels predict well).
-constexpr double kSpecialInstCost = 4.0;
+
+/// Overhead-scaled dynamic instructions per thread. The one formula the
+/// analytical model and both simulators share; see kSpecialInstCost.
+double insts_per_thread(const KernelCharacteristics& kc,
+                        const hw::GpuSpec& gpu) {
+  return (kc.flops_per_thread / gpu.flops_per_core_per_cycle +
+          kc.special_per_thread * kSpecialInstCost +
+          kc.index_insts_per_thread) *
+         gpu.instruction_overhead;
+}
 }  // namespace
 
 WarpAccessCost warp_access_cost(const MemAccess& access,
@@ -52,6 +59,51 @@ WarpAccessCost warp_access_cost(const MemAccess& access,
   return cost;
 }
 
+WarpDemands warp_demands(const KernelCharacteristics& kc,
+                         const hw::GpuSpec& gpu) {
+  WarpDemands wd;
+  wd.warps_per_block =
+      (kc.variant.block_size + gpu.warp_size - 1) / gpu.warp_size;
+  wd.issue_cycles = static_cast<double>(gpu.warp_size) / gpu.cores_per_sm;
+  wd.insts_per_thread = insts_per_thread(kc, gpu);
+  wd.compute_cycles = wd.insts_per_thread * wd.issue_cycles;
+
+  for (const MemAccess& access : kc.accesses) {
+    const WarpAccessCost cost = warp_access_cost(access, gpu);
+    double replay = 1.0;
+    if (access.cls == AccessClass::kStrided ||
+        access.cls == AccessClass::kScattered)
+      replay = gpu.uncoalesced_replay_factor;
+    double latency = gpu.dram_latency_cycles;
+    if (access.cls == AccessClass::kScattered)
+      latency *= gpu.indirect_access_penalty;
+    // Gathered streams sustain only a fraction of streaming bandwidth;
+    // charge the locality loss as extra effective demand.
+    double locality = 1.0;
+    if (access.gathered_stream) locality = 1.0 / gpu.gather_stream_fraction;
+    wd.traffic_bytes +=
+        access.count_per_thread * cost.bytes_moved * replay * locality;
+    wd.mem_insts += access.count_per_thread;
+    wd.latency_cycles += access.count_per_thread * latency;
+  }
+  return wd;
+}
+
+const WarpAccessCost& AccessCostCache::cost(const MemAccess& access,
+                                            const hw::GpuSpec& gpu) {
+  for (const Entry& entry : entries_) {
+    if (entry.cls == access.cls && entry.stride_elems == access.stride_elems &&
+        entry.elem_bytes == access.elem_bytes) {
+      ++hits_;
+      return entry.cost;
+    }
+  }
+  ++misses_;
+  entries_.push_back(Entry{access.cls, access.stride_elems, access.elem_bytes,
+                           warp_access_cost(access, gpu)});
+  return entries_.back().cost;
+}
+
 KernelTimeModel::KernelTimeModel(hw::GpuSpec gpu, ModelOptions options)
     : gpu_(std::move(gpu)), options_(options) {
   GROPHECY_EXPECTS(gpu_.num_sms > 0);
@@ -64,15 +116,31 @@ KernelTimeModel::KernelTimeModel(hw::GpuSpec gpu, ModelOptions options)
 
 KernelTimeBreakdown KernelTimeModel::project(
     const KernelCharacteristics& kc) const {
+  return project(kc, compute_occupancy(gpu_, kc.variant.block_size,
+                                       kc.regs_per_thread,
+                                       kc.smem_per_block_bytes));
+}
+
+KernelTimeBreakdown KernelTimeModel::project(const KernelCharacteristics& kc,
+                                             const Occupancy& occ) const {
+  // No finite cutoff can prune (each bound is finite), so the projection
+  // always completes.
+  return *project_if_below(kc, occ,
+                           std::numeric_limits<double>::infinity());
+}
+
+std::optional<KernelTimeBreakdown> KernelTimeModel::project_if_below(
+    const KernelCharacteristics& kc, const Occupancy& occ,
+    double cutoff_s) const {
   KernelTimeBreakdown out;
-  out.occupancy = compute_occupancy(gpu_, kc.variant.block_size,
-                                    kc.regs_per_thread,
-                                    kc.smem_per_block_bytes);
+  out.occupancy = occ;
   if (out.occupancy.blocks_per_sm == 0) {
     out.feasible = false;
     out.total_s = std::numeric_limits<double>::infinity();
     return out;
   }
+
+  out.launch_s = gpu_.kernel_launch_overhead_s;
 
   const double warps_per_block =
       std::ceil(static_cast<double>(kc.variant.block_size) / gpu_.warp_size);
@@ -83,18 +151,17 @@ KernelTimeBreakdown KernelTimeModel::project(
   // MAD throughput, specials on the SFUs, address/control instructions —
   // scaled by the architecture's calibrated instruction overhead. The
   // model knows this mix (it synthesized it), so the formulation matches
-  // the simulator's; compute-bound kernels therefore predict accurately,
-  // and the structural model-vs-machine gap lives in the memory system.
+  // the simulator's (gpumodel::warp_demands); compute-bound kernels
+  // therefore predict accurately, and the structural model-vs-machine gap
+  // lives in the memory system.
   const double clock_hz = gpu_.core_clock_ghz * 1e9;
   const double issue_cycles =
       static_cast<double>(gpu_.warp_size) / gpu_.cores_per_sm;
-  const double insts_per_thread =
-      (kc.flops_per_thread / gpu_.flops_per_core_per_cycle +
-       kc.special_per_thread * kSpecialInstCost +
-       kc.index_insts_per_thread) *
-      gpu_.instruction_overhead;
-  out.compute_s = warps_total * insts_per_thread * issue_cycles /
+  out.compute_s = warps_total * insts_per_thread(kc, gpu_) * issue_cycles /
                   (gpu_.num_sms * clock_hz);
+  // total_s = max(bounds) + launch_s, so any bound alone lower-bounds the
+  // total: once one reaches the cutoff the variant cannot win.
+  if (out.compute_s + out.launch_s >= cutoff_s) return std::nullopt;
 
   // Bandwidth bound: every access stream priced by coalescing math at the
   // calibrated sustainable bandwidth, with gathered streams derated for
@@ -104,13 +171,14 @@ KernelTimeBreakdown KernelTimeModel::project(
   double warp_mem_insts = 0.0;
   out.bandwidth_s = 0.0;
   for (const MemAccess& access : kc.accesses) {
-    const WarpAccessCost cost = warp_access_cost(access, gpu_);
+    const WarpAccessCost& cost = access_costs_.cost(access, gpu_);
     const double stream_eff =
         access.gathered_stream ? options_.gathered_stream_efficiency : 1.0;
     out.bandwidth_s += access.count_per_thread * warps_total *
                        cost.bytes_moved / (stream_bw * stream_eff);
     warp_mem_insts += access.count_per_thread * warps_total;
   }
+  if (out.bandwidth_s + out.launch_s >= cutoff_s) return std::nullopt;
 
   // Latency bound: each warp-level memory instruction exposes the DRAM
   // latency; resident warps overlap their stalls.
@@ -118,9 +186,9 @@ KernelTimeBreakdown KernelTimeModel::project(
       std::max(1, out.occupancy.active_warps);
   out.latency_s = warp_mem_insts * gpu_.dram_latency_cycles /
                   (gpu_.num_sms * overlap * clock_hz);
+  if (out.latency_s + out.launch_s >= cutoff_s) return std::nullopt;
 
   out.sync_s = 0.0;  // the optimistic model assumes barriers are free
-  out.launch_s = gpu_.kernel_launch_overhead_s;
 
   double body = out.compute_s;
   out.bound = "compute";

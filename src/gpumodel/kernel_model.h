@@ -16,11 +16,20 @@
 // ~30% for the irregular CFD).
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "gpumodel/characteristics.h"
 #include "gpumodel/occupancy.h"
 #include "hw/machine.h"
 
 namespace grophecy::gpumodel {
+
+/// Instruction slots consumed by one special-function op relative to a MAD.
+/// One definition shared by the analytical model and both simulators:
+/// compute-bound kernels predict well only because all three price the
+/// instruction stream identically.
+inline constexpr double kSpecialInstCost = 4.0;
 
 /// Warp-level cost of one execution of a memory access: how many
 /// transactions the warp issues and how many bytes actually move.
@@ -34,6 +43,58 @@ struct WarpAccessCost {
 /// strided accesses span stride*warp elements rounded to full segments.
 WarpAccessCost warp_access_cost(const MemAccess& access,
                                 const hw::GpuSpec& gpu);
+
+/// Per-warp demands of one kernel variant on one device: the instruction
+/// stream, the effective DRAM traffic (replay + locality), and the exposed
+/// memory latency. This is the single source of the per-warp math consumed
+/// by the wave simulator, the event simulator, and (for the instruction
+/// stream) the analytical model — the numbers all three must agree on.
+struct WarpDemands {
+  int warps_per_block = 0;
+  /// SM issue cycles per warp instruction (warp_size / cores_per_sm).
+  double issue_cycles = 0.0;
+  /// Overhead-scaled dynamic instructions per thread (MADs + specials at
+  /// kSpecialInstCost + addressing/control).
+  double insts_per_thread = 0.0;
+  /// Issue cycles per warp: insts_per_thread * issue_cycles.
+  double compute_cycles = 0.0;
+  /// Effective DRAM bytes per warp after replay and locality derating.
+  double traffic_bytes = 0.0;
+  /// Warp-level memory instructions per warp (dynamic).
+  double mem_insts = 0.0;
+  /// Exposed DRAM latency cycles per warp before warp overlap.
+  double latency_cycles = 0.0;
+};
+
+/// Derives the per-warp demands of `kc` on `gpu`. Pure; identical floating
+/// point expression order as the historical in-simulator math, so existing
+/// simulator outputs are bit-for-bit unchanged.
+WarpDemands warp_demands(const KernelCharacteristics& kc,
+                         const hw::GpuSpec& gpu);
+
+/// Memo of warp_access_cost results for one fixed GpuSpec, keyed by the
+/// fields the coalescing math reads (class, stride, element size). The
+/// access-shape population of an exploration is tiny, so a flat vector
+/// beats a hash map. Not thread-safe; owners (KernelTimeModel, Explorer)
+/// are one-per-thread objects.
+class AccessCostCache {
+ public:
+  const WarpAccessCost& cost(const MemAccess& access, const hw::GpuSpec& gpu);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    AccessClass cls;
+    std::int64_t stride_elems;
+    std::uint32_t elem_bytes;
+    WarpAccessCost cost;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 /// Timing breakdown of one kernel launch.
 struct KernelTimeBreakdown {
@@ -61,7 +122,9 @@ struct ModelOptions {
   double gathered_stream_efficiency = 0.32;
 };
 
-/// Analytical model of a GpuSpec.
+/// Analytical model of a GpuSpec. Not thread-safe (it memoizes access
+/// costs internally); use one instance per thread, as the sweep engine's
+/// per-job projection engines already do.
 class KernelTimeModel {
  public:
   explicit KernelTimeModel(hw::GpuSpec gpu, ModelOptions options = {});
@@ -69,12 +132,30 @@ class KernelTimeModel {
   /// Projects one launch of the characterized kernel variant.
   KernelTimeBreakdown project(const KernelCharacteristics& kc) const;
 
+  /// Same projection with the occupancy precomputed (the explorer memoizes
+  /// it across variants sharing a (block_size, regs, smem) footprint).
+  /// `occ` must equal compute_occupancy for kc's geometry.
+  KernelTimeBreakdown project(const KernelCharacteristics& kc,
+                              const Occupancy& occ) const;
+
+  /// Bounded projection for branch-and-bound exploration: returns
+  /// std::nullopt as soon as any single lower bound already proves
+  /// total_s >= cutoff_s (each bound is a lower bound on the total, so a
+  /// pruned variant can never beat an incumbent with total < cutoff_s).
+  /// Infeasible variants return a breakdown with feasible == false, like
+  /// project().
+  std::optional<KernelTimeBreakdown> project_if_below(
+      const KernelCharacteristics& kc, const Occupancy& occ,
+      double cutoff_s) const;
+
   const hw::GpuSpec& gpu() const { return gpu_; }
   const ModelOptions& options() const { return options_; }
+  const AccessCostCache& access_cost_cache() const { return access_costs_; }
 
  private:
   hw::GpuSpec gpu_;
   ModelOptions options_;
+  mutable AccessCostCache access_costs_;
 };
 
 }  // namespace grophecy::gpumodel

@@ -1,0 +1,432 @@
+#include "sim/cohort_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gpumodel/kernel_model.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace grophecy::sim {
+
+namespace {
+
+constexpr std::uint8_t kComputeBit = 1;
+constexpr std::uint8_t kMemoryBit = 2;
+constexpr std::uint8_t kFloorBit = 4;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BlockDemands block_demands(const gpumodel::KernelCharacteristics& kc,
+                           const hw::GpuSpec& gpu,
+                           const gpumodel::Occupancy& occ) {
+  const double clock_hz = gpu.core_clock_ghz * 1e9;
+  const gpumodel::WarpDemands wd = gpumodel::warp_demands(kc, gpu);
+
+  // Latency hiding among the SM's resident warps, capped by the MWP the
+  // bus sustains (same overlap policy as the wave simulator).
+  const double achieved_bw =
+      gpu.mem_bandwidth_gbps * util::kGB * gpu.achieved_bw_fraction;
+  const double bw_bytes_per_cycle_sm = achieved_bw / gpu.num_sms / clock_hz;
+  const double dep_delay =
+      wd.mem_insts > 0.0
+          ? (wd.traffic_bytes / wd.mem_insts) / bw_bytes_per_cycle_sm
+          : 1.0;
+  const double mwp = std::max(1.0, gpu.dram_latency_cycles / dep_delay);
+  const double resident_warps =
+      std::max(1.0, static_cast<double>(occ.active_warps));
+  const double overlap = std::max(1.0, std::min(resident_warps, mwp));
+
+  BlockDemands demands;
+  demands.compute_cycles =
+      wd.warps_per_block * wd.insts_per_thread * wd.issue_cycles;
+  demands.memory_bytes = wd.warps_per_block * wd.traffic_bytes;
+  const double latency_cycles =
+      wd.warps_per_block * wd.latency_cycles / overlap;
+  const double sync_cycles =
+      kc.syncs_per_thread *
+      (gpu.sync_cycles + wd.warps_per_block * wd.issue_cycles);
+  demands.floor_s = (latency_cycles + sync_cycles) / clock_hz;
+  return demands;
+}
+
+double CohortEngine::simulate_expected(
+    const gpumodel::KernelCharacteristics& kc, const hw::GpuSpec& gpu) {
+  const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
+      gpu, kc.variant.block_size, kc.regs_per_thread,
+      kc.smem_per_block_bytes);
+  GROPHECY_EXPECTS(occ.blocks_per_sm > 0);
+
+  const BlockDemands base = block_demands(kc, gpu, occ);
+  const double sm_issue_rate = gpu.core_clock_ghz * 1e9;
+  const double chip_bw =
+      gpu.mem_bandwidth_gbps * util::kGB * gpu.achieved_bw_fraction;
+
+  const int num_sms = gpu.num_sms;
+  const std::int64_t capacity =
+      static_cast<std::int64_t>(occ.blocks_per_sm) * num_sms;
+
+  stats_ = CohortSimStats{};
+  stats_.blocks = kc.num_blocks;
+
+  // Without jitter every block of a launch carries bitwise-identical
+  // demands, so the greedy scheduler's resident set is always ONE
+  // synchronized generation: the chip fills, every resident block advances
+  // at the same rates, all retire at the same instant, and the next
+  // generation fills. Only the final partial generation splits — blocks
+  // land on SMs holding either floor(G/num_sms) or ceil(G/num_sms)
+  // residents, two cohorts with different compute shares. Advancing the
+  // (at most two) cohorts with the reference engine's exact per-event
+  // expressions reproduces its result bit for bit in O(1) work per event.
+  struct GenCohort {
+    double compute_left = 0.0;
+    double memory_left = 0.0;
+    double floor_left = 0.0;
+    int consumers = 0;         ///< Resident blocks per SM of this class.
+    std::int64_t count = 0;    ///< Blocks in the cohort.
+    bool alive = false;
+  };
+
+  std::int64_t pending = kc.num_blocks;
+  double now = 0.0;
+  while (pending > 0) {
+    const std::int64_t generation = std::min(pending, capacity);
+    pending -= generation;
+    ++stats_.generations;
+
+    const std::int64_t q = generation / num_sms;
+    const std::int64_t r = generation % num_sms;
+    GenCohort cohorts[2];
+    int num_cohorts = 0;
+    if (r > 0) {
+      // The first r SMs hold q+1 blocks each (greedy min-load placement
+      // fills SMs round-robin, lowest index first).
+      cohorts[num_cohorts++] = GenCohort{base.compute_cycles,
+                                         base.memory_bytes,
+                                         base.floor_s,
+                                         static_cast<int>(q + 1),
+                                         r * (q + 1),
+                                         true};
+    }
+    if (q > 0) {
+      cohorts[num_cohorts++] = GenCohort{base.compute_cycles,
+                                         base.memory_bytes,
+                                         base.floor_s,
+                                         static_cast<int>(q),
+                                         (num_sms - r) * q,
+                                         true};
+    }
+
+    for (;;) {
+      // Retire finished cohorts (degenerate zero-demand blocks retire
+      // before any event fires, exactly like the reference's pre-pass).
+      bool any_alive = false;
+      for (int i = 0; i < num_cohorts; ++i) {
+        GenCohort& cohort = cohorts[i];
+        if (!cohort.alive) continue;
+        if (cohort.compute_left <= kSimEps &&
+            cohort.memory_left <= kSimEps && cohort.floor_left <= kSimEps) {
+          cohort.alive = false;
+        } else {
+          any_alive = true;
+        }
+      }
+      if (!any_alive) break;
+
+      // Instantaneous fair-share rates: identical expressions (and thus
+      // identical floating point) to the reference engine.
+      int memory_consumers = 0;
+      for (int i = 0; i < num_cohorts; ++i)
+        if (cohorts[i].alive && cohorts[i].memory_left > kSimEps)
+          memory_consumers += static_cast<int>(cohorts[i].count);
+      const double mem_rate =
+          memory_consumers > 0 ? chip_bw / memory_consumers : 0.0;
+
+      double dt = kInf;
+      for (int i = 0; i < num_cohorts; ++i) {
+        const GenCohort& cohort = cohorts[i];
+        if (!cohort.alive) continue;
+        if (cohort.compute_left > kSimEps) {
+          const double rate = sm_issue_rate / cohort.consumers;
+          dt = std::min(dt, cohort.compute_left / rate);
+        }
+        if (cohort.memory_left > kSimEps)
+          dt = std::min(dt, cohort.memory_left / mem_rate);
+        if (cohort.floor_left > kSimEps) dt = std::min(dt, cohort.floor_left);
+      }
+      GROPHECY_ENSURES(std::isfinite(dt) && dt >= 0.0);
+
+      now += dt;
+      ++stats_.events;
+      for (int i = 0; i < num_cohorts; ++i) {
+        GenCohort& cohort = cohorts[i];
+        if (!cohort.alive) continue;
+        if (cohort.compute_left > kSimEps) {
+          const double rate = sm_issue_rate / cohort.consumers;
+          cohort.compute_left =
+              std::max(0.0, cohort.compute_left - rate * dt);
+        }
+        if (cohort.memory_left > kSimEps)
+          cohort.memory_left =
+              std::max(0.0, cohort.memory_left - mem_rate * dt);
+        if (cohort.floor_left > kSimEps)
+          cohort.floor_left = std::max(0.0, cohort.floor_left - dt);
+      }
+    }
+  }
+  return now;
+}
+
+void CohortEngine::heap_push(Stream& stream, double threshold,
+                             std::int32_t cohort) {
+  stream.heap.push_back(HeapEntry{threshold, cohort});
+  std::push_heap(stream.heap.begin(), stream.heap.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return a.threshold > b.threshold;
+                 });
+}
+
+CohortEngine::HeapEntry CohortEngine::heap_pop(Stream& stream) {
+  std::pop_heap(stream.heap.begin(), stream.heap.end(),
+                [](const HeapEntry& a, const HeapEntry& b) {
+                  return a.threshold > b.threshold;
+                });
+  const HeapEntry entry = stream.heap.back();
+  stream.heap.pop_back();
+  return entry;
+}
+
+double CohortEngine::simulate_jittered(
+    const gpumodel::KernelCharacteristics& kc, const hw::GpuSpec& gpu,
+    double sigma, double jitter_quantum, util::Rng& rng) {
+  GROPHECY_EXPECTS(sigma > 0.0);
+  const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
+      gpu, kc.variant.block_size, kc.regs_per_thread,
+      kc.smem_per_block_bytes);
+  GROPHECY_EXPECTS(occ.blocks_per_sm > 0);
+
+  const BlockDemands base = block_demands(kc, gpu, occ);
+  const double sm_issue_rate = gpu.core_clock_ghz * 1e9;
+  const double chip_bw =
+      gpu.mem_bandwidth_gbps * util::kGB * gpu.achieved_bw_fraction;
+
+  const int num_sms = gpu.num_sms;
+  const int cap_per_sm = occ.blocks_per_sm;
+  const std::size_t mem_stream = static_cast<std::size_t>(num_sms);
+  const std::size_t floor_stream = mem_stream + 1;
+
+  stats_ = CohortSimStats{};
+  stats_.blocks = kc.num_blocks;
+
+  // Reset reusable scratch. Thresholds are immutable once pushed — rate
+  // changes remap drain level to wall clock but never reorder a stream's
+  // exhaustions — so plain push/pop heaps suffice, and cohort slots are
+  // recycled only after every demand entry of the cohort has been popped.
+  streams_.resize(floor_stream + 1);
+  for (Stream& stream : streams_) {
+    stream.heap.clear();
+    stream.level = 0.0;
+    stream.last_t = 0.0;
+    stream.rate = 0.0;
+  }
+  streams_[floor_stream].rate = 1.0;  // the floor drains in wall-clock time
+  cohorts_.clear();
+  free_cohorts_.clear();
+  sm_load_.assign(static_cast<std::size_t>(num_sms), 0);
+  compute_consumers_.assign(static_cast<std::size_t>(num_sms), 0);
+  dirty_flag_.assign(floor_stream + 1, 0);
+  dirty_.clear();
+  next_event_.reset(floor_stream + 1);
+
+  std::int64_t pending = kc.num_blocks;
+  std::int64_t resident = 0;
+  std::int64_t mem_consumers = 0;
+  double t = 0.0;
+
+  auto mark_dirty = [&](std::size_t stream_id) {
+    if (dirty_flag_[stream_id]) return;
+    dirty_flag_[stream_id] = 1;
+    dirty_.push_back(stream_id);
+  };
+
+  auto advance = [&](Stream& stream) {
+    stream.level += stream.rate * (t - stream.last_t);
+    stream.last_t = t;
+  };
+
+  auto alloc_cohort = [&]() -> std::int32_t {
+    if (!free_cohorts_.empty()) {
+      const std::int32_t id = free_cohorts_.back();
+      free_cohorts_.pop_back();
+      return id;
+    }
+    cohorts_.push_back(Cohort{});
+    return static_cast<std::int32_t>(cohorts_.size() - 1);
+  };
+
+  // Greedy backfill mirroring the reference policy: one block at a time to
+  // the least-loaded SM (lowest index on ties), drawing the block's jitter
+  // in placement order. Same-(SM, jitter) placements of one batch collapse
+  // into a single cohort — with continuous jitter cohorts are singletons;
+  // with a jitter quantum the draws snap to a lattice and batches share.
+  auto place_pending = [&]() {
+    batch_.clear();
+    while (pending > 0) {
+      int best_sm = -1;
+      int best_load = cap_per_sm;
+      for (int s = 0; s < num_sms; ++s) {
+        if (sm_load_[static_cast<std::size_t>(s)] < best_load) {
+          best_load = sm_load_[static_cast<std::size_t>(s)];
+          best_sm = s;
+        }
+      }
+      if (best_sm < 0) break;
+
+      double jitter = rng.lognormal(1.0, sigma);
+      if (jitter_quantum > 0.0) {
+        const double step = sigma * jitter_quantum;
+        jitter = std::exp(std::round(std::log(jitter) / step) * step);
+      }
+      --pending;
+
+      const double compute = base.compute_cycles * jitter;
+      const double memory = base.memory_bytes * jitter;
+      const double floor = base.floor_s * jitter;
+      if (compute <= kSimEps && memory <= kSimEps && floor <= kSimEps)
+        continue;  // degenerate block: retires the instant it is placed
+
+      ++sm_load_[static_cast<std::size_t>(best_sm)];
+      ++resident;
+      bool merged = false;
+      for (Placement& placement : batch_) {
+        if (placement.sm == best_sm && placement.jitter == jitter) {
+          ++placement.count;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) batch_.push_back(Placement{best_sm, jitter, 1});
+    }
+
+    for (const Placement& placement : batch_) {
+      const double compute = base.compute_cycles * placement.jitter;
+      const double memory = base.memory_bytes * placement.jitter;
+      const double floor = base.floor_s * placement.jitter;
+      const std::int32_t id = alloc_cohort();
+      Cohort& cohort = cohorts_[static_cast<std::size_t>(id)];
+      cohort.sm = placement.sm;
+      cohort.count = placement.count;
+      cohort.remaining = 0;
+      ++stats_.cohorts;
+
+      const auto sm_id = static_cast<std::size_t>(placement.sm);
+      if (compute > kSimEps) {
+        cohort.remaining |= kComputeBit;
+        Stream& stream = streams_[sm_id];
+        advance(stream);
+        heap_push(stream, stream.level + compute, id);
+        compute_consumers_[sm_id] += placement.count;
+        mark_dirty(sm_id);
+      }
+      if (memory > kSimEps) {
+        cohort.remaining |= kMemoryBit;
+        Stream& stream = streams_[mem_stream];
+        advance(stream);
+        heap_push(stream, stream.level + memory, id);
+        mem_consumers += placement.count;
+        mark_dirty(mem_stream);
+      }
+      if (floor > kSimEps) {
+        cohort.remaining |= kFloorBit;
+        Stream& stream = streams_[floor_stream];
+        advance(stream);
+        heap_push(stream, stream.level + floor, id);
+        mark_dirty(floor_stream);
+      }
+    }
+  };
+
+  // Recomputes a dirty stream's per-block drain rate from its consumer
+  // count and rekeys its next exhaustion in the cross-stream event heap.
+  auto refresh = [&](std::size_t stream_id) {
+    Stream& stream = streams_[stream_id];
+    advance(stream);
+    if (stream_id < mem_stream) {
+      const std::int64_t consumers = compute_consumers_[stream_id];
+      stream.rate = consumers > 0 ? sm_issue_rate / consumers : 0.0;
+    } else if (stream_id == mem_stream) {
+      stream.rate = mem_consumers > 0 ? chip_bw / mem_consumers : 0.0;
+    }  // the floor stream's rate is the constant 1
+    double key = kInf;
+    if (!stream.heap.empty() && stream.rate > 0.0) {
+      // max(0, ...) guards the one-ulp overshoot when a tied stream was
+      // advanced exactly onto its own next threshold by another event.
+      key = stream.last_t +
+            std::max(0.0, stream.heap.front().threshold - stream.level) /
+                stream.rate;
+    }
+    next_event_.update(stream_id, key);
+  };
+
+  place_pending();
+  for (std::size_t id : dirty_) dirty_flag_[id] = 0;
+  std::vector<std::size_t> initial = dirty_;
+  dirty_.clear();
+  for (std::size_t id : initial) refresh(id);
+
+  while (resident > 0) {
+    const std::size_t stream_id = next_event_.top();
+    const double event_t = next_event_.top_key();
+    GROPHECY_ENSURES(std::isfinite(event_t) && event_t >= t);
+    t = event_t;
+    ++stats_.events;
+
+    Stream& stream = streams_[stream_id];
+    advance(stream);
+    GROPHECY_ENSURES(!stream.heap.empty());
+    // Snap onto the triggering threshold: the event time was computed as
+    // the exact crossing, so any residue is rounding, not physics.
+    if (stream.level < stream.heap.front().threshold)
+      stream.level = stream.heap.front().threshold;
+
+    bool freed = false;
+    while (!stream.heap.empty() &&
+           stream.heap.front().threshold <= stream.level) {
+      const HeapEntry entry = heap_pop(stream);
+      Cohort& cohort = cohorts_[static_cast<std::size_t>(entry.cohort)];
+      if (stream_id < mem_stream) {
+        cohort.remaining &= static_cast<std::uint8_t>(~kComputeBit);
+        compute_consumers_[stream_id] -= cohort.count;
+        mark_dirty(stream_id);
+      } else if (stream_id == mem_stream) {
+        cohort.remaining &= static_cast<std::uint8_t>(~kMemoryBit);
+        mem_consumers -= cohort.count;
+        mark_dirty(mem_stream);
+      } else {
+        cohort.remaining &= static_cast<std::uint8_t>(~kFloorBit);
+      }
+      if (cohort.remaining == 0) {
+        sm_load_[static_cast<std::size_t>(cohort.sm)] -= cohort.count;
+        resident -= cohort.count;
+        free_cohorts_.push_back(entry.cohort);
+        freed = true;
+      }
+    }
+    mark_dirty(stream_id);
+
+    if (freed && pending > 0) place_pending();
+
+    for (std::size_t id : dirty_) {
+      dirty_flag_[id] = 0;
+      refresh(id);
+    }
+    dirty_.clear();
+  }
+  GROPHECY_ENSURES(pending == 0);
+  return t;
+}
+
+}  // namespace grophecy::sim

@@ -1,0 +1,136 @@
+// The cohort event engine — the fast projection hot path.
+//
+// The original (retained) discrete-event fluid simulator advances every
+// resident block individually: per event it rebuilds consumer counts,
+// allocates a per-SM scratch vector, scans all resident blocks three
+// times, and places pending blocks with an O(num_sms) min_element per
+// block. That is O(events x resident) work with events ~ O(num_blocks) —
+// the wall-clock bottleneck of every projection sweep.
+//
+// This engine exploits the structure of the fluid model instead:
+//
+//   * Jitter-free (the expected_launch path): every block of a launch has
+//     bitwise-identical demands, so the resident set always forms one
+//     synchronized generation of at most TWO cohorts (SMs holding
+//     ceil(G/num_sms) blocks and SMs holding floor(G/num_sms)). Each
+//     generation is advanced with the same per-event arithmetic as the
+//     reference, but per cohort instead of per block: O(1) work per event
+//     and O(num_blocks / chip_capacity) generations in total. Because the
+//     floating-point expressions and event sequence are identical, the
+//     result is bit-for-bit equal to the reference simulator.
+//
+//   * Jittered (the run_launch_seconds path): per-block lognormal jitter
+//     breaks the symmetry, but the fluid rates stay fair-share: every
+//     memory consumer drains at the same chip_bw/m rate, every compute
+//     consumer on one SM at the same issue/c_s rate, and every floor at
+//     rate 1. Demands therefore exhaust in a FIXED per-stream order that
+//     rate changes cannot reorder — each block's exhaustion point is a
+//     constant threshold in its stream's "drain level" coordinate.
+//     Thresholds go into per-stream min-heaps once at placement; an
+//     indexed min-heap across the (num_sms + 2) streams picks the next
+//     exhaustion; rate changes rekey one stream in O(log) instead of
+//     touching every block. Blocks placed at the same instant on the same
+//     SM with the same jitter collapse into one cohort (one heap entry,
+//     one retirement); with continuous jitter cohorts are singletons, and
+//     a quantized-jitter option (EventSimOptions::jitter_quantum) snaps
+//     draws to a lattice so batches share cohorts at a small, documented
+//     accuracy cost.
+//
+// See docs/performance.md for the invariants and the micro_sim numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpumodel/characteristics.h"
+#include "gpumodel/occupancy.h"
+#include "hw/machine.h"
+#include "util/indexed_heap.h"
+#include "util/rng.h"
+
+namespace grophecy::sim {
+
+/// Demand threshold below which a demand counts as exhausted (shared with
+/// the retained reference engine so the two agree on degeneracy).
+inline constexpr double kSimEps = 1e-15;
+
+/// Static per-block demands derived from the kernel characteristics via
+/// the per-warp math shared with the wave simulator
+/// (gpumodel::warp_demands).
+struct BlockDemands {
+  double compute_cycles = 0.0;  ///< SM issue cycles.
+  double memory_bytes = 0.0;    ///< Effective DRAM demand (replay/locality).
+  double floor_s = 0.0;         ///< Serial floor: exposed latency + syncs.
+};
+
+BlockDemands block_demands(const gpumodel::KernelCharacteristics& kc,
+                           const hw::GpuSpec& gpu,
+                           const gpumodel::Occupancy& occ);
+
+/// Throughput counters of the last simulation, for tests, the micro_sim
+/// bench, and docs/performance.md. Cheap to maintain; not part of the
+/// simulated physics.
+struct CohortSimStats {
+  std::uint64_t events = 0;       ///< Exhaustion events processed.
+  std::uint64_t cohorts = 0;      ///< Cohorts created (jittered path).
+  std::uint64_t generations = 0;  ///< Synchronized generations (jitter-free).
+  std::int64_t blocks = 0;        ///< Blocks scheduled.
+};
+
+/// The cohort engine. Owns reusable scratch so repeated simulations do not
+/// allocate. Not thread-safe; EventGpuSimulator owns one per instance.
+class CohortEngine {
+ public:
+  /// Jitter-free expected launch body (no launch overhead added).
+  /// Bitwise-identical to the reference engine's jitter-free result.
+  double simulate_expected(const gpumodel::KernelCharacteristics& kc,
+                           const hw::GpuSpec& gpu);
+
+  /// One jittered launch body (no launch overhead added). `jitter_quantum`
+  /// > 0 snaps the lognormal draws to a lattice of that step (in units of
+  /// sigma) so same-jitter placements collapse into cohorts.
+  double simulate_jittered(const gpumodel::KernelCharacteristics& kc,
+                           const hw::GpuSpec& gpu, double sigma,
+                           double jitter_quantum, util::Rng& rng);
+
+  const CohortSimStats& stats() const { return stats_; }
+
+ private:
+  // --- jittered-path state (members to keep the hot path allocation-free)
+  struct Cohort {
+    int sm = 0;
+    std::int32_t count = 0;
+    std::uint8_t remaining = 0;  ///< Bitmask of unexhausted demands.
+  };
+  struct HeapEntry {
+    double threshold = 0.0;
+    std::int32_t cohort = 0;
+  };
+  struct Stream {
+    std::vector<HeapEntry> heap;  ///< Min-heap on threshold.
+    double level = 0.0;           ///< Drain level at last_t.
+    double last_t = 0.0;
+    double rate = 0.0;            ///< Per-block drain rate.
+  };
+  struct Placement {
+    int sm = 0;
+    double jitter = 1.0;
+    std::int32_t count = 0;
+  };
+
+  void heap_push(Stream& stream, double threshold, std::int32_t cohort);
+  HeapEntry heap_pop(Stream& stream);
+
+  CohortSimStats stats_;
+  std::vector<Stream> streams_;
+  std::vector<Cohort> cohorts_;
+  std::vector<std::int32_t> free_cohorts_;
+  std::vector<int> sm_load_;
+  std::vector<std::int64_t> compute_consumers_;
+  std::vector<Placement> batch_;
+  std::vector<std::size_t> dirty_;
+  std::vector<char> dirty_flag_;
+  util::IndexedMinHeap next_event_;
+};
+
+}  // namespace grophecy::sim

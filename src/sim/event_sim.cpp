@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <vector>
 
 #include "gpumodel/kernel_model.h"
 #include "gpumodel/occupancy.h"
@@ -12,101 +11,27 @@
 
 namespace grophecy::sim {
 
-namespace {
-constexpr double kSpecialInstCost = 4.0;
-constexpr double kEps = 1e-15;
-
-/// Static per-block demands derived from the kernel characteristics, using
-/// the same per-warp math as the wave simulator.
-struct BlockDemands {
-  double compute_cycles = 0.0;  ///< SM issue cycles.
-  double memory_bytes = 0.0;    ///< Effective DRAM demand (replay/locality).
-  double floor_s = 0.0;         ///< Serial floor: exposed latency + syncs.
-};
-
-BlockDemands block_demands(const gpumodel::KernelCharacteristics& kc,
-                           const hw::GpuSpec& gpu,
-                           const gpumodel::Occupancy& occ) {
-  const double clock_hz = gpu.core_clock_ghz * 1e9;
-  const double issue_cycles =
-      static_cast<double>(gpu.warp_size) / gpu.cores_per_sm;
-  const int warps_per_block =
-      (kc.variant.block_size + gpu.warp_size - 1) / gpu.warp_size;
-
-  const double insts_per_thread =
-      (kc.flops_per_thread / gpu.flops_per_core_per_cycle +
-       kc.special_per_thread * kSpecialInstCost +
-       kc.index_insts_per_thread) *
-      gpu.instruction_overhead;
-
-  double warp_traffic = 0.0;
-  double warp_mem_insts = 0.0;
-  double warp_latency_cycles = 0.0;
-  for (const gpumodel::MemAccess& access : kc.accesses) {
-    const gpumodel::WarpAccessCost cost =
-        gpumodel::warp_access_cost(access, gpu);
-    double replay = 1.0;
-    if (access.cls == gpumodel::AccessClass::kStrided ||
-        access.cls == gpumodel::AccessClass::kScattered)
-      replay = gpu.uncoalesced_replay_factor;
-    double latency = gpu.dram_latency_cycles;
-    if (access.cls == gpumodel::AccessClass::kScattered)
-      latency *= gpu.indirect_access_penalty;
-    double locality = 1.0;
-    if (access.gathered_stream) locality = 1.0 / gpu.gather_stream_fraction;
-    warp_traffic += access.count_per_thread * cost.bytes_moved * replay *
-                    locality;
-    warp_mem_insts += access.count_per_thread;
-    warp_latency_cycles += access.count_per_thread * latency;
-  }
-
-  // Latency hiding among the SM's resident warps, capped by the MWP the
-  // bus sustains (same overlap policy as the wave simulator).
-  const double achieved_bw =
-      gpu.mem_bandwidth_gbps * util::kGB * gpu.achieved_bw_fraction;
-  const double bw_bytes_per_cycle_sm = achieved_bw / gpu.num_sms / clock_hz;
-  const double dep_delay =
-      warp_mem_insts > 0.0
-          ? (warp_traffic / warp_mem_insts) / bw_bytes_per_cycle_sm
-          : 1.0;
-  const double mwp = std::max(1.0, gpu.dram_latency_cycles / dep_delay);
-  const double resident_warps =
-      std::max(1.0, static_cast<double>(occ.active_warps));
-  const double overlap = std::max(1.0, std::min(resident_warps, mwp));
-
-  BlockDemands demands;
-  demands.compute_cycles =
-      warps_per_block * insts_per_thread * issue_cycles;
-  demands.memory_bytes = warps_per_block * warp_traffic;
-  const double latency_cycles =
-      warps_per_block * warp_latency_cycles / overlap;
-  const double sync_cycles =
-      kc.syncs_per_thread *
-      (gpu.sync_cycles + warps_per_block * issue_cycles);
-  demands.floor_s = (latency_cycles + sync_cycles) / clock_hz;
-  return demands;
+EventGpuSimulator::EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed,
+                                     EventSimOptions options)
+    : gpu_(std::move(gpu)), rng_(seed), options_(options) {
+  GROPHECY_EXPECTS(options_.jitter_quantum >= 0.0);
 }
-
-/// One resident block's remaining demands.
-struct RunningBlock {
-  int sm = 0;
-  double compute_left = 0.0;
-  double memory_left = 0.0;
-  double floor_left = 0.0;
-
-  bool done() const {
-    return compute_left <= kEps && memory_left <= kEps && floor_left <= kEps;
-  }
-};
-
-}  // namespace
-
-EventGpuSimulator::EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed)
-    : gpu_(std::move(gpu)), rng_(seed) {}
 
 double EventGpuSimulator::simulate(const gpumodel::KernelCharacteristics& kc,
                                    double block_jitter_sigma,
                                    util::Rng* rng) const {
+  if (options_.engine == SimEngine::kReference)
+    return simulate_reference(kc, block_jitter_sigma, rng);
+  if (block_jitter_sigma > 0.0 && rng != nullptr)
+    return engine_.simulate_jittered(kc, gpu_, block_jitter_sigma,
+                                     options_.jitter_quantum, *rng) +
+           gpu_.kernel_launch_overhead_s;
+  return engine_.simulate_expected(kc, gpu_) + gpu_.kernel_launch_overhead_s;
+}
+
+double EventGpuSimulator::simulate_reference(
+    const gpumodel::KernelCharacteristics& kc, double block_jitter_sigma,
+    util::Rng* rng) const {
   const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
       gpu_, kc.variant.block_size, kc.regs_per_thread,
       kc.smem_per_block_bytes);
@@ -119,9 +44,12 @@ double EventGpuSimulator::simulate(const gpumodel::KernelCharacteristics& kc,
                          gpu_.achieved_bw_fraction;
 
   std::int64_t pending = kc.num_blocks;
-  std::vector<int> sm_load(static_cast<std::size_t>(gpu_.num_sms), 0);
-  std::vector<RunningBlock> running;
-  running.reserve(static_cast<std::size_t>(gpu_.num_sms) * occ.blocks_per_sm);
+  sm_load_.assign(static_cast<std::size_t>(gpu_.num_sms), 0);
+  running_.clear();
+  running_.reserve(static_cast<std::size_t>(gpu_.num_sms) *
+                   occ.blocks_per_sm);
+  auto& running = running_;
+  auto& sm_load = sm_load_;
 
   double now = 0.0;
   while (pending > 0 || !running.empty()) {
@@ -159,44 +87,44 @@ double EventGpuSimulator::simulate(const gpumodel::KernelCharacteristics& kc,
     // Instantaneous fair-share rates.
     int memory_consumers = 0;
     for (const RunningBlock& block : running)
-      if (block.memory_left > kEps) ++memory_consumers;
+      if (block.memory_left > kSimEps) ++memory_consumers;
     const double mem_rate =
         memory_consumers > 0 ? chip_bw / memory_consumers : 0.0;
-    std::vector<int> compute_consumers(
-        static_cast<std::size_t>(gpu_.num_sms), 0);
+    compute_consumers_.assign(static_cast<std::size_t>(gpu_.num_sms), 0);
+    auto& compute_consumers = compute_consumers_;
     for (const RunningBlock& block : running)
-      if (block.compute_left > kEps)
+      if (block.compute_left > kSimEps)
         ++compute_consumers[static_cast<std::size_t>(block.sm)];
 
     // Next event: the earliest exhaustion of any demand of any block.
     double dt = std::numeric_limits<double>::infinity();
     for (const RunningBlock& block : running) {
-      if (block.compute_left > kEps) {
+      if (block.compute_left > kSimEps) {
         const double rate =
             sm_issue_rate /
             compute_consumers[static_cast<std::size_t>(block.sm)];
         dt = std::min(dt, block.compute_left / rate);
       }
-      if (block.memory_left > kEps)
+      if (block.memory_left > kSimEps)
         dt = std::min(dt, block.memory_left / mem_rate);
-      if (block.floor_left > kEps) dt = std::min(dt, block.floor_left);
+      if (block.floor_left > kSimEps) dt = std::min(dt, block.floor_left);
     }
     GROPHECY_ENSURES(std::isfinite(dt) && dt >= 0.0);
 
     // Advance every block by dt.
     now += dt;
     for (RunningBlock& block : running) {
-      if (block.compute_left > kEps) {
+      if (block.compute_left > kSimEps) {
         const double rate =
             sm_issue_rate /
             compute_consumers[static_cast<std::size_t>(block.sm)];
         block.compute_left =
             std::max(0.0, block.compute_left - rate * dt);
       }
-      if (block.memory_left > kEps)
+      if (block.memory_left > kSimEps)
         block.memory_left =
             std::max(0.0, block.memory_left - mem_rate * dt);
-      if (block.floor_left > kEps)
+      if (block.floor_left > kSimEps)
         block.floor_left = std::max(0.0, block.floor_left - dt);
     }
 

@@ -18,21 +18,51 @@
 // wave model (the cross-validation tests pin this), while partially filled
 // tails and jittered blocks show the greedy scheduler's advantage. The
 // projection pipeline can opt in via ProjectionOptions::detailed_sim.
+//
+// Two interchangeable engines implement the fluid model:
+//
+//   * SimEngine::kCohort (default) — the cohort engine in sim/cohort_sim.h:
+//     closed-form generations when jitter is off (bitwise-equal results),
+//     per-stream threshold heaps when it is on. This is the fast path.
+//   * SimEngine::kReference — the original per-block O(events x resident)
+//     loop, retained as the executable specification. The equivalence
+//     suite (tests/sim_equivalence_test.cpp) pins the two together.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "gpumodel/characteristics.h"
 #include "hw/machine.h"
+#include "sim/cohort_sim.h"
 #include "sim/gpu_sim.h"
 #include "util/rng.h"
 
 namespace grophecy::sim {
 
+/// Which fluid-model engine EventGpuSimulator runs.
+enum class SimEngine {
+  kCohort,     ///< Cohort engine (fast path, default).
+  kReference,  ///< Original per-block loop (executable specification).
+};
+
+/// Tuning knobs for EventGpuSimulator. Defaults reproduce the reference
+/// behaviour exactly (bitwise when jitter is off).
+struct EventSimOptions {
+  SimEngine engine = SimEngine::kCohort;
+
+  /// When > 0, jittered runs snap each block's lognormal draw onto a
+  /// lattice with step `jitter_quantum * sigma` in log space, letting
+  /// same-jitter blocks share cohorts (fewer events, small documented
+  /// accuracy cost — see docs/performance.md). 0 keeps draws continuous.
+  double jitter_quantum = 0.0;
+};
+
 /// Fluid discrete-event simulator of a GpuSpec.
 class EventGpuSimulator final : public KernelTimer {
  public:
-  EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed);
+  EventGpuSimulator(hw::GpuSpec gpu, std::uint64_t seed,
+                    EventSimOptions options = {});
 
   /// Deterministic launch time with per-block jitter disabled.
   SimBreakdown expected_launch(const gpumodel::KernelCharacteristics& kc) const;
@@ -41,14 +71,43 @@ class EventGpuSimulator final : public KernelTimer {
   double run_launch_seconds(const gpumodel::KernelCharacteristics& kc) override;
 
   const hw::GpuSpec& gpu() const { return gpu_; }
+  const EventSimOptions& options() const { return options_; }
+
+  /// Counters from the cohort engine's most recent simulation (zeroed
+  /// while the reference engine is selected). For benches and tests.
+  const CohortSimStats& last_stats() const { return engine_.stats(); }
 
  private:
+  /// One resident block's remaining demands (reference engine).
+  struct RunningBlock {
+    int sm = 0;
+    double compute_left = 0.0;
+    double memory_left = 0.0;
+    double floor_left = 0.0;
+
+    bool done() const {
+      return compute_left <= kSimEps && memory_left <= kSimEps &&
+             floor_left <= kSimEps;
+    }
+  };
+
   /// Core fluid simulation; block_jitter_sigma = 0 gives the expectation.
   double simulate(const gpumodel::KernelCharacteristics& kc,
                   double block_jitter_sigma, util::Rng* rng) const;
 
+  /// The retained reference engine (SimEngine::kReference).
+  double simulate_reference(const gpumodel::KernelCharacteristics& kc,
+                            double block_jitter_sigma, util::Rng* rng) const;
+
   hw::GpuSpec gpu_;
   util::Rng rng_;
+  EventSimOptions options_;
+  mutable CohortEngine engine_;
+  // Reference-engine scratch, hoisted so repeated simulations (calibration
+  // sweeps run thousands) do not reallocate per call.
+  mutable std::vector<int> sm_load_;
+  mutable std::vector<RunningBlock> running_;
+  mutable std::vector<int> compute_consumers_;
 };
 
 }  // namespace grophecy::sim

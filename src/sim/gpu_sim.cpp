@@ -2,18 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "gpumodel/kernel_model.h"
 #include "gpumodel/occupancy.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/units.h"
 
 namespace grophecy::sim {
-
-namespace {
-/// Instruction slots consumed by one special-function op relative to a MAD.
-constexpr double kSpecialInstCost = 4.0;
-}  // namespace
 
 GpuSimulator::GpuSimulator(hw::GpuSpec gpu, std::uint64_t seed)
     : gpu_(std::move(gpu)), rng_(seed) {}
@@ -26,47 +23,20 @@ SimBreakdown GpuSimulator::expected_launch(
   GROPHECY_EXPECTS(occ.blocks_per_sm > 0);  // explorer only emits feasible
 
   const double clock_hz = gpu_.core_clock_ghz * 1e9;
-  const double issue_cycles =
-      static_cast<double>(gpu_.warp_size) / gpu_.cores_per_sm;
-  const int warps_per_block =
-      (kc.variant.block_size + gpu_.warp_size - 1) / gpu_.warp_size;
 
-  // --- per-warp instruction stream (with real-code overheads) ---
-  const double insts_per_thread =
-      (kc.flops_per_thread / gpu_.flops_per_core_per_cycle +
-       kc.special_per_thread * kSpecialInstCost +
-       kc.index_insts_per_thread) *
-      gpu_.instruction_overhead;
-  const double warp_compute_cycles = insts_per_thread * issue_cycles;
+  // Per-warp instruction and memory streams (with real-code overheads,
+  // replay, and locality derating) — shared with the event simulator.
+  const gpumodel::WarpDemands wd = gpumodel::warp_demands(kc, gpu_);
+  const double issue_cycles = wd.issue_cycles;
+  const int warps_per_block = wd.warps_per_block;
+  const double warp_compute_cycles = wd.compute_cycles;
+  const double warp_traffic_bytes = wd.traffic_bytes;
+  const double warp_mem_insts = wd.mem_insts;
+  const double warp_latency_cycles = wd.latency_cycles;
 
-  // --- per-warp memory stream (replay + achieved bandwidth) ---
   const double achieved_bw =
       gpu_.mem_bandwidth_gbps * util::kGB * gpu_.achieved_bw_fraction;
   const double bw_bytes_per_cycle_sm = achieved_bw / gpu_.num_sms / clock_hz;
-
-  double warp_traffic_bytes = 0.0;   // effective DRAM demand per warp
-  double warp_mem_insts = 0.0;       // warp-level memory instructions
-  double warp_latency_cycles = 0.0;  // exposed-latency demand per warp
-  for (const gpumodel::MemAccess& access : kc.accesses) {
-    gpumodel::WarpAccessCost cost = gpumodel::warp_access_cost(access, gpu_);
-    double replay = 1.0;
-    if (access.cls == gpumodel::AccessClass::kStrided ||
-        access.cls == gpumodel::AccessClass::kScattered) {
-      replay = gpu_.uncoalesced_replay_factor;
-    }
-    double latency = gpu_.dram_latency_cycles;
-    if (access.cls == gpumodel::AccessClass::kScattered) {
-      latency *= gpu_.indirect_access_penalty;
-    }
-    // Gathered streams sustain only a fraction of streaming bandwidth;
-    // charge the locality loss as extra effective demand.
-    double locality = 1.0;
-    if (access.gathered_stream) locality = 1.0 / gpu_.gather_stream_fraction;
-    warp_traffic_bytes +=
-        access.count_per_thread * cost.bytes_moved * replay * locality;
-    warp_mem_insts += access.count_per_thread;
-    warp_latency_cycles += access.count_per_thread * latency;
-  }
 
   // --- wave-by-wave schedule ---
   const std::int64_t chip_blocks =
@@ -135,9 +105,22 @@ SimBreakdown GpuSimulator::expected_launch(
 double KernelTimer::measure_launch_seconds(
     const gpumodel::KernelCharacteristics& kc, int runs) {
   GROPHECY_EXPECTS(runs > 0);
-  double sum = 0.0;
-  for (int i = 0; i < runs; ++i) sum += run_launch_seconds(kc);
-  return sum / runs;
+  // Numerically stable running mean (Welford): a plain sum can overflow to
+  // inf when a fault-injected heavy-tail outlier lands among the samples,
+  // silently poisoning the average. A non-finite sample is a broken
+  // observation, not a slow one — surface it as a retryable measurement
+  // failure instead of folding it in.
+  double mean = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const double sample = run_launch_seconds(kc);
+    if (!std::isfinite(sample))
+      throw MeasurementError(
+          "kernel timing returned a non-finite sample (run " +
+          std::to_string(i + 1) + " of " + std::to_string(runs) + ")");
+    mean += (sample - mean) / static_cast<double>(i + 1);
+  }
+  GROPHECY_ENSURES(std::isfinite(mean));
+  return mean;
 }
 
 double GpuSimulator::run_launch_seconds(

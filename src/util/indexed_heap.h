@@ -1,0 +1,103 @@
+// Indexed binary min-heap over a fixed set of slots.
+//
+// A classic d-heap with a position index, for schedulers that track "the
+// next deadline of each of N known streams" and need decrease-key /
+// increase-key when a stream's rate changes: update(slot, key) re-sifts
+// the one entry in O(log N) instead of rebuilding. Slots are dense
+// integers [0, size); every slot always has a key (use +infinity for "no
+// pending event"). Used by the cohort event simulator to pick the next
+// exhaustion among its per-SM compute streams plus the chip-wide memory
+// and floor streams.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace grophecy::util {
+
+/// Min-heap of `double` keys over dense integer slots with O(log N)
+/// update-key. Not thread-safe.
+class IndexedMinHeap {
+ public:
+  IndexedMinHeap() = default;
+
+  /// Initializes (or re-initializes) with `count` slots, all keyed +inf.
+  void reset(std::size_t count) {
+    keys_.assign(count, std::numeric_limits<double>::infinity());
+    heap_.resize(count);
+    pos_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  double key(std::size_t slot) const {
+    GROPHECY_EXPECTS(slot < keys_.size());
+    return keys_[slot];
+  }
+
+  /// The slot with the smallest key (ties broken arbitrarily but
+  /// deterministically). Requires a non-empty heap.
+  std::size_t top() const {
+    GROPHECY_EXPECTS(!heap_.empty());
+    return heap_[0];
+  }
+
+  double top_key() const { return keys_[top()]; }
+
+  /// Sets `slot`'s key and restores the heap order.
+  void update(std::size_t slot, double new_key) {
+    GROPHECY_EXPECTS(slot < keys_.size());
+    const double old_key = keys_[slot];
+    keys_[slot] = new_key;
+    if (new_key < old_key)
+      sift_up(pos_[slot]);
+    else if (new_key > old_key)
+      sift_down(pos_[slot]);
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (keys_[heap_[parent]] <= keys_[heap_[i]]) break;
+      swap_entries(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && keys_[heap_[left]] < keys_[heap_[smallest]])
+        smallest = left;
+      if (right < n && keys_[heap_[right]] < keys_[heap_[smallest]])
+        smallest = right;
+      if (smallest == i) break;
+      swap_entries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  std::vector<double> keys_;       // key per slot
+  std::vector<std::size_t> heap_;  // heap of slots
+  std::vector<std::size_t> pos_;   // slot -> heap index
+};
+
+}  // namespace grophecy::util

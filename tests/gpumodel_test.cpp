@@ -3,13 +3,16 @@
 // analytical kernel-time model, and the transformation explorer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "gpumodel/characteristics.h"
 #include "gpumodel/explorer.h"
 #include "gpumodel/kernel_model.h"
 #include "gpumodel/occupancy.h"
 #include "hw/registry.h"
+#include "sim/cohort_sim.h"
 #include "skeleton/builder.h"
 #include "util/contracts.h"
 #include "util/units.h"
@@ -358,6 +361,132 @@ TEST(Explorer, RestrictingTheSpaceCannotImproveTheBest) {
   Explorer narrow(g80(), narrow_options);
   EXPECT_LE(full.best(app, app.kernels[0]).time.total_s,
             narrow.best(app, app.kernels[0]).time.total_s);
+}
+
+TEST(WarpDemands, OneFormulaFeedsBothSimulators) {
+  // gpumodel::warp_demands is the single source of per-warp demand math
+  // for the wave simulator AND the event simulator; this test pins its
+  // outputs to the documented formulas and pins the event simulator's
+  // block demands to exact compositions of them.
+  const hw::GpuSpec gpu = g80();
+  KernelCharacteristics kc;
+  kc.kernel_name = "pin";
+  kc.variant.block_size = 200;  // ragged so warps_per_block rounds up
+  kc.regs_per_thread = 10;
+  kc.num_blocks = 64;
+  kc.flops_per_thread = 10.0;
+  kc.special_per_thread = 2.0;
+  kc.index_insts_per_thread = 3.0;
+  kc.syncs_per_thread = 1;
+  MemAccess coalesced;
+  coalesced.count_per_thread = 2.0;
+  MemAccess strided;
+  strided.cls = AccessClass::kStrided;
+  strided.stride_elems = 4;
+  kc.accesses = {coalesced, strided};
+
+  const WarpDemands wd = warp_demands(kc, gpu);
+  EXPECT_EQ(wd.warps_per_block,
+            (200 + gpu.warp_size - 1) / gpu.warp_size);
+  EXPECT_DOUBLE_EQ(wd.issue_cycles,
+                   static_cast<double>(gpu.warp_size) / gpu.cores_per_sm);
+  EXPECT_DOUBLE_EQ(kSpecialInstCost, 4.0);
+  EXPECT_DOUBLE_EQ(wd.insts_per_thread,
+                   (10.0 / gpu.flops_per_core_per_cycle +
+                    2.0 * kSpecialInstCost + 3.0) *
+                       gpu.instruction_overhead);
+  EXPECT_DOUBLE_EQ(wd.compute_cycles,
+                   wd.insts_per_thread * wd.issue_cycles);
+
+  const WarpAccessCost c0 = warp_access_cost(coalesced, gpu);
+  const WarpAccessCost c1 = warp_access_cost(strided, gpu);
+  EXPECT_DOUBLE_EQ(wd.traffic_bytes,
+                   2.0 * c0.bytes_moved +
+                       c1.bytes_moved * gpu.uncoalesced_replay_factor);
+  EXPECT_DOUBLE_EQ(wd.mem_insts, 3.0);
+  EXPECT_DOUBLE_EQ(wd.latency_cycles, 3.0 * gpu.dram_latency_cycles);
+
+  // The event simulator's block demands compose exactly these numbers.
+  const Occupancy occ = compute_occupancy(gpu, 200, 10, 0);
+  const sim::BlockDemands bd = sim::block_demands(kc, gpu, occ);
+  EXPECT_DOUBLE_EQ(bd.compute_cycles,
+                   wd.warps_per_block * wd.insts_per_thread *
+                       wd.issue_cycles);
+  EXPECT_DOUBLE_EQ(bd.memory_bytes, wd.warps_per_block * wd.traffic_bytes);
+  EXPECT_GT(bd.floor_s, 0.0);
+}
+
+TEST(AccessCostCache, ReturnsIdenticalCostsAndCountsHits) {
+  const hw::GpuSpec gpu = g80();
+  AccessCostCache cache;
+  MemAccess coalesced;
+  MemAccess strided;
+  strided.cls = AccessClass::kStrided;
+  strided.stride_elems = 4;
+
+  const WarpAccessCost direct = warp_access_cost(coalesced, gpu);
+  const WarpAccessCost& first = cache.cost(coalesced, gpu);
+  EXPECT_DOUBLE_EQ(first.transactions, direct.transactions);
+  EXPECT_DOUBLE_EQ(first.bytes_moved, direct.bytes_moved);
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.cost(strided, gpu);
+  (void)cache.cost(coalesced, gpu);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+AppSkeleton memo_matmul_app(std::int64_t n) {
+  AppBuilder app("memo_matmul");
+  const ArrayId a = app.array("a", ElemType::kF32, {n, n});
+  const ArrayId b = app.array("b", ElemType::kF32, {n, n});
+  const ArrayId c = app.array("c", ElemType::kF32, {n, n});
+  KernelBuilder& k = app.kernel("matmul");
+  k.parallel_loop("i", n).parallel_loop("j", n).loop("k", n);
+  AffineExpr i = k.var("i"), j = k.var("j"), kk = k.var("k");
+  k.statement(2.0).load(a, {i, kk}).load(b, {kk, j}).store(c, {i, j});
+  return app.build();
+}
+
+TEST(ExplorerMemo, BestMatchesExploreMinElement) {
+  // best() prunes and memoizes; it must still pick exactly the variant
+  // min_element over explore() picks, including the first-of-equals
+  // tie-break, with a bitwise-identical projected time.
+  const AppSkeleton app = memo_matmul_app(512);
+  Explorer explorer(g80());
+  for (int fuse : {1, 2}) {
+    const std::vector<ProjectedKernel> all =
+        explorer.explore(app, app.kernels[0], fuse);
+    ASSERT_FALSE(all.empty());
+    const auto fastest = std::min_element(
+        all.begin(), all.end(),
+        [](const ProjectedKernel& a, const ProjectedKernel& b) {
+          return a.time.total_s < b.time.total_s;
+        });
+    const ProjectedKernel best = explorer.best(app, app.kernels[0], fuse);
+    EXPECT_EQ(best.time.total_s, fastest->time.total_s);
+    EXPECT_TRUE(best.variant == fastest->variant);
+  }
+}
+
+TEST(ExplorerMemo, CachesAndPrunesAcrossCalls) {
+  const AppSkeleton app = memo_matmul_app(512);
+  Explorer explorer(g80());
+
+  const ProjectedKernel first = explorer.best(app, app.kernels[0]);
+  const ExploreStats after_first = explorer.stats();
+  EXPECT_GT(after_first.variants, 0u);
+  // Many variants share a (block_size, regs, smem) triple.
+  EXPECT_GT(after_first.occupancy_hits, 0u);
+  // Dominance pruning fires once an incumbent exists: dominated variants
+  // never pay for a full projection.
+  EXPECT_GT(after_first.pruned, 0u);
+
+  const ProjectedKernel second = explorer.best(app, app.kernels[0]);
+  const ExploreStats after_second = explorer.stats();
+  // The second pass serves repeated characteristics from the memo.
+  EXPECT_GT(after_second.projection_hits, after_first.projection_hits);
+  EXPECT_EQ(first.time.total_s, second.time.total_s);
+  EXPECT_TRUE(first.variant == second.variant);
 }
 
 TEST(Variant, DescribeMentionsEveryAxis) {

@@ -3,10 +3,15 @@
 // (the simulator charges for everything the model does, plus realism).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "gpumodel/explorer.h"
 #include "hw/registry.h"
 #include "sim/gpu_sim.h"
 #include "skeleton/builder.h"
+#include "util/error.h"
 #include "util/stats.h"
 
 namespace grophecy::sim {
@@ -144,6 +149,49 @@ TEST(GpuSimulator, LaunchOverheadFloorsTinyKernels) {
   const SimBreakdown out = sim.expected_launch(kc);
   EXPECT_GE(out.total_s, g80().kernel_launch_overhead_s);
   EXPECT_LT(out.total_s, g80().kernel_launch_overhead_s * 2.0);
+}
+
+/// KernelTimer whose runs replay a scripted sample sequence, for testing
+/// measure_launch_seconds' averaging in isolation.
+class ScriptedTimer final : public KernelTimer {
+ public:
+  explicit ScriptedTimer(std::vector<double> samples)
+      : samples_(std::move(samples)) {}
+
+  double run_launch_seconds(const KernelCharacteristics&) override {
+    return samples_.at(next_++);
+  }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+};
+
+TEST(KernelTimer, MeasureAveragesWithRunningMean) {
+  ScriptedTimer timer({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(timer.measure_launch_seconds(KernelCharacteristics{}, 4),
+                   2.5);
+}
+
+TEST(KernelTimer, HugeSamplesDoNotOverflowTheMean) {
+  // A plain sum of these samples overflows to infinity before dividing;
+  // the running mean never leaves the representable range.
+  ScriptedTimer timer({1e308, 1e308, 1e308});
+  const double mean =
+      timer.measure_launch_seconds(KernelCharacteristics{}, 3);
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_DOUBLE_EQ(mean, 1e308);
+}
+
+TEST(KernelTimer, NonFiniteSampleThrowsMeasurementError) {
+  ScriptedTimer inf_timer(
+      {1.0, std::numeric_limits<double>::infinity(), 1.0});
+  EXPECT_THROW(inf_timer.measure_launch_seconds(KernelCharacteristics{}, 3),
+               MeasurementError);
+  ScriptedTimer nan_timer(
+      {std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_THROW(nan_timer.measure_launch_seconds(KernelCharacteristics{}, 1),
+               MeasurementError);
 }
 
 }  // namespace
