@@ -1,70 +1,203 @@
-// Micro-benchmarks (google-benchmark) for the projection pipeline itself:
-// bus sampling throughput, analytical model evaluation, transformation
-// exploration, and a complete end-to-end projection. GROPHECY++'s value
-// proposition is projecting performance *without* porting code, so the
-// projection must be cheap; these benches quantify that.
-#include <benchmark/benchmark.h>
+// micro_pipeline — artifact-pipeline throughput benchmark.
+//
+// Measures sweep-points/second of the projection pipeline's artifact
+// stage (skeleton build + data-usage analysis) over the paper's
+// iteration sweeps (fig08/fig10/fig12), with and without the process-wide
+// artifact caches, and emits a machine-readable BENCH_pipeline.json for
+// scripts/bench_compare (the CI perf-smoke gate).
+//
+//   ./build/bench/micro_pipeline [--out FILE] [--quick]
+//
+// Two modes per workload:
+//   * "warm": every sweep point is served from the skeleton and plan
+//     caches — the steady state of repeated sweeps (paper_report, the
+//     figure benches, resumed journals). Acceptance demands >= 5x here.
+//   * "cold": each measured sweep starts with cleared caches. Transfer
+//     plans are keyed by skeleton content *without* iterations (paper
+//     §III-B), so one analysis serves the whole sweep — but the dividend
+//     is spent on content fingerprinting, so this mode gates overhead
+//     neutrality (a cache-cold sweep must never get materially slower),
+//     not a speedup.
+// bench_compare gates on the cached/uncached speedup ratios — they are
+// machine-portable, unlike absolute throughput, which it only tracks as
+// a warning. See docs/performance.md.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "core/grophecy.h"
 #include "dataflow/usage_analyzer.h"
-#include "gpumodel/explorer.h"
-#include "hw/registry.h"
-#include "pcie/bus.h"
-#include "workloads/srad.h"
-#include "workloads/stassuij.h"
+#include "dataflow/usage_cache.h"
+#include "workloads/skeleton_cache.h"
+#include "workloads/workload.h"
 
 namespace {
 
 using namespace grophecy;
 
-void BM_BusSample(benchmark::State& state) {
-  pcie::SimulatedBus bus(hw::anl_eureka().pcie, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bus.time_transfer(
-        static_cast<std::uint64_t>(state.range(0)),
-        hw::Direction::kHostToDevice, hw::HostMemory::kPinned));
-  }
-}
-BENCHMARK(BM_BusSample)->Arg(1)->Arg(1 << 20)->Arg(512 << 20);
+// The iteration counts of the paper's iteration-sweep figures.
+const std::vector<int> kIterations{1, 2, 4, 8, 16, 32, 64, 128};
 
-void BM_KernelModelProjection(benchmark::State& state) {
-  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
-  const skeleton::AppSkeleton app = workloads::srad_skeleton(2048, 1);
-  gpumodel::KernelTimeModel model(gpu);
-  const gpumodel::KernelCharacteristics kc =
-      gpumodel::characterize(app, app.kernels[0], gpumodel::Variant{}, gpu);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.project(kc));
-  }
+/// Calls `fn` until ~min_seconds of wall clock accumulate; returns
+/// (calls * units_per_call)/second.
+template <typename Fn>
+double throughput(Fn&& fn, double units_per_call, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::int64_t calls = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(calls) * units_per_call / elapsed;
 }
-BENCHMARK(BM_KernelModelProjection);
 
-void BM_ExplorerFullSpace(benchmark::State& state) {
-  const hw::GpuSpec gpu = hw::anl_eureka().gpu;
-  const skeleton::AppSkeleton app = workloads::srad_skeleton(2048, 1);
-  gpumodel::Explorer explorer(gpu);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(explorer.best(app, app.kernels[0]));
+/// One full iteration sweep through the uncached pipeline: build the
+/// skeleton and run the analyzer at every point, like the pre-cache
+/// figure benches did.
+void sweep_uncached(const workloads::Workload& workload,
+                    const workloads::DataSize& size) {
+  for (const int iters : kIterations) {
+    const skeleton::AppSkeleton app = workload.make_skeleton(size, iters);
+    dataflow::UsageAnalyzer analyzer;
+    volatile std::uint64_t sink = analyzer.analyze(app).input_bytes();
+    (void)sink;
+    (void)analyzer.classify(app);
   }
 }
-BENCHMARK(BM_ExplorerFullSpace);
 
-void BM_UsageAnalysis(benchmark::State& state) {
-  const skeleton::AppSkeleton app = workloads::srad_skeleton(4096, 1);
-  dataflow::UsageAnalyzer analyzer;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(analyzer.analyze(app));
+/// One full iteration sweep through the cached pipeline.
+void sweep_cached(const workloads::Workload& workload,
+                  const workloads::DataSize& size) {
+  for (const int iters : kIterations) {
+    const auto built = workloads::cached_skeleton(workload, size, iters);
+    const auto usage = dataflow::cached_usage(built->usage_key, built->app);
+    volatile std::uint64_t sink = usage->plan.input_bytes();
+    (void)sink;
   }
 }
-BENCHMARK(BM_UsageAnalysis);
 
-void BM_EndToEndProjection(benchmark::State& state) {
-  core::Grophecy engine(hw::anl_eureka());
-  const skeleton::AppSkeleton app = workloads::stassuij_skeleton({}, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.project(app));
+struct Entry {
+  std::string name;
+  std::string workload;
+  std::string size;
+  std::string mode;         // "warm" | "cold"
+  double throughput = 0.0;  ///< cached sweep points / second
+  double uncached_per_sec = 0.0;
+  double speedup = 0.0;
+  double min_speedup = 1.0;
+};
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_pipeline.v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"workload\": \"%s\", \"size\": \"%s\","
+        " \"mode\": \"%s\", \"throughput\": %.6g,"
+        " \"uncached_per_sec\": %.6g, \"speedup\": %.6g,"
+        " \"min_speedup\": %.3g}%s\n",
+        e.name.c_str(), e.workload.c_str(), e.size.c_str(), e.mode.c_str(),
+        e.throughput, e.uncached_per_sec, e.speedup, e.min_speedup,
+        i + 1 < entries.size() ? "," : "");
+    out << buf;
   }
+  out << "  ]\n}\n";
 }
-BENCHMARK(BM_EndToEndProjection);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pipeline.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double min_seconds = quick ? 0.02 : 0.15;
+  const double points = static_cast<double>(kIterations.size());
+
+  // The paper's iteration-sweep configurations (fig08, fig10, fig12).
+  struct Config {
+    const char* workload;
+    const char* size;
+  };
+  const std::vector<Config> configs{
+      {"CFD", "97K"}, {"HotSpot", "1024 x 1024"}, {"SRAD", "2048 x 2048"}};
+
+  const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
+  std::vector<Entry> entries;
+
+  std::printf("%-28s %14s %14s %9s\n", "entry", "cached pts/s",
+              "uncached pts/s", "speedup");
+  for (const Config& config : configs) {
+    const workloads::Workload& workload = suite.find(config.workload);
+    const workloads::DataSize size =
+        workloads::find_data_size(workload, config.size);
+
+    const double uncached = throughput(
+        [&] { sweep_uncached(workload, size); }, points, min_seconds);
+
+    for (const bool warm : {true, false}) {
+      Entry entry;
+      entry.workload = config.workload;
+      entry.size = config.size;
+      entry.mode = warm ? "warm" : "cold";
+      entry.name = entry.mode + "/" + config.workload;
+      // Warm sweeps are pure cache lookups: the acceptance bar is 5x.
+      // Cold sweeps still rebuild every skeleton (keys include the
+      // iteration count) and spend the saved repeat analyses on content
+      // fingerprinting, so they land near parity — the floor only guards
+      // that a cache-cold sweep never gets materially slower.
+      entry.min_speedup = warm ? 5.0 : 0.75;
+      entry.uncached_per_sec = uncached;
+
+      if (warm) {
+        workloads::skeleton_cache().clear();
+        dataflow::usage_cache().clear();
+        sweep_cached(workload, size);  // populate once, untimed
+        entry.throughput = throughput(
+            [&] { sweep_cached(workload, size); }, points, min_seconds);
+      } else {
+        entry.throughput = throughput(
+            [&] {
+              workloads::skeleton_cache().clear();
+              dataflow::usage_cache().clear();
+              sweep_cached(workload, size);
+            },
+            points, min_seconds);
+      }
+      entry.speedup = entry.throughput / entry.uncached_per_sec;
+      std::printf("%-28s %14.0f %14.0f %8.1fx\n", entry.name.c_str(),
+                  entry.throughput, entry.uncached_per_sec, entry.speedup);
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+
+  bool ok = true;
+  for (const Entry& entry : entries) {
+    if (entry.speedup < entry.min_speedup) {
+      std::fprintf(stderr, "FAIL: %s speedup %.2fx < required %.2fx\n",
+                   entry.name.c_str(), entry.speedup, entry.min_speedup);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -8,9 +8,10 @@
 #                                  and run the concurrency-sensitive suites
 #                                  (sweep engine, determinism, journal,
 #                                  calibration cache)
-#   scripts/verify.sh --bench      additionally run the micro_sim hot-path
-#                                  benchmark and gate it against the
-#                                  checked-in bench/BENCH_sim.json baseline
+#   scripts/verify.sh --bench      additionally run the micro_sim,
+#                                  micro_pipeline, and micro_brs benchmarks
+#                                  and gate each against its checked-in
+#                                  bench/BENCH_*.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,12 +34,15 @@ for arg in "$@"; do
       # TSan slows everything ~10x; focus it on the code that actually
       # shares state across threads (ctest names are GTest suite.test).
       run_preset tsan --no-tests=error -R \
-        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache)\.'
+        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe)\.'
       ;;
     --bench)
-      echo "=== verify: bench (micro_sim vs bench/BENCH_sim.json) ==="
-      ./build/bench/micro_sim --out build/BENCH_sim.json
-      scripts/bench_compare bench/BENCH_sim.json build/BENCH_sim.json
+      for bench in sim pipeline brs; do
+        echo "=== verify: bench (micro_${bench} vs bench/BENCH_${bench}.json) ==="
+        "./build/bench/micro_${bench}" --out "build/BENCH_${bench}.json"
+        scripts/bench_compare "bench/BENCH_${bench}.json" \
+          "build/BENCH_${bench}.json"
+      done
       ;;
     *)
       echo "unknown option: ${arg}" >&2

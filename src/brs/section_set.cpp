@@ -1,46 +1,158 @@
 #include "brs/section_set.h"
 
+#include <algorithm>
+
 #include "util/contracts.h"
 
 namespace grophecy::brs {
+
+namespace {
+
+/// True when the first-dimension bounding boxes cannot share an element —
+/// then subtract() provably returns the piece unchanged (split_dim keeps
+/// the whole range at dimension 0 and the carve loop stops there).
+bool dim0_disjoint(const Section& piece, const Section& member) {
+  const DimSection& p = piece.dims.front();
+  const DimSection& m = member.dims.front();
+  return p.upper < m.lower || p.lower > m.upper;
+}
+
+}  // namespace
+
+SectionSet::Window SectionSet::candidate_window(std::int64_t lo,
+                                                std::int64_t hi) const {
+  const auto by_lower = [](const Section& s, std::int64_t key) {
+    return s.dims.front().lower < key;
+  };
+  const auto first = std::lower_bound(sections_.begin(), sections_.end(),
+                                      lo, by_lower);
+  // Members are sorted by dims[0].lower, so the window ends at the first
+  // member whose lower bound exceeds hi.
+  auto last = first;
+  while (last != sections_.end() && last->dims.front().lower <= hi) ++last;
+  return {static_cast<std::size_t>(first - sections_.begin()),
+          static_cast<std::size_t>(last - sections_.begin())};
+}
 
 void SectionSet::add(const Section& section) {
   if (section.is_empty()) return;
   GROPHECY_EXPECTS(sections_.empty() ||
                    sections_.front().array == section.array);
-  // Try to merge exactly with an existing member.
-  for (Section& member : sections_) {
-    if (contains(member, section)) return;
-    const Section merged = unite(member, section);
-    if (merged.exact) {
-      member = merged;
-      return;
+  fold_.reset();
+
+  // Cascade: absorb every member that merges exactly with the incoming
+  // section (each merge can enable further merges with its new neighbors)
+  // until a fixpoint, then insert the result at its sorted position.
+  //
+  // Candidate pruning: a member can only interact with the incoming
+  // section when its first-dimension box overlaps it, is nested either
+  // way, or sits within one stride of it (an exact union of box-disjoint
+  // arithmetic progressions requires the gap to be at most the combined
+  // stride, which min(strides) bounds). All of those imply
+  //   member.lower in [incoming.lower - max_span - slack,
+  //                    incoming.upper + slack]
+  // with slack = max(max_stride_, incoming stride).
+  Section incoming = section;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    const DimSection& d0 = incoming.dims.front();
+    const std::int64_t slack = std::max(max_stride_, d0.stride);
+    const Window window =
+        candidate_window(d0.lower - max_span_ - slack, d0.upper + slack);
+    for (std::size_t i = window.begin; i < window.end; ++i) {
+      const Section& member = sections_[i];
+      if (contains(member, incoming)) return;  // Already covered (and so
+                                               // is anything absorbed —
+                                               // its union was exact).
+      Section united = unite(member, incoming);
+      if (!united.exact) continue;
+      incoming = std::move(united);
+      sections_.erase(sections_.begin() + static_cast<std::ptrdiff_t>(i));
+      merged = true;
+      break;
     }
   }
-  sections_.push_back(section);
+
+  const DimSection& d0 = incoming.dims.front();
+  max_span_ = std::max(max_span_, d0.upper - d0.lower);
+  max_stride_ = std::max(max_stride_, d0.stride);
+  const auto pos = std::upper_bound(
+      sections_.begin(), sections_.end(), d0.lower,
+      [](std::int64_t key, const Section& s) {
+        return key < s.dims.front().lower;
+      });
+  sections_.insert(pos, std::move(incoming));
 }
 
 bool SectionSet::covers(const Section& section) const {
   if (section.is_empty()) return true;
   if (sections_.empty()) return false;
-  for (const Section& member : sections_) {
-    if (contains(member, section)) return true;
-  }
+  // A containing member must start at or before the query and span past
+  // its end, which bounds its lower key to [query.lower - max_span_,
+  // query.lower].
+  const DimSection& d0 = section.dims.front();
+  const Window window = candidate_window(d0.lower - max_span_, d0.lower);
+  for (std::size_t i = window.begin; i < window.end; ++i)
+    if (contains(sections_[i], section)) return true;
   // Fall back to the exact union of everything.
-  Section all = sections_.front();
-  for (std::size_t i = 1; i < sections_.size(); ++i)
-    all = unite(all, sections_[i]);
+  const Section& all = fold();
   return all.exact && contains(all, section);
 }
 
-std::vector<Section> SectionSet::subtract_from(
-    const Section& section) const {
+std::vector<Section> SectionSet::subtract_from(const Section& section) const {
+  if (sections_.empty()) return {section};
+  if (section.is_empty()) return {};
+
+  // Every remaining piece stays inside the query's first-dimension box, so
+  // members outside [query.lower - max_span_, query.upper] are first-
+  // dimension-disjoint from every piece and contribute nothing.
+  const DimSection& d0 = section.dims.front();
+  const Window window = candidate_window(d0.lower - max_span_, d0.upper);
+
   std::vector<Section> remaining{section};
-  for (const Section& member : sections_) {
+  if (section.dims.size() == 1) {
+    // Rank-1 fast path: pieces have pairwise-disjoint boxes and stay
+    // sorted by lower bound (splits replace a piece with its in-order
+    // sub-ranges), and members are visited in ascending lower order — so
+    // pieces that end before the current member begins are final for
+    // every later member too. One monotone pass over both sequences.
+    std::size_t frozen = 0;
+    for (std::size_t m = window.begin;
+         m < window.end && frozen < remaining.size(); ++m) {
+      const Section& member = sections_[m];
+      const DimSection& md = member.dims.front();
+      while (frozen < remaining.size() &&
+             remaining[frozen].dims.front().upper < md.lower)
+        ++frozen;
+      std::size_t i = frozen;
+      while (i < remaining.size()) {
+        if (remaining[i].dims.front().lower > md.upper) break;
+        std::vector<Section> difference = subtract(remaining[i], member);
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
+        remaining.insert(remaining.begin() + static_cast<std::ptrdiff_t>(i),
+                         std::make_move_iterator(difference.begin()),
+                         std::make_move_iterator(difference.end()));
+        i += difference.size();
+      }
+    }
+    return remaining;
+  }
+
+  // General rank: members in order, with an O(1) first-dimension box
+  // reject per (member, piece) pair replacing the full carve.
+  for (std::size_t m = window.begin; m < window.end; ++m) {
+    const Section& member = sections_[m];
     std::vector<Section> next;
-    for (const Section& piece : remaining) {
+    next.reserve(remaining.size());
+    for (Section& piece : remaining) {
+      if (dim0_disjoint(piece, member)) {
+        next.push_back(std::move(piece));
+        continue;
+      }
       std::vector<Section> difference = subtract(piece, member);
-      next.insert(next.end(), difference.begin(), difference.end());
+      next.insert(next.end(), std::make_move_iterator(difference.begin()),
+                  std::make_move_iterator(difference.end()));
     }
     remaining = std::move(next);
     if (remaining.empty()) break;
@@ -48,12 +160,19 @@ std::vector<Section> SectionSet::subtract_from(
   return remaining;
 }
 
+const Section& SectionSet::fold() const {
+  if (!fold_) {
+    Section all = sections_.front();
+    for (std::size_t i = 1; i < sections_.size(); ++i)
+      all = unite(all, sections_[i]);
+    fold_ = std::move(all);
+  }
+  return *fold_;
+}
+
 Section SectionSet::bounding_union() const {
   GROPHECY_EXPECTS(!sections_.empty());
-  Section all = sections_.front();
-  for (std::size_t i = 1; i < sections_.size(); ++i)
-    all = unite(all, sections_[i]);
-  return all;
+  return fold();
 }
 
 }  // namespace grophecy::brs

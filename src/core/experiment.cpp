@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include "workloads/skeleton_cache.h"
+
 namespace grophecy::core {
 
 ExperimentRunner::ExperimentRunner(hw::MachineSpec machine,
@@ -9,8 +11,19 @@ ExperimentRunner::ExperimentRunner(hw::MachineSpec machine,
 ProjectionReport ExperimentRunner::run(const workloads::Workload& workload,
                                        const workloads::DataSize& size,
                                        int iterations) {
-  skeleton::AppSkeleton app = workload.make_skeleton(size, iterations);
-  ProjectionReport report = engine_.project(app);
+  ProjectionReport report;
+  if (engine_.options().use_artifact_caches) {
+    // Build (or fetch) the shared immutable skeleton; its precomputed
+    // usage fingerprint lets project() hit the plan cache without
+    // re-hashing the skeleton.
+    const std::shared_ptr<const workloads::BuiltSkeleton> built =
+        workloads::cached_skeleton(workload, size, iterations);
+    report = engine_.project(built->app, built->usage_key);
+  } else {
+    const skeleton::AppSkeleton app =
+        workload.make_skeleton(size, iterations);
+    report = engine_.project(app);
+  }
   report.app_name = workload.name() + " " + size.label;
   return report;
 }

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "dataflow/usage_analyzer.h"
+#include "dataflow/usage_cache.h"
 #include "pcie/calibration_cache.h"
+#include "skeleton/fingerprint.h"
 #include "util/contracts.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -131,6 +133,20 @@ Grophecy::Grophecy(hw::MachineSpec machine, ProjectionOptions options)
 }
 
 ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
+  if (options_.use_artifact_caches)
+    return project_impl(app, skeleton::usage_fingerprint(app));
+  return project_impl(app, std::nullopt);
+}
+
+ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app,
+                                   std::uint64_t usage_key) {
+  if (!options_.use_artifact_caches) return project_impl(app, std::nullopt);
+  return project_impl(app, usage_key);
+}
+
+ProjectionReport Grophecy::project_impl(
+    const skeleton::AppSkeleton& app,
+    std::optional<std::uint64_t> usage_key) {
   app.validate();
 
   ProjectionReport report;
@@ -140,8 +156,18 @@ ProjectionReport Grophecy::project(const skeleton::AppSkeleton& app) {
   report.calibration = calibration_report_.summary();
 
   // --- transfer plan (data usage analysis) ---
-  dataflow::UsageAnalyzer analyzer;
-  report.plan = analyzer.analyze(app);
+  if (usage_key) {
+    bool from_cache = false;
+    const std::shared_ptr<const dataflow::UsageArtifact> artifact =
+        dataflow::cached_usage(*usage_key, app, &from_cache);
+    report.plan = artifact->plan;
+    report.artifacts.caches_enabled = true;
+    report.artifacts.plan_from_cache = from_cache;
+    report.artifacts.usage_key = *usage_key;
+  } else {
+    dataflow::UsageAnalyzer analyzer;
+    report.plan = analyzer.analyze(app);
+  }
 
   // --- device footprint: every array a kernel touches stays resident ---
   std::vector<bool> touched(app.arrays.size(), false);

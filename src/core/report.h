@@ -43,6 +43,19 @@ struct ProjectionReport {
   /// the spec-derived model, not on measurements — treat them accordingly.
   pcie::CalibrationSummary calibration;
 
+  /// Accounting of the shared-artifact caches behind this projection
+  /// (docs/performance.md, "Artifact caches"). Content-addressed keys
+  /// make a cached plan bit-identical to a freshly analyzed one, so these
+  /// fields record provenance, never a result difference. Which concurrent
+  /// job takes the miss is scheduling dependent, so `plan_from_cache` is
+  /// diagnostic only — it is excluded from journals and summaries.
+  struct ArtifactSummary {
+    bool caches_enabled = false;
+    bool plan_from_cache = false;  ///< Plan served from the usage cache.
+    std::uint64_t usage_key = 0;   ///< Content key of the analyzed skeleton.
+  };
+  ArtifactSummary artifacts;
+
   /// Device-resident footprint: every array any kernel touches must live
   /// in GPU memory for the whole offload (paper §II-B allocation model).
   std::uint64_t device_footprint_bytes = 0;

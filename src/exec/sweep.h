@@ -154,6 +154,10 @@ struct JobRecord {
 enum class JobStatus {
   kOk,       ///< Executed in this run and succeeded.
   kResumed,  ///< Replayed from the journal; not re-executed.
+  kDeduped,  ///< Duplicate of an earlier job in the same sweep: reused its
+             ///< result without executing. Not journaled — the journal is
+             ///< keyed by fingerprint, so the first occurrence's record
+             ///< already covers every duplicate on resume.
   kFailed,   ///< Permanently failed (retries exhausted or not retryable).
 };
 
@@ -216,6 +220,7 @@ struct SweepSummary {
 
   int ok = 0;            ///< Executed and succeeded this run.
   int resumed = 0;       ///< Replayed from the journal (skipped).
+  int deduped = 0;       ///< Duplicates that reused an earlier job's result.
   int failed = 0;        ///< Permanently failed.
   int retried = 0;       ///< Jobs that needed more than one attempt.
   int attempts = 0;      ///< Total executions across all jobs.
@@ -260,9 +265,11 @@ class SweepEngine {
   SweepEngine& operator=(const SweepEngine&) = delete;
 
   /// Runs every job; outcomes, summary counters, and journal appends are
-  /// in submission order regardless of worker count. Never throws for job
-  /// failures; see SweepSummary. Throws UsageError only when the journal
-  /// file cannot be opened.
+  /// in submission order regardless of worker count. Jobs with an
+  /// identical fingerprint are executed once: every later occurrence
+  /// reuses the first one's result (JobStatus::kDeduped) without running
+  /// or journaling. Never throws for job failures; see SweepSummary.
+  /// Throws UsageError only when the journal file cannot be opened.
   SweepSummary run(const std::vector<JobSpec>& jobs, const JobFn& fn);
 
   const SweepOptions& options() const { return options_; }
@@ -281,6 +288,8 @@ class SweepEngine {
   /// The supervised retry loop for one job (thread-safe; called from pool
   /// workers). Produces a fully-populated outcome including its record.
   JobOutcome execute_job(const JobSpec& spec, const JobFn& fn);
+  /// run() after duplicate fingerprints have been filtered out.
+  SweepSummary run_unique(const std::vector<JobSpec>& jobs, const JobFn& fn);
 
   SweepOptions options_;
   std::mutex abandoned_mutex_;          ///< Guards abandoned_ across workers.

@@ -69,6 +69,9 @@ void tally(SweepSummary& summary, const JobOutcome& outcome) {
     case JobStatus::kResumed:
       ++summary.resumed;
       break;
+    case JobStatus::kDeduped:
+      ++summary.deduped;
+      break;
     case JobStatus::kFailed:
       ++summary.failed;
       break;
@@ -196,6 +199,57 @@ JobOutcome SweepEngine::execute_job(const JobSpec& spec, const JobFn& fn) {
 
 SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
                               const JobFn& fn) {
+  // Dedupe pre-pass: identical fingerprints execute once. Duplicates are
+  // resolved by expansion AFTER the unique jobs ran, so the worker pool
+  // never has to synchronize on an in-flight original, and the journal —
+  // which only sees the unique jobs — stays byte-identical across worker
+  // counts whether or not the submission list contained duplicates.
+  std::map<std::string, std::size_t> first_with_fingerprint;
+  std::vector<std::optional<std::size_t>> duplicate_of(jobs.size());
+  std::vector<JobSpec> unique;
+  unique.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto [it, inserted] =
+        first_with_fingerprint.emplace(jobs[i].fingerprint(), i);
+    if (inserted)
+      unique.push_back(jobs[i]);
+    else
+      duplicate_of[i] = it->second;
+  }
+  if (unique.size() == jobs.size()) return run_unique(jobs, fn);
+
+  SweepSummary inner = run_unique(unique, fn);
+  SweepSummary summary;
+  summary.journal_corrupt_lines = inner.journal_corrupt_lines;
+  summary.outcomes.reserve(jobs.size());
+  std::size_t next_unique = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!duplicate_of[i]) {
+      summary.outcomes.push_back(std::move(inner.outcomes[next_unique++]));
+    } else {
+      // The original precedes its duplicates in submission order, so its
+      // outcome is already in place at its full-list index.
+      const JobOutcome& original = summary.outcomes[*duplicate_of[i]];
+      JobOutcome outcome;
+      outcome.spec = jobs[i];
+      outcome.record = original.record;
+      outcome.report = original.report;
+      outcome.error = original.error;
+      // A duplicate of a successful (or resumed) job reused its result; a
+      // duplicate of a failed job fails identically — either way, zero
+      // executions.
+      outcome.status = original.status == JobStatus::kFailed
+                           ? JobStatus::kFailed
+                           : JobStatus::kDeduped;
+      summary.outcomes.push_back(std::move(outcome));
+    }
+    tally(summary, summary.outcomes.back());
+  }
+  return summary;
+}
+
+SweepSummary SweepEngine::run_unique(const std::vector<JobSpec>& jobs,
+                                     const JobFn& fn) {
   SweepSummary summary;
   summary.outcomes.reserve(jobs.size());
 
@@ -334,7 +388,9 @@ const JobOutcome* SweepSummary::find(const JobSpec& spec) const {
 std::string SweepSummary::describe() const {
   std::ostringstream oss;
   oss << "sweep: " << outcomes.size() << " jobs — " << ok << " ok, "
-      << resumed << " resumed, " << failed << " failed ("
+      << resumed << " resumed, ";
+  if (deduped > 0) oss << deduped << " deduped, ";
+  oss << failed << " failed ("
       << retried << " retried; " << attempts << " attempts; "
       << util::strfmt("%.3f", backoff_total_s) << "s backoff)";
   if (degraded) oss << " [DEGRADED: spec-derived calibration in use]";
@@ -350,6 +406,9 @@ std::string SweepSummary::describe() const {
         break;
       case JobStatus::kResumed:
         oss << "resumed from journal";
+        break;
+      case JobStatus::kDeduped:
+        oss << "duplicate (reused earlier result)";
         break;
       case JobStatus::kFailed:
         oss << "FAILED [" << to_string(outcome.error->kind) << "] "

@@ -50,10 +50,10 @@ std::vector<JobSpec> SweepRequest::jobs() const {
     throw UsageError("SweepRequest: no workloads selected");
   if (iterations_.empty())
     throw UsageError("SweepRequest: no iteration counts selected");
-  const auto all = workloads::paper_workloads();
+  const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
   std::vector<JobSpec> specs;
   for (const std::string& name : workloads_) {
-    const workloads::Workload& workload = workloads::find_workload(all, name);
+    const workloads::Workload& workload = suite.find(name);
     std::vector<std::string> labels = size_labels_;
     if (labels.empty())
       for (const workloads::DataSize& size : workload.paper_data_sizes())
@@ -76,9 +76,10 @@ SweepEngine::JobFn SweepRequest::job_fn() const {
   const std::uint64_t base_seed = base_seed_;
   return [machine, base_options,
           base_seed](const JobSpec& spec) -> core::ProjectionReport {
-    const auto all = workloads::paper_workloads();
+    // The shared suite index resolves names in O(log n) without
+    // reconstructing the four workloads per job.
     const workloads::Workload& workload =
-        workloads::find_workload(all, spec.workload);
+        workloads::PaperSuite::instance().find(spec.workload);
     const workloads::DataSize size =
         workloads::find_data_size(workload, spec.size_label);
     core::ProjectionOptions options = base_options;

@@ -1,0 +1,66 @@
+#include "skeleton/fingerprint.h"
+
+#include "util/artifact_cache.h"
+
+namespace grophecy::skeleton {
+
+namespace {
+
+void fold_expr(util::KeyBuilder& h, const AffineExpr& expr) {
+  h.field(expr.constant);
+  h.field(static_cast<std::uint64_t>(expr.terms.size()));
+  for (const auto& [loop, coeff] : expr.terms) h.field(loop).field(coeff);
+}
+
+void fold_ref(util::KeyBuilder& h, const ArrayRef& ref) {
+  h.field(ref.array).field(static_cast<int>(ref.kind)).field(ref.indirect);
+  h.field(static_cast<std::uint64_t>(ref.subscripts.size()));
+  for (const AffineExpr& subscript : ref.subscripts) fold_expr(h, subscript);
+  h.field(static_cast<std::uint64_t>(ref.indirect_dims.size()));
+  for (int dim : ref.indirect_dims) h.field(dim);
+  h.field(static_cast<std::uint64_t>(ref.indirect_deps.size()));
+  for (LoopId dep : ref.indirect_deps) h.field(dep);
+}
+
+}  // namespace
+
+std::uint64_t usage_fingerprint(const AppSkeleton& app) {
+  util::KeyBuilder h;
+  h.field(app.name);
+  h.field(static_cast<std::uint64_t>(app.arrays.size()));
+  for (const ArrayDecl& array : app.arrays) {
+    h.field(array.name).field(static_cast<int>(array.type)).field(array.sparse);
+    h.field(static_cast<std::uint64_t>(array.dims.size()));
+    for (std::int64_t dim : array.dims) h.field(dim);
+  }
+  h.field(static_cast<std::uint64_t>(app.temporaries.size()));
+  for (ArrayId id : app.temporaries) h.field(id);
+  h.field(static_cast<std::uint64_t>(app.kernels.size()));
+  for (const KernelSkeleton& kernel : app.kernels) {
+    h.field(kernel.name).field(kernel.explicit_syncs);
+    h.field(static_cast<std::uint64_t>(kernel.loops.size()));
+    for (const Loop& loop : kernel.loops) {
+      h.field(loop.name)
+          .field(loop.lower)
+          .field(loop.upper)
+          .field(loop.step)
+          .field(loop.parallel);
+    }
+    h.field(static_cast<std::uint64_t>(kernel.body.size()));
+    for (const Statement& stmt : kernel.body) {
+      h.field(stmt.flops).field(stmt.special_ops).field(stmt.depth);
+      h.field(static_cast<std::uint64_t>(stmt.refs.size()));
+      for (const ArrayRef& ref : stmt.refs) fold_ref(h, ref);
+    }
+  }
+  return h.hash();
+}
+
+std::uint64_t fingerprint(const AppSkeleton& app) {
+  util::KeyBuilder h;
+  h.field(usage_fingerprint(app));
+  h.field(app.iterations);
+  return h.hash();
+}
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,35 @@
+// Content fingerprints of application skeletons.
+//
+// The shared-artifact caches (util/artifact_cache.h) address derived
+// artifacts by what they were derived FROM, so two structurally identical
+// skeletons — however they were built — share one cache entry. Two
+// fingerprints, differing in exactly one field:
+//
+//   * usage_fingerprint() hashes everything the data-usage analyzer reads:
+//     arrays, temporaries, loop nests, statements, and references — but
+//     NOT the iteration count. The analyzer walks a single iteration of
+//     the kernel sequence and its transfer plan is provably independent
+//     of `iterations` (paper §III-B), so an iteration sweep maps every
+//     point to the same key and hits the plan cache after the first.
+//   * fingerprint() additionally folds in `iterations`: the full identity
+//     of the skeleton, for artifacts that do depend on the repeat count.
+//
+// Both include the application name (distinct apps never collide on a
+// shared key even when structurally identical) and are deterministic
+// across processes and platforms (pure FNV-1a over field values).
+#pragma once
+
+#include <cstdint>
+
+#include "skeleton/skeleton.h"
+
+namespace grophecy::skeleton {
+
+/// Content hash of everything the usage analyzer reads; independent of
+/// `iterations`. Equal fingerprints imply equal TransferPlan/ArrayUsage.
+std::uint64_t usage_fingerprint(const AppSkeleton& app);
+
+/// Full content hash: usage_fingerprint plus the iteration count.
+std::uint64_t fingerprint(const AppSkeleton& app);
+
+}  // namespace grophecy::skeleton

@@ -1,0 +1,162 @@
+// Process-wide caches for immutable, content-addressed pipeline artifacts.
+//
+// The projection pipeline derives several artifacts that are pure
+// functions of their inputs: a parsed .gskel/.gmach document is a pure
+// function of the file bytes, a built workload skeleton of
+// (workload, size, iterations), a transfer plan of the skeleton content.
+// Sweeps re-derive them once per job; this cache derives each once per
+// process and hands every later consumer the same immutable object.
+//
+//   * Keys are 64-bit FNV-1a content hashes (build them with KeyBuilder).
+//   * Values are `shared_ptr<const Value>`: immutable and safely shared
+//     across SweepEngine workers without copies or locks on the artifact.
+//   * get_or_build is single-flight per key: concurrent misses on one key
+//     run the factory exactly once, everyone else blocks on the shared
+//     future. Distinct keys build concurrently (the factory runs outside
+//     the cache lock). A throwing factory is evicted, never cached.
+//   * hits/misses counters feed the accounting that paper_report prints
+//     alongside the calibration-cache accounting (docs/performance.md).
+//
+// Determinism: a cached artifact is bit-identical to what the caller
+// would have built itself — content-addressed keys guarantee it. Cache
+// hits change wall-clock time, never results.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+namespace grophecy::util {
+
+/// Incrementally folds heterogeneous fields into one 64-bit FNV-1a state
+/// (the same scheme as pcie::calibration_cache_key). Strings are length
+/// prefixed so ("ab","c") and ("a","bc") fold differently; doubles are
+/// folded via their bit representation, since a cache must distinguish
+/// any inputs the computation could distinguish.
+class KeyBuilder {
+ public:
+  KeyBuilder& field(std::uint64_t value) {
+    hash_ = fold(hash_, value);
+    return *this;
+  }
+  KeyBuilder& field(std::int64_t value) {
+    return field(static_cast<std::uint64_t>(value));
+  }
+  KeyBuilder& field(int value) {
+    return field(static_cast<std::int64_t>(value));
+  }
+  KeyBuilder& field(bool value) { return field(std::uint64_t{value ? 1u : 0u}); }
+  KeyBuilder& field(double value) {
+    return field(std::bit_cast<std::uint64_t>(value));
+  }
+  KeyBuilder& field(std::string_view value) {
+    field(static_cast<std::uint64_t>(value.size()));
+    for (char c : value) hash_ = fold(hash_, static_cast<unsigned char>(c));
+    return *this;
+  }
+  /// Without this overload a string literal would take the bool overload
+  /// (pointer-to-bool is a standard conversion and beats string_view's
+  /// user-defined one), silently collapsing every literal to `true`.
+  KeyBuilder& field(const char* value) {
+    return field(std::string_view(value));
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  static std::uint64_t fold(std::uint64_t hash, std::uint64_t value) {
+    // FNV-1a over the value's eight bytes, little-endian.
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+    return hash;
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+};
+
+/// One process-wide cache of immutable artifacts. Thread-safe; see file
+/// comment for the single-flight and determinism contracts.
+template <typename Value>
+class ArtifactCache {
+ public:
+  using Artifact = std::shared_ptr<const Value>;
+  using Factory = std::function<Value()>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the artifact for `key`, running `factory` (outside the lock)
+  /// exactly once per key to produce it. Concurrent callers with the same
+  /// key block until the in-flight build finishes. A throwing factory
+  /// poisons nothing: the failed entry is evicted so a later call may
+  /// retry, and the exception propagates to every caller waiting on that
+  /// flight. When `from_cache` is non-null it is set to true on a hit.
+  Artifact get_or_build(std::uint64_t key, const Factory& factory,
+                        bool* from_cache = nullptr) {
+    std::promise<Artifact> promise;
+    std::shared_future<Artifact> flight;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        flight = it->second;
+      } else {
+        ++misses_;
+        owner = true;
+        flight = promise.get_future().share();
+        entries_.emplace(key, flight);
+      }
+    }
+
+    if (owner) {
+      try {
+        promise.set_value(std::make_shared<const Value>(factory()));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);  // allow a later retry instead of caching failure
+      }
+    }
+
+    if (from_cache) *from_cache = !owner;
+    return flight.get();  // waits for the in-flight owner
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_};
+  }
+
+  /// Cached entries (completed or in flight).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Drops every entry and zeroes the counters (tests and benchmarks).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_future<Artifact>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace grophecy::util

@@ -1,0 +1,30 @@
+#include "workloads/skeleton_cache.h"
+
+#include "skeleton/fingerprint.h"
+
+namespace grophecy::workloads {
+
+util::ArtifactCache<BuiltSkeleton>& skeleton_cache() {
+  static util::ArtifactCache<BuiltSkeleton> cache;
+  return cache;
+}
+
+std::shared_ptr<const BuiltSkeleton> cached_skeleton(const Workload& workload,
+                                                     const DataSize& size,
+                                                     int iterations) {
+  util::KeyBuilder key;
+  key.field("skeleton")
+      .field(workload.name())
+      .field(size.label)
+      .field(size.param)
+      .field(iterations);
+  return skeleton_cache().get_or_build(key.hash(), [&] {
+    BuiltSkeleton built;
+    built.app = workload.make_skeleton(size, iterations);
+    built.content_hash = skeleton::fingerprint(built.app);
+    built.usage_key = skeleton::usage_fingerprint(built.app);
+    return built;
+  });
+}
+
+}  // namespace grophecy::workloads

@@ -1,0 +1,37 @@
+// Process-wide cache of built workload skeletons.
+//
+// A workload skeleton is a pure function of (workload, data size,
+// iteration count); a sweep re-builds the same one once per job and once
+// per retry. This cache builds each configuration once and shares the
+// immutable result — together with its content fingerprints, so the
+// downstream usage-analysis cache never has to re-hash the skeleton.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "skeleton/skeleton.h"
+#include "util/artifact_cache.h"
+#include "workloads/workload.h"
+
+namespace grophecy::workloads {
+
+/// An immutable built skeleton plus its precomputed content identity.
+struct BuiltSkeleton {
+  skeleton::AppSkeleton app;
+  std::uint64_t content_hash = 0;  ///< skeleton::fingerprint(app).
+  std::uint64_t usage_key = 0;     ///< skeleton::usage_fingerprint(app).
+};
+
+/// Returns the skeleton for one (workload, size, iterations)
+/// configuration, built at most once per process. The key is
+/// (workload name, size label, size param, iterations) — everything
+/// make_skeleton reads.
+std::shared_ptr<const BuiltSkeleton> cached_skeleton(const Workload& workload,
+                                                     const DataSize& size,
+                                                     int iterations);
+
+/// The process-wide cache behind cached_skeleton (accounting and tests).
+util::ArtifactCache<BuiltSkeleton>& skeleton_cache();
+
+}  // namespace grophecy::workloads

@@ -13,9 +13,48 @@ std::vector<std::unique_ptr<Workload>> paper_workloads() {
   return all;
 }
 
+PaperSuite::PaperSuite() : all_(paper_workloads()) {
+  for (const auto& workload : all_) {
+    by_name_.emplace(workload->name(), workload.get());
+    if (!valid_names_.empty()) valid_names_ += ", ";
+    valid_names_ += workload->name();
+
+    SizeIndex& index = sizes_[workload.get()];
+    for (const DataSize& size : workload->paper_data_sizes()) {
+      index.by_label.emplace(size.label, size);
+      if (!index.valid.empty()) index.valid += ", ";
+      index.valid += size.label;
+    }
+  }
+}
+
+const PaperSuite& PaperSuite::instance() {
+  static const PaperSuite suite;
+  return suite;
+}
+
+const Workload& PaperSuite::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return *it->second;
+  throw UsageError("unknown workload '" + name + "' (valid: " + valid_names_ +
+                   ")");
+}
+
+const DataSize* PaperSuite::try_find_size(const Workload& workload,
+                                          const std::string& label,
+                                          std::string* valid_labels) const {
+  const auto index = sizes_.find(&workload);
+  if (index == sizes_.end()) return nullptr;
+  if (valid_labels) *valid_labels = index->second.valid;
+  const auto it = index->second.by_label.find(label);
+  return it != index->second.by_label.end() ? &it->second : nullptr;
+}
+
 const Workload& find_workload(
     const std::vector<std::unique_ptr<Workload>>& all,
     const std::string& name) {
+  const PaperSuite& suite = PaperSuite::instance();
+  if (&all == &suite.all()) return suite.find(name);
   for (const auto& workload : all)
     if (workload->name() == name) return *workload;
   std::string valid;
@@ -27,10 +66,16 @@ const Workload& find_workload(
 }
 
 DataSize find_data_size(const Workload& workload, const std::string& label) {
+  std::string valid;
+  if (const DataSize* size =
+          PaperSuite::instance().try_find_size(workload, label, &valid))
+    return *size;
+  if (!valid.empty())
+    throw UsageError("unknown data size '" + label + "' for " +
+                     workload.name() + " (valid: " + valid + ")");
   const std::vector<DataSize> sizes = workload.paper_data_sizes();
   for (const DataSize& size : sizes)
     if (size.label == label) return size;
-  std::string valid;
   for (const DataSize& size : sizes) {
     if (!valid.empty()) valid += ", ";
     valid += size.label;

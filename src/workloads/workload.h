@@ -6,6 +6,7 @@
 // factory; real OpenMP reference implementations live in *_ref.h.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,14 +53,56 @@ std::unique_ptr<Workload> make_stassuij();
 /// All four, in the paper's Table I order (CFD, HotSpot, SRAD, Stassuij).
 std::vector<std::unique_ptr<Workload>> paper_workloads();
 
+/// The paper suite built once per process, with sorted lookup indexes
+/// over workload names and per-workload size labels. Sweeps resolve every
+/// job through this instead of reconstructing the four workloads and
+/// scanning their name lists per job. Immutable after construction, so
+/// concurrent lookups from sweep workers are safe.
+class PaperSuite {
+ public:
+  /// The shared instance (built on first use).
+  static const PaperSuite& instance();
+
+  /// The workloads in Table I order.
+  const std::vector<std::unique_ptr<Workload>>& all() const { return all_; }
+
+  /// O(log n) name lookup; throws the same UsageError as find_workload,
+  /// byte for byte.
+  const Workload& find(const std::string& name) const;
+
+  /// O(log n) size-label lookup for one of this suite's workloads; throws
+  /// the same UsageError as find_data_size, byte for byte. Returns
+  /// nullptr (never throws) when `workload` is not a suite instance so
+  /// callers can fall back to the generic scan.
+  const DataSize* try_find_size(const Workload& workload,
+                                const std::string& label,
+                                std::string* valid_labels) const;
+
+ private:
+  PaperSuite();
+
+  struct SizeIndex {
+    std::map<std::string, DataSize, std::less<>> by_label;
+    std::string valid;  ///< Labels joined ", " in declaration order.
+  };
+
+  std::vector<std::unique_ptr<Workload>> all_;
+  std::map<std::string, const Workload*, std::less<>> by_name_;
+  std::string valid_names_;  ///< Names joined ", " in Table I order.
+  std::map<const Workload*, SizeIndex> sizes_;
+};
+
 /// Looks up a workload by name. An unknown name is bad user input, not a
 /// broken invariant: throws grophecy::UsageError listing the valid names.
+/// Lookups against PaperSuite::instance().all() use its sorted index;
+/// caller-built lists fall back to a linear scan.
 const Workload& find_workload(
     const std::vector<std::unique_ptr<Workload>>& all,
     const std::string& name);
 
 /// Looks up one of `workload`'s paper data sizes by its Table I label.
 /// Throws grophecy::UsageError listing the valid labels when absent.
+/// Suite workloads use the once-built sorted label index.
 DataSize find_data_size(const Workload& workload, const std::string& label);
 
 }  // namespace grophecy::workloads

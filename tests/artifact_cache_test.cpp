@@ -1,0 +1,213 @@
+// The shared-artifact layer (util/artifact_cache.h and its three users):
+//
+//   * KeyBuilder: field-order and boundary sensitivity of the FNV-1a
+//     content keys;
+//   * ArtifactCache: single-flight builds, hit/miss accounting, eviction
+//     of throwing factories, immutable shared artifacts;
+//   * the pipeline caches: parse/skeleton/usage caching returns the same
+//     immutable artifact, plan keys are iteration independent (paper
+//     §III-B), and projections are bit-identical with the caches on or
+//     off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "dataflow/usage_cache.h"
+#include "hw/machine_file.h"
+#include "hw/registry.h"
+#include "skeleton/fingerprint.h"
+#include "skeleton/parse.h"
+#include "util/artifact_cache.h"
+#include "workloads/skeleton_cache.h"
+#include "workloads/workload.h"
+
+namespace grophecy {
+namespace {
+
+// --- KeyBuilder ---
+
+TEST(ArtifactCache, KeyBuilderDistinguishesFieldBoundaries) {
+  const std::uint64_t ab_c =
+      util::KeyBuilder().field("ab").field("c").hash();
+  const std::uint64_t a_bc =
+      util::KeyBuilder().field("a").field("bc").hash();
+  EXPECT_NE(ab_c, a_bc);  // length prefix keeps boundaries distinct
+
+  EXPECT_NE(util::KeyBuilder().field(1).field(2).hash(),
+            util::KeyBuilder().field(2).field(1).hash());
+  EXPECT_NE(util::KeyBuilder().field(0.0).hash(),
+            util::KeyBuilder().field(-0.0).hash());  // bit representation
+  EXPECT_EQ(util::KeyBuilder().field("x").field(7).hash(),
+            util::KeyBuilder().field("x").field(7).hash());
+}
+
+// --- ArtifactCache core contract ---
+
+TEST(ArtifactCache, BuildsOncePerKeyAndCountsHits) {
+  util::ArtifactCache<int> cache;
+  int builds = 0;
+  bool from_cache = true;
+  const auto first = cache.get_or_build(1, [&] { return ++builds; },
+                                        &from_cache);
+  EXPECT_FALSE(from_cache);
+  const auto second = cache.get_or_build(1, [&] { return ++builds; },
+                                         &from_cache);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());  // the same immutable artifact
+  EXPECT_EQ(*second, 1);
+
+  const auto other = cache.get_or_build(2, [&] { return ++builds; });
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(*other, 2);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ArtifactCache, SingleFlightUnderConcurrentMisses) {
+  util::ArtifactCache<int> cache;
+  std::atomic<int> builds{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const int>> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      results[static_cast<std::size_t>(t)] = cache.get_or_build(42, [&] {
+        builds.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return 7;
+      });
+    });
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(builds.load(), 1);  // one flight, everyone shares it
+  for (const auto& result : results) {
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+TEST(ArtifactCache, ThrowingFactoryIsEvictedNotCached) {
+  util::ArtifactCache<int> cache;
+  EXPECT_THROW(cache.get_or_build(
+                   5, []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // the failed flight is evicted
+  // A later call retries and can succeed.
+  const auto value = cache.get_or_build(5, [] { return 11; });
+  EXPECT_EQ(*value, 11);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// --- parse caches ---
+
+TEST(ArtifactCache, ParseCachesReturnTheSameDocumentObject) {
+  const std::string text = R"(
+app cached_parse
+array a f32[16]
+kernel k
+  parallel for i in 0..16
+  stmt flops=1
+    load a[i]
+)";
+  const auto first = skeleton::parse_skeleton_cached(text);
+  const auto second = skeleton::parse_skeleton_cached(text);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->name, "cached_parse");
+  // A different document is a different artifact, even when it parses to
+  // the same structure — the parse cache is keyed on the bytes.
+  const auto other =
+      skeleton::parse_skeleton_cached(text + "# trailing comment\n");
+  EXPECT_NE(first.get(), other.get());
+}
+
+// --- skeleton + usage caches and iteration independence ---
+
+TEST(ArtifactCache, SkeletonCacheKeysOnWorkloadSizeAndIterations) {
+  const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
+  const workloads::Workload& hotspot = suite.find("HotSpot");
+  const workloads::DataSize size = workloads::find_data_size(hotspot, "64 x 64");
+
+  const auto a = workloads::cached_skeleton(hotspot, size, 4);
+  const auto b = workloads::cached_skeleton(hotspot, size, 4);
+  const auto c = workloads::cached_skeleton(hotspot, size, 8);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->content_hash, skeleton::fingerprint(a->app));
+  EXPECT_EQ(a->usage_key, skeleton::usage_fingerprint(a->app));
+}
+
+TEST(ArtifactCache, UsageFingerprintIgnoresIterationsOnly) {
+  const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
+  const workloads::Workload& hotspot = suite.find("HotSpot");
+  const workloads::DataSize size = workloads::find_data_size(hotspot, "64 x 64");
+  const auto iters1 = workloads::cached_skeleton(hotspot, size, 1);
+  const auto iters8 = workloads::cached_skeleton(hotspot, size, 8);
+
+  // Same content except iterations: the full fingerprint differs, the
+  // usage fingerprint (what the plan cache keys on) does not.
+  EXPECT_NE(iters1->content_hash, iters8->content_hash);
+  EXPECT_EQ(iters1->usage_key, iters8->usage_key);
+
+  // So an iteration sweep shares one usage artifact.
+  const auto plan1 = dataflow::cached_usage(iters1->usage_key, iters1->app);
+  const auto plan8 = dataflow::cached_usage(iters8->usage_key, iters8->app);
+  EXPECT_EQ(plan1.get(), plan8.get());
+
+  // A different data size is a different plan.
+  const workloads::DataSize big =
+      workloads::find_data_size(hotspot, "512 x 512");
+  const auto other = workloads::cached_skeleton(hotspot, big, 1);
+  EXPECT_NE(other->usage_key, iters1->usage_key);
+}
+
+// --- the projection is identical with the caches on or off ---
+
+TEST(ArtifactCache, ProjectionBitIdenticalWithCachesOnOrOff) {
+  const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
+  const workloads::Workload& srad = suite.find("SRAD");
+  const workloads::DataSize size =
+      workloads::find_data_size(srad, "1024 x 1024");
+  const skeleton::AppSkeleton app = srad.make_skeleton(size, 2);
+
+  core::ProjectionOptions cached_options;
+  cached_options.use_artifact_caches = true;
+  core::ProjectionOptions uncached_options;
+  uncached_options.use_artifact_caches = false;
+
+  core::Grophecy cached_engine(hw::anl_eureka(), cached_options);
+  core::Grophecy uncached_engine(hw::anl_eureka(), uncached_options);
+  const core::ProjectionReport cached = cached_engine.project(app);
+  const core::ProjectionReport uncached = uncached_engine.project(app);
+
+  EXPECT_TRUE(cached.artifacts.caches_enabled);
+  EXPECT_FALSE(uncached.artifacts.caches_enabled);
+  EXPECT_EQ(cached.artifacts.usage_key, skeleton::usage_fingerprint(app));
+
+  // Bitwise equality of every scalar the journal records.
+  EXPECT_EQ(cached.predicted_kernel_s, uncached.predicted_kernel_s);
+  EXPECT_EQ(cached.predicted_transfer_s, uncached.predicted_transfer_s);
+  EXPECT_EQ(cached.measured_kernel_s, uncached.measured_kernel_s);
+  EXPECT_EQ(cached.measured_transfer_s, uncached.measured_transfer_s);
+  EXPECT_EQ(cached.measured_cpu_s, uncached.measured_cpu_s);
+  EXPECT_EQ(cached.plan.input_bytes(), uncached.plan.input_bytes());
+  EXPECT_EQ(cached.plan.output_bytes(), uncached.plan.output_bytes());
+  EXPECT_EQ(cached.describe(), uncached.describe());
+}
+
+}  // namespace
+}  // namespace grophecy

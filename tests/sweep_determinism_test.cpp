@@ -23,6 +23,7 @@
 #include <set>
 #include <thread>
 
+#include "dataflow/usage_cache.h"
 #include "exec/journal.h"
 #include "exec/sweep_request.h"
 #include "faults/fault_injector.h"
@@ -30,6 +31,7 @@
 #include "pcie/bus.h"
 #include "util/error.h"
 #include "util/units.h"
+#include "workloads/skeleton_cache.h"
 
 namespace grophecy::exec {
 namespace {
@@ -227,6 +229,44 @@ TEST(SweepDeterminism, RealPipelineResultsEqualSerialBitForBit) {
       EXPECT_EQ(a.measured_transfer_s, b.measured_transfer_s) << i;
       EXPECT_EQ(a.measured_cpu_s, b.measured_cpu_s) << i;
     }
+  }
+}
+
+// The shared-artifact caches must be invisible in results: a sweep whose
+// artifacts are all built fresh (cache-cold) and a sweep served entirely
+// from the process-wide caches (cache-warm) produce byte-identical
+// journals, for any worker count. Content-addressed keys make a cached
+// artifact bit-identical to a rebuilt one; this pins it end to end.
+TEST(SweepDeterminism, JournalBytesEqualCacheColdAndCacheWarmAcrossWorkers) {
+  auto run = [](int workers, bool cold, const std::string& name) {
+    if (cold) {
+      workloads::skeleton_cache().clear();
+      dataflow::usage_cache().clear();
+    }
+    TempJournal journal(name);
+    SweepOptions options;
+    options.workers = workers;
+    options.journal_path = journal.path();
+    options.record_wall_time = false;
+    SweepEngine engine(options);
+    const SweepSummary summary = SweepRequest::on(hw::anl_eureka())
+                                     .workloads({"HotSpot"})
+                                     .sizes({"64 x 64", "512 x 512"})
+                                     .iterations({1, 8})
+                                     .run(engine);
+    EXPECT_EQ(summary.failed, 0);
+    return journal.bytes();
+  };
+
+  const std::string cold_serial = run(1, true, "cold_w1");
+  ASSERT_FALSE(cold_serial.empty());
+  // Warm runs (caches populated by the run above) and cold parallel runs
+  // all journal the same bytes.
+  EXPECT_EQ(run(1, false, "warm_w1"), cold_serial);
+  for (int workers : {2, 8}) {
+    const std::string tag = std::to_string(workers);
+    EXPECT_EQ(run(workers, true, "cold_w" + tag), cold_serial) << workers;
+    EXPECT_EQ(run(workers, false, "warm_w" + tag), cold_serial) << workers;
   }
 }
 

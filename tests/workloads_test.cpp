@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "workloads/cfd.h"
@@ -16,6 +18,7 @@
 #include "workloads/srad_ref.h"
 #include "workloads/stassuij.h"
 #include "workloads/stassuij_ref.h"
+#include "util/error.h"
 #include "workloads/workload.h"
 
 namespace grophecy::workloads {
@@ -250,6 +253,66 @@ TEST(StassuijRef, ResetRestoresAccumulator) {
   ref.multiply();
   ref.reset();
   EXPECT_EQ(ref.c()[0], before);
+}
+
+// --- the PaperSuite lookup indexes (find_workload / find_data_size) ---
+
+std::string usage_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const UsageError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SuiteLookup, SuiteFindMatchesLegacyScan) {
+  const PaperSuite& suite = PaperSuite::instance();
+  for (const auto& workload : suite.all()) {
+    // The indexed lookup and the generic scan resolve to the same object.
+    EXPECT_EQ(&find_workload(suite.all(), workload->name()), workload.get());
+    EXPECT_EQ(&suite.find(workload->name()), workload.get());
+    for (const DataSize& size : workload->paper_data_sizes()) {
+      const DataSize found = find_data_size(*workload, size.label);
+      EXPECT_EQ(found.label, size.label);
+      EXPECT_EQ(found.param, size.param);
+    }
+  }
+}
+
+TEST(SuiteLookup, ErrorMessagesAreByteIdenticalToTheLegacyScan) {
+  const PaperSuite& suite = PaperSuite::instance();
+  // A caller-built list takes the legacy linear-scan path; the suite list
+  // takes the index. Unknown names must produce the same bytes.
+  const auto legacy_list = paper_workloads();
+  const std::string legacy_name = usage_message(
+      [&] { find_workload(legacy_list, "NoSuchApp"); });
+  const std::string suite_name = usage_message(
+      [&] { find_workload(suite.all(), "NoSuchApp"); });
+  ASSERT_FALSE(legacy_name.empty());
+  EXPECT_EQ(suite_name, legacy_name);
+  EXPECT_EQ(legacy_name,
+            "unknown workload 'NoSuchApp' "
+            "(valid: CFD, HotSpot, SRAD, Stassuij)");
+
+  // Same for data-size labels: a foreign (non-suite) workload instance
+  // scans linearly, a suite instance uses the label index.
+  const auto foreign = make_hotspot();
+  const std::string legacy_size = usage_message(
+      [&] { find_data_size(*foreign, "nonsense"); });
+  const std::string suite_size = usage_message(
+      [&] { find_data_size(suite.find("HotSpot"), "nonsense"); });
+  ASSERT_FALSE(legacy_size.empty());
+  EXPECT_EQ(suite_size, legacy_size);
+}
+
+TEST(SuiteLookup, ForeignWorkloadsStillResolveThroughTheFallback) {
+  const auto own = paper_workloads();  // a list the suite does not own
+  EXPECT_EQ(find_workload(own, "SRAD").name(), "SRAD");
+  const DataSize size = find_data_size(*own[1], "64 x 64");
+  EXPECT_EQ(size.param, 64);
+  EXPECT_EQ(PaperSuite::instance().try_find_size(*own[1], "64 x 64", nullptr),
+            nullptr);  // pointer identity: not a suite instance
 }
 
 }  // namespace
