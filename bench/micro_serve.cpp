@@ -1,0 +1,439 @@
+// micro_serve — daemon machinery benchmark and overload-robustness gate.
+//
+// Drives serve::Daemon through four traffic shapes and emits a
+// machine-readable BENCH_serve.json for scripts/bench_compare (the CI
+// perf-smoke gate):
+//
+//   steady/closed    16 synchronous clients against 4 workers: the happy
+//                    path. Gates p99 latency; shedding must be ~zero.
+//   burst/open       10k+ requests fired at once into a 256-deep queue:
+//                    admission control must shed (within a sane window)
+//                    and the *reply* path must stay fast for everyone —
+//                    shed or served, p99 is bounded.
+//   coalesce/hot     5k requests over 8 distinct specs: cross-request
+//                    coalescing must absorb nearly all of them.
+//   chaos/faults     a faults::FaultEngine scripting transient failures
+//                    and hangs behind per-request deadlines: every
+//                    request still gets exactly one reply, bounded p99.
+//
+//   ./build/bench/micro_serve [--out FILE] [--quick]
+//
+// The daemon runs a stub job function (deterministic busy-work) so the
+// bench measures the serving machinery, not the projection pipeline.
+// Latency gates are absolute per-entry ceilings (max_p99_ms) chosen an
+// order of magnitude above a developer laptop's numbers: they catch a
+// wedged queue or a lost wakeup, not a slow machine. Throughput is
+// emitted for bench_compare's warn-only tracking. Every entry self-gates
+// reply_rate == 1 — the exactly-one-reply contract under load is the
+// acceptance bar of this bench, not a statistic.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "util/jsonl.h"
+
+namespace {
+
+using grophecy::exec::JobSpec;
+using grophecy::serve::Daemon;
+using grophecy::serve::DaemonOptions;
+using grophecy::serve::DaemonStats;
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic busy-work standing in for a projection: hash-mixes for
+/// roughly `cost_us` microseconds of CPU (calibrated per process, so the
+/// bench's *ratios* are machine-independent even though wall time isn't).
+class StubWork {
+ public:
+  explicit StubWork(double cost_us) {
+    const auto start = Clock::now();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t rounds = 0;
+    while (std::chrono::duration<double, std::micro>(Clock::now() - start)
+               .count() < 1000.0) {
+      for (int i = 0; i < 1024; ++i) h = (h ^ rounds) * 0x100000001b3ULL;
+      ++rounds;
+    }
+    rounds_per_us_ = std::max<std::uint64_t>(1, rounds / 1000);
+    cost_rounds_ = static_cast<std::uint64_t>(
+        cost_us * static_cast<double>(rounds_per_us_));
+  }
+
+  grophecy::core::ProjectionReport operator()(const JobSpec& spec) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t r = 0; r < cost_rounds_; ++r)
+      h = (h ^ r) * 0x100000001b3ULL;
+    grophecy::core::ProjectionReport report;
+    report.app_name = spec.workload;
+    report.machine_name = "stub";
+    report.iterations = spec.iterations;
+    report.predicted_kernel_s = 1e-3 + 1e-12 * static_cast<double>(h & 0xff);
+    report.measured_kernel_s = 1.1e-3;
+    report.predicted_transfer_s = 2e-3;
+    report.measured_transfer_s = 2.1e-3;
+    report.measured_cpu_s = 0.5;
+    return report;
+  }
+
+ private:
+  std::uint64_t rounds_per_us_ = 1;
+  std::uint64_t cost_rounds_ = 0;
+};
+
+struct Entry {
+  std::string name;
+  std::int64_t requests = 0;
+  double throughput = 0.0;    ///< Replies per wall second.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_p99_ms = 0.0;    ///< Gate: p99 must stay under this.
+  double shed_rate = 0.0;
+  double min_shed_rate = 0.0;  ///< Gate window on shed_rate...
+  double max_shed_rate = 1.0;  ///< ...inclusive on both ends.
+  double coalesce_rate = 0.0;
+  double min_coalesce_rate = 0.0;
+  double reply_rate = 0.0;     ///< Gate: must be exactly 1.0.
+};
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) *
+                          (rank - static_cast<double>(lo));
+}
+
+std::string project_line(long index, int spec_variants,
+                         double deadline_ms = 0.0) {
+  grophecy::util::FlatJson request;
+  request.emplace_back("id", std::to_string(index));
+  request.emplace_back("type", std::string("project"));
+  request.emplace_back("workload", std::string(index % 2 ? "CFD" : "SRAD"));
+  request.emplace_back("size", std::string("97K"));
+  request.emplace_back(
+      "iterations",
+      static_cast<double>(1 + (index % std::max(1, spec_variants))));
+  if (deadline_ms > 0.0) request.emplace_back("deadline_ms", deadline_ms);
+  return grophecy::util::write_flat_json(request);
+}
+
+/// Collects per-request latencies and reply counts across threads.
+struct Collector {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  std::uint64_t replies = 0;
+
+  Daemon::ReplyFn slot(Clock::time_point start) {
+    return [this, start](const std::string&) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      std::lock_guard<std::mutex> lock(mutex);
+      latencies_ms.push_back(ms);
+      ++replies;
+    };
+  }
+};
+
+Entry finish_entry(Entry entry, Collector& collector, const DaemonStats& stats,
+                   double wall_s) {
+  entry.throughput =
+      wall_s > 0.0 ? static_cast<double>(collector.replies) / wall_s : 0.0;
+  entry.p50_ms = percentile(collector.latencies_ms, 0.50);
+  entry.p99_ms = percentile(collector.latencies_ms, 0.99);
+  const double received = static_cast<double>(stats.received);
+  entry.shed_rate = received > 0.0
+                        ? static_cast<double>(stats.shed) / received
+                        : 0.0;
+  entry.coalesce_rate =
+      received > 0.0 ? static_cast<double>(stats.coalesce_hits) / received
+                     : 0.0;
+  entry.reply_rate =
+      received > 0.0 ? static_cast<double>(stats.replies) / received : 0.0;
+  std::printf("%-16s %8lld req %9.0f/s  p50 %8.3f ms  p99 %8.3f ms  "
+              "shed %5.1f%%  coalesce %5.1f%%  replies %5.1f%%\n",
+              entry.name.c_str(), static_cast<long long>(entry.requests),
+              entry.throughput, entry.p50_ms, entry.p99_ms,
+              entry.shed_rate * 100.0, entry.coalesce_rate * 100.0,
+              entry.reply_rate * 100.0);
+  return entry;
+}
+
+Entry bench_steady_closed(long requests, double cost_us) {
+  DaemonOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 256;
+  options.job_fn = StubWork(cost_us);
+  Daemon daemon(std::move(options));
+  daemon.start();
+
+  Collector collector;
+  constexpr int kClients = 16;
+  const auto wall_start = Clock::now();
+  {
+    std::vector<std::thread> clients;
+    std::atomic<long> next{0};
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        for (long i = next.fetch_add(1); i < requests;
+             i = next.fetch_add(1)) {
+          const auto start = Clock::now();
+          // Unique specs: this entry measures raw serving latency.
+          (void)daemon.handle(project_line(i, 1 << 20));
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+          std::lock_guard<std::mutex> lock(collector.mutex);
+          collector.latencies_ms.push_back(ms);
+          ++collector.replies;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  daemon.shutdown();
+
+  Entry entry;
+  entry.name = "steady/closed";
+  entry.requests = requests;
+  entry.max_p99_ms = 200.0;
+  entry.min_shed_rate = 0.0;
+  entry.max_shed_rate = 0.001;  // 16 closed-loop clients never fill 256
+  return finish_entry(std::move(entry), collector, daemon.stats(), wall_s);
+}
+
+Entry bench_burst_open(long requests, double cost_us) {
+  DaemonOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 256;
+  options.job_fn = StubWork(cost_us);
+  Daemon daemon(std::move(options));
+  daemon.start();
+
+  Collector collector;
+  const auto wall_start = Clock::now();
+  {
+    std::vector<std::thread> submitters;
+    for (int c = 0; c < 8; ++c) {
+      submitters.emplace_back([&, c] {
+        for (long i = c; i < requests; i += 8)
+          daemon.handle_line(project_line(i, 1 << 20),
+                             collector.slot(Clock::now()));
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+  }
+  daemon.shutdown(/*drain=*/true);  // waits for the accepted tail
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  Entry entry;
+  entry.name = "burst/open";
+  entry.requests = requests;
+  // Shed replies are immediate and dominate; accepted jobs clear a
+  // <=256-deep queue. Far under this ceiling unless the queue wedges.
+  entry.max_p99_ms = 2000.0;
+  // The gate: admission control *must* engage under a 10k burst (the
+  // queue holds only 256), but must not reject effectively everything.
+  entry.min_shed_rate = 0.05;
+  entry.max_shed_rate = 0.995;
+  return finish_entry(std::move(entry), collector, daemon.stats(), wall_s);
+}
+
+Entry bench_coalesce_hot(long requests, double cost_us) {
+  DaemonOptions options;
+  options.workers = 2;
+  options.max_queue_depth = 64;
+  options.job_fn = StubWork(cost_us);
+  Daemon daemon(std::move(options));
+  daemon.start();
+
+  Collector collector;
+  const auto wall_start = Clock::now();
+  {
+    std::vector<std::thread> submitters;
+    for (int c = 0; c < 4; ++c) {
+      submitters.emplace_back([&, c] {
+        for (long i = c; i < requests; i += 4)
+          // Only 8 distinct specs: nearly everything coalesces onto an
+          // in-flight computation instead of executing.
+          daemon.handle_line(project_line(i, 4),
+                             collector.slot(Clock::now()));
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+  }
+  daemon.shutdown(/*drain=*/true);
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  Entry entry;
+  entry.name = "coalesce/hot";
+  entry.requests = requests;
+  entry.max_p99_ms = 2000.0;
+  entry.max_shed_rate = 0.5;       // coalesced attaches are never shed
+  entry.min_coalesce_rate = 0.50;  // the point of this entry
+  return finish_entry(std::move(entry), collector, daemon.stats(), wall_s);
+}
+
+Entry bench_chaos_faults(long requests, double cost_us) {
+  // Scripted chaos from the faults module: transient MeasurementErrors
+  // (retried once) and rare hangs (sleeps far past the deadline, then
+  // abandoned by the watchdog). The same engine the calibration
+  // robustness suite trusts; serialized because the daemon's workers
+  // share it.
+  grophecy::faults::FaultPlan plan;
+  plan.seed = 1234;
+  plan.failure_probability = 0.15;
+  plan.hang_probability = 0.01;
+  plan.hang_factor = 4000.0;  // 25 us clean * 4000 = 100 ms >> the deadline
+  auto engine = std::make_shared<grophecy::faults::FaultEngine>(plan);
+  auto engine_mutex = std::make_shared<std::mutex>();
+  StubWork work(cost_us);
+
+  DaemonOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 256;
+  options.max_retries = 1;
+  options.default_deadline_s = 0.060;
+  options.job_fn = [engine, engine_mutex, work](const JobSpec& spec) {
+    double perturbed_us;
+    {
+      std::lock_guard<std::mutex> lock(*engine_mutex);
+      perturbed_us = engine->transform(1.0) * 25.0;  // hang => 100 ms naps
+    }
+    if (perturbed_us > 100.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(perturbed_us));
+    return work(spec);
+  };
+  Daemon daemon(std::move(options));
+  daemon.start();
+
+  Collector collector;
+  const auto wall_start = Clock::now();
+  {
+    std::vector<std::thread> submitters;
+    for (int c = 0; c < 8; ++c) {
+      submitters.emplace_back([&, c] {
+        for (long i = c; i < requests; i += 8)
+          daemon.handle_line(project_line(i, 1 << 20, /*deadline_ms=*/60.0),
+                             collector.slot(Clock::now()));
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+  }
+  daemon.shutdown(/*drain=*/true);
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  Entry entry;
+  entry.name = "chaos/faults";
+  entry.requests = requests;
+  // Every accepted request resolves within (deadline + watchdog slack);
+  // shed ones resolve immediately. A wedged worker would blow this.
+  entry.max_p99_ms = 2000.0;
+  entry.max_shed_rate = 0.995;
+  return finish_entry(std::move(entry), collector, daemon.stats(), wall_s);
+}
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_serve.v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"requests\": %lld, \"throughput\": %.6g,"
+        " \"p50_ms\": %.6g, \"p99_ms\": %.6g, \"max_p99_ms\": %.6g,"
+        " \"shed_rate\": %.6g, \"min_shed_rate\": %.6g,"
+        " \"max_shed_rate\": %.6g, \"coalesce_rate\": %.6g,"
+        " \"min_coalesce_rate\": %.6g, \"reply_rate\": %.6g}%s\n",
+        e.name.c_str(), static_cast<long long>(e.requests), e.throughput,
+        e.p50_ms, e.p99_ms, e.max_p99_ms, e.shed_rate, e.min_shed_rate,
+        e.max_shed_rate, e.coalesce_rate, e.min_coalesce_rate, e.reply_rate,
+        i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Stub job cost ~200 us: heavy enough that a 10k burst must shed
+  // against 4 workers, light enough that the whole bench stays seconds.
+  const double cost_us = 200.0;
+  const long scale = quick ? 10 : 1;
+
+  std::vector<Entry> entries;
+  entries.push_back(bench_steady_closed(4000 / scale, cost_us));
+  entries.push_back(bench_burst_open(12000 / scale, cost_us));
+  entries.push_back(bench_coalesce_hot(5000 / scale, cost_us));
+  entries.push_back(bench_chaos_faults(3000 / scale, cost_us));
+
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+
+  // Self-gate: the same bars scripts/bench_compare enforces, so a bare
+  // `./micro_serve` run fails loudly without the comparison script.
+  bool ok = true;
+  for (const Entry& entry : entries) {
+    if (entry.reply_rate != 1.0) {
+      std::fprintf(stderr, "FAIL %s: reply_rate %.6f != 1 — requests went "
+                           "unanswered\n",
+                   entry.name.c_str(), entry.reply_rate);
+      ok = false;
+    }
+    if (entry.p99_ms > entry.max_p99_ms) {
+      std::fprintf(stderr, "FAIL %s: p99 %.3f ms exceeds ceiling %.0f ms\n",
+                   entry.name.c_str(), entry.p99_ms, entry.max_p99_ms);
+      ok = false;
+    }
+    if (entry.shed_rate < entry.min_shed_rate ||
+        entry.shed_rate > entry.max_shed_rate) {
+      std::fprintf(stderr,
+                   "FAIL %s: shed_rate %.4f outside [%.3f, %.3f]\n",
+                   entry.name.c_str(), entry.shed_rate, entry.min_shed_rate,
+                   entry.max_shed_rate);
+      ok = false;
+    }
+    if (entry.coalesce_rate < entry.min_coalesce_rate) {
+      std::fprintf(stderr, "FAIL %s: coalesce_rate %.4f below %.3f\n",
+                   entry.name.c_str(), entry.coalesce_rate,
+                   entry.min_coalesce_rate);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

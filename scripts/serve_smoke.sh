@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Live end-to-end smoke of the projection daemon: boot serve_daemon on a
+# real AF_UNIX socket, slam it with serve_loadgen (closed-loop mix plus
+# an open-loop burst with tight deadlines), and require that every single
+# request got exactly one typed reply — the loadgen's exit code *is* that
+# check. Finishes with a clean client-initiated shutdown and verifies the
+# daemon exits by itself.
+#
+#   scripts/serve_smoke.sh [BUILD_DIR]     (default: build)
+#
+# Used by `scripts/verify.sh --serve` and the CI serve-smoke job (there
+# under an ASan build, so daemon-side leaks and overflows fail the job).
+# Total budget is about a minute on a laptop; the surrounding caller is
+# expected to wrap it in a hard `timeout` as the last-resort watchdog.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+daemon="${build_dir}/tools/serve_daemon"
+loadgen="${build_dir}/tools/serve_loadgen"
+for bin in "${daemon}" "${loadgen}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "serve_smoke: missing ${bin} (build the '${build_dir}' tree first)" >&2
+    exit 2
+  fi
+done
+
+socket_dir="$(mktemp -d)"
+socket="${socket_dir}/grophecy.sock"
+daemon_log="${socket_dir}/daemon.log"
+daemon_pid=""
+cleanup() {
+  if [[ -n "${daemon_pid}" ]] && kill -0 "${daemon_pid}" 2>/dev/null; then
+    kill "${daemon_pid}" 2>/dev/null || true
+    wait "${daemon_pid}" 2>/dev/null || true
+  fi
+  rm -rf "${socket_dir}"
+}
+trap cleanup EXIT
+
+"${daemon}" --socket "${socket}" --workers 4 --queue-depth 64 \
+  --max-retries 1 >"${daemon_log}" 2>&1 &
+daemon_pid="$!"
+
+# Wait for the socket to appear (the daemon binds before serving).
+for _ in $(seq 1 100); do
+  [[ -S "${socket}" ]] && break
+  if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+    echo "serve_smoke: daemon died during startup" >&2
+    cat "${daemon_log}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -S "${socket}" ]] || { echo "serve_smoke: socket never appeared" >&2; exit 1; }
+
+echo "--- serve_smoke: closed-loop mix ---"
+"${loadgen}" --socket "${socket}" --requests 256 --connections 8
+
+echo "--- serve_smoke: open-loop burst with tight deadlines ---"
+"${loadgen}" --socket "${socket}" --requests 2000 --connections 8 \
+  --burst --deadline-ms 250
+
+echo "--- serve_smoke: client-initiated shutdown ---"
+"${loadgen}" --socket "${socket}" --requests 8 --connections 1 --shutdown
+
+# The shutdown request must take the daemon down on its own.
+for _ in $(seq 1 100); do
+  kill -0 "${daemon_pid}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${daemon_pid}" 2>/dev/null; then
+  echo "serve_smoke: daemon ignored the shutdown request" >&2
+  exit 1
+fi
+wait "${daemon_pid}" || {
+  echo "serve_smoke: daemon exited non-zero" >&2
+  cat "${daemon_log}" >&2
+  exit 1
+}
+daemon_pid=""
+echo "serve_smoke: OK"

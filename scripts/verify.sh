@@ -7,13 +7,22 @@
 #   scripts/verify.sh --tsan       additionally build under ThreadSanitizer
 #                                  and run the concurrency-sensitive suites
 #                                  (sweep engine, determinism, journal,
-#                                  calibration cache)
+#                                  calibration cache, serve daemon)
 #   scripts/verify.sh --bench      additionally run the micro_sim,
-#                                  micro_pipeline, and micro_brs benchmarks
-#                                  and gate each against its checked-in
-#                                  bench/BENCH_*.json baseline
+#                                  micro_pipeline, micro_brs, and micro_serve
+#                                  benchmarks and gate each against its
+#                                  checked-in bench/BENCH_*.json baseline
+#   scripts/verify.sh --serve      additionally run the live daemon smoke:
+#                                  serve_daemon on a real socket under a
+#                                  loadgen burst (scripts/serve_smoke.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Per-test ctest timeout (seconds). The serve suites run a daemon with
+# worker pools and watchdogs; if a bug ever wedges one, the suite must
+# fail fast instead of hanging verification. Generous enough for the
+# soak tests under TSan's ~10x slowdown.
+CTEST_TIMEOUT="${CTEST_TIMEOUT:-300}"
 
 run_preset() {
   local preset="$1"
@@ -21,7 +30,7 @@ run_preset() {
   echo "=== verify: ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
-  ctest --preset "${preset}" -j "$(nproc)" "$@"
+  ctest --preset "${preset}" -j "$(nproc)" --timeout "${CTEST_TIMEOUT}" "$@"
 }
 
 run_preset default
@@ -34,15 +43,19 @@ for arg in "$@"; do
       # TSan slows everything ~10x; focus it on the code that actually
       # shares state across threads (ctest names are GTest suite.test).
       run_preset tsan --no-tests=error -R \
-        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe)\.'
+        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe|ServeProtocol|ServeDaemon|ServeSoak|ServeEndToEnd)\.'
       ;;
     --bench)
-      for bench in sim pipeline brs; do
+      for bench in sim pipeline brs serve; do
         echo "=== verify: bench (micro_${bench} vs bench/BENCH_${bench}.json) ==="
         "./build/bench/micro_${bench}" --out "build/BENCH_${bench}.json"
         scripts/bench_compare "bench/BENCH_${bench}.json" \
           "build/BENCH_${bench}.json"
       done
+      ;;
+    --serve)
+      echo "=== verify: serve smoke (daemon + loadgen over AF_UNIX) ==="
+      scripts/serve_smoke.sh build
       ;;
     *)
       echo "unknown option: ${arg}" >&2

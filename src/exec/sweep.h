@@ -94,6 +94,14 @@ struct JobError {
   bool retryable = false;   ///< Transient: retry may succeed.
 };
 
+/// Maps the exception currently in flight (callable from a catch block
+/// only) to the sweep error taxonomy. Only measurement failures and
+/// watchdog timeouts are transient; everything else is a property of the
+/// configuration, and retrying cannot help. Shared by the sweep engine's
+/// supervised attempts and the serve::Daemon request executor, so batch
+/// and online failures classify identically.
+JobError classify_current_exception();
+
 /// How a journaled job ended. Serialized as "ok"/"failed" at the JSONL
 /// boundary only (see record.cpp); the journal format is unchanged.
 enum class RecordStatus {

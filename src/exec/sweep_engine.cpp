@@ -15,11 +15,6 @@
 
 namespace grophecy::exec {
 
-namespace {
-
-/// Maps the exception in flight to the sweep error taxonomy. Only
-/// measurement failures and watchdog timeouts are transient; everything
-/// else is a property of the configuration, and retrying cannot help.
 JobError classify_current_exception() {
   JobError error;
   try {
@@ -51,6 +46,8 @@ JobError classify_current_exception() {
   }
   return error;
 }
+
+namespace {
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -101,10 +101,10 @@ CalibrationCache& CalibrationCache::instance() {
 CalibrationReport CalibrationCache::get_or_calibrate(const std::string& key,
                                                      const Factory& factory) {
   // The promise lives in the owning call's frame; the map only ever holds
-  // shared_futures, so concurrent misses on *different* keys are fully
+  // Flight handles, so concurrent misses on *different* keys are fully
   // independent and calibrate in parallel.
   std::promise<CalibrationReport> promise;
-  std::shared_future<CalibrationReport> flight;
+  std::shared_ptr<Flight> flight;
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -115,7 +115,8 @@ CalibrationReport CalibrationCache::get_or_calibrate(const std::string& key,
     } else {
       ++misses_;
       owner = true;
-      flight = promise.get_future().share();
+      flight = std::make_shared<Flight>();
+      flight->future = promise.get_future().share();
       entries_.emplace(key, flight);
     }
   }
@@ -124,13 +125,19 @@ CalibrationReport CalibrationCache::get_or_calibrate(const std::string& key,
     try {
       promise.set_value(factory());
     } catch (...) {
+      // Publish the failure to every joined waiter first (they all
+      // rethrow this same typed exception), then evict so a later
+      // request retries instead of inheriting a cached failure. The
+      // eviction is by identity: if clear() raced in and a fresh flight
+      // already occupies the slot, that healthy flight must survive.
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mutex_);
-      entries_.erase(key);  // allow a later retry instead of caching failure
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == flight) entries_.erase(it);
     }
   }
 
-  CalibrationReport report = flight.get();  // waits for the in-flight owner
+  CalibrationReport report = flight->future.get();  // waits for the owner
   {
     std::lock_guard<std::mutex> lock(mutex_);
     report.from_cache = !owner;

@@ -59,8 +59,10 @@ class CalibrationCache {
   /// the same key block until the in-flight calibration finishes. The
   /// returned copy has from_cache/cache_hits/cache_misses stamped; the
   /// stored entry keeps from_cache = false. A throwing factory poisons
-  /// nothing: the failed entry is evicted so a later call may retry, and
-  /// the exception propagates to every caller waiting on that flight.
+  /// nothing: every waiter joined to the failed flight observes the same
+  /// typed exception, the failed entry — and only that entry, never a
+  /// fresh flight that raced in after a clear() — is evicted, and the
+  /// next request for the key retriggers calibration.
   CalibrationReport get_or_calibrate(const std::string& key,
                                      const Factory& factory);
 
@@ -80,8 +82,16 @@ class CalibrationCache {
  private:
   CalibrationCache() = default;
 
+  /// One calibration in flight (or completed). Entries are held behind a
+  /// shared_ptr so a failed flight can be evicted by *identity*: the
+  /// owner erases the map slot only while it still holds this exact
+  /// flight, never a successor installed after a concurrent clear().
+  struct Flight {
+    std::shared_future<CalibrationReport> future;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_future<CalibrationReport>> entries_;
+  std::map<std::string, std::shared_ptr<Flight>> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -47,6 +47,8 @@ enum class ErrorKind {
   kTimeout,    ///< A supervised attempt exceeded its wall-clock deadline.
   kContract,   ///< A ContractViolation (programming error) was caught.
   kException,  ///< An exception from outside the taxonomy was caught.
+  kOverloaded, ///< Admission control shed the request (serve::Daemon);
+               ///< transient by nature — retry after the hinted delay.
 };
 
 /// Stable lowercase name of a kind; these exact strings are the journal
@@ -60,6 +62,7 @@ constexpr const char* to_string(ErrorKind kind) {
     case ErrorKind::kTimeout: return "timeout";
     case ErrorKind::kContract: return "contract";
     case ErrorKind::kException: return "exception";
+    case ErrorKind::kOverloaded: return "overloaded";
   }
   return "exception";
 }
@@ -72,7 +75,7 @@ inline std::optional<ErrorKind> error_kind_from_string(
   for (ErrorKind kind :
        {ErrorKind::kMeasurement, ErrorKind::kCalibration, ErrorKind::kParse,
         ErrorKind::kUsage, ErrorKind::kTimeout, ErrorKind::kContract,
-        ErrorKind::kException})
+        ErrorKind::kException, ErrorKind::kOverloaded})
     if (name == to_string(kind)) return kind;
   return std::nullopt;
 }

@@ -78,6 +78,12 @@ struct Reader {
       const char ch = text[pos++];
       if (ch == '"') return true;
       if (ch != '\\') {
+        // RFC 8259: control characters must arrive escaped. Rejecting the
+        // raw bytes here keeps line framing unambiguous on the wire — an
+        // embedded newline can only ever appear as "\n", so one request is
+        // always exactly one line (the writer already escapes on the way
+        // out; see json_escape).
+        if (static_cast<unsigned char>(ch) < 0x20) return false;
         out += ch;
         continue;
       }
@@ -103,10 +109,21 @@ struct Reader {
             else if (hex >= 'A' && hex <= 'F') code |= hex - 'A' + 10;
             else return false;
           }
-          // The writer only emits \u escapes for control bytes; anything
-          // in the Latin-1 range round-trips, the rest is rejected.
-          if (code > 0xFF) return false;
-          out += static_cast<char>(code);
+          // Wire clients may escape any BMP character; decode to UTF-8.
+          // Unpaired surrogates have no byte encoding and are rejected
+          // (raw UTF-8 already passes through both writer and reader, so
+          // no client needs surrogate pairs to say anything).
+          if (code >= 0xD800 && code <= 0xDFFF) return false;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
           break;
         }
         default: return false;
@@ -141,6 +158,10 @@ struct Reader {
       ++pos;
     if (pos == start) return false;
     const std::string token(text.substr(start, pos - start));
+    // strtod is laxer than the JSON grammar; reject the extras a hostile
+    // wire client could feed it ("+1", ".5" — a JSON number starts with
+    // '-' or a digit).
+    if (token.front() == '+' || token.front() == '.') return false;
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size() || !std::isfinite(value))

@@ -7,9 +7,15 @@
 // library dependency (the container ships none).
 //
 // The writer emits strict JSON (RFC 8259 escaping); the reader accepts
-// exactly the flat subset the writer produces and returns std::nullopt for
-// anything else — a torn or corrupt journal line must never throw, it is
-// an expected artifact of a crash mid-append.
+// the flat subset the writer produces — plus \uXXXX escapes for any
+// non-surrogate BMP character, decoded to UTF-8, since foreign wire
+// clients (serve::Daemon speaks this format over a socket) escape more
+// eagerly than our writer does — and returns std::nullopt for anything
+// else. Raw control bytes inside strings are rejected per RFC 8259, so an
+// embedded newline can only appear escaped and one object is always
+// exactly one line. A torn or corrupt line must never throw: it is an
+// expected artifact of a crash mid-append (journals) or of a hostile
+// client (the wire); escape -> parse round-trips every byte string.
 #pragma once
 
 #include <optional>

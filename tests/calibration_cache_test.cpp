@@ -177,6 +177,99 @@ TEST_F(CalibrationCacheTest, ThrowingFactoryIsEvictedSoRetrySucceeds) {
   EXPECT_EQ(cache.stats().misses, 2u);  // both attempts were misses
 }
 
+TEST_F(CalibrationCacheTest, ConcurrentWaitersAllObserveTheSameTypedFailure) {
+  // The failed-flight contract under concurrency: every caller joined to
+  // a flight whose factory throws observes that same typed error (no
+  // waiter hangs, none gets a half-built report), and the failure is
+  // evicted so a *fresh* request retriggers calibration.
+  CalibrationCache& cache = CalibrationCache::instance();
+  std::atomic<int> factory_calls{0};
+  const auto failing_factory = [&]() -> CalibrationReport {
+    factory_calls.fetch_add(1);
+    // Let the other callers join the in-flight future before it fails.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    throw CalibrationError("link down");
+  };
+
+  constexpr int kThreads = 8;
+  std::atomic<int> typed_failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      try {
+        cache.get_or_calibrate("doomed", failing_factory);
+      } catch (const CalibrationError& error) {
+        EXPECT_EQ(error.kind(), ErrorKind::kCalibration);
+        EXPECT_NE(std::string(error.what()).find("link down"),
+                  std::string::npos);
+        typed_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Whoever joined the failing flight saw its error; stragglers that
+  // arrived after eviction re-ran the factory and failed the same way.
+  EXPECT_EQ(typed_failures.load(), kThreads);
+  EXPECT_GE(factory_calls.load(), 1);
+  EXPECT_EQ(cache.size(), 0u);  // no failure is ever left cached
+
+  // A fresh request retriggers calibration and can succeed.
+  const CalibrationReport retried =
+      cache.get_or_calibrate("doomed", [] { return stub_report(7e-6); });
+  EXPECT_DOUBLE_EQ(retried.model.h2d.alpha_s, 7e-6);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(CalibrationCacheTest, FailedFlightEvictionNeverRemovesASuccessor) {
+  // Regression: eviction after a failed flight is by flight *identity*.
+  // If clear() races between the failure and the eviction and a fresh,
+  // healthy flight has already been installed under the same key, that
+  // successor must survive (the old code erased by key and would drop
+  // it, re-running calibration and breaking single-flight).
+  CalibrationCache& cache = CalibrationCache::instance();
+  std::atomic<bool> failing_started{false};
+  std::atomic<bool> cleared{false};
+
+  std::thread failing([&] {
+    try {
+      cache.get_or_calibrate("contended", [&]() -> CalibrationReport {
+        failing_started = true;
+        // Hold the flight open until the main thread has cleared the
+        // cache and installed a healthy successor under the same key.
+        while (!cleared.load()) std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        throw CalibrationError("stale flight fails late");
+      });
+      ADD_FAILURE() << "the failing flight should throw";
+    } catch (const CalibrationError&) {
+    }
+  });
+
+  while (!failing_started.load()) std::this_thread::yield();
+  cache.clear();  // forget the in-flight failure-to-be
+  int successor_calls = 0;
+  const CalibrationReport healthy =
+      cache.get_or_calibrate("contended", [&] {
+        ++successor_calls;
+        return stub_report(3e-6);
+      });
+  EXPECT_DOUBLE_EQ(healthy.model.h2d.alpha_s, 3e-6);
+  cleared = true;
+  failing.join();  // the stale flight fails and runs its eviction path
+
+  // The healthy successor survived the stale flight's eviction: a third
+  // caller hits the cache instead of re-calibrating.
+  EXPECT_EQ(cache.size(), 1u);
+  const CalibrationReport again = cache.get_or_calibrate("contended", [&] {
+    ++successor_calls;
+    return stub_report(999.0);
+  });
+  EXPECT_EQ(successor_calls, 1);  // never re-ran
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_DOUBLE_EQ(again.model.h2d.alpha_s, 3e-6);
+}
+
 TEST_F(CalibrationCacheTest, ClearDropsEntriesAndZeroesCounters) {
   CalibrationCache& cache = CalibrationCache::instance();
   cache.get_or_calibrate("a", [] { return stub_report(1e-6); });

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "hw/machine_file.h"
+#include "serve/protocol.h"
 #include "skeleton/parse.h"
 #include "util/error.h"
+#include "util/jsonl.h"
 
 namespace grophecy {
 namespace {
@@ -171,6 +173,114 @@ TEST(MalformedMachine, UnreadableFileIsAParseErrorNotAnAbort) {
   } catch (const ParseError& error) {
     EXPECT_EQ(error.file(), "/nonexistent/no_such.gmach");
   }
+}
+
+// --- the daemon wire (flat JSON lines from untrusted clients) ---
+//
+// The serve::Daemon reads the same flat-JSON format as the journals, but
+// from *hostile* peers: any byte sequence may arrive. Two contracts:
+// util::parse_flat_json never throws and rejects non-flat/unframed input,
+// and serve::parse_request turns every rejected line into a typed error
+// reply — the connection survives, nothing crashes.
+
+const std::vector<BrokenDoc>& broken_wire_lines() {
+  static const std::vector<BrokenDoc> corpus = {
+      {"empty", ""},
+      {"whitespace_only", "   \t "},
+      {"bare_word", "ping"},
+      {"unterminated_object", "{\"type\":\"ping\""},
+      {"unterminated_string", "{\"type\":\"pi"},
+      {"array_not_object", "[\"type\",\"ping\"]"},
+      {"nested_object", "{\"type\":{\"x\":1}}"},
+      {"nested_array", "{\"type\":[1,2]}"},
+      {"trailing_garbage", "{\"type\":\"ping\"} ping"},
+      {"two_objects_one_line", "{\"a\":1}{\"b\":2}"},
+      {"raw_newline_in_string", "{\"id\":\"a\nb\",\"type\":\"ping\"}"},
+      {"raw_tab_in_string", "{\"id\":\"a\tb\",\"type\":\"ping\"}"},
+      {"raw_escape_byte", "{\"id\":\"a\x1b[31m\",\"type\":\"ping\"}"},
+      {"lone_high_surrogate", "{\"id\":\"\\ud800\",\"type\":\"ping\"}"},
+      {"lone_low_surrogate", "{\"id\":\"\\udc00\",\"type\":\"ping\"}"},
+      {"truncated_unicode_escape", "{\"id\":\"\\u12"},
+      {"bad_unicode_hex", "{\"id\":\"\\uZZZZ\",\"type\":\"ping\"}"},
+      {"bad_escape", "{\"id\":\"\\q\",\"type\":\"ping\"}"},
+      {"nan_number", "{\"deadline_ms\":nan}"},
+      {"inf_number", "{\"deadline_ms\":1e999}"},
+      {"leading_plus", "{\"deadline_ms\":+1}"},
+      {"unquoted_key", "{type:\"ping\"}"},
+      {"single_quotes", "{'type':'ping'}"},
+      {"binary_noise", "\x01\x02\x7f\xff\xfe garbage"},
+      {"just_braces", "{}{}{"},
+      {"deep_quote_soup", "\"\"\"\"\"\""},
+  };
+  return corpus;
+}
+
+TEST(MalformedWire, ParseFlatJsonRejectsEveryCorpusEntryWithoutThrowing) {
+  for (const BrokenDoc& doc : broken_wire_lines())
+    EXPECT_EQ(util::parse_flat_json(doc.contents), std::nullopt) << doc.name;
+
+  // An embedded raw NUL (invisible to C strings, hence outside the
+  // corpus) is a control byte like any other: rejected, not truncated.
+  std::string nul_line = "{\"id\":\"a";
+  nul_line.push_back('\0');
+  nul_line += "b\",\"type\":\"ping\"}";
+  EXPECT_EQ(util::parse_flat_json(nul_line), std::nullopt);
+}
+
+TEST(MalformedWire, EveryCorpusEntryBecomesATypedErrorReplyNeverACrash) {
+  for (const BrokenDoc& doc : broken_wire_lines()) {
+    const auto parsed = serve::parse_request(doc.contents);
+    const serve::WireError* error = std::get_if<serve::WireError>(&parsed);
+    ASSERT_NE(error, nullptr) << doc.name;
+    EXPECT_EQ(error->kind, ErrorKind::kParse) << doc.name;
+
+    // The reply the daemon would send is itself one well-formed line.
+    const std::string reply =
+        serve::error_reply(error->id, error->kind, error->message);
+    const auto round = util::parse_flat_json(reply);
+    ASSERT_TRUE(round.has_value()) << doc.name;
+    EXPECT_EQ(util::json_string(*round, "error").value_or(""), "parse")
+        << doc.name;
+    EXPECT_EQ(reply.find('\n'), std::string::npos) << doc.name;
+  }
+}
+
+TEST(MalformedWire, EscapeThenParseRoundTripsEveryByteString) {
+  // Adversarial id strings: control bytes, quotes, backslashes, UTF-8,
+  // high bytes. Whatever the client sent (escaped), the echoed id in the
+  // reply must round-trip byte for byte, on one line.
+  std::vector<std::string> ids = {
+      std::string("\x00\x01\x02", 3),
+      "\n\r\t\f\b",
+      "quote\" backslash\\ slash/",
+      "\x1b[31mANSI\x1b[0m",
+      "utf8 \xc3\xa9\xe2\x82\xac\xf0\x9f\x9a\x80",
+      std::string(1, '\x7f') + "\xff\xfe",
+  };
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b)
+    all_bytes.push_back(static_cast<char>(b));
+  ids.push_back(all_bytes);
+
+  for (const std::string& id : ids) {
+    util::FlatJson object;
+    object.emplace_back("id", id);
+    const std::string line = util::write_flat_json(object);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const auto parsed = util::parse_flat_json(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(util::json_string(*parsed, "id").value_or("<gone>"), id);
+  }
+}
+
+TEST(MalformedWire, ReaderDecodesForeignBmpEscapesToUtf8) {
+  // A foreign client may escape eagerly; the reader must agree with the
+  // writer's UTF-8 on the result.
+  const auto parsed =
+      util::parse_flat_json("{\"id\":\"\\u00e9 \\u20ac \\u0041\"}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(util::json_string(*parsed, "id").value_or(""),
+            "\xc3\xa9 \xe2\x82\xac A");
 }
 
 }  // namespace

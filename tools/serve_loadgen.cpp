@@ -1,0 +1,279 @@
+// Load generator for the projection daemon (tools/serve_daemon.cpp).
+//
+//   serve_loadgen --socket /tmp/grophecy.sock [--requests N]
+//                 [--connections C] [--deadline-ms D] [--iterations I]
+//                 [--burst] [--shutdown]
+//
+// Closed loop by default: C connections each send request -> await reply
+// in lockstep, measuring per-request latency (p50/p99). With --burst the
+// loop opens: every connection pipelines its whole share before reading
+// replies — the shape that drives the daemon's admission control and
+// makes it shed.
+//
+// Exits 0 iff every request got exactly one reply (shed and timeout
+// replies count: they are the daemon *working*; a missing reply or a
+// dropped connection is the failure mode this tool exists to catch).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/socket_server.h"
+#include "util/jsonl.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using grophecy::serve::Client;
+
+struct Tally {
+  std::uint64_t sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t usage = 0;
+  std::uint64_t parse = 0;
+  std::uint64_t other_error = 0;
+  std::uint64_t transport_failures = 0;
+  std::vector<double> latencies_ms;  ///< Closed loop only.
+};
+
+void classify(const std::string& reply, Tally& tally) {
+  ++tally.replies;
+  const auto object = grophecy::util::parse_flat_json(reply);
+  if (!object) {
+    ++tally.other_error;
+    return;
+  }
+  const auto status = grophecy::util::json_string(*object, "status");
+  if (status && *status == "ok") {
+    ++tally.ok;
+    if (grophecy::util::json_bool(*object, "degraded").value_or(false))
+      ++tally.degraded;
+    return;
+  }
+  const auto error = grophecy::util::json_string(*object, "error");
+  if (!error) {
+    ++tally.other_error;
+  } else if (*error == "overloaded") {
+    ++tally.overloaded;
+  } else if (*error == "timeout") {
+    ++tally.timeout;
+  } else if (*error == "usage") {
+    ++tally.usage;
+  } else if (*error == "parse") {
+    ++tally.parse;
+  } else {
+    ++tally.other_error;
+  }
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+[[noreturn]] void usage_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--requests N] [--connections C]\n"
+               "          [--deadline-ms D] [--iterations I] [--burst]\n"
+               "          [--shutdown]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grophecy;
+  using Clock = std::chrono::steady_clock;
+
+  std::string socket_path;
+  long total_requests = 1000;
+  int connections = 8;
+  double deadline_ms = 0.0;
+  int iterations = 1;
+  bool burst = false;
+  bool send_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value) {
+      socket_path = value;
+      ++i;
+    } else if (flag == "--requests" && value) {
+      total_requests = std::strtol(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--connections" && value) {
+      connections = static_cast<int>(std::strtol(value, nullptr, 10));
+      ++i;
+    } else if (flag == "--deadline-ms" && value) {
+      deadline_ms = std::strtod(value, nullptr);
+      ++i;
+    } else if (flag == "--iterations" && value) {
+      iterations = static_cast<int>(std::strtol(value, nullptr, 10));
+      ++i;
+    } else if (flag == "--burst") {
+      burst = true;
+    } else if (flag == "--shutdown") {
+      send_shutdown = true;
+    } else {
+      usage_exit(argv[0]);
+    }
+  }
+  if (socket_path.empty() || total_requests < 1 || connections < 1)
+    usage_exit(argv[0]);
+
+  // The request mix cycles through the paper grid so the daemon's caches
+  // and coalescing see realistic repetition.
+  std::vector<std::pair<std::string, std::string>> grid;
+  for (const auto& workload : workloads::PaperSuite::instance().all())
+    for (const workloads::DataSize& size : workload->paper_data_sizes())
+      grid.emplace_back(workload->name(), size.label);
+
+  const auto make_request = [&](long index) {
+    const auto& [workload, size] = grid[static_cast<std::size_t>(index) %
+                                        grid.size()];
+    util::FlatJson request;
+    request.emplace_back("id", std::to_string(index));
+    request.emplace_back("type", std::string("project"));
+    request.emplace_back("workload", workload);
+    request.emplace_back("size", size);
+    request.emplace_back("iterations", static_cast<double>(iterations));
+    if (deadline_ms > 0.0) request.emplace_back("deadline_ms", deadline_ms);
+    return util::write_flat_json(request);
+  };
+
+  std::mutex tally_mutex;
+  Tally total;
+  std::atomic<long> next_index{0};
+  const auto wall_start = Clock::now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&] {
+      Tally local;
+      Client client;
+      if (!client.connect(socket_path)) {
+        std::lock_guard<std::mutex> lock(tally_mutex);
+        ++total.transport_failures;
+        return;
+      }
+      if (burst) {
+        // Open loop: pipeline the whole share, then drain the replies.
+        long mine = 0;
+        for (long index = next_index.fetch_add(1);
+             index < total_requests; index = next_index.fetch_add(1)) {
+          if (!client.send_line(make_request(index))) {
+            ++local.transport_failures;
+            break;
+          }
+          ++local.sent;
+          ++mine;
+        }
+        std::string reply;
+        for (long r = 0; r < mine; ++r) {
+          if (!client.recv_line(&reply)) {
+            ++local.transport_failures;
+            break;
+          }
+          classify(reply, local);
+        }
+      } else {
+        for (long index = next_index.fetch_add(1);
+             index < total_requests; index = next_index.fetch_add(1)) {
+          const auto start = Clock::now();
+          if (!client.send_line(make_request(index))) {
+            ++local.transport_failures;
+            break;
+          }
+          ++local.sent;
+          std::string reply;
+          if (!client.recv_line(&reply)) {
+            ++local.transport_failures;
+            break;
+          }
+          classify(reply, local);
+          local.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+        }
+      }
+      std::lock_guard<std::mutex> lock(tally_mutex);
+      total.sent += local.sent;
+      total.replies += local.replies;
+      total.ok += local.ok;
+      total.degraded += local.degraded;
+      total.overloaded += local.overloaded;
+      total.timeout += local.timeout;
+      total.usage += local.usage;
+      total.parse += local.parse;
+      total.other_error += local.other_error;
+      total.transport_failures += local.transport_failures;
+      total.latencies_ms.insert(total.latencies_ms.end(),
+                                local.latencies_ms.begin(),
+                                local.latencies_ms.end());
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  if (send_shutdown) {
+    Client client;
+    if (client.connect(socket_path))
+      client.request("{\"id\":\"loadgen\",\"type\":\"shutdown\"}");
+  }
+
+  std::printf("sent            %llu\n",
+              static_cast<unsigned long long>(total.sent));
+  std::printf("replies         %llu\n",
+              static_cast<unsigned long long>(total.replies));
+  std::printf("ok              %llu (degraded %llu)\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.degraded));
+  std::printf("overloaded      %llu\n",
+              static_cast<unsigned long long>(total.overloaded));
+  std::printf("timeout         %llu\n",
+              static_cast<unsigned long long>(total.timeout));
+  std::printf("usage/parse     %llu/%llu\n",
+              static_cast<unsigned long long>(total.usage),
+              static_cast<unsigned long long>(total.parse));
+  std::printf("other errors    %llu\n",
+              static_cast<unsigned long long>(total.other_error));
+  std::printf("transport fails %llu\n",
+              static_cast<unsigned long long>(total.transport_failures));
+  if (!total.latencies_ms.empty()) {
+    std::printf("p50 latency     %.3f ms\n",
+                percentile(total.latencies_ms, 0.50));
+    std::printf("p99 latency     %.3f ms\n",
+                percentile(total.latencies_ms, 0.99));
+  }
+  std::printf("wall            %.3f s (%.0f req/s)\n", wall_s,
+              wall_s > 0.0 ? static_cast<double>(total.replies) / wall_s
+                           : 0.0);
+
+  const bool complete = total.transport_failures == 0 &&
+                        total.replies == total.sent &&
+                        total.sent ==
+                            static_cast<std::uint64_t>(total_requests);
+  if (!complete)
+    std::fprintf(stderr,
+                 "serve_loadgen: FAIL — not every request got a reply\n");
+  return complete ? 0 : 1;
+}
