@@ -1,0 +1,319 @@
+// micro_shard — process-sharding overhead and recovery-time gate.
+//
+// Measures what SweepOptions::shards costs when nothing goes wrong, and
+// what a worker death costs when something does, emitting a
+// machine-readable BENCH_shard.json for scripts/bench_compare (the CI
+// perf-smoke gate):
+//
+//   clean/overhead   the same job grid run on the in-process thread pool
+//                    and again forked across the same number of worker
+//                    shards. Gates the wall-clock ratio: fork + pipe
+//                    framing + per-shard journal-less dispatch must stay
+//                    within max_overhead_factor of threads. Catches an
+//                    accidentally chatty protocol or a supervisor poll
+//                    loop that spins.
+//   recovery/kills   the same sharded grid with a scripted set of jobs
+//                    that SIGKILL their worker exactly once. Gates that
+//                    every job still completes (ok_rate == 1, the whole
+//                    point of the subsystem), that the death/respawn
+//                    accounting matches the script, and that the added
+//                    wall clock per death stays under an absolute
+//                    ceiling — death detection is poll-driven, so a
+//                    regression here means the supervisor only notices
+//                    corpses on some slow timeout path.
+//
+//   ./build/bench/micro_shard [--out FILE] [--quick]
+//
+// The job function is deterministic busy-work (calibrated per process,
+// inherited by forked workers), so the bench measures the sharding
+// machinery, not the projection pipeline. The overhead gate is a ratio —
+// machine-portable — while the recovery ceiling is absolute and set an
+// order of magnitude above healthy numbers: it catches a supervisor that
+// lost its waitpid/heartbeat edge, not a slow machine.
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/sweep.h"
+
+namespace {
+
+using grophecy::exec::JobSpec;
+using grophecy::exec::SweepEngine;
+using grophecy::exec::SweepOptions;
+using grophecy::exec::SweepSummary;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kShards = 4;
+
+/// Deterministic busy-work standing in for a projection: hash-mixes for
+/// roughly `cost_us` microseconds of CPU. Calibrated once in the parent;
+/// forked workers inherit the calibration, so every process burns the
+/// same number of rounds per job.
+class StubWork {
+ public:
+  explicit StubWork(double cost_us) {
+    const auto start = Clock::now();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t rounds = 0;
+    while (std::chrono::duration<double, std::micro>(Clock::now() - start)
+               .count() < 1000.0) {
+      for (int i = 0; i < 1024; ++i) h = (h ^ rounds) * 0x100000001b3ULL;
+      ++rounds;
+    }
+    cost_rounds_ = static_cast<std::uint64_t>(
+        cost_us * static_cast<double>(std::max<std::uint64_t>(1, rounds)) /
+        1000.0);
+  }
+
+  grophecy::core::ProjectionReport operator()(const JobSpec& spec) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    // Same 1024-hash blocks the calibration loop counted.
+    for (std::uint64_t r = 0; r < cost_rounds_; ++r)
+      for (int i = 0; i < 1024; ++i) h = (h ^ r) * 0x100000001b3ULL;
+    grophecy::core::ProjectionReport report;
+    report.app_name = spec.workload;
+    report.machine_name = "stub";
+    report.iterations = spec.iterations;
+    report.predicted_kernel_s = 1e-3 + 1e-12 * static_cast<double>(h & 0xff);
+    report.measured_kernel_s = 1.1e-3;
+    report.predicted_transfer_s = 2e-3;
+    report.measured_transfer_s = 2.1e-3;
+    report.measured_cpu_s = 0.5;
+    return report;
+  }
+
+ private:
+  std::uint64_t cost_rounds_ = 0;
+};
+
+struct Entry {
+  std::string name;
+  std::int64_t jobs = 0;
+  double throughput = 0.0;  ///< Sharded jobs per wall second.
+  double wall_s = 0.0;
+  double ok_rate = 0.0;     ///< Gate: must be exactly 1.0.
+  std::int64_t deaths = 0;
+  std::int64_t expected_deaths = 0;  ///< Gate: deaths must match.
+  std::int64_t respawns = 0;
+  double overhead_factor = 0.0;      ///< Sharded wall / in-process wall.
+  double max_overhead_factor = 0.0;  ///< Gate when > 0.
+  double recovery_s_per_death = 0.0;
+  double max_recovery_s_per_death = 0.0;  ///< Gate when > 0.
+};
+
+std::vector<JobSpec> grid(int jobs) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < jobs; ++i)
+    specs.push_back({"W", "size" + std::to_string(i), 1});
+  return specs;
+}
+
+/// Runs the grid and returns (summary, wall seconds).
+template <typename Fn>
+SweepSummary timed_run(const SweepOptions& options,
+                       const std::vector<JobSpec>& jobs, const Fn& fn,
+                       double& wall_s) {
+  SweepEngine engine(options);
+  const auto start = Clock::now();
+  SweepSummary summary = engine.run(jobs, fn);
+  wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  return summary;
+}
+
+void print_entry(const Entry& e) {
+  std::printf("%-16s %6lld jobs %9.0f/s  wall %7.3f s  ok %5.1f%%  "
+              "deaths %lld  overhead %.2fx  recovery %.4f s/death\n",
+              e.name.c_str(), static_cast<long long>(e.jobs), e.throughput,
+              e.wall_s, e.ok_rate * 100.0, static_cast<long long>(e.deaths),
+              e.overhead_factor, e.recovery_s_per_death);
+}
+
+Entry bench_clean_overhead(int jobs, double cost_us) {
+  const std::vector<JobSpec> specs = grid(jobs);
+  const StubWork work(cost_us);
+
+  SweepOptions in_process;
+  in_process.workers = kShards;  // Same parallelism on both sides.
+  double in_process_s = 0.0;
+  const SweepSummary thread_summary =
+      timed_run(in_process, specs, work, in_process_s);
+
+  SweepOptions sharded;
+  sharded.shards = kShards;
+  double sharded_s = 0.0;
+  const SweepSummary shard_summary =
+      timed_run(sharded, specs, work, sharded_s);
+
+  Entry entry;
+  entry.name = "clean/overhead";
+  entry.jobs = jobs;
+  entry.wall_s = sharded_s;
+  entry.throughput =
+      sharded_s > 0.0 ? static_cast<double>(jobs) / sharded_s : 0.0;
+  entry.ok_rate = thread_summary.ok == jobs && shard_summary.failed == 0
+                      ? static_cast<double>(shard_summary.ok) /
+                            static_cast<double>(jobs)
+                      : 0.0;
+  entry.deaths = shard_summary.worker_deaths;
+  entry.expected_deaths = 0;
+  entry.respawns = shard_summary.worker_respawns;
+  entry.overhead_factor =
+      in_process_s > 0.0 ? sharded_s / in_process_s : 0.0;
+  // Forking 4 workers and framing every job over a pipe may cost real
+  // time, but it must stay the same order of magnitude as threads.
+  entry.max_overhead_factor = 5.0;
+  return entry;
+}
+
+Entry bench_recovery_kills(int jobs, int kills, double cost_us) {
+  const std::vector<JobSpec> specs = grid(jobs);
+  const StubWork work(cost_us);
+  namespace fs = std::filesystem;
+  const std::string marker_base =
+      (fs::temp_directory_path() /
+       ("grophecy_micro_shard_" + std::to_string(::getpid())))
+          .string();
+  // Every kills-th job SIGKILLs its worker on first execution; the
+  // marker file (worker and supervisor share the filesystem) makes the
+  // re-run succeed.
+  const int stride = jobs / kills;
+  const auto chaotic = [&](const JobSpec& spec) {
+    const int index = std::atoi(spec.size_label.c_str() + 4);
+    if (index % stride == 0 && index / stride < kills) {
+      const std::string marker = marker_base + "." + spec.fingerprint();
+      if (::access(marker.c_str(), F_OK) != 0) {
+        std::FILE* file = std::fopen(marker.c_str(), "w");
+        if (file) std::fclose(file);
+        ::raise(SIGKILL);
+      }
+    }
+    return work(spec);
+  };
+
+  SweepOptions options;
+  options.shards = kShards;
+  double clean_s = 0.0;
+  timed_run(options, specs, work, clean_s);  // Unfaulted reference.
+  double faulted_s = 0.0;
+  const SweepSummary summary = timed_run(options, specs, chaotic, faulted_s);
+  for (const JobSpec& spec : specs)
+    std::remove((marker_base + "." + spec.fingerprint()).c_str());
+
+  Entry entry;
+  entry.name = "recovery/kills";
+  entry.jobs = jobs;
+  entry.wall_s = faulted_s;
+  entry.throughput =
+      faulted_s > 0.0 ? static_cast<double>(jobs) / faulted_s : 0.0;
+  entry.ok_rate = summary.failed == 0
+                      ? static_cast<double>(summary.ok) /
+                            static_cast<double>(jobs)
+                      : 0.0;
+  entry.deaths = summary.worker_deaths;
+  entry.expected_deaths = kills;
+  entry.respawns = summary.worker_respawns;
+  entry.recovery_s_per_death =
+      std::max(0.0, faulted_s - clean_s) / static_cast<double>(kills);
+  // Each death costs one poll-loop detection, one fork, one re-dispatch,
+  // and one re-execution — milliseconds. A full second per death means
+  // the supervisor is finding corpses by timeout instead of waitpid/EOF.
+  entry.max_recovery_s_per_death = 1.0;
+  return entry;
+}
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_shard.v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"jobs\": %lld, \"throughput\": %.6g,"
+        " \"wall_s\": %.6g, \"ok_rate\": %.6g, \"deaths\": %lld,"
+        " \"expected_deaths\": %lld, \"respawns\": %lld,"
+        " \"overhead_factor\": %.6g, \"max_overhead_factor\": %.6g,"
+        " \"recovery_s_per_death\": %.6g,"
+        " \"max_recovery_s_per_death\": %.6g}%s\n",
+        e.name.c_str(), static_cast<long long>(e.jobs), e.throughput,
+        e.wall_s, e.ok_rate, static_cast<long long>(e.deaths),
+        static_cast<long long>(e.expected_deaths),
+        static_cast<long long>(e.respawns), e.overhead_factor,
+        e.max_overhead_factor, e.recovery_s_per_death,
+        e.max_recovery_s_per_death, i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_shard.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Heavy enough that dispatch overhead doesn't drown the signal in
+  // scheduler noise, light enough for a CI smoke (a few seconds total).
+  const double cost_us = 100.0;
+  const int scale = quick ? 4 : 1;
+
+  std::vector<Entry> entries;
+  entries.push_back(bench_clean_overhead(256 / scale, cost_us));
+  entries.push_back(bench_recovery_kills(64 / scale, 4, cost_us));
+  for (const Entry& entry : entries) print_entry(entry);
+
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+
+  // Self-gate: the same bars scripts/bench_compare enforces, so a bare
+  // `./micro_shard` run fails loudly without the comparison script.
+  bool ok = true;
+  for (const Entry& entry : entries) {
+    if (entry.ok_rate != 1.0) {
+      std::fprintf(stderr, "FAIL %s: ok_rate %.6f != 1 — jobs were lost\n",
+                   entry.name.c_str(), entry.ok_rate);
+      ok = false;
+    }
+    if (entry.deaths != entry.expected_deaths) {
+      std::fprintf(stderr, "FAIL %s: %lld worker deaths, scripted %lld\n",
+                   entry.name.c_str(), static_cast<long long>(entry.deaths),
+                   static_cast<long long>(entry.expected_deaths));
+      ok = false;
+    }
+    if (entry.max_overhead_factor > 0.0 &&
+        entry.overhead_factor > entry.max_overhead_factor) {
+      std::fprintf(stderr, "FAIL %s: overhead %.2fx exceeds %.2fx\n",
+                   entry.name.c_str(), entry.overhead_factor,
+                   entry.max_overhead_factor);
+      ok = false;
+    }
+    if (entry.max_recovery_s_per_death > 0.0 &&
+        entry.recovery_s_per_death > entry.max_recovery_s_per_death) {
+      std::fprintf(stderr,
+                   "FAIL %s: recovery %.3f s/death exceeds %.3f s\n",
+                   entry.name.c_str(), entry.recovery_s_per_death,
+                   entry.max_recovery_s_per_death);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Live end-to-end smoke of the process-sharded sweep: run the same sweep
+# grid through tools/sweep_shard twice — once in-process (--shards 0,
+# --workers 1) and once forked across 4 worker shards — and require the
+# two journals to be byte-identical (`cmp`) and the two summaries to be
+# character-identical. Then re-run the sharded sweep against its own
+# journal and require a full resume (12 resumed, nothing re-executed),
+# which also proves the shard journals were merged and retired.
+#
+#   scripts/shard_smoke.sh [BUILD_DIR]     (default: build)
+#
+# Used by `scripts/verify.sh --shard` and the CI shard-smoke job. The
+# kill-chaos side of the acceptance gate (random SIGKILLs + a poison job)
+# lives in tests/shard_chaos_test.cpp, which the same verify mode runs;
+# this script covers the real-binary path: CLI flag plumbing, journal
+# files on a real filesystem, exit codes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+sweep="${build_dir}/tools/sweep_shard"
+if [[ ! -x "${sweep}" ]]; then
+  echo "shard_smoke: missing ${sweep} (build the '${build_dir}' tree first)" >&2
+  exit 2
+fi
+
+work_dir="$(mktemp -d)"
+cleanup() { rm -rf "${work_dir}"; }
+trap cleanup EXIT
+
+# A 2-workload grid over every paper data size and two iteration
+# counts: 12 jobs, enough to spread across 4 shards, small enough for a
+# CI smoke.
+grid=(--workloads CFD,SRAD --sizes all --iterations 1,8 --no-wall-time)
+
+echo "--- shard_smoke: in-process reference run ---"
+"${sweep}" "${grid[@]}" --shards 0 --workers 1 \
+  --journal "${work_dir}/serial.jsonl" > "${work_dir}/serial.summary"
+
+echo "--- shard_smoke: 4-shard run ---"
+"${sweep}" "${grid[@]}" --shards 4 \
+  --journal "${work_dir}/sharded.jsonl" > "${work_dir}/sharded.summary"
+
+echo "--- shard_smoke: byte-compare journal + summary ---"
+cmp "${work_dir}/serial.jsonl" "${work_dir}/sharded.jsonl" || {
+  echo "shard_smoke: sharded journal differs from the serial journal" >&2
+  exit 1
+}
+diff -u "${work_dir}/serial.summary" "${work_dir}/sharded.summary" || {
+  echo "shard_smoke: sharded summary differs from the serial summary" >&2
+  exit 1
+}
+
+shopt -s nullglob
+shard_leftovers=("${work_dir}"/sharded.jsonl.shard*)
+shopt -u nullglob
+if [[ "${#shard_leftovers[@]}" -ne 0 ]]; then
+  echo "shard_smoke: ${#shard_leftovers[@]} shard journal(s) not retired" >&2
+  exit 1
+fi
+
+echo "--- shard_smoke: resume re-runs nothing ---"
+"${sweep}" "${grid[@]}" --shards 4 \
+  --journal "${work_dir}/sharded.jsonl" > "${work_dir}/resume.summary"
+grep -q "12 resumed" "${work_dir}/resume.summary" || {
+  echo "shard_smoke: expected a full resume; summary was:" >&2
+  cat "${work_dir}/resume.summary" >&2
+  exit 1
+}
+cmp "${work_dir}/serial.jsonl" "${work_dir}/sharded.jsonl" || {
+  echo "shard_smoke: resume modified the journal" >&2
+  exit 1
+}
+
+echo "shard_smoke: OK"

@@ -15,6 +15,11 @@
 #   scripts/verify.sh --serve      additionally run the live daemon smoke:
 #                                  serve_daemon on a real socket under a
 #                                  loadgen burst (scripts/serve_smoke.sh)
+#   scripts/verify.sh --shard      additionally re-run the process-sharding
+#                                  kill-chaos suites and the sweep_shard
+#                                  smoke: a 4-shard run byte-compared
+#                                  against an in-process run, plus a full
+#                                  resume check (scripts/shard_smoke.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,10 +48,10 @@ for arg in "$@"; do
       # TSan slows everything ~10x; focus it on the code that actually
       # shares state across threads (ctest names are GTest suite.test).
       run_preset tsan --no-tests=error -R \
-        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe|ServeProtocol|ServeDaemon|ServeSoak|ServeEndToEnd)\.'
+        '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JournalProcessDeath|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe|ServeProtocol|ServeDaemon|ServeSoak|ServeEndToEnd|ShardProtocol|ShardPath|ShardOptionsValidation|ShardSupervisor|ShardMerge|ShardChaos)\.'
       ;;
     --bench)
-      for bench in sim pipeline brs serve; do
+      for bench in sim pipeline brs serve shard; do
         echo "=== verify: bench (micro_${bench} vs bench/BENCH_${bench}.json) ==="
         "./build/bench/micro_${bench}" --out "build/BENCH_${bench}.json"
         scripts/bench_compare "bench/BENCH_${bench}.json" \
@@ -56,6 +61,13 @@ for arg in "$@"; do
     --serve)
       echo "=== verify: serve smoke (daemon + loadgen over AF_UNIX) ==="
       scripts/serve_smoke.sh build
+      ;;
+    --shard)
+      echo "=== verify: shard kill-chaos suites ==="
+      ctest --preset default --timeout "${CTEST_TIMEOUT}" --no-tests=error \
+        -R '^(ShardChaos|ShardSupervisor|JournalProcessDeath)\.'
+      echo "=== verify: shard smoke (sweep_shard byte-compare + resume) ==="
+      scripts/shard_smoke.sh build
       ;;
     *)
       echo "unknown option: ${arg}" >&2

@@ -45,13 +45,21 @@ JournalReadResult ResultJournal::read(const std::string& path) {
   std::ifstream file(path);
   if (!file) return result;  // missing journal == nothing to resume
   std::string line;
+  bool last_line_corrupt = false;
   while (std::getline(file, line)) {
     if (line.empty()) continue;
-    if (auto payload = validate_line(line))
+    if (auto payload = validate_line(line)) {
       result.records.push_back(std::move(*payload));
-    else
+      last_line_corrupt = false;
+    } else {
       ++result.corrupt_lines;
+      last_line_corrupt = true;
+    }
   }
+  // Only the file's final line can be a torn-append crash artifact;
+  // every other invalid line is interior damage the caller must surface.
+  result.corrupt_tail = last_line_corrupt ? 1 : 0;
+  result.corrupt_interior = result.corrupt_lines - result.corrupt_tail;
   return result;
 }
 

@@ -38,12 +38,26 @@
 namespace grophecy::exec {
 
 /// Everything a read recovered from a journal file.
+///
+/// Corruption is reported *with its location*, because the two places it
+/// can appear mean very different things. A torn FINAL line is the
+/// expected crash artifact: the writer died mid-append, and append-only
+/// discipline guarantees nothing after it existed. A corrupt INTERIOR
+/// line — one followed by further lines — cannot be produced by a crash
+/// of this writer at all; it means the file was damaged after the fact
+/// (bit rot, truncation+reuse, a foreign editor) and the caller should
+/// say so loudly instead of shrugging it off as a torn tail.
 struct JournalReadResult {
   /// Checksum-verified payloads, in file order (append order).
   std::vector<std::string> records;
-  /// Lines that failed the format or checksum check — normally 0, or 1
-  /// when the final line was torn by a crash mid-append.
+  /// Lines that failed the format or checksum check (tail + interior).
   int corrupt_lines = 0;
+  /// 1 when the final line of the file failed validation (the torn-tail
+  /// crash artifact), else 0.
+  int corrupt_tail = 0;
+  /// Corrupt lines that are followed by at least one further line —
+  /// never a crash artifact; real damage.
+  int corrupt_interior = 0;
 };
 
 /// The journal file handle. Opening is separate from reading so a resume

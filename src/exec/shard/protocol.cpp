@@ -1,0 +1,195 @@
+#include "exec/shard/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/jsonl.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#define GROPHECY_SHARD_POSIX 1
+#endif
+
+namespace grophecy::exec::shard {
+
+#ifdef GROPHECY_SHARD_POSIX
+
+namespace {
+
+/// send(2) with MSG_NOSIGNAL so a dead peer yields EPIPE instead of
+/// killing the process with SIGPIPE — the whole point of this subsystem
+/// is that peers die.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame: peer died
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void put_u32le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+std::uint32_t get_u32le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+}  // namespace
+
+bool write_frame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::string frame;
+  frame.resize(4);
+  put_u32le(frame.data(), static_cast<std::uint32_t>(payload.size() + 1));
+  frame += static_cast<char>(type);
+  frame += payload;
+  return write_all(fd, frame.data(), frame.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  char header[4];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  const std::uint32_t length = get_u32le(header);
+  if (length < 1 || length > kMaxFramePayload + 1) return std::nullopt;
+  std::string body(length, '\0');
+  if (!read_all(fd, body.data(), body.size())) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<MsgType>(body[0]);
+  frame.payload = body.substr(1);
+  return frame;
+}
+
+FrameReader::Status FrameReader::read_available(int fd,
+                                                std::vector<Frame>& out) {
+  char chunk[65536];
+  ssize_t n;
+  do {
+    n = ::read(fd, chunk, sizeof chunk);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Status::kProtocol;
+  const bool eof = (n == 0);
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+
+  while (buffer_.size() >= 4) {
+    const std::uint32_t length = get_u32le(buffer_.data());
+    if (length < 1 || length > kMaxFramePayload + 1) return Status::kProtocol;
+    if (buffer_.size() < 4 + static_cast<std::size_t>(length)) break;
+    Frame frame;
+    frame.type = static_cast<MsgType>(buffer_[4]);
+    frame.payload = buffer_.substr(5, length - 1);
+    out.push_back(std::move(frame));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  }
+  // Whatever is still buffered at EOF is a torn frame: the worker died
+  // mid-write. The caller discards it with the reader.
+  return eof ? Status::kEof : Status::kOpen;
+}
+
+#else  // !GROPHECY_SHARD_POSIX
+
+bool write_frame(int, MsgType, std::string_view) { return false; }
+std::optional<Frame> read_frame(int) { return std::nullopt; }
+FrameReader::Status FrameReader::read_available(int, std::vector<Frame>&) {
+  return Status::kEof;
+}
+
+#endif
+
+std::string encode_job(std::size_t index, const JobSpec& spec) {
+  util::FlatJson object;
+  object.emplace_back("index", static_cast<double>(index));
+  object.emplace_back("workload", spec.workload);
+  object.emplace_back("size", spec.size_label);
+  object.emplace_back("iterations", static_cast<double>(spec.iterations));
+  return util::write_flat_json(object);
+}
+
+std::optional<JobAssignment> decode_job(std::string_view payload) {
+  const auto object = util::parse_flat_json(payload);
+  if (!object) return std::nullopt;
+  const auto index = util::json_number(*object, "index");
+  const auto workload = util::json_string(*object, "workload");
+  const auto size = util::json_string(*object, "size");
+  const auto iterations = util::json_number(*object, "iterations");
+  if (!index || *index < 0 || !workload || !size || !iterations)
+    return std::nullopt;
+  JobAssignment assignment;
+  assignment.index = static_cast<std::size_t>(*index);
+  assignment.spec =
+      JobSpec{*workload, *size, static_cast<int>(*iterations)};
+  return assignment;
+}
+
+std::string encode_done(const Completion& completion) {
+  util::FlatJson meta;
+  meta.emplace_back("index", static_cast<double>(completion.index));
+  meta.emplace_back("status", std::string(completion.status == JobStatus::kOk
+                                              ? "ok"
+                                              : "failed"));
+  meta.emplace_back("attempts", static_cast<double>(completion.attempts));
+  meta.emplace_back("elapsed_s", completion.elapsed_s);
+  meta.emplace_back("backoff_s", completion.backoff_s);
+  return util::write_flat_json(meta) + "\n" + completion.record_json;
+}
+
+std::optional<Completion> decode_done(std::string_view payload) {
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string_view::npos) return std::nullopt;
+  const auto meta = util::parse_flat_json(payload.substr(0, newline));
+  if (!meta) return std::nullopt;
+  const auto index = util::json_number(*meta, "index");
+  const auto status = util::json_string(*meta, "status");
+  const auto attempts = util::json_number(*meta, "attempts");
+  const auto elapsed = util::json_number(*meta, "elapsed_s");
+  const auto backoff = util::json_number(*meta, "backoff_s");
+  if (!index || *index < 0 || !status || !attempts || !elapsed || !backoff)
+    return std::nullopt;
+  if (*status != "ok" && *status != "failed") return std::nullopt;
+  Completion completion;
+  completion.index = static_cast<std::size_t>(*index);
+  completion.status = *status == "ok" ? JobStatus::kOk : JobStatus::kFailed;
+  completion.attempts = static_cast<int>(*attempts);
+  completion.elapsed_s = *elapsed;
+  completion.backoff_s = *backoff;
+  completion.record_json = std::string(payload.substr(newline + 1));
+  // The record must round-trip as a JobRecord downstream; reject frames
+  // whose record part is obviously torn here so the supervisor treats
+  // them as a protocol violation, not a result.
+  if (!JobRecord::from_json(completion.record_json)) return std::nullopt;
+  return completion;
+}
+
+}  // namespace grophecy::exec::shard

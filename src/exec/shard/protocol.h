@@ -1,0 +1,123 @@
+// The supervisor <-> worker pipe protocol of the process-sharded sweep.
+//
+// A supervisor and each of its forked workers share one AF_UNIX
+// socketpair and speak a deliberately tiny length-prefixed protocol over
+// it. Length-prefixed framing — not line-oriented text — because the
+// failure mode this subsystem exists for is a peer dying *mid-write*: a
+// torn frame must be detectable as torn (the byte count doesn't match)
+// rather than parseable as a shorter message. Every frame is
+//
+//   u32 little-endian length | 1 type byte | payload
+//
+// where the length covers the type byte plus the payload. Frame types:
+//
+//   kHello      worker -> supervisor, once at startup: "forked, journal
+//               open, ready for work". The supervisor assigns nothing
+//               before the hello, so a worker that dies during its own
+//               setup is a clean respawn, never a lost job.
+//   kJob        supervisor -> worker: one JobSpec plus its submission
+//               index. The worker owns the job until kDone or death.
+//   kHeartbeat  worker -> supervisor: "alive and making progress on the
+//               current job". Sent from the worker's single thread — a
+//               job stuck in an infinite loop therefore stops the
+//               heartbeats, which is precisely the signal the
+//               supervisor's kill policy wants (a background heartbeat
+//               thread would keep beating for a wedged job and defeat
+//               detection).
+//   kDone       worker -> supervisor: completion ack. Payload is a flat
+//               JSON meta object, a '\n', and the exact JobRecord JSON
+//               bytes the worker appended to its shard journal — the
+//               supervisor re-uses those bytes verbatim in the merge so
+//               the canonical journal is byte-identical to a serial run.
+//   kShutdown   supervisor -> worker: drain and _exit(0).
+//
+// Payload objects are util::FlatJson — the same hardened flat-JSON codec
+// the journal and the serve wire use. A malformed or oversized frame is
+// a protocol violation; the supervisor treats it like a worker death
+// (kill, respawn), never trusts partial data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/sweep.h"
+
+namespace grophecy::exec::shard {
+
+enum class MsgType : char {
+  kHello = 'R',
+  kJob = 'J',
+  kHeartbeat = 'H',
+  kDone = 'C',
+  kShutdown = 'Q',
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kHeartbeat;
+  std::string payload;
+};
+
+/// Frames larger than this are a protocol violation (a JobRecord line is
+/// a few hundred bytes; a megabyte means a corrupted length prefix).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+/// Writes one frame to `fd` (a socket), handling short writes and EINTR,
+/// suppressing SIGPIPE. Returns false when the peer is gone (EPIPE /
+/// ECONNRESET) or the write failed — the caller decides whether that
+/// means "worker died" (supervisor) or "supervisor died, exit" (worker).
+bool write_frame(int fd, MsgType type, std::string_view payload);
+
+/// Blocks until one full frame arrives on `fd`. std::nullopt on EOF,
+/// error, or a malformed/oversized frame — for the single-threaded
+/// worker all of those mean the same thing: the supervisor is gone or
+/// broken, so exit.
+std::optional<Frame> read_frame(int fd);
+
+/// Incremental frame decoder for the supervisor's poll loop: call
+/// read_available once per POLLIN, collect every frame that completed.
+/// Bytes of a torn final frame stay buffered and are simply discarded
+/// with the reader when the worker's death is processed.
+class FrameReader {
+ public:
+  enum class Status {
+    kOpen,      ///< Connection healthy (frames may or may not have arrived).
+    kEof,       ///< Peer closed (worker exited); buffered partial = torn.
+    kProtocol,  ///< Malformed/oversized frame: treat the worker as bad.
+  };
+
+  /// Performs one read(2) on `fd` and appends decoded frames to `out`.
+  Status read_available(int fd, std::vector<Frame>& out);
+
+ private:
+  std::string buffer_;
+};
+
+// --- payload codecs -----------------------------------------------------
+// Kept as tested pure functions; the supervisor and worker never hand-roll
+// JSON.
+
+/// kJob payload: the spec plus its submission index.
+std::string encode_job(std::size_t index, const JobSpec& spec);
+struct JobAssignment {
+  std::size_t index = 0;
+  JobSpec spec;
+};
+std::optional<JobAssignment> decode_job(std::string_view payload);
+
+/// kDone payload: outcome meta + '\n' + the journaled record bytes.
+struct Completion {
+  std::size_t index = 0;
+  JobStatus status = JobStatus::kFailed;  ///< kOk or kFailed only.
+  int attempts = 0;
+  double elapsed_s = 0.0;
+  double backoff_s = 0.0;
+  std::string record_json;  ///< Exact bytes appended to the shard journal.
+};
+std::string encode_done(const Completion& completion);
+std::optional<Completion> decode_done(std::string_view payload);
+
+}  // namespace grophecy::exec::shard

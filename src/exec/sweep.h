@@ -196,8 +196,38 @@ struct SweepOptions {
   /// preserves the strictly serial in-order execution of the pre-pool
   /// engine. With more than one worker the job function is called
   /// concurrently and must be thread-safe (the SweepRequest builder's
-  /// per-job-engine functions are).
+  /// per-job-engine functions are). Ignored when shards > 0 (process
+  /// sharding is the parallelism then; each worker process runs its
+  /// jobs serially).
   int workers = 0;
+  /// Process sharding (POSIX only). 0 (the default) executes jobs
+  /// in-process on the thread pool above; N > 0 forks N worker
+  /// processes and assigns jobs to them over a length-prefixed pipe
+  /// protocol (see exec/shard/supervisor.h). Unlike threads, a worker
+  /// process can die — segfault, OOM kill, a truly infinite loop — and
+  /// the sweep survives: the supervisor detects the death (waitpid +
+  /// heartbeat timeout), respawns the worker with the bounded-backoff
+  /// policy below, re-assigns the in-flight job, and quarantines a job
+  /// that keeps killing its workers (poison_kill_threshold) as a
+  /// permanent ErrorKind::kWorkerDeath failure. With a journal_path
+  /// each worker appends to its own crash-safe shard journal and a
+  /// deterministic merge step folds the shards into the canonical
+  /// journal in submission order — byte-identical to a single-process
+  /// run of the same grid (set record_wall_time = false) — and resume
+  /// recovers completed work from the shards even after the supervisor
+  /// itself was killed.
+  int shards = 0;
+  /// Sharded mode: a worker that holds a job and has been silent this
+  /// long is presumed stuck (an infinite loop heartbeats never) and is
+  /// SIGKILLed; the in-flight job goes back to the queue or, past the
+  /// poison threshold, to quarantine. This is the process-level
+  /// analogue of deadline_s — it must exceed the worst-case honest job
+  /// time (including in-worker retries).
+  double heartbeat_timeout_s = 30.0;
+  /// Sharded mode: worker deaths attributed to the same job before the
+  /// job is quarantined as a permanent JobError instead of being
+  /// re-assigned to (and re-killing) fresh workers forever.
+  int poison_kill_threshold = 2;
   /// Extra attempts per job on a retryable failure. Mirrors the PR 1
   /// calibration policy (pcie::RobustnessOptions).
   int max_retries = 3;
@@ -220,6 +250,14 @@ struct SweepOptions {
   /// suite relies on this; timing stays available in JobOutcome either
   /// way).
   bool record_wall_time = true;
+
+  /// Throws UsageError naming the offending field for any value the
+  /// engine cannot run with (negative counts, non-positive deadlines,
+  /// inverted backoff bounds). Mirrors ProjectionOptions::validate:
+  /// invalid knobs are a bad *request*, not a programming error, so
+  /// they surface as the user-facing taxonomy kind instead of a
+  /// ContractViolation. SweepEngine's constructor calls this.
+  void validate() const;
 };
 
 /// Sweep-wide accounting, the dashboard a campaign is judged by.
@@ -239,6 +277,21 @@ struct SweepSummary {
   /// Journal lines that failed validation on resume (torn tail: <= 1
   /// after a crash; more indicates real corruption).
   int journal_corrupt_lines = 0;
+  /// Of those, lines *followed by further lines* — impossible as a crash
+  /// artifact of the append-only writer; real damage. describe() warns
+  /// loudly when nonzero (includes checksummed lines whose payload no
+  /// longer parses as a JobRecord).
+  int journal_corrupt_interior = 0;
+
+  // --- process-sharded execution accounting (shards > 0 only) ---
+  // Deliberately absent from describe(): a transient worker death that
+  // was recovered must not change the human-readable summary of an
+  // otherwise identical sweep (the chaos gate compares describe() of a
+  // killed sharded run against an unfaulted serial run).
+  int worker_deaths = 0;     ///< Worker processes that died mid-sweep.
+  int worker_respawns = 0;   ///< Replacement workers forked.
+  int quarantined = 0;       ///< Poison jobs failed with kWorkerDeath.
+  double respawn_backoff_s = 0.0;  ///< Backoff the respawn policy imposed.
 
   /// The outcome of one spec, or nullptr when it was not in the sweep.
   const JobOutcome* find(const JobSpec& spec) const;
@@ -286,6 +339,14 @@ class SweepEngine {
   /// std::thread::hardware_concurrency() (at least 1).
   int effective_workers() const;
 
+  /// The supervised retry loop for one job (thread-safe; called from pool
+  /// workers). Produces a fully-populated outcome including its record.
+  /// Public so a shard worker process (exec/shard/worker.h) can run the
+  /// exact same attempt/retry/record policy as the in-process engine —
+  /// the property that makes a sharded journal byte-identical to a
+  /// serial one.
+  JobOutcome execute_job(const JobSpec& spec, const JobFn& fn);
+
  private:
   struct AttemptResult {
     std::optional<core::ProjectionReport> report;
@@ -293,11 +354,11 @@ class SweepEngine {
   };
 
   AttemptResult run_attempt(const JobSpec& spec, const JobFn& fn);
-  /// The supervised retry loop for one job (thread-safe; called from pool
-  /// workers). Produces a fully-populated outcome including its record.
-  JobOutcome execute_job(const JobSpec& spec, const JobFn& fn);
   /// run() after duplicate fingerprints have been filtered out.
   SweepSummary run_unique(const std::vector<JobSpec>& jobs, const JobFn& fn);
+  /// run_unique for shards > 0: forks workers, supervises them, merges
+  /// shard journals (exec/shard/supervisor.h).
+  SweepSummary run_sharded(const std::vector<JobSpec>& jobs, const JobFn& fn);
 
   SweepOptions options_;
   std::mutex abandoned_mutex_;          ///< Guards abandoned_ across workers.

@@ -81,12 +81,34 @@ void tally(SweepSummary& summary, const JobOutcome& outcome) {
 
 }  // namespace
 
+void SweepOptions::validate() const {
+  auto require = [](bool ok, const char* field, const std::string& why) {
+    if (!ok)
+      throw UsageError(util::strfmt("SweepOptions.%s %s", field,
+                                    why.c_str()));
+  };
+  require(workers >= 0, "workers",
+          util::strfmt("must be non-negative, got %d", workers));
+  require(shards >= 0, "shards",
+          util::strfmt("must be non-negative, got %d", shards));
+  require(max_retries >= 0, "max_retries",
+          util::strfmt("must be non-negative, got %d", max_retries));
+  require(backoff_initial_s >= 0.0, "backoff_initial_s",
+          util::strfmt("must be non-negative, got %g", backoff_initial_s));
+  require(backoff_max_s >= backoff_initial_s, "backoff_max_s",
+          util::strfmt("must be >= backoff_initial_s (%g), got %g",
+                       backoff_initial_s, backoff_max_s));
+  // NaN fails the comparison too, which is exactly right.
+  require(deadline_s > 0.0, "deadline_s",
+          util::strfmt("must be positive, got %g", deadline_s));
+  require(heartbeat_timeout_s > 0.0, "heartbeat_timeout_s",
+          util::strfmt("must be positive, got %g", heartbeat_timeout_s));
+  require(poison_kill_threshold >= 1, "poison_kill_threshold",
+          util::strfmt("must be >= 1, got %d", poison_kill_threshold));
+}
+
 SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
-  GROPHECY_EXPECTS(options_.workers >= 0);
-  GROPHECY_EXPECTS(options_.max_retries >= 0);
-  GROPHECY_EXPECTS(options_.backoff_initial_s >= 0.0);
-  GROPHECY_EXPECTS(options_.backoff_max_s >= options_.backoff_initial_s);
-  GROPHECY_EXPECTS(options_.deadline_s > 0.0);
+  options_.validate();
 }
 
 SweepEngine::~SweepEngine() {
@@ -218,6 +240,11 @@ SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
   SweepSummary inner = run_unique(unique, fn);
   SweepSummary summary;
   summary.journal_corrupt_lines = inner.journal_corrupt_lines;
+  summary.journal_corrupt_interior = inner.journal_corrupt_interior;
+  summary.worker_deaths = inner.worker_deaths;
+  summary.worker_respawns = inner.worker_respawns;
+  summary.quarantined = inner.quarantined;
+  summary.respawn_backoff_s = inner.respawn_backoff_s;
   summary.outcomes.reserve(jobs.size());
   std::size_t next_unique = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -247,6 +274,8 @@ SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
 
 SweepSummary SweepEngine::run_unique(const std::vector<JobSpec>& jobs,
                                      const JobFn& fn) {
+  if (options_.shards > 0 && !jobs.empty()) return run_sharded(jobs, fn);
+
   SweepSummary summary;
   summary.outcomes.reserve(jobs.size());
 
@@ -257,11 +286,17 @@ SweepSummary SweepEngine::run_unique(const std::vector<JobSpec>& jobs,
   if (!options_.journal_path.empty()) {
     JournalReadResult previous = ResultJournal::read(options_.journal_path);
     summary.journal_corrupt_lines = previous.corrupt_lines;
+    summary.journal_corrupt_interior = previous.corrupt_interior;
     for (const std::string& payload : previous.records) {
-      if (auto record = JobRecord::from_json(payload))
+      if (auto record = JobRecord::from_json(payload)) {
         journaled[record->fingerprint] = std::move(*record);
-      else
+      } else {
+        // A line whose checksum verified but whose payload no longer
+        // parses cannot be a torn tail either — count it as interior
+        // damage so describe() warns.
         ++summary.journal_corrupt_lines;
+        ++summary.journal_corrupt_interior;
+      }
     }
     journal.open_append(options_.journal_path);
   }
@@ -391,7 +426,14 @@ std::string SweepSummary::describe() const {
       << retried << " retried; " << attempts << " attempts; "
       << util::strfmt("%.3f", backoff_total_s) << "s backoff)";
   if (degraded) oss << " [DEGRADED: spec-derived calibration in use]";
-  if (journal_corrupt_lines > 0)
+  if (journal_corrupt_interior > 0)
+    // Interior damage can never be the benign torn-tail crash artifact:
+    // the writer is append-only, so anything invalid *followed by more
+    // lines* means the file was damaged after it was written.
+    oss << " [journal: " << journal_corrupt_interior
+        << " corrupt INTERIOR line(s) — not a crash artifact; the journal "
+           "file has been damaged and lost records were re-run]";
+  else if (journal_corrupt_lines > 0)
     oss << " [journal: " << journal_corrupt_lines << " corrupt line(s)]";
   oss << '\n';
   for (const JobOutcome& outcome : outcomes) {

@@ -1,6 +1,7 @@
 #include "faults/fault_injector.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "util/contracts.h"
 #include "util/error.h"
@@ -47,10 +48,48 @@ FaultEngine::FaultEngine(FaultPlan plan) : plan_(plan), rng_(plan.seed) {
                    plan_.hang_probability <= 1.0);
   GROPHECY_EXPECTS(plan_.hang_factor > 1.0);
   GROPHECY_EXPECTS(plan_.drift_per_call >= 0.0);
+  GROPHECY_EXPECTS(plan_.abort_after >= -1);
+  GROPHECY_EXPECTS(plan_.abort_probability >= 0.0 &&
+                   plan_.abort_probability <= 1.0);
+  GROPHECY_EXPECTS(plan_.loop_after >= -1);
+  GROPHECY_EXPECTS(plan_.loop_probability >= 0.0 &&
+                   plan_.loop_probability <= 1.0);
 }
+
+namespace {
+
+/// A well-defined infinite loop: the volatile access is observable
+/// behaviour, so the compiler may not assume termination (a bare `for(;;)`
+/// with an empty body is undefined in C++20). From outside the process it
+/// is pure silence — alive to waitpid, dead to heartbeats.
+[[noreturn]] void spin_forever() {
+  volatile unsigned long long spin = 0;
+  for (;;) ++spin;
+}
+
+}  // namespace
 
 double FaultEngine::transform(double clean_seconds) {
   const std::uint64_t index = stats_.calls++;  // 0-based observation index
+
+  // Process faults first: they model the whole process dying, so nothing
+  // downstream (including the failure faults) gets a say. The bernoulli
+  // draws are guarded by probability > 0 so plans without process faults
+  // consume exactly the same RNG stream as before these kinds existed.
+  if ((plan_.abort_after >= 0 &&
+       index >= static_cast<std::uint64_t>(plan_.abort_after)) ||
+      (plan_.abort_probability > 0.0 &&
+       rng_.bernoulli(plan_.abort_probability))) {
+    ++stats_.aborts;
+    std::abort();
+  }
+  if ((plan_.loop_after >= 0 &&
+       index >= static_cast<std::uint64_t>(plan_.loop_after)) ||
+      (plan_.loop_probability > 0.0 &&
+       rng_.bernoulli(plan_.loop_probability))) {
+    ++stats_.loops;
+    spin_forever();
+  }
 
   if (plan_.always_fail ||
       index < static_cast<std::uint64_t>(plan_.fail_first) ||

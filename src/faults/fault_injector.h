@@ -73,6 +73,27 @@ struct FaultPlan {
   /// (1 + drift_per_call)^n.
   double drift_per_call = 0.0;
 
+  /// --- process faults (for process-sharded execution) ---
+  /// These do not perturb the observation: they take down the whole
+  /// process, which is the failure mode SweepOptions::shards exists to
+  /// survive. A thread pool cannot contain them — only the shard
+  /// supervisor (exec/shard/supervisor.h) can, by reaping the dead
+  /// worker and re-assigning its job. Useless (and fatal) outside a
+  /// sacrificial worker process; the chaos suite is their only customer.
+  ///
+  /// abort: observation >= abort_after (0-based; -1 disables), or with
+  /// probability abort_probability, calls std::abort() — SIGABRT, the
+  /// stand-in for a segfault or OOM kill.
+  int abort_after = -1;
+  double abort_probability = 0.0;
+  /// loop: observation >= loop_after (-1 disables), or with probability
+  /// loop_probability, spins forever (a volatile counter, so the loop is
+  /// well-defined C++). Never returns, never throws, never yields — the
+  /// only external symptom is heartbeat silence, exercising the
+  /// supervisor's heartbeat-timeout kill.
+  int loop_after = -1;
+  double loop_probability = 0.0;
+
   /// The paper's §V-A scenario: `probability` of a `factor`-times-slow
   /// transfer, everything else clean.
   static FaultPlan paper_outliers(double probability = 0.05,
@@ -96,6 +117,10 @@ struct FaultStats {
   std::uint64_t heavy_tail = 0;    ///< Heavy-tail faults injected.
   std::uint64_t failures = 0;      ///< MeasurementErrors thrown.
   std::uint64_t hangs = 0;         ///< Hang faults injected.
+  /// Process faults started (the process rarely survives to report them;
+  /// they are observable only through shared memory or a core dump).
+  std::uint64_t aborts = 0;
+  std::uint64_t loops = 0;
 };
 
 /// The fault logic itself, independent of what is being measured: feed it

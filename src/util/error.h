@@ -49,6 +49,10 @@ enum class ErrorKind {
   kException,  ///< An exception from outside the taxonomy was caught.
   kOverloaded, ///< Admission control shed the request (serve::Daemon);
                ///< transient by nature — retry after the hinted delay.
+  kWorkerDeath, ///< A sharded-sweep worker process died (signal, nonzero
+                ///< exit, OOM kill) while running the job. The shard
+                ///< supervisor re-assigns the job once; a job that kills
+                ///< its worker repeatedly is quarantined with this kind.
 };
 
 /// Stable lowercase name of a kind; these exact strings are the journal
@@ -63,6 +67,7 @@ constexpr const char* to_string(ErrorKind kind) {
     case ErrorKind::kContract: return "contract";
     case ErrorKind::kException: return "exception";
     case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kWorkerDeath: return "worker_death";
   }
   return "exception";
 }
@@ -75,7 +80,8 @@ inline std::optional<ErrorKind> error_kind_from_string(
   for (ErrorKind kind :
        {ErrorKind::kMeasurement, ErrorKind::kCalibration, ErrorKind::kParse,
         ErrorKind::kUsage, ErrorKind::kTimeout, ErrorKind::kContract,
-        ErrorKind::kException, ErrorKind::kOverloaded})
+        ErrorKind::kException, ErrorKind::kOverloaded,
+        ErrorKind::kWorkerDeath})
     if (name == to_string(kind)) return kind;
   return std::nullopt;
 }

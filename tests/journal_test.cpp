@@ -4,10 +4,15 @@
 // most the in-flight record), and JobRecord round-tripping.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/report.h"
 #include "exec/journal.h"
@@ -169,6 +174,164 @@ TEST(ResultJournal, BitFlipInAnyRecordIsDetected) {
   ASSERT_EQ(result.records.size(), 1u);
   EXPECT_EQ(result.records[0], "{\"job\":2}");
   EXPECT_EQ(result.corrupt_lines, 1);
+}
+
+// --- tail vs interior corruption classification ---
+// A torn *final* line is the expected crash artifact of the append-only
+// writer; an invalid line *followed by further valid lines* can only mean
+// the file was damaged after it was written. The read result reports the
+// two separately so callers can stay calm about the former and loud about
+// the latter.
+
+TEST(ResultJournal, TornFinalLineIsTailCorruptionNotInterior) {
+  TempFile file("tail_class");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"job\":1}");
+    journal.append("{\"job\":2}");
+  }
+  fs::resize_file(file.path(), fs::file_size(file.path()) - 5);
+  const JournalReadResult result = ResultJournal::read(file.path());
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.corrupt_lines, 1);
+  EXPECT_EQ(result.corrupt_tail, 1);
+  EXPECT_EQ(result.corrupt_interior, 0);
+}
+
+TEST(ResultJournal, DamagedMiddleLineIsInteriorCorruption) {
+  TempFile file("interior_class");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"job\":1}");
+    journal.append("{\"job\":2}");
+    journal.append("{\"job\":3}");
+  }
+  std::string contents;
+  {
+    std::ifstream in(file.path());
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto at = contents.find("\"job\":2");
+  ASSERT_NE(at, std::string::npos);
+  contents[at + 6] = '9';
+  {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << contents;
+  }
+  const JournalReadResult result = ResultJournal::read(file.path());
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.corrupt_lines, 1);
+  EXPECT_EQ(result.corrupt_tail, 0);
+  EXPECT_EQ(result.corrupt_interior, 1);
+}
+
+TEST(ResultJournal, InteriorDamagePlusTornTailCountsBoth) {
+  TempFile file("both_class");
+  {
+    ResultJournal journal;
+    journal.open_append(file.path());
+    journal.append("{\"job\":1}");
+    journal.append("{\"job\":2}");
+    journal.append("{\"job\":3}");
+  }
+  std::string contents;
+  {
+    std::ifstream in(file.path());
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto at = contents.find("\"job\":1");
+  ASSERT_NE(at, std::string::npos);
+  contents[at + 6] = '8';
+  contents.resize(contents.size() - 5);  // And tear the final line.
+  {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << contents;
+  }
+  const JournalReadResult result = ResultJournal::read(file.path());
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0], "{\"job\":2}");
+  EXPECT_EQ(result.corrupt_lines, 2);
+  EXPECT_EQ(result.corrupt_tail, 1);
+  EXPECT_EQ(result.corrupt_interior, 1);
+}
+
+// --- real process death (not simulated truncation) ---
+// The torn-tail contract stated with actual processes: fork a child that
+// appends records, kill it with SIGKILL (or have it _exit mid-line), and
+// verify the parent reads a valid prefix with at most a torn tail. No
+// gtest assertions run in the children — a child that misbehaves shows up
+// as a wrong journal in the parent.
+
+TEST(JournalProcessDeath, SigkillMidAppendLoopLeavesAValidPrefix) {
+  TempFile file("sigkill");
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(ready[0]);
+    ResultJournal journal;
+    journal.open_append(file.path());
+    for (int i = 0;; ++i) {
+      journal.append("{\"job\":" + std::to_string(i) + "}");
+      if (i == 3) {
+        // Tell the parent at least four records are durable; keep
+        // appending until the SIGKILL lands mid-loop.
+        const char byte = 'g';
+        (void)!::write(ready[1], &byte, 1);
+      }
+    }
+  }
+  ::close(ready[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ::close(ready[0]);
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_GE(result.records.size(), 4u);
+  // Every surviving record is exactly what was appended, in order: the
+  // kill cost at most the one in-flight line.
+  for (std::size_t i = 0; i < result.records.size(); ++i)
+    EXPECT_EQ(result.records[i], "{\"job\":" + std::to_string(i) + "}");
+  EXPECT_LE(result.corrupt_tail, 1);
+  EXPECT_EQ(result.corrupt_interior, 0);
+}
+
+TEST(JournalProcessDeath, ExitMidLineLeavesOnlyATornTail) {
+  TempFile file("midline");
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    {
+      ResultJournal journal;
+      journal.open_append(file.path());
+      journal.append("{\"job\":0}");
+      journal.append("{\"job\":1}");
+    }
+    // Now die half-way through a raw third line: checksum prefix written,
+    // record and newline never make it.
+    const int fd = ::open(file.path().c_str(), O_WRONLY | O_APPEND);
+    if (fd >= 0) (void)!::write(fd, "{\"crc\":\"dead", 12);
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  const JournalReadResult result = ResultJournal::read(file.path());
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0], "{\"job\":0}");
+  EXPECT_EQ(result.records[1], "{\"job\":1}");
+  EXPECT_EQ(result.corrupt_lines, 1);
+  EXPECT_EQ(result.corrupt_tail, 1);
+  EXPECT_EQ(result.corrupt_interior, 0);
 }
 
 // --- JobSpec fingerprints ---

@@ -1,0 +1,255 @@
+// The chaos gate for the process-sharded sweep (ISSUE 7 acceptance
+// criterion): a sweep sharded across >= 4 workers, with random SIGKILLs
+// and one poison job, must complete with every non-poison job ok, the
+// poison job quarantined as a structured failure, and the merged journal
+// byte-identical (modulo the poison record) to an unfaulted
+// single-process run of the same grid. And when the *supervisor* itself
+// is SIGKILLed mid-sweep, a re-run must recover every record the dead
+// workers had made durable and re-run only the missing jobs.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exec/journal.h"
+#include "exec/shard/supervisor.h"
+#include "exec/sweep.h"
+
+namespace grophecy::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("grophecy_shard_chaos_" + name + "_" +
+                std::to_string(::getpid())))
+                  .string()) {
+    cleanup();
+  }
+  ~TempPath() { cleanup(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void cleanup() {
+    std::remove(path_.c_str());
+    for (const std::string& shard : shard::existing_shard_paths(path_))
+      std::remove(shard.c_str());
+  }
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+core::ProjectionReport fake_report(const JobSpec& spec) {
+  core::ProjectionReport report;
+  report.app_name = spec.workload + " " + spec.size_label;
+  report.machine_name = "fake";
+  report.iterations = spec.iterations;
+  report.predicted_kernel_s = 0.010 + 0.001 * spec.iterations;
+  report.measured_kernel_s = 0.011;
+  report.predicted_transfer_s = 0.020;
+  report.measured_transfer_s = 0.019;
+  report.measured_cpu_s = 0.300;
+  return report;
+}
+
+bool first_time(const std::string& marker) {
+  if (::access(marker.c_str(), F_OK) == 0) return false;
+  std::FILE* file = std::fopen(marker.c_str(), "w");
+  if (file) std::fclose(file);
+  return true;
+}
+
+/// Drops every line whose payload mentions `fingerprint`.
+std::string strip_lines_mentioning(const std::string& text,
+                                   const std::string& needle) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find(needle) == std::string::npos) out += line + "\n";
+  return out;
+}
+
+TEST(ShardChaos, RandomKillsPlusPoisonStillConverge) {
+  TempPath chaos("converge");
+  TempPath reference("converge_ref");
+  TempPath markers("converge_markers");
+
+  // 12 jobs; three of them SIGKILL their worker exactly once (scattered
+  // across the grid so several shards get hit) and one is poison —
+  // SIGKILL every time, forever.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 12; ++i)
+    jobs.push_back({"W", "size" + std::to_string(i), 1});
+  const JobSpec poison = jobs[5];
+  const auto chaotic = [&](const JobSpec& spec) {
+    if (spec.size_label == poison.size_label) ::raise(SIGKILL);
+    if (spec.size_label == "size1" || spec.size_label == "size6" ||
+        spec.size_label == "size10") {
+      if (first_time(markers.path() + "." + spec.fingerprint()))
+        ::raise(SIGKILL);
+    }
+    return fake_report(spec);
+  };
+
+  SweepOptions options;
+  options.shards = 4;  // The acceptance gate requires >= 4.
+  options.journal_path = chaos.path();
+  options.record_wall_time = false;
+  options.heartbeat_timeout_s = 20.0;
+  SweepEngine engine(options);
+  const SweepSummary summary = engine.run(jobs, chaotic);
+  for (const JobSpec& spec : jobs)
+    std::remove((markers.path() + "." + spec.fingerprint()).c_str());
+
+  // Every non-poison job completed; the poison job is a structured
+  // quarantine, not a crash and not a silent drop.
+  EXPECT_EQ(summary.ok, 11);
+  EXPECT_EQ(summary.failed, 1);
+  EXPECT_EQ(summary.quarantined, 1);
+  EXPECT_EQ(summary.worker_deaths, 5);  // 3 kill-once + 2 poison strikes.
+  EXPECT_GE(summary.worker_respawns, 3);
+  const JobOutcome* outcome = summary.find(poison);
+  ASSERT_NE(outcome, nullptr);
+  ASSERT_TRUE(outcome->error.has_value());
+  EXPECT_EQ(outcome->error->kind, ErrorKind::kWorkerDeath);
+  EXPECT_NE(outcome->error->message.find("quarantined as poison"),
+            std::string::npos);
+
+  // The unfaulted single-process reference run of the same grid.
+  SweepOptions reference_options;
+  reference_options.workers = 1;
+  reference_options.journal_path = reference.path();
+  reference_options.record_wall_time = false;
+  SweepEngine reference_engine(reference_options);
+  const SweepSummary reference_summary =
+      reference_engine.run(jobs, fake_report);
+  EXPECT_EQ(reference_summary.ok, 12);
+
+  // Byte-identical modulo the poison record: strip the poison
+  // fingerprint's line from both journals, the rest must match exactly.
+  const std::string fp = poison.fingerprint();
+  EXPECT_EQ(strip_lines_mentioning(read_file(chaos.path()), fp),
+            strip_lines_mentioning(read_file(reference.path()), fp));
+  EXPECT_TRUE(shard::existing_shard_paths(chaos.path()).empty());
+
+  // Same for the human-readable summaries, modulo the poison job: strip
+  // its per-job line (keyed by JobSpec::key) and the "sweep:" header
+  // whose ok/failed/attempt tallies legitimately differ by that one job.
+  EXPECT_EQ(strip_lines_mentioning(
+                strip_lines_mentioning(summary.describe(), poison.key()),
+                "sweep:"),
+            strip_lines_mentioning(
+                strip_lines_mentioning(reference_summary.describe(),
+                                       poison.key()),
+                "sweep:"));
+}
+
+TEST(ShardChaos, ResumeAfterSupervisorKillRerunsOnlyMissingJobs) {
+  TempPath journal("resume");
+  TempPath markers("resume_markers");
+
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back({"W", "size" + std::to_string(i), 1});
+
+  // Phase 1: a child process runs the sharded sweep with deliberately
+  // slow jobs; the parent SIGKILLs it (supervisor, workers, everything —
+  // the child is its own process group leader) once at least two records
+  // are durable in the shard journals.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::setpgid(0, 0);
+    SweepOptions options;
+    options.shards = 4;
+    options.journal_path = journal.path();
+    options.record_wall_time = false;
+    SweepEngine engine(options);
+    engine.run(jobs, [](const JobSpec& spec) {
+      ::usleep(50 * 1000);  // Slow enough for the parent to strike first.
+      return fake_report(spec);
+    });
+    ::_exit(0);
+  }
+
+  const auto durable_records = [&]() {
+    std::size_t count = 0;
+    for (const std::string& shard : shard::existing_shard_paths(journal.path()))
+      count += ResultJournal::read(shard).records.size();
+    return count;
+  };
+  std::size_t durable_before_kill = 0;
+  for (int tries = 0; tries < 2000; ++tries) {  // 10 s ceiling.
+    durable_before_kill = durable_records();
+    if (durable_before_kill >= 2) break;
+    ::usleep(5 * 1000);
+  }
+  ::kill(-child, SIGKILL);  // The whole process group, supervisor included.
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+  ::usleep(200 * 1000);  // Let any straggler worker finish its append.
+  durable_before_kill = durable_records();
+  ASSERT_GE(durable_before_kill, 2u) << "supervisor died before any work";
+
+  // Phase 2: re-run the same sweep in this process. The job function now
+  // tattles: every *execution* appends a byte to the job's marker file,
+  // so "re-ran only the missing jobs" is directly observable.
+  SweepOptions options;
+  options.shards = 4;
+  options.journal_path = journal.path();
+  options.record_wall_time = false;
+  SweepEngine engine(options);
+  const SweepSummary summary = engine.run(jobs, [&](const JobSpec& spec) {
+    std::FILE* file =
+        std::fopen((markers.path() + "." + spec.fingerprint()).c_str(), "a");
+    if (file) {
+      std::fputc('x', file);
+      std::fclose(file);
+    }
+    return fake_report(spec);
+  });
+
+  EXPECT_EQ(summary.failed, 0);
+  EXPECT_EQ(summary.ok + summary.resumed, 8);
+  // Every record that was durable when the supervisor died was recovered
+  // from the shards (or the canonical journal), not re-executed.
+  EXPECT_GE(static_cast<std::size_t>(summary.resumed), durable_before_kill);
+  EXPECT_EQ(static_cast<std::size_t>(summary.ok),
+            8 - static_cast<std::size_t>(summary.resumed));
+  // And no job ran twice in the recovery sweep.
+  for (const JobSpec& spec : jobs) {
+    const std::string marker = markers.path() + "." + spec.fingerprint();
+    if (::access(marker.c_str(), F_OK) == 0) {
+      EXPECT_EQ(fs::file_size(marker), 1u) << spec.key() << " ran twice";
+      std::remove(marker.c_str());
+    }
+  }
+  EXPECT_TRUE(shard::existing_shard_paths(journal.path()).empty());
+
+  // Third run: everything resumes, nothing executes.
+  SweepEngine third(options);
+  const SweepSummary final_summary = third.run(jobs, fake_report);
+  EXPECT_EQ(final_summary.resumed, 8);
+  EXPECT_EQ(final_summary.ok, 0);
+}
+
+}  // namespace
+}  // namespace grophecy::exec

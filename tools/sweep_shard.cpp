@@ -1,0 +1,142 @@
+// Process-sharded sweep runner.
+//
+//   sweep_shard --journal /tmp/sweep.jsonl --shards 4
+//               [--workloads CFD,SRAD] [--sizes all|97K,193K]
+//               [--iterations 1,8] [--workers N] [--seed S]
+//               [--max-retries N] [--heartbeat-timeout SECONDS]
+//               [--poison-threshold N] [--no-resume] [--no-wall-time]
+//
+// Expands the (workloads x sizes x iterations) grid of the paper suite
+// against hw::anl_eureka() and runs it through the sweep engine. With
+// --shards N > 0 the jobs execute in N forked worker processes under the
+// shard supervisor (exec/shard/supervisor.h): any worker may be SIGKILLed
+// mid-job and the sweep still completes, with the canonical journal
+// byte-identical (--no-wall-time) to a single-process run of the same
+// grid. With --shards 0 it is the ordinary in-process engine — which is
+// exactly what the shard smoke test byte-compares against.
+//
+// Exit status: 0 when every job succeeded (or resumed), 1 when any job
+// failed permanently, 2 for bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
+#include "util/error.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string part =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--journal PATH] [--shards N] [--workers N]\n"
+      "          [--workloads A,B,...] [--sizes all|L1,L2,...]\n"
+      "          [--iterations N1,N2,...] [--seed S] [--max-retries N]\n"
+      "          [--heartbeat-timeout SECONDS] [--poison-threshold N]\n"
+      "          [--no-resume] [--no-wall-time]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grophecy;
+
+  std::vector<std::string> workload_names = {"CFD", "HotSpot", "SRAD",
+                                             "Stassuij"};
+  std::vector<std::string> size_labels;  // Empty = all paper sizes.
+  std::vector<int> iteration_counts = {1};
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+
+  exec::SweepOptions options;
+  options.workers = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      options.journal_path = value();
+    } else if (arg == "--shards") {
+      options.shards = std::atoi(value());
+    } else if (arg == "--workers") {
+      options.workers = std::atoi(value());
+    } else if (arg == "--workloads") {
+      workload_names = split_csv(value());
+    } else if (arg == "--sizes") {
+      const std::string labels = value();
+      size_labels = labels == "all" ? std::vector<std::string>{}
+                                    : split_csv(labels);
+    } else if (arg == "--iterations") {
+      iteration_counts.clear();
+      for (const std::string& count : split_csv(value()))
+        iteration_counts.push_back(std::atoi(count.c_str()));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 0);
+      seed_set = true;
+    } else if (arg == "--max-retries") {
+      options.max_retries = std::atoi(value());
+    } else if (arg == "--heartbeat-timeout") {
+      options.heartbeat_timeout_s = std::atof(value());
+    } else if (arg == "--poison-threshold") {
+      options.poison_kill_threshold = std::atoi(value());
+    } else if (arg == "--no-resume") {
+      options.resume = false;
+    } else if (arg == "--no-wall-time") {
+      options.record_wall_time = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    exec::SweepRequest request = exec::SweepRequest::on(hw::anl_eureka())
+                                     .workloads(workload_names)
+                                     .iterations(iteration_counts);
+    if (size_labels.empty())
+      request.sizes(exec::all_sizes);
+    else
+      request.sizes(size_labels);
+    if (seed_set) request.seed(seed);
+
+    exec::SweepEngine engine(options);
+    const exec::SweepSummary summary = request.run(engine);
+    std::fputs(summary.describe().c_str(), stdout);
+    return summary.failed > 0 ? 1 : 0;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: fatal: %s\n", argv[0], e.what());
+    return 1;
+  }
+}
