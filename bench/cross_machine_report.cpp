@@ -1,0 +1,243 @@
+// cross_machine_report — same skeleton, every machine (ROADMAP item 1).
+//
+// One SweepRequest fans the four paper workloads across every machine in
+// hw::MachineRegistry::global() (PCIe gen1 through gen5-class buses), then
+// ranks the fleet per (workload, data size) by predicted total GPU time
+// and attributes each win to compute, transfer, or occupancy: the paper's
+// thesis is that transfer modeling changes porting verdicts, and across a
+// gen1->gen5 fleet the *reason* a machine wins flips visibly between bus
+// and device.
+//
+//   ./build/bench/cross_machine_report [--out FILE] [--workers N]
+//                                      [--shards N] [--journal FILE]
+//
+// Attribution (winner vs. runner-up, predicted):
+//   * "transfer"  — the bus saves more time than the device does;
+//   * "occupancy" — the device saves more, and the winner keeps
+//                   meaningfully more of its SMs occupied (the win comes
+//                   from geometry, not raw FLOPs/bandwidth);
+//   * "compute"   — the device saves more at comparable occupancy.
+//
+// Emits BENCH_machines.json (schema grophecy.bench_machines.v1) for
+// scripts/bench_compare: winners and reasons gate (the projections are
+// seeded and deterministic), margins only warn. The sweep runs on the
+// shared engine — deterministic per-job seeds, per-machine single-flight
+// calibration, optional process sharding — so the gate exercises the
+// whole cross-machine path, not a bespoke loop.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_request.h"
+#include "hw/architecture.h"
+#include "hw/machine_registry.h"
+#include "hw/registry.h"
+#include "pcie/calibration_cache.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace grophecy;
+
+/// One machine's projection of one (workload, size) grid point.
+struct MachineRow {
+  std::string machine;
+  double kernel_s = 0.0;
+  double transfer_s = 0.0;
+  double total_s = 0.0;
+  double occupancy = 0.0;  ///< Predicted-time-weighted SM occupancy.
+  std::string bound;       ///< Dominant kernel bound, predicted-time-weighted.
+};
+
+/// Weighted occupancy and dominant bound over a report's kernels.
+void summarize_kernels(const core::ProjectionReport& report, MachineRow& row) {
+  double weight = 0.0;
+  double occupancy = 0.0;
+  std::map<std::string, double> bound_weight;
+  for (const core::KernelResult& kernel : report.kernels) {
+    occupancy += kernel.projected.time.occupancy.fraction * kernel.predicted_s;
+    bound_weight[kernel.projected.time.bound] += kernel.predicted_s;
+    weight += kernel.predicted_s;
+  }
+  if (weight <= 0.0) return;
+  row.occupancy = occupancy / weight;
+  double best = -1.0;
+  for (const auto& [name, w] : bound_weight) {
+    if (w > best) {
+      best = w;
+      row.bound = name;
+    }
+  }
+}
+
+struct Entry {
+  std::string workload;
+  std::string size;
+  int machines = 0;
+  std::string winner;
+  std::string runner_up;
+  std::string reason;      // "compute" | "transfer" | "occupancy"
+  double margin_pct = 0.0; ///< Runner-up total over winner total, percent.
+  double winner_total_ms = 0.0;
+};
+
+/// Why the winner beats the runner-up (see file comment).
+std::string attribute(const MachineRow& winner, const MachineRow& runner_up) {
+  const double kernel_gain = runner_up.kernel_s - winner.kernel_s;
+  const double transfer_gain = runner_up.transfer_s - winner.transfer_s;
+  if (transfer_gain > kernel_gain) return "transfer";
+  if (winner.occupancy > runner_up.occupancy + 0.10) return "occupancy";
+  return "compute";
+}
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_machines.v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << util::strfmt(
+        "    {\"workload\": \"%s\", \"size\": \"%s\", \"machines\": %d,"
+        " \"winner\": \"%s\", \"runner_up\": \"%s\", \"reason\": \"%s\","
+        " \"margin_pct\": %.6g, \"winner_total_ms\": %.6g}%s\n",
+        e.workload.c_str(), e.size.c_str(), e.machines, e.winner.c_str(),
+        e.runner_up.c_str(), e.reason.c_str(), e.margin_pct,
+        e.winner_total_ms, i + 1 < entries.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_machines.json";
+  exec::SweepOptions sweep;
+  sweep.workers = 0;
+  if (const char* env = std::getenv("GROPHECY_SWEEP_WORKERS")) {
+    const int workers = std::atoi(env);
+    if (workers >= 0) sweep.workers = workers;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      sweep.workers = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      sweep.shards = std::atoi(argv[++i]);
+    } else if (arg == "--journal" && i + 1 < argc) {
+      sweep.journal_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--workers N] [--shards N] "
+                   "[--journal FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const hw::MachineRegistry& registry = hw::MachineRegistry::global();
+  std::printf("Cross-machine projection: %zu registered machines\n\n",
+              registry.size());
+
+  std::vector<std::string> workload_names;
+  for (const auto& workload : workloads::paper_workloads())
+    workload_names.push_back(workload->name());
+
+  // ONE request: (every machine) x (every paper workload) x (every paper
+  // size). Per-machine calibration flows through the single-flight
+  // pcie::CalibrationCache; per-job seeds keep the result independent of
+  // worker/shard count.
+  exec::SweepEngine engine(sweep);
+  const exec::SweepSummary summary = exec::SweepRequest::on(hw::anl_eureka())
+                                         .machines(exec::all_machines)
+                                         .workloads(workload_names)
+                                         .sizes(exec::all_sizes)
+                                         .run(engine);
+
+  // Regroup the outcomes: (workload, size) -> per-machine rows, machines
+  // in registry order (the grid's outermost axis).
+  std::vector<std::pair<std::string, std::string>> grid_points;
+  std::map<std::pair<std::string, std::string>, std::vector<MachineRow>> rows;
+  bool all_ok = true;
+  for (const exec::JobOutcome& outcome : summary.outcomes) {
+    const auto point =
+        std::make_pair(outcome.spec.workload, outcome.spec.size_label);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL: job %s [%s]: %s\n",
+                   outcome.spec.key().c_str(), to_string(outcome.error->kind),
+                   outcome.error->message.c_str());
+      all_ok = false;
+      continue;
+    }
+    if (rows.find(point) == rows.end()) grid_points.push_back(point);
+    MachineRow row;
+    row.machine = outcome.spec.machine;
+    row.kernel_s = outcome.report->predicted_kernel_s;
+    row.transfer_s = outcome.report->predicted_transfer_s;
+    row.total_s = outcome.report->predicted_total_s();
+    summarize_kernels(*outcome.report, row);
+    rows[point].push_back(row);
+  }
+
+  std::vector<Entry> entries;
+  for (const auto& point : grid_points) {
+    std::vector<MachineRow> ranked = rows[point];
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const MachineRow& a, const MachineRow& b) {
+                       return a.total_s < b.total_s;
+                     });
+
+    std::printf("== %s %s ==\n", point.first.c_str(), point.second.c_str());
+    util::TextTable table({"rank", "machine", "family", "pcie", "kernel ms",
+                           "transfer ms", "total ms", "occ", "bound"});
+    for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+      const MachineRow& row = ranked[rank];
+      const hw::MachineSpec& spec = registry.find(row.machine);
+      table.add_row({util::strfmt("%zu", rank + 1), row.machine,
+                     spec.gpu.family,
+                     util::strfmt("gen%d x%d", spec.pcie.generation,
+                                  spec.pcie.lanes),
+                     util::strfmt("%.3f", row.kernel_s * 1e3),
+                     util::strfmt("%.3f", row.transfer_s * 1e3),
+                     util::strfmt("%.3f", row.total_s * 1e3),
+                     util::strfmt("%.0f%%", row.occupancy * 100.0),
+                     row.bound});
+    }
+    std::printf("%s", table.to_string().c_str());
+
+    if (ranked.size() >= 2) {
+      Entry entry;
+      entry.workload = point.first;
+      entry.size = point.second;
+      entry.machines = static_cast<int>(ranked.size());
+      entry.winner = ranked[0].machine;
+      entry.runner_up = ranked[1].machine;
+      entry.reason = attribute(ranked[0], ranked[1]);
+      entry.margin_pct =
+          (ranked[1].total_s / ranked[0].total_s - 1.0) * 100.0;
+      entry.winner_total_ms = ranked[0].total_s * 1e3;
+      std::printf("winner: %s (+%.1f%% over %s) — %s\n\n",
+                  entry.winner.c_str(), entry.margin_pct,
+                  entry.runner_up.c_str(), entry.reason.c_str());
+      entries.push_back(std::move(entry));
+    } else {
+      std::printf("\n");
+    }
+  }
+
+  // Per-machine single-flight calibration: one miss per distinct bus.
+  const pcie::CalibrationCache::Stats cache =
+      pcie::CalibrationCache::instance().stats();
+  std::printf("calibrations: %llu (cache served %llu) for %zu machines\n",
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.hits), registry.size());
+
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+  return all_ok ? 0 : 1;
+}

@@ -5,7 +5,8 @@
 //                    [--machine-file <file.gmach>]
 //   project_skeleton --list-machines
 //
-//   machine         anl_eureka (default) | pcie2_fermi | pcie3_kepler
+//   machine         any registry machine name (default anl_eureka); see
+//                   --list-machines for the registered fleet
 //   --machine-file  project against a user-defined .gmach machine
 //   --iterations    overrides the skeleton's iteration count
 //   --advise        also print the pinned/pageable memory-mode plan
@@ -20,6 +21,7 @@
 #include "util/contracts.h"
 #include "core/memory_advisor.h"
 #include "hw/machine_file.h"
+#include "hw/machine_registry.h"
 #include "hw/registry.h"
 #include "skeleton/parse.h"
 #include "skeleton/print.h"
@@ -28,10 +30,10 @@ int main(int argc, char** argv) {
   using namespace grophecy;
 
   if (argc >= 2 && std::strcmp(argv[1], "--list-machines") == 0) {
-    for (const hw::MachineSpec& m : hw::all_machines())
-      std::printf("%-14s %s + %s over %s\n", m.name.c_str(),
-                  m.cpu.name.c_str(), m.gpu.name.c_str(),
-                  m.pcie.name.c_str());
+    for (const auto& m : hw::MachineRegistry::global().machines())
+      std::printf("%-18s %s + %s over %s\n", m->name.c_str(),
+                  m->cpu.name.c_str(), m->gpu.name.c_str(),
+                  m->pcie.name.c_str());
     return 0;
   }
   if (argc < 2) {
@@ -86,6 +88,10 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const grophecy::ParseError& e) {
     // what() already names the offending file and line.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const grophecy::Error& e) {
+    // An unknown machine name lands here (UsageError, listing the fleet).
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   } catch (const grophecy::ContractViolation& e) {

@@ -39,6 +39,15 @@ run_preset() {
 }
 
 run_preset default
+
+# Registry validation: load every shipped .gmach through the global
+# MachineRegistry (re-running hw::validate_machine on each) and check the
+# fleet invariants (>= 8 machines, PCIe gen1-gen5 coverage). A malformed
+# or missing shipped spec fails verification here, not at a user's first
+# cross-machine sweep.
+echo "=== verify: machine registry (tools/validate_machines) ==="
+./build/tools/validate_machines
+
 for arg in "$@"; do
   case "${arg}" in
     --sanitize)
@@ -57,6 +66,11 @@ for arg in "$@"; do
         scripts/bench_compare "bench/BENCH_${bench}.json" \
           "build/BENCH_${bench}.json"
       done
+      echo "=== verify: bench (cross_machine_report vs bench/BENCH_machines.json) ==="
+      ./build/bench/cross_machine_report --out build/BENCH_machines.json \
+        > /dev/null
+      scripts/bench_compare bench/BENCH_machines.json \
+        build/BENCH_machines.json
       ;;
     --serve)
       echo "=== verify: serve smoke (daemon + loadgen over AF_UNIX) ==="

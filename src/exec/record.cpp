@@ -29,15 +29,22 @@ std::optional<RecordStatus> record_status_from_string(std::string_view name) {
 }  // namespace
 
 std::string JobSpec::key() const {
-  return workload + "/" + size_label + "/x" + std::to_string(iterations);
+  std::string key =
+      workload + "/" + size_label + "/x" + std::to_string(iterations);
+  if (!machine.empty()) key += "@" + machine;
+  return key;
 }
 
 /// The canonical identity string behind fingerprint() and stream_seed().
 /// The separator byte keeps ("ab","c") distinct from ("a","bc"); the
-/// iteration count is folded in via its decimal form.
+/// iteration count is folded in via its decimal form. The machine joins
+/// only when named: a legacy single-machine spec keeps the exact identity
+/// (and so fingerprint, stream seed, and journal key) it always had.
 static std::string identity_of(const JobSpec& spec) {
-  return spec.workload + '\x1f' + spec.size_label + '\x1f' +
-         std::to_string(spec.iterations);
+  std::string identity = spec.workload + '\x1f' + spec.size_label + '\x1f' +
+                         std::to_string(spec.iterations);
+  if (!spec.machine.empty()) identity += '\x1f' + spec.machine;
+  return identity;
 }
 
 std::string JobSpec::fingerprint() const {
@@ -63,6 +70,9 @@ std::string JobRecord::to_json() const {
         "error_kind",
         std::string(error_kind ? grophecy::to_string(*error_kind) : ""));
     object.emplace_back("error_message", error_message);
+    // Only cross-machine jobs carry a machine identity into failed
+    // records; single-machine journals keep their historical bytes.
+    if (!machine.empty()) object.emplace_back("machine", machine);
   } else {
     object.emplace_back("machine", machine);
     object.emplace_back("predicted_kernel_s", predicted_kernel_s);
@@ -111,6 +121,7 @@ std::optional<JobRecord> JobRecord::from_json(std::string_view payload) {
           error_kind_from_string(*kind).value_or(ErrorKind::kException);
     record.error_message =
         util::json_string(*object, "error_message").value_or("");
+    record.machine = util::json_string(*object, "machine").value_or("");
     return record;
   }
 

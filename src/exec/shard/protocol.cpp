@@ -134,6 +134,9 @@ std::string encode_job(std::size_t index, const JobSpec& spec) {
   object.emplace_back("workload", spec.workload);
   object.emplace_back("size", spec.size_label);
   object.emplace_back("iterations", static_cast<double>(spec.iterations));
+  // Like the journal: the machine key exists only when the spec names one,
+  // so single-machine assignments keep their exact legacy bytes.
+  if (!spec.machine.empty()) object.emplace_back("machine", spec.machine);
   return util::write_flat_json(object);
 }
 
@@ -149,7 +152,8 @@ std::optional<JobAssignment> decode_job(std::string_view payload) {
   JobAssignment assignment;
   assignment.index = static_cast<std::size_t>(*index);
   assignment.spec =
-      JobSpec{*workload, *size, static_cast<int>(*iterations)};
+      JobSpec{*workload, *size, static_cast<int>(*iterations),
+              util::json_string(*object, "machine").value_or("")};
   return assignment;
 }
 

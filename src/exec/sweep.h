@@ -70,8 +70,16 @@ struct JobSpec {
   std::string workload;    ///< Workload name (e.g. "CFD").
   std::string size_label;  ///< Data-size label (e.g. "97K").
   int iterations = 1;
+  /// Registry name of the machine to project on; empty (the default)
+  /// means "the request's machine" — the pre-cross-machine behaviour.
+  /// A non-empty name joins the identity (key, fingerprint, stream
+  /// seed), so the same grid point on two machines is two distinct
+  /// jobs; an empty one leaves all three byte-identical to the
+  /// single-machine era, which keeps old journals resumable.
+  std::string machine;
 
-  /// Human-readable identity, e.g. "CFD/97K/x1".
+  /// Human-readable identity, e.g. "CFD/97K/x1" — or
+  /// "CFD/97K/x1@volta_v100" when a machine is named.
   std::string key() const;
 
   /// Deterministic 64-bit fingerprint of the identity as 16 hex chars;

@@ -212,6 +212,7 @@ JobOutcome SweepEngine::execute_job(const JobSpec& spec, const JobFn& fn) {
     outcome.record.elapsed_s = recorded_elapsed;
     outcome.record.error_kind = outcome.error->kind;
     outcome.record.error_message = outcome.error->message;
+    outcome.record.machine = spec.machine;
   }
   return outcome;
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/experiment.h"
+#include "hw/machine_registry.h"
 #include "util/error.h"
 #include "workloads/workload.h"
 
@@ -17,6 +18,16 @@ SweepRequest SweepRequest::on(hw::MachineSpec machine) {
 
 SweepRequest& SweepRequest::workloads(std::vector<std::string> names) {
   workloads_ = std::move(names);
+  return *this;
+}
+
+SweepRequest& SweepRequest::machines(std::vector<std::string> names) {
+  machine_names_ = std::move(names);
+  return *this;
+}
+
+SweepRequest& SweepRequest::machines(AllMachines) {
+  machine_names_ = hw::MachineRegistry::global().names();
   return *this;
 }
 
@@ -50,18 +61,28 @@ std::vector<JobSpec> SweepRequest::jobs() const {
     throw UsageError("SweepRequest: no workloads selected");
   if (iterations_.empty())
     throw UsageError("SweepRequest: no iteration counts selected");
+  // Machines resolve before the grid expands, so an unknown name fails
+  // the request up front (with the registered fleet listed) instead of
+  // per-job inside the engine. The single-machine request expands with
+  // one empty machine name — the byte-stable legacy grid.
+  for (const std::string& name : machine_names_)
+    hw::MachineRegistry::global().find(name);
+  const std::vector<std::string> machine_axis =
+      machine_names_.empty() ? std::vector<std::string>{""} : machine_names_;
   const workloads::PaperSuite& suite = workloads::PaperSuite::instance();
   std::vector<JobSpec> specs;
-  for (const std::string& name : workloads_) {
-    const workloads::Workload& workload = suite.find(name);
-    std::vector<std::string> labels = size_labels_;
-    if (labels.empty())
-      for (const workloads::DataSize& size : workload.paper_data_sizes())
-        labels.push_back(size.label);
-    for (const std::string& label : labels) {
-      workloads::find_data_size(workload, label);  // validate early
-      for (int iterations : iterations_)
-        specs.push_back({name, label, iterations});
+  for (const std::string& machine : machine_axis) {
+    for (const std::string& name : workloads_) {
+      const workloads::Workload& workload = suite.find(name);
+      std::vector<std::string> labels = size_labels_;
+      if (labels.empty())
+        for (const workloads::DataSize& size : workload.paper_data_sizes())
+          labels.push_back(size.label);
+      for (const std::string& label : labels) {
+        workloads::find_data_size(workload, label);  // validate early
+        for (int iterations : iterations_)
+          specs.push_back({name, label, iterations, machine});
+      }
     }
   }
   return specs;
@@ -83,12 +104,21 @@ SweepEngine::JobFn SweepRequest::job_fn() const {
     const workloads::DataSize size =
         workloads::find_data_size(workload, spec.size_label);
     core::ProjectionOptions options = base_options;
-    // Measurement streams: per job, a pure function of (base, identity).
+    // Measurement streams: per job, a pure function of (base, identity) —
+    // and the identity includes the machine name, so the same grid point
+    // on two machines draws decorrelated streams.
     options.seed = spec.stream_seed(base_seed);
     // Calibration: per system, shared by every job of the request — one
-    // CalibrationCache entry per sweep instead of one per job.
+    // CalibrationCache entry per sweep *per machine* (the cache keys on
+    // the bus spec, so machines never share a calibration).
     options.calibration_seed = base_seed;
-    core::ExperimentRunner runner(machine, std::move(options));
+    // A named machine overrides the request's default: resolve it through
+    // the registry (already validated at expansion; a spec replayed from
+    // a foreign journal still gets the find() UsageError contract).
+    const hw::MachineSpec& target =
+        spec.machine.empty() ? machine
+                             : hw::MachineRegistry::global().find(spec.machine);
+    core::ExperimentRunner runner(target, std::move(options));
     return runner.run(workload, size, spec.iterations);
   };
 }

@@ -38,6 +38,10 @@ namespace grophecy::exec {
 struct AllSizes {};
 inline constexpr AllSizes all_sizes{};
 
+/// Tag selecting every machine in hw::MachineRegistry::global().
+struct AllMachines {};
+inline constexpr AllMachines all_machines{};
+
 /// Fluent builder for a sweep grid; see file comment.
 class SweepRequest {
  public:
@@ -47,6 +51,24 @@ class SweepRequest {
   /// Selects the workloads by name, in grid order. Unknown names throw
   /// UsageError (listing the valid names) when the grid is expanded.
   SweepRequest& workloads(std::vector<std::string> names);
+
+  /// Fans the request across machines by registry name: the grid becomes
+  /// (machines) x (workloads) x (sizes) x (iterations), machines
+  /// outermost, and every JobSpec carries its machine's name (so jobs on
+  /// different machines have distinct fingerprints, journal keys, and
+  /// measurement streams). Each machine resolves through
+  /// hw::MachineRegistry::global() — unknown names throw UsageError
+  /// (listing the registered fleet) at expansion. Calibration stays
+  /// single-flight per machine: all jobs share the request's calibration
+  /// seed, and the pcie::CalibrationCache keys on the machine's bus spec,
+  /// so a cross-machine sweep calibrates once per machine, not per job.
+  /// An empty list (the default) restores the single-machine request —
+  /// specs carry no machine name and the grid is byte-identical to the
+  /// pre-cross-machine builder.
+  SweepRequest& machines(std::vector<std::string> names);
+  /// Fans across every machine registered in the global registry, in
+  /// registry order (builtins first, then shipped specs by filename).
+  SweepRequest& machines(AllMachines);
 
   /// Selects data sizes by Table I label, applied to every selected
   /// workload. Labels a workload lacks throw UsageError at expansion.
@@ -91,6 +113,7 @@ class SweepRequest {
   explicit SweepRequest(hw::MachineSpec machine);
 
   hw::MachineSpec machine_;
+  std::vector<std::string> machine_names_;  ///< Empty => single-machine.
   std::vector<std::string> workloads_;
   std::vector<std::string> size_labels_;  ///< Empty => all paper sizes.
   std::vector<int> iterations_{1};

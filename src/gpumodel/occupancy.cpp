@@ -1,7 +1,6 @@
 #include "gpumodel/occupancy.h"
 
-#include <algorithm>
-
+#include "hw/architecture.h"
 #include "util/contracts.h"
 
 namespace grophecy::gpumodel {
@@ -12,38 +11,19 @@ Occupancy compute_occupancy(const hw::GpuSpec& gpu, int block_size,
   GROPHECY_EXPECTS(block_size >= gpu.warp_size);
   GROPHECY_EXPECTS(block_size <= gpu.max_threads_per_block);
 
+  // The allocation rules live with the architecture family (specs with an
+  // unknown family fall back to the paper testbed's rules, which are the
+  // shared base implementation anyway).
+  const hw::Architecture* arch = hw::Architecture::try_of(gpu.family);
+  const hw::Occupancy computed =
+      (arch != nullptr ? *arch : hw::Architecture::of("tesla"))
+          .occupancy(gpu, block_size, regs_per_thread, smem_per_block);
+
   Occupancy occ;
-  int limit = gpu.max_threads_per_sm / block_size;
-  occ.limiter = "threads";
-
-  if (gpu.max_blocks_per_sm < limit) {
-    limit = gpu.max_blocks_per_sm;
-    occ.limiter = "blocks";
-  }
-  if (regs_per_thread > 0) {
-    const auto regs_per_block =
-        regs_per_thread * static_cast<std::uint32_t>(block_size);
-    const int by_regs = static_cast<int>(gpu.registers_per_sm / regs_per_block);
-    if (by_regs < limit) {
-      limit = by_regs;
-      occ.limiter = "regs";
-    }
-  }
-  if (smem_per_block > 0) {
-    const int by_smem =
-        static_cast<int>(gpu.shared_mem_per_sm_bytes / smem_per_block);
-    if (by_smem < limit) {
-      limit = by_smem;
-      occ.limiter = "smem";
-    }
-  }
-
-  occ.blocks_per_sm = std::max(limit, 0);
-  const int warps_per_block =
-      (block_size + gpu.warp_size - 1) / gpu.warp_size;
-  occ.active_warps = occ.blocks_per_sm * warps_per_block;
-  const int max_warps = gpu.max_threads_per_sm / gpu.warp_size;
-  occ.fraction = static_cast<double>(occ.active_warps) / max_warps;
+  occ.blocks_per_sm = computed.blocks_per_sm;
+  occ.active_warps = computed.active_warps;
+  occ.fraction = computed.fraction;
+  occ.limiter = computed.limiter;
   return occ;
 }
 

@@ -1,0 +1,311 @@
+#include "hw/architecture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace grophecy::hw {
+
+namespace {
+
+std::uint32_t round_up(std::uint32_t value, std::uint32_t granularity) {
+  if (granularity <= 1) return value;
+  return ((value + granularity - 1) / granularity) * granularity;
+}
+
+/// One concrete generation. The families differ in metadata and limits,
+/// not in algorithm shape, so a single final class parameterized per
+/// family keeps every rule in one auditable table below; a family that
+/// ever needs different *math* (e.g. per-warp register files) overrides
+/// the virtuals with a new subclass.
+class FamilyArchitecture final : public Architecture {
+ public:
+  FamilyArchitecture(const char* family, const char* description,
+                     int wave_size, int max_pcie_generation)
+      : family_(family),
+        description_(description),
+        wave_size_(wave_size),
+        max_pcie_generation_(max_pcie_generation) {}
+
+  std::string_view family() const override { return family_; }
+  std::string_view description() const override { return description_; }
+  int wave_size() const override { return wave_size_; }
+  int max_pcie_generation() const override { return max_pcie_generation_; }
+
+ private:
+  const char* family_;
+  const char* description_;
+  int wave_size_;
+  int max_pcie_generation_;
+};
+
+/// Registered families, oldest first. Wave geometry and the newest link
+/// generation each era shipped with; the CDNA entry exercises the
+/// non-32-wide path (AMD wavefronts are 64 lanes).
+const std::vector<FamilyArchitecture>& family_table() {
+  static const std::vector<FamilyArchitecture> table = {
+      {"tesla", "NVIDIA Tesla class (G80/GT200, 2006-2009)", 32, 2},
+      {"fermi", "NVIDIA Fermi class (GF1xx, 2010-2011)", 32, 2},
+      {"kepler", "NVIDIA Kepler class (GK1xx, 2012-2013)", 32, 3},
+      {"maxwell", "NVIDIA Maxwell class (GM2xx, 2014-2015)", 32, 3},
+      {"pascal", "NVIDIA Pascal class (GP1xx, 2016-2017)", 32, 3},
+      {"volta", "NVIDIA Volta class (GV100, 2017-2018)", 32, 3},
+      {"turing", "NVIDIA Turing class (TU1xx, 2018-2019)", 32, 3},
+      {"ampere", "NVIDIA Ampere class (GA1xx, 2020-2021)", 32, 4},
+      {"ada", "NVIDIA Ada class (AD1xx, 2022-2023)", 32, 4},
+      {"hopper", "NVIDIA Hopper class (GH100, 2022-2024)", 32, 5},
+      {"cdna2", "AMD CDNA2 class (MI2xx, wave64, 2021-2022)", 64, 4},
+  };
+  return table;
+}
+
+const std::map<std::string_view, const Architecture*>& family_index() {
+  static const std::map<std::string_view, const Architecture*> index = [] {
+    std::map<std::string_view, const Architecture*> map;
+    for (const FamilyArchitecture& arch : family_table())
+      map.emplace(arch.family(), &arch);
+    return map;
+  }();
+  return index;
+}
+
+std::string valid_family_names() {
+  std::string names;
+  for (const FamilyArchitecture& arch : family_table()) {
+    if (!names.empty()) names += ", ";
+    names += arch.family();
+  }
+  return names;
+}
+
+}  // namespace
+
+Occupancy Architecture::occupancy(const GpuSpec& gpu, int block_size,
+                                  std::uint32_t regs_per_thread,
+                                  std::uint32_t smem_per_block) const {
+  GROPHECY_EXPECTS(block_size >= gpu.warp_size);
+  GROPHECY_EXPECTS(block_size <= gpu.max_threads_per_block);
+
+  Occupancy occ;
+  int limit = gpu.max_threads_per_sm / block_size;
+  occ.limiter = "threads";
+
+  if (gpu.max_blocks_per_sm < limit) {
+    limit = gpu.max_blocks_per_sm;
+    occ.limiter = "blocks";
+  }
+  if (regs_per_thread > 0) {
+    // Hardware allocators reserve registers in fixed-size chunks; the
+    // exact-fit arithmetic (granularity 1) is what the original three
+    // machines were modeled with, so it stays the default.
+    const std::uint32_t regs_per_block =
+        round_up(regs_per_thread * static_cast<std::uint32_t>(block_size),
+                 gpu.reg_alloc_granularity);
+    const int by_regs =
+        static_cast<int>(gpu.registers_per_sm / regs_per_block);
+    if (by_regs < limit) {
+      limit = by_regs;
+      occ.limiter = "regs";
+    }
+  }
+  if (smem_per_block > 0) {
+    const std::uint32_t smem_alloc =
+        round_up(smem_per_block, gpu.smem_alloc_granularity_bytes);
+    const int by_smem =
+        static_cast<int>(gpu.shared_mem_per_sm_bytes / smem_alloc);
+    if (by_smem < limit) {
+      limit = by_smem;
+      occ.limiter = "smem";
+    }
+  }
+
+  occ.blocks_per_sm = std::max(limit, 0);
+  const int warps_per_block =
+      (block_size + gpu.warp_size - 1) / gpu.warp_size;
+  occ.active_warps = occ.blocks_per_sm * warps_per_block;
+  const int max_warps = gpu.max_threads_per_sm / gpu.warp_size;
+  occ.fraction = static_cast<double>(occ.active_warps) / max_warps;
+  return occ;
+}
+
+double Architecture::peak_gflops(const GpuSpec& gpu) const {
+  return gpu.core_clock_ghz * gpu.flops_per_core_per_cycle *
+         gpu.total_cores();
+}
+
+double Architecture::peak_bandwidth_gbps(const GpuSpec& gpu) const {
+  return gpu.mem_bandwidth_gbps;
+}
+
+void Architecture::validate(const GpuSpec& gpu) const {
+  if (gpu.warp_size != wave_size())
+    throw UsageError(util::strfmt(
+        "gpu.warp_size: %d does not match the %.*s family's wavefront "
+        "width %d",
+        gpu.warp_size, static_cast<int>(family().size()), family().data(),
+        wave_size()));
+}
+
+const Architecture& Architecture::of(std::string_view family) {
+  const Architecture* arch = try_of(family);
+  if (arch == nullptr)
+    throw UsageError("unknown architecture family '" + std::string(family) +
+                     "' (valid families: " + valid_family_names() + ")");
+  return *arch;
+}
+
+const Architecture* Architecture::try_of(std::string_view family) {
+  const auto& index = family_index();
+  const auto it = index.find(family);
+  return it == index.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Architecture::families() {
+  std::vector<std::string> names;
+  for (const FamilyArchitecture& arch : family_table())
+    names.emplace_back(arch.family());
+  return names;
+}
+
+namespace {
+
+/// Context-carrying check helpers: every failure names the machine and
+/// the dotted field, so a registry scan over ten specs pinpoints the
+/// broken line immediately.
+[[noreturn]] void fail(const MachineSpec& m, const std::string& field,
+                       const std::string& problem) {
+  throw UsageError("machine '" + m.name + "': " + field + ": " + problem);
+}
+
+void require_positive(const MachineSpec& m, const std::string& field,
+                      double value) {
+  if (!(value > 0.0) || !std::isfinite(value))
+    fail(m, field, "must be positive and finite, got " +
+                       util::strfmt("%g", value));
+}
+
+void require_non_negative(const MachineSpec& m, const std::string& field,
+                          double value) {
+  if (!(value >= 0.0) || !std::isfinite(value))
+    fail(m, field, "must be non-negative and finite, got " +
+                       util::strfmt("%g", value));
+}
+
+void validate_direction(const MachineSpec& m, const std::string& prefix,
+                        const PcieDirectionProfile& profile) {
+  require_positive(m, prefix + ".asymptotic_gbps", profile.asymptotic_gbps);
+  require_non_negative(m, prefix + ".latency_s", profile.latency_s);
+  require_non_negative(m, prefix + ".hump_extra_s", profile.hump_extra_s);
+  require_positive(m, prefix + ".hump_center_bytes",
+                   profile.hump_center_bytes);
+  require_positive(m, prefix + ".hump_log_width", profile.hump_log_width);
+  require_non_negative(m, prefix + ".page_staging_s_per_page",
+                       profile.page_staging_s_per_page);
+  // A claimed payload bandwidth above the link's theoretical capacity is
+  // a mis-specified machine, not an aggressive one — the model would
+  // happily project transfers faster than the wire.
+  const double peak = m.pcie.peak_gbps();
+  if (peak > 0.0 && profile.asymptotic_gbps > peak)
+    fail(m, prefix + ".asymptotic_gbps",
+         util::strfmt("%.3g GB/s exceeds the PCIe gen%d x%d link's "
+                      "theoretical %.3g GB/s",
+                      profile.asymptotic_gbps, m.pcie.generation,
+                      m.pcie.lanes, peak));
+}
+
+}  // namespace
+
+void validate_machine(const MachineSpec& machine) {
+  const MachineSpec& m = machine;
+  if (m.name.empty()) fail(m, "name", "must be non-empty");
+
+  // --- cpu ---
+  if (m.cpu.sockets <= 0) fail(m, "cpu.sockets", "must be positive");
+  if (m.cpu.cores_per_socket <= 0)
+    fail(m, "cpu.cores_per_socket", "must be positive");
+  if (m.cpu.threads <= 0) fail(m, "cpu.threads", "must be positive");
+  require_positive(m, "cpu.clock_ghz", m.cpu.clock_ghz);
+  require_positive(m, "cpu.flops_per_cycle_per_core",
+                   m.cpu.flops_per_cycle_per_core);
+  require_positive(m, "cpu.mem_bandwidth_gbps", m.cpu.mem_bandwidth_gbps);
+  require_positive(m, "cpu.per_core_bw_gbps", m.cpu.per_core_bw_gbps);
+  if (m.cpu.llc_bytes == 0) fail(m, "cpu.llc_bytes", "must be positive");
+
+  // --- gpu (family first: its wave geometry anchors the other checks) ---
+  const Architecture* arch = Architecture::try_of(m.gpu.family);
+  if (arch == nullptr)
+    fail(m, "gpu.family",
+         "unknown architecture family '" + m.gpu.family +
+             "' (valid families: " + valid_family_names() + ")");
+  if (m.gpu.num_sms <= 0) fail(m, "gpu.num_sms", "must be positive");
+  if (m.gpu.cores_per_sm <= 0)
+    fail(m, "gpu.cores_per_sm", "must be positive");
+  require_positive(m, "gpu.core_clock_ghz", m.gpu.core_clock_ghz);
+  require_positive(m, "gpu.mem_bandwidth_gbps", m.gpu.mem_bandwidth_gbps);
+  if (m.gpu.memory_bytes == 0) fail(m, "gpu.memory_bytes", "must be positive");
+  if (m.gpu.warp_size <= 0) fail(m, "gpu.warp_size", "must be positive");
+  if (m.gpu.max_threads_per_sm < m.gpu.warp_size)
+    fail(m, "gpu.max_threads_per_sm", "must be at least one wavefront");
+  if (m.gpu.max_threads_per_block < m.gpu.warp_size ||
+      m.gpu.max_threads_per_block > m.gpu.max_threads_per_sm)
+    fail(m, "gpu.max_threads_per_block",
+         "must lie between gpu.warp_size and gpu.max_threads_per_sm");
+  if (m.gpu.max_blocks_per_sm <= 0)
+    fail(m, "gpu.max_blocks_per_sm", "must be positive");
+  if (m.gpu.registers_per_sm == 0)
+    fail(m, "gpu.registers_per_sm", "must be positive");
+  if (m.gpu.shared_mem_per_sm_bytes == 0)
+    fail(m, "gpu.shared_mem_per_sm_bytes", "must be positive");
+  if (m.gpu.reg_alloc_granularity == 0)
+    fail(m, "gpu.reg_alloc_granularity", "must be at least 1");
+  if (m.gpu.smem_alloc_granularity_bytes == 0)
+    fail(m, "gpu.smem_alloc_granularity_bytes", "must be at least 1");
+  if (m.gpu.transaction_bytes <= 0)
+    fail(m, "gpu.transaction_bytes", "must be positive");
+  require_positive(m, "gpu.dram_latency_cycles", m.gpu.dram_latency_cycles);
+  require_positive(m, "gpu.flops_per_core_per_cycle",
+                   m.gpu.flops_per_core_per_cycle);
+  require_non_negative(m, "gpu.kernel_launch_overhead_s",
+                       m.gpu.kernel_launch_overhead_s);
+  try {
+    arch->validate(m.gpu);
+  } catch (const UsageError& e) {
+    throw UsageError("machine '" + m.name + "': " + e.what());
+  }
+
+  // --- pcie ---
+  if (PcieSpec::per_lane_gbps(m.pcie.generation) <= 0.0)
+    fail(m, "pcie.generation",
+         util::strfmt("unsupported generation %d (supported: 1-5)",
+                      m.pcie.generation));
+  if (m.pcie.lanes <= 0) fail(m, "pcie.lanes", "must be positive");
+  if (m.pcie.generation > arch->max_pcie_generation())
+    fail(m, "pcie.generation",
+         util::strfmt("gen%d link paired with a %s-family device "
+                      "(newest supported: gen%d) — such a machine cannot "
+                      "exist",
+                      m.pcie.generation, m.gpu.family.c_str(),
+                      arch->max_pcie_generation()));
+  validate_direction(m, "pcie.pinned_h2d", m.pcie.pinned_h2d);
+  validate_direction(m, "pcie.pinned_d2h", m.pcie.pinned_d2h);
+  validate_direction(m, "pcie.pageable_h2d", m.pcie.pageable_h2d);
+  validate_direction(m, "pcie.pageable_d2h", m.pcie.pageable_d2h);
+  require_non_negative(m, "pcie.noise.sigma_floor", m.pcie.noise.sigma_floor);
+  require_non_negative(m, "pcie.noise.sigma_small", m.pcie.noise.sigma_small);
+  require_positive(m, "pcie.noise.small_scale_bytes",
+                   m.pcie.noise.small_scale_bytes);
+  if (m.pcie.noise.outlier_probability < 0.0 ||
+      m.pcie.noise.outlier_probability > 1.0)
+    fail(m, "pcie.noise.outlier_probability", "must lie in [0, 1]");
+
+  // --- alloc ---
+  require_non_negative(m, "alloc.device_base_s", m.alloc.device_base_s);
+  require_non_negative(m, "alloc.pinned_base_s", m.alloc.pinned_base_s);
+  require_non_negative(m, "alloc.pageable_base_s", m.alloc.pageable_base_s);
+}
+
+}  // namespace grophecy::hw

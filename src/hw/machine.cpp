@@ -10,4 +10,15 @@ const PcieDirectionProfile& PcieSpec::profile(Direction dir,
   return dir == Direction::kHostToDevice ? pageable_h2d : pageable_d2h;
 }
 
+double PcieSpec::per_lane_gbps(int generation) {
+  switch (generation) {
+    case 1: return 0.25;    // 2.5 GT/s, 8b/10b
+    case 2: return 0.5;     // 5.0 GT/s, 8b/10b
+    case 3: return 0.985;   // 8.0 GT/s, 128b/130b
+    case 4: return 1.969;   // 16 GT/s, 128b/130b
+    case 5: return 3.938;   // 32 GT/s, 128b/130b
+    default: return 0.0;
+  }
+}
+
 }  // namespace grophecy::hw

@@ -51,6 +51,12 @@ struct CpuSpec {
 /// Discrete GPU description (the acceleration target).
 struct GpuSpec {
   std::string name;
+  /// Architecture family the device belongs to ("tesla", "fermi", ...,
+  /// "hopper", "cdna2"). Families carry the rules a flat spec cannot:
+  /// occupancy allocation granularities, wavefront geometry expectations,
+  /// and validation limits (see hw/architecture.h). The default is the
+  /// paper testbed's G80 generation.
+  std::string family = "tesla";
   int num_sms = 16;
   int cores_per_sm = 8;
   double core_clock_ghz = 1.35;
@@ -64,6 +70,15 @@ struct GpuSpec {
   int max_threads_per_block = 512;
   std::uint32_t registers_per_sm = 8192;
   std::uint32_t shared_mem_per_sm_bytes = 16 * 1024;
+  /// Register-file allocation granularity: registers are reserved for a
+  /// block in multiples of this many registers (hardware allocators round
+  /// up). 1 (the default) reproduces the idealized exact-fit arithmetic
+  /// the original three machines were modeled with; real devices use 256
+  /// (G80-class, per block) up to 512 (Kepler+, per warp).
+  std::uint32_t reg_alloc_granularity = 1;
+  /// Shared-memory allocation granularity in bytes (same idea; real
+  /// devices round block shared memory up to 128 B or 256 B banks).
+  std::uint32_t smem_alloc_granularity_bytes = 1;
   /// Global-memory load latency in core cycles.
   double dram_latency_cycles = 500.0;
   /// Bytes per coalesced memory transaction (segment size).
@@ -152,7 +167,7 @@ struct PcieNoiseProfile {
 /// PCIe interconnect description.
 struct PcieSpec {
   std::string name;
-  int generation = 1;  ///< PCIe version (1, 2, or 3).
+  int generation = 1;  ///< PCIe version (1 through 5 supported).
   int lanes = 16;
   PcieDirectionProfile pinned_h2d;
   PcieDirectionProfile pinned_d2h;
@@ -162,6 +177,16 @@ struct PcieSpec {
 
   /// Looks up the profile for a direction + memory mode.
   const PcieDirectionProfile& profile(Direction dir, HostMemory mem) const;
+
+  /// Payload bandwidth one lane of this generation carries each way, in
+  /// GB/s (after 8b/10b or 128b/130b encoding): 0.25, 0.5, 0.985, 1.969,
+  /// 3.938 for generations 1-5. Returns 0 for an unknown generation.
+  static double per_lane_gbps(int generation);
+
+  /// The link's theoretical each-way payload bandwidth (lanes x per-lane).
+  /// The calibrated model never reads this; it is the sanity bound the
+  /// registry validates measured/spec asymptotic bandwidths against.
+  double peak_gbps() const { return per_lane_gbps(generation) * lanes; }
 };
 
 /// Ground-truth cost of memory allocation (the paper's future-work item:

@@ -140,6 +140,7 @@ const std::map<std::string, Field>& field_registry() {
     f["cpu.timing_jitter_sigma"] = double_field([](MachineSpec& m) -> double& { return m.cpu.timing_jitter_sigma; });
     // --- gpu ---
     f["gpu.name"] = string_field([](MachineSpec& m) -> std::string& { return m.gpu.name; });
+    f["gpu.family"] = string_field([](MachineSpec& m) -> std::string& { return m.gpu.family; });
     f["gpu.memory_bytes"] = u64_field([](MachineSpec& m) -> std::uint64_t& { return m.gpu.memory_bytes; });
     f["gpu.num_sms"] = int_field([](MachineSpec& m) -> int& { return m.gpu.num_sms; });
     f["gpu.cores_per_sm"] = int_field([](MachineSpec& m) -> int& { return m.gpu.cores_per_sm; });
@@ -151,6 +152,8 @@ const std::map<std::string, Field>& field_registry() {
     f["gpu.max_threads_per_block"] = int_field([](MachineSpec& m) -> int& { return m.gpu.max_threads_per_block; });
     f["gpu.registers_per_sm"] = u32_field([](MachineSpec& m) -> std::uint32_t& { return m.gpu.registers_per_sm; });
     f["gpu.shared_mem_per_sm_bytes"] = u32_field([](MachineSpec& m) -> std::uint32_t& { return m.gpu.shared_mem_per_sm_bytes; });
+    f["gpu.reg_alloc_granularity"] = u32_field([](MachineSpec& m) -> std::uint32_t& { return m.gpu.reg_alloc_granularity; });
+    f["gpu.smem_alloc_granularity_bytes"] = u32_field([](MachineSpec& m) -> std::uint32_t& { return m.gpu.smem_alloc_granularity_bytes; });
     f["gpu.dram_latency_cycles"] = double_field([](MachineSpec& m) -> double& { return m.gpu.dram_latency_cycles; });
     f["gpu.transaction_bytes"] = int_field([](MachineSpec& m) -> int& { return m.gpu.transaction_bytes; });
     f["gpu.flops_per_core_per_cycle"] = double_field([](MachineSpec& m) -> double& { return m.gpu.flops_per_core_per_cycle; });
@@ -236,12 +239,24 @@ MachineSpec parse_machine(std::string_view text) {
       if (!base_allowed)
         throw MachineParseError(line_number,
                                 "'base' must be the first directive");
-      try {
-        machine = machine_by_name(value);
-      } catch (const ContractViolation&) {
-        throw MachineParseError(line_number,
-                                "unknown base machine '" + value + "'");
+      // `base` resolves against the built-in machines only, never the
+      // registry: a file-backed machine basing on another file would make
+      // its meaning depend on registry scan order (and recurse into the
+      // global registry while it is being constructed).
+      bool found = false;
+      std::string valid_bases;
+      for (MachineSpec& builtin : builtin_machines()) {
+        if (!valid_bases.empty()) valid_bases += ", ";
+        valid_bases += builtin.name;
+        if (builtin.name == value) {
+          machine = std::move(builtin);
+          found = true;
+        }
       }
+      if (!found)
+        throw MachineParseError(line_number, "unknown base machine '" +
+                                                 value + "' (valid: " +
+                                                 valid_bases + ")");
       base_allowed = false;
       continue;
     }

@@ -1,5 +1,6 @@
 #include "hw/registry.h"
 
+#include "hw/machine_registry.h"
 #include "util/contracts.h"
 #include "util/units.h"
 
@@ -117,6 +118,7 @@ MachineSpec pcie2_fermi() {
   m.cpu.achieved_bw_fraction = 0.80;
 
   m.gpu.name = "NVIDIA Tesla C2050 (Fermi)";
+  m.gpu.family = "fermi";
   m.gpu.memory_bytes = 3ULL * util::kGiB;
   m.gpu.num_sms = 14;
   m.gpu.cores_per_sm = 32;
@@ -161,6 +163,7 @@ MachineSpec pcie3_kepler() {
   m.cpu.llc_bytes = 20ULL * util::kMiB;
 
   m.gpu.name = "NVIDIA Tesla K20 (Kepler)";
+  m.gpu.family = "kepler";
   m.gpu.memory_bytes = 5ULL * util::kGiB;
   m.gpu.num_sms = 13;
   m.gpu.cores_per_sm = 192;
@@ -189,15 +192,14 @@ MachineSpec pcie3_kepler() {
   return m;
 }
 
-std::vector<MachineSpec> all_machines() {
+std::vector<MachineSpec> builtin_machines() {
   return {anl_eureka(), pcie2_fermi(), pcie3_kepler()};
 }
 
+std::vector<MachineSpec> all_machines() { return builtin_machines(); }
+
 MachineSpec machine_by_name(const std::string& name) {
-  for (const MachineSpec& m : all_machines()) {
-    if (m.name == name) return m;
-  }
-  throw ContractViolation("unknown machine name: " + name);
+  return MachineRegistry::global().find(name);
 }
 
 }  // namespace grophecy::hw

@@ -1,4 +1,4 @@
-// Registry of pre-configured machines.
+// Built-in machines and the legacy lookup shims.
 //
 // `anl_eureka()` reproduces the paper's testbed (§IV-A): a node of Argonne's
 // Eureka data analysis and visualization cluster with a quad-core Intel Xeon
@@ -8,6 +8,13 @@
 // Two additional machines (PCIe v2 Fermi-class, PCIe v3 Kepler-class) are
 // provided to exercise the claim that the framework is not system specific:
 // the calibration benchmark rebuilds the bus model automatically on each.
+//
+// These three are the *built-in* machines: constructed in code, always
+// available, and the only names a `.gmach` `base` directive may seed from
+// (file-backed machines cannot base on each other — that would make a spec's
+// meaning depend on registry scan order). The full fleet — builtins plus
+// every shipped and user-provided `.gmach` spec — lives in MachineRegistry
+// (hw/machine_registry.h); new code should look machines up there.
 #pragma once
 
 #include <string>
@@ -26,10 +33,18 @@ MachineSpec pcie2_fermi();
 /// A PCIe v3 system: Sandy Bridge Xeon + Kepler-class Tesla K20.
 MachineSpec pcie3_kepler();
 
-/// All registered machines, `anl_eureka()` first.
+/// The built-in machines, `anl_eureka()` first. These are the valid
+/// `.gmach` `base` seeds.
+std::vector<MachineSpec> builtin_machines();
+
+/// Deprecated shim: the built-in trio only, kept so existing benches and
+/// tests compile (and see exactly the machines they were tuned against).
+/// For the full registered fleet use MachineRegistry::global().
 std::vector<MachineSpec> all_machines();
 
-/// Looks a machine up by name; throws ContractViolation if unknown.
+/// Deprecated shim for MachineRegistry::global().find(): looks a machine up
+/// across the full registry (builtins + shipped + GROPHECY_MACHINE_PATH).
+/// Throws UsageError listing the valid names if unknown.
 MachineSpec machine_by_name(const std::string& name);
 
 }  // namespace grophecy::hw

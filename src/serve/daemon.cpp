@@ -6,6 +6,7 @@
 
 #include "dataflow/usage_cache.h"
 #include "exec/sweep_request.h"
+#include "hw/machine_registry.h"
 #include "pcie/calibration_cache.h"
 #include "util/contracts.h"
 #include "util/jsonl.h"
@@ -222,6 +223,11 @@ void Daemon::handle_line(std::string line, ReplyFn reply) {
       const workloads::Workload& workload =
           workloads::PaperSuite::instance().find(request.workload);
       workloads::find_data_size(workload, request.size_label);
+      // An explicit machine must name a registered one; the canonical
+      // job function would throw the same UsageError at execution, but
+      // by then the request holds a queue slot.
+      if (!request.machine.empty())
+        hw::MachineRegistry::global().find(request.machine);
     } catch (const UsageError& error) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -247,8 +253,12 @@ void Daemon::handle_line(std::string line, ReplyFn reply) {
                            std::chrono::duration<double>(deadline_s));
   waiter.reply = std::move(reply);
 
+  // The machine joins the spec (and so the fingerprint), so the same grid
+  // point on two machines never coalesces onto one computation; an empty
+  // machine leaves the fingerprint byte-identical to the single-machine
+  // protocol.
   exec::JobSpec spec{request.workload, request.size_label,
-                     request.iterations};
+                     request.iterations, request.machine};
   std::string fingerprint = spec.fingerprint();
 
   std::string rejection;

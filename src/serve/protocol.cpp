@@ -87,6 +87,21 @@ std::variant<Request, WireError> parse_request(std::string_view line) {
                      "\"iterations\" must be a positive integer",
                      std::move(request.id)};
 
+  // machine: optional; empty means the daemon's configured machine. Name
+  // validity (against the registry) is an admission decision, not a
+  // framing one — the parser only enforces the type.
+  std::string machine;
+  for (const auto& [name, value] : *object) {
+    if (name != "machine") continue;
+    const std::string* s = std::get_if<std::string>(&value);
+    if (s == nullptr)
+      return WireError{ErrorKind::kUsage,
+                       "\"machine\" must be a string (a registry machine "
+                       "name)",
+                       std::move(request.id)};
+    machine = *s;
+  }
+
   // deadline_ms: optional, finite, non-negative (0 = server default).
   double deadline_ms = 0.0;
   for (const auto& [name, value] : *object) {
@@ -103,6 +118,7 @@ std::variant<Request, WireError> parse_request(std::string_view line) {
   request.workload = std::move(*workload);
   request.size_label = std::move(*size);
   request.iterations = *iterations;
+  request.machine = std::move(machine);
   request.deadline_ms = deadline_ms;
   return request;
 }

@@ -49,6 +49,11 @@ struct Request {
   std::string workload;    ///< Workload name (e.g. "CFD").
   std::string size_label;  ///< Data-size label (e.g. "97K").
   int iterations = 1;
+  /// Registry name of the machine to project on (e.g. "hopper_h100");
+  /// empty (the default) projects on the daemon's configured machine —
+  /// today's behaviour. Unknown names are rejected at admission with a
+  /// typed "usage" error reply listing the registered fleet.
+  std::string machine;
   /// Client deadline covering queue wait + execution; 0 = server default.
   double deadline_ms = 0.0;
 };

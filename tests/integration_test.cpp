@@ -8,6 +8,7 @@
 #include "pcie/bus.h"
 #include "pcie/calibrator.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "skeleton/builder.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -26,7 +27,16 @@ TEST(Registry, MachinesAreDistinctAndSane) {
     EXPECT_GT(m.pcie.pinned_h2d.asymptotic_gbps, 0.0);
   }
   EXPECT_EQ(hw::machine_by_name("anl_eureka").name, "anl_eureka");
-  EXPECT_THROW(hw::machine_by_name("nope"), ContractViolation);
+  // Lookup follows the workloads::find_workload contract: bad input is a
+  // UsageError (not a ContractViolation) whose message lists the fleet.
+  try {
+    hw::machine_by_name("nope");
+    FAIL() << "machine_by_name(\"nope\") did not throw";
+  } catch (const UsageError& error) {
+    EXPECT_NE(std::string(error.what()).find("anl_eureka"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(Registry, PcieGenerationsScaleAsDocumented) {

@@ -193,6 +193,31 @@ TEST(ServeProtocol, SalvagesTheIdForErrorReplies) {
   EXPECT_EQ(field(reply, "error"), "usage");
 }
 
+TEST(ServeProtocol, MachineFieldIsOptionalAndTyped) {
+  const auto parsed = parse_request(
+      R"({"id":"m","type":"project","workload":"CFD","size":"97K",)"
+      R"("machine":"hopper_h100"})");
+  const Request* request = std::get_if<Request>(&parsed);
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->machine, "hopper_h100");
+
+  // Absent means the daemon's configured machine — the legacy protocol.
+  const auto legacy = parse_request(
+      R"({"id":"l","type":"project","workload":"CFD","size":"97K"})");
+  const Request* legacy_request = std::get_if<Request>(&legacy);
+  ASSERT_NE(legacy_request, nullptr);
+  EXPECT_TRUE(legacy_request->machine.empty());
+
+  // Wrong type is a framing-level usage error, like every other field.
+  const auto bad = parse_request(
+      R"({"id":"m","type":"project","workload":"CFD","size":"97K",)"
+      R"("machine":7})");
+  const WireError* error = std::get_if<WireError>(&bad);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->kind, ErrorKind::kUsage);
+  EXPECT_EQ(error->id, "m");
+}
+
 TEST(ServeProtocol, ProjectionReplyIsAPureFunctionOfItsInputs) {
   const JobSpec spec{"CFD", "97K", 4};
   const ProjectionReport report = stub_report(spec);
@@ -486,6 +511,38 @@ TEST(ServeDaemon, UnknownWorkloadsAreRejectedBeforeTheQueue) {
   daemon.shutdown();
   EXPECT_EQ(daemon.stats().executed, 0u);
   EXPECT_EQ(daemon.stats().usage_errors, 1u);
+}
+
+TEST(ServeDaemon, UnknownMachinesAreRejectedBeforeTheQueue) {
+  DaemonOptions options;
+  options.workers = 1;
+  Daemon daemon(std::move(options));
+  daemon.start();
+  const std::string reply = daemon.handle(
+      R"({"id":"m","type":"project","workload":"CFD","size":"97K",)"
+      R"("machine":"no_such_machine"})");
+  EXPECT_EQ(field(reply, "status"), "error");
+  EXPECT_EQ(field(reply, "error"), "usage");
+  // The UsageError message lists the registered fleet.
+  EXPECT_NE(reply.find("anl_eureka"), std::string::npos) << reply;
+  daemon.shutdown();
+  EXPECT_EQ(daemon.stats().executed, 0u);
+  EXPECT_EQ(daemon.stats().usage_errors, 1u);
+}
+
+TEST(ServeDaemon, MachineFieldReachesTheJobFunction) {
+  std::string seen;
+  Daemon daemon(stub_options([&seen](const JobSpec& spec) {
+    seen = spec.machine;
+    return stub_report(spec);
+  }));
+  daemon.start();
+  const std::string reply = daemon.handle(
+      R"({"id":"m","type":"project","workload":"CFD","size":"97K",)"
+      R"("machine":"volta_v100"})");
+  EXPECT_EQ(field(reply, "status"), "ok");
+  daemon.shutdown();
+  EXPECT_EQ(seen, "volta_v100");
 }
 
 TEST(ServeDaemon, DrainingShutdownAnswersEveryQueuedRequest) {

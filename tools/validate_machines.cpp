@@ -1,0 +1,77 @@
+// validate_machines — load and validate the whole machine registry.
+//
+// scripts/verify.sh runs this as the registry-validation step: it forces
+// construction of hw::MachineRegistry::global() (builtins + every shipped
+// .gmach + GROPHECY_MACHINE_PATH), which re-validates every spec, then
+// checks the fleet-level invariants the cross-machine acceptance relies
+// on: at least 8 machines, unique names (the registry enforces this), and
+// PCIe generation coverage from gen1 through gen5. Any drift — a
+// malformed shipped spec, a renamed machine, a lost generation — fails
+// loudly with the offending detail.
+//
+//   ./build/tools/validate_machines [--min-machines N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <set>
+
+#include "hw/architecture.h"
+#include "hw/machine_registry.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace grophecy;
+
+  int min_machines = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-machines") == 0 && i + 1 < argc) {
+      min_machines = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-machines N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const hw::MachineRegistry* registry = nullptr;
+  try {
+    registry = &hw::MachineRegistry::global();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "FAIL: registry did not load: %s\n", error.what());
+    return 1;
+  }
+
+  util::TextTable table(
+      {"machine", "family", "gpu", "pcie", "link GB/s", "pinned h2d GB/s"});
+  std::set<int> generations;
+  for (const auto& machine : registry->machines()) {
+    generations.insert(machine->pcie.generation);
+    table.add_row({machine->name, machine->gpu.family, machine->gpu.name,
+                   util::strfmt("gen%d x%d", machine->pcie.generation,
+                                machine->pcie.lanes),
+                   util::strfmt("%.1f", machine->pcie.peak_gbps()),
+                   util::strfmt("%.1f",
+                                machine->pcie.pinned_h2d.asymptotic_gbps)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("%zu machines, %zu architecture families registered\n",
+              registry->size(), hw::Architecture::families().size());
+
+  bool ok = true;
+  if (registry->size() < static_cast<std::size_t>(min_machines)) {
+    std::fprintf(stderr, "FAIL: %zu machines registered, need >= %d\n",
+                 registry->size(), min_machines);
+    ok = false;
+  }
+  for (int generation = 1; generation <= 5; ++generation) {
+    if (generations.count(generation) == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no registered machine has a PCIe gen%d bus "
+                   "(the fleet must span gen1-gen5)\n",
+                   generation);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("registry OK\n");
+  return ok ? 0 : 1;
+}
