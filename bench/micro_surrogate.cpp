@@ -1,0 +1,340 @@
+// micro_surrogate — the two-tier surrogate serving benchmark.
+//
+// Three entries, emitted as BENCH_surrogate.json
+// (schema grophecy.bench_surrogate.v1) for scripts/bench_compare:
+//
+//   * latency/warm_grid   median per-query latency of the surrogate fast
+//                         tier vs the exact cohort pipeline on the warm
+//                         paper-suite grid. Acceptance: >= 50x.
+//   * heldout/rel_error   surrogate accuracy on iteration counts it never
+//                         trained on (the ungated model, so the gate
+//                         cannot hide errors). Acceptance: p95 relative
+//                         error of the total-time scalars <= 10%.
+//   * two_tier/traffic    a surrogate-enabled serve::Daemon and a
+//                         surrogate-disabled one fed identical traffic
+//                         (novel phase, then repeats): the fallback rate
+//                         must sit in a sane window — a tier that answers
+//                         nothing is dead weight, one that answers
+//                         everything is ungated — and every
+//                         fallback-served reply must be byte-identical
+//                         to the disabled daemon's (fallback_exact).
+//
+//   ./build/bench/micro_surrogate [--out FILE] [--quick]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
+#include "serve/daemon.h"
+#include "surrogate/engine.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace grophecy;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  const char* workload;
+  const char* size;
+};
+const std::vector<Config> kConfigs{
+    {"CFD", "97K"}, {"HotSpot", "1024 x 1024"}, {"SRAD", "2048 x 2048"}};
+
+// The paper's iteration-sweep grid (what warm traffic asks for)...
+const std::vector<int> kTrainIters{1, 2, 4, 8, 16, 32, 64, 128};
+// ...and the points between them, which the model never trains on.
+const std::vector<int> kHeldoutIters{3, 6, 12, 24, 48, 96};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One bench entry: a name plus heterogeneous numeric fields (latency
+/// entries gate on speedup, accuracy entries on err_p95, traffic entries
+/// on the fallback window — scripts/bench_compare applies each gate only
+/// where its field is present).
+struct Entry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+  void add(const std::string& key, double value) {
+    fields.emplace_back(key, value);
+  }
+  double get(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return v;
+    return 0.0;
+  }
+};
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"grophecy.bench_surrogate.v1\",\n"
+      << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "    {\"name\": \"" << entries[i].name << "\"";
+    for (const auto& [key, value] : entries[i].fields) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+      out << ", \"" << key << "\": " << buf;
+    }
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+std::string request_line(const std::string& id, const Config& config,
+                         int iterations) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"id\":\"%s\",\"type\":\"project\",\"workload\":\"%s\","
+                "\"size\":\"%s\",\"iterations\":%d}",
+                id.c_str(), config.workload, config.size, iterations);
+  return buf;
+}
+
+bool served_by_surrogate(const std::string& reply) {
+  return reply.find("\"tier\":\"surrogate\"") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_surrogate.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const hw::MachineSpec machine = hw::anl_eureka();
+  const exec::SweepEngine::JobFn job_fn =
+      exec::SweepRequest::on(machine).job_fn();
+
+  std::vector<exec::JobSpec> grid;
+  for (const Config& config : kConfigs)
+    for (const int iters : kTrainIters)
+      grid.push_back({config.workload, config.size, iters, ""});
+
+  // --- exact-tier latency on the warm grid, building the training pool
+  // along the way. The first call pays calibration + cold artifact
+  // caches; warm it untimed so both tiers are measured in steady state.
+  (void)job_fn(grid.front());
+  std::vector<double> exact_s;
+  std::vector<surrogate::TrainingSample> samples;
+  for (const exec::JobSpec& spec : grid) {
+    const auto start = Clock::now();
+    const core::ProjectionReport report = job_fn(spec);
+    exact_s.push_back(seconds_since(start));
+    surrogate::TrainingSample sample;
+    sample.fingerprint = spec.fingerprint();
+    sample.features = surrogate::extract_features(spec.workload,
+                                                  spec.size_label,
+                                                  spec.iterations, machine);
+    sample.targets = surrogate::targets_of(report);
+    samples.push_back(std::move(sample));
+  }
+
+  // --- surrogate-tier latency through the full engine path (machine
+  // resolution + feature extraction + predict + confidence gate).
+  core::SurrogateOptions fast_options;
+  fast_options.enabled = true;
+  fast_options.min_train_points = 8;
+  fast_options.refit_interval = 1000;  // fit_now below is the only fit
+  fast_options.max_rel_error = 0.25;
+  surrogate::SurrogateEngine engine(fast_options, machine);
+  for (const surrogate::TrainingSample& sample : samples)
+    engine.observe(sample);
+  engine.fit_now();
+
+  bool ok = true;
+  for (const exec::JobSpec& spec : grid) {  // warm-up + serve check
+    if (!engine.try_predict(spec)) {
+      std::fprintf(stderr, "FAIL: surrogate refused warm grid point %s\n",
+                   spec.key().c_str());
+      ok = false;
+    }
+  }
+  const int reps = quick ? 10 : 100;
+  std::vector<double> fast_s;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const exec::JobSpec& spec : grid) {
+      const auto start = Clock::now();
+      volatile bool hit = engine.try_predict(spec).has_value();
+      (void)hit;
+      fast_s.push_back(seconds_since(start));
+    }
+  }
+
+  std::vector<Entry> entries;
+  {
+    Entry entry;
+    entry.name = "latency/warm_grid";
+    const double exact_median = util::median(exact_s);
+    const double fast_median = util::median(fast_s);
+    entry.add("speedup", exact_median / fast_median);
+    entry.add("min_speedup", 50.0);
+    entry.add("exact_ms", exact_median * 1e3);
+    entry.add("surrogate_us", fast_median * 1e6);
+    entries.push_back(std::move(entry));
+  }
+
+  // --- held-out accuracy: iteration counts between the training grid,
+  // scored against the exact pipeline with the gate bypassed (raw model).
+  const std::shared_ptr<const surrogate::SurrogateModel> model =
+      engine.model();
+  std::vector<double> err_pred;
+  std::vector<double> err_meas;
+  for (const Config& config : kConfigs) {
+    for (const int iters : kHeldoutIters) {
+      const exec::JobSpec spec{config.workload, config.size, iters, ""};
+      const core::ProjectionReport truth = job_fn(spec);
+      const surrogate::Prediction guess = model->predict(
+          surrogate::extract_features(spec.workload, spec.size_label,
+                                      spec.iterations, machine));
+      const double predicted_total =
+          guess.targets.values[0] + guess.targets.values[1];
+      const double measured_total =
+          guess.targets.values[2] + guess.targets.values[3];
+      err_pred.push_back(std::abs(predicted_total - truth.predicted_total_s()) /
+                         truth.predicted_total_s());
+      err_meas.push_back(std::abs(measured_total - truth.measured_total_s()) /
+                         truth.measured_total_s());
+    }
+  }
+  {
+    Entry entry;
+    entry.name = "heldout/rel_error";
+    entry.add("err_p95", std::max(util::percentile(err_pred, 95.0),
+                                  util::percentile(err_meas, 95.0)));
+    entry.add("max_err_p95", 0.10);
+    entry.add("err_p50", std::max(util::percentile(err_pred, 50.0),
+                                  util::percentile(err_meas, 50.0)));
+    entries.push_back(std::move(entry));
+  }
+
+  // --- two-tier daemon traffic: novel phase then repeats, mirrored onto
+  // a surrogate-disabled daemon for byte-compare of fallback replies.
+  {
+    serve::DaemonOptions with;
+    with.machine = machine;
+    with.workers = 2;
+    with.projection.surrogate.enabled = true;
+    with.projection.surrogate.min_train_points = 12;
+    with.projection.surrogate.refit_interval = 8;
+    serve::DaemonOptions without = with;
+    without.projection.surrogate.enabled = false;
+    serve::Daemon fast_daemon(with);
+    serve::Daemon exact_daemon(without);
+    fast_daemon.start();
+    exact_daemon.start();
+
+    int mismatches = 0;
+    int compared = 0;
+    const auto run_phase = [&](const char* phase) {
+      int index = 0;
+      for (const Config& config : kConfigs) {
+        for (const int iters : kTrainIters) {
+          const std::string id =
+              std::string(phase) + "-" + std::to_string(index++);
+          const std::string line = request_line(id, config, iters);
+          const std::string fast_reply = fast_daemon.handle(line);
+          const std::string exact_reply = exact_daemon.handle(line);
+          if (served_by_surrogate(fast_reply)) continue;
+          ++compared;
+          if (fast_reply != exact_reply) ++mismatches;
+        }
+      }
+    };
+    run_phase("novel");
+    // Let the background refit absorb the novel phase before the repeats.
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < deadline) {
+      const serve::DaemonStats stats = fast_daemon.stats();
+      if (stats.surrogate_refits >= 1 && stats.surrogate_pool >= 12) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    run_phase("repeat");
+
+    const serve::DaemonStats stats = fast_daemon.stats();
+    const double asked = static_cast<double>(stats.surrogate_served +
+                                             stats.surrogate_fallbacks);
+    Entry entry;
+    entry.name = "two_tier/traffic";
+    entry.add("fallback_rate",
+              asked > 0.0
+                  ? static_cast<double>(stats.surrogate_fallbacks) / asked
+                  : 1.0);
+    entry.add("min_fallback_rate", 0.10);
+    entry.add("max_fallback_rate", 0.90);
+    entry.add("fallback_exact", compared > 0 && mismatches == 0 ? 1.0 : 0.0);
+    entry.add("served", static_cast<double>(stats.surrogate_served));
+    entry.add("fallbacks", static_cast<double>(stats.surrogate_fallbacks));
+    entry.add("refits", static_cast<double>(stats.surrogate_refits));
+    entries.push_back(std::move(entry));
+
+    fast_daemon.shutdown();
+    exact_daemon.shutdown();
+  }
+
+  std::printf("%-22s %s\n", "entry", "fields");
+  for (const Entry& entry : entries) {
+    std::printf("%-22s", entry.name.c_str());
+    for (const auto& [key, value] : entry.fields)
+      std::printf(" %s=%.4g", key.c_str(), value);
+    std::printf("\n");
+  }
+  write_json(entries, out_path);
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+
+  // Self-gates: the same bars bench_compare applies to the committed
+  // baseline, so the bench fails loudly even when run standalone.
+  for (const Entry& entry : entries) {
+    if (entry.name == "latency/warm_grid" &&
+        entry.get("speedup") < entry.get("min_speedup")) {
+      std::fprintf(stderr, "FAIL: %s speedup %.1fx < required %.1fx\n",
+                   entry.name.c_str(), entry.get("speedup"),
+                   entry.get("min_speedup"));
+      ok = false;
+    }
+    if (entry.name == "heldout/rel_error" &&
+        entry.get("err_p95") > entry.get("max_err_p95")) {
+      std::fprintf(stderr, "FAIL: %s err_p95 %.4f > ceiling %.4f\n",
+                   entry.name.c_str(), entry.get("err_p95"),
+                   entry.get("max_err_p95"));
+      ok = false;
+    }
+    if (entry.name == "two_tier/traffic") {
+      const double rate = entry.get("fallback_rate");
+      if (rate < entry.get("min_fallback_rate") ||
+          rate > entry.get("max_fallback_rate")) {
+        std::fprintf(stderr,
+                     "FAIL: %s fallback_rate %.4f outside [%.2f, %.2f]\n",
+                     entry.name.c_str(), rate,
+                     entry.get("min_fallback_rate"),
+                     entry.get("max_fallback_rate"));
+        ok = false;
+      }
+      if (entry.get("fallback_exact") != 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s — a fallback reply diverged from the "
+                     "surrogate-disabled daemon\n",
+                     entry.name.c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -8,10 +8,12 @@
 #                                  and run the concurrency-sensitive suites
 #                                  (sweep engine, determinism, journal,
 #                                  calibration cache, serve daemon)
-#   scripts/verify.sh --bench      additionally run the micro_sim,
-#                                  micro_pipeline, micro_brs, and micro_serve
-#                                  benchmarks and gate each against its
-#                                  checked-in bench/BENCH_*.json baseline
+#   scripts/verify.sh --bench      additionally run every built micro_*
+#                                  benchmark (plus cross_machine_report)
+#                                  and gate each against its checked-in
+#                                  bench/BENCH_*.json baseline; a bench
+#                                  without a committed baseline fails
+#                                  loudly naming the expected path
 #   scripts/verify.sh --serve      additionally run the live daemon smoke:
 #                                  serve_daemon on a real socket under a
 #                                  loadgen burst (scripts/serve_smoke.sh)
@@ -60,12 +62,37 @@ for arg in "$@"; do
         '^(SweepEngine|StreamSeed|SweepDeterminism|SweepRequestValidation|Crc32|FlatJson|ResultJournal|JournalProcessDeath|JobSpec|JobRecord|CalibrationCache|ArtifactCache|SweepDedupe|ServeProtocol|ServeDaemon|ServeSoak|ServeEndToEnd|ShardProtocol|ShardPath|ShardOptionsValidation|ShardSupervisor|ShardMerge|ShardChaos)\.'
       ;;
     --bench)
-      for bench in sim pipeline brs serve shard; do
-        echo "=== verify: bench (micro_${bench} vs bench/BENCH_${bench}.json) ==="
-        "./build/bench/micro_${bench}" --out "build/BENCH_${bench}.json"
-        scripts/bench_compare "bench/BENCH_${bench}.json" \
-          "build/BENCH_${bench}.json"
+      # Discover the benches from the built binaries instead of a
+      # hand-maintained list: a new micro bench is gated the moment it
+      # builds, and one whose committed baseline is missing fails loudly
+      # with the expected path instead of being silently skipped.
+      for bench_bin in ./build/bench/micro_*; do
+        if [ ! -x "${bench_bin}" ]; then
+          echo "FAIL: no micro_* bench binaries under ./build/bench —" \
+            "build the bench targets before verify.sh --bench" >&2
+          exit 1
+        fi
+        bench="$(basename "${bench_bin}")"
+        bench="${bench#micro_}"
+        # micro_workloads is a google-benchmark microbench; it has no
+        # BENCH_*.json contract. Everything else must have a baseline.
+        if [ "${bench}" = "workloads" ]; then continue; fi
+        baseline="bench/BENCH_${bench}.json"
+        if [ ! -f "${baseline}" ]; then
+          echo "FAIL: micro_${bench} has no committed baseline —" \
+            "expected ${baseline} (run ${bench_bin} --out ${baseline}" \
+            "and commit it)" >&2
+          exit 1
+        fi
+        echo "=== verify: bench (micro_${bench} vs ${baseline}) ==="
+        "${bench_bin}" --out "build/BENCH_${bench}.json"
+        scripts/bench_compare "${baseline}" "build/BENCH_${bench}.json"
       done
+      if [ ! -f bench/BENCH_machines.json ]; then
+        echo "FAIL: cross_machine_report has no committed baseline —" \
+          "expected bench/BENCH_machines.json" >&2
+        exit 1
+      fi
       echo "=== verify: bench (cross_machine_report vs bench/BENCH_machines.json) ==="
       ./build/bench/cross_machine_report --out build/BENCH_machines.json \
         > /dev/null

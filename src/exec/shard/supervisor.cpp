@@ -469,6 +469,7 @@ SweepSummary SweepEngine::run_sharded(const std::vector<JobSpec>& jobs,
   std::map<std::string, JobRecord> canonical;
   if (!options_.journal_path.empty()) {
     JournalReadResult previous = ResultJournal::read(options_.journal_path);
+    summary.journal_path = options_.journal_path;
     summary.journal_corrupt_lines = previous.corrupt_lines;
     summary.journal_corrupt_interior = previous.corrupt_interior;
     for (const std::string& payload : previous.records) {
@@ -490,6 +491,7 @@ SweepSummary SweepEngine::run_sharded(const std::vector<JobSpec>& jobs,
     for (const std::string& path :
          shard::existing_shard_paths(options_.journal_path)) {
       const JournalReadResult shard_read = ResultJournal::read(path);
+      const int interior_before = summary.journal_corrupt_interior;
       summary.journal_corrupt_lines += shard_read.corrupt_interior;
       summary.journal_corrupt_interior += shard_read.corrupt_interior;
       for (const std::string& payload : shard_read.records) {
@@ -502,6 +504,10 @@ SweepSummary SweepEngine::run_sharded(const std::vector<JobSpec>& jobs,
         const std::string fingerprint = record->fingerprint;
         recovered[fingerprint] = {std::move(*record), payload};
       }
+      // Name the exact shard journal that took interior damage so
+      // describe() points triage at the file, not at a guess.
+      if (summary.journal_corrupt_interior > interior_before)
+        summary.journal_path += "; " + path;
     }
   }
 

@@ -290,6 +290,11 @@ struct SweepSummary {
   /// loudly when nonzero (includes checksummed lines whose payload no
   /// longer parses as a JobRecord).
   int journal_corrupt_interior = 0;
+  /// The journal file the corruption counters refer to; empty for
+  /// journal-less runs. Sharded runs append every damaged shard journal
+  /// ("; <path>") so triage names the exact file instead of leaving the
+  /// operator to guess which shard.
+  std::string journal_path;
 
   // --- process-sharded execution accounting (shards > 0 only) ---
   // Deliberately absent from describe(): a transient worker death that

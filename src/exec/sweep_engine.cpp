@@ -242,6 +242,7 @@ SweepSummary SweepEngine::run(const std::vector<JobSpec>& jobs,
   SweepSummary summary;
   summary.journal_corrupt_lines = inner.journal_corrupt_lines;
   summary.journal_corrupt_interior = inner.journal_corrupt_interior;
+  summary.journal_path = inner.journal_path;
   summary.worker_deaths = inner.worker_deaths;
   summary.worker_respawns = inner.worker_respawns;
   summary.quarantined = inner.quarantined;
@@ -286,6 +287,7 @@ SweepSummary SweepEngine::run_unique(const std::vector<JobSpec>& jobs,
   ResultJournal journal;
   if (!options_.journal_path.empty()) {
     JournalReadResult previous = ResultJournal::read(options_.journal_path);
+    summary.journal_path = options_.journal_path;
     summary.journal_corrupt_lines = previous.corrupt_lines;
     summary.journal_corrupt_interior = previous.corrupt_interior;
     for (const std::string& payload : previous.records) {
@@ -427,15 +429,21 @@ std::string SweepSummary::describe() const {
       << retried << " retried; " << attempts << " attempts; "
       << util::strfmt("%.3f", backoff_total_s) << "s backoff)";
   if (degraded) oss << " [DEGRADED: spec-derived calibration in use]";
+  // Name the damaged file in the warning — sharded-sweep triage must not
+  // have to guess which shard journal took the hit.
+  const std::string journal_label =
+      journal_path.empty() ? std::string("journal")
+                           : "journal " + journal_path;
   if (journal_corrupt_interior > 0)
     // Interior damage can never be the benign torn-tail crash artifact:
     // the writer is append-only, so anything invalid *followed by more
     // lines* means the file was damaged after it was written.
-    oss << " [journal: " << journal_corrupt_interior
+    oss << " [" << journal_label << ": " << journal_corrupt_interior
         << " corrupt INTERIOR line(s) — not a crash artifact; the journal "
            "file has been damaged and lost records were re-run]";
   else if (journal_corrupt_lines > 0)
-    oss << " [journal: " << journal_corrupt_lines << " corrupt line(s)]";
+    oss << " [" << journal_label << ": " << journal_corrupt_lines
+        << " corrupt line(s)]";
   oss << '\n';
   for (const JobOutcome& outcome : outcomes) {
     oss << "  " << outcome.spec.key() << ": ";

@@ -55,6 +55,11 @@ std::string stats_reply(std::string_view id, const DaemonStats& stats) {
   count("queue_depth", stats.queue_depth);
   count("inflight", stats.inflight);
   reply.emplace_back("ema_exec_ms", stats.ema_exec_s * 1e3);
+  count("surrogate_served", stats.surrogate_served);
+  count("surrogate_fallbacks", stats.surrogate_fallbacks);
+  count("surrogate_observed", stats.surrogate_observed);
+  count("surrogate_refits", stats.surrogate_refits);
+  count("surrogate_pool", stats.surrogate_pool);
   count("calibration_hits", stats.calibration_hits);
   count("calibration_misses", stats.calibration_misses);
   count("skeleton_cache_hits", stats.skeleton_cache_hits);
@@ -74,6 +79,12 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   GROPHECY_EXPECTS(options_.max_retries >= 0);
   options_.projection.validate();
   job_fn_ = options_.job_fn ? options_.job_fn : make_pipeline_job_fn();
+  // The surrogate models the canonical pipeline (its features come from
+  // the paper-suite artifacts); a custom job_fn answers from its own name
+  // space, so the fast tier stays off there.
+  if (options_.projection.surrogate.enabled && !options_.job_fn)
+    surrogate_ = std::make_unique<surrogate::SurrogateEngine>(
+        options_.projection.surrogate, options_.machine);
   if (options_.workers > 0) {
     workers_ = options_.workers;
   } else {
@@ -239,6 +250,34 @@ void Daemon::handle_line(std::string line, ReplyFn reply) {
     }
   }
 
+  // The machine joins the spec (and so the fingerprint), so the same grid
+  // point on two machines never coalesces onto one computation; an empty
+  // machine leaves the fingerprint byte-identical to the single-machine
+  // protocol.
+  exec::JobSpec spec{request.workload, request.size_label,
+                     request.iterations, request.machine};
+
+  // Surrogate fast tier: answered inline from the admission path, like
+  // stats/ping — a confident hit never takes a queue slot or a worker.
+  // A gated (or unfit) query falls through to the exact path below,
+  // whose reply is byte-identical to a surrogate-disabled daemon's.
+  if (surrogate_) {
+    if (const std::optional<surrogate::Prediction> hit =
+            surrogate_->try_predict(spec)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.ok;
+      }
+      const std::string& machine_name = request.machine.empty()
+                                            ? options_.machine.name
+                                            : request.machine;
+      reply_now(reply, surrogate_reply(request.id, request.workload,
+                                       machine_name, request.iterations,
+                                       *hit));
+      return;
+    }
+  }
+
   // Resolve the deadline: client-supplied (clamped) or the server
   // default, measured from admission.
   double deadline_s = options_.default_deadline_s;
@@ -253,12 +292,6 @@ void Daemon::handle_line(std::string line, ReplyFn reply) {
                            std::chrono::duration<double>(deadline_s));
   waiter.reply = std::move(reply);
 
-  // The machine joins the spec (and so the fingerprint), so the same grid
-  // point on two machines never coalesces onto one computation; an empty
-  // machine leaves the fingerprint byte-identical to the single-machine
-  // protocol.
-  exec::JobSpec spec{request.workload, request.size_label,
-                     request.iterations, request.machine};
   std::string fingerprint = spec.fingerprint();
 
   std::string rejection;
@@ -370,6 +403,11 @@ void Daemon::worker_loop() {
       sweep_reaper_locked();
     }
     fan_out(task, result);
+    // Self-distillation: the exact answer the waiters just received also
+    // teaches the surrogate (after the replies, so a refit trigger never
+    // delays them; refits themselves run on a background thread).
+    if (surrogate_ && result.report)
+      surrogate_->observe(task->spec, *result.report);
   }
 }
 
@@ -534,6 +572,14 @@ DaemonStats Daemon::stats() const {
   const auto usage = dataflow::usage_cache().stats();
   out.usage_cache_hits = usage.hits;
   out.usage_cache_misses = usage.misses;
+  if (surrogate_) {
+    const surrogate::SurrogateEngine::Stats fast = surrogate_->stats();
+    out.surrogate_served = fast.served;
+    out.surrogate_fallbacks = fast.fallbacks;
+    out.surrogate_observed = fast.observed;
+    out.surrogate_refits = fast.refits;
+    out.surrogate_pool = fast.pool_size;
+  }
   return out;
 }
 

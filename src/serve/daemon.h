@@ -64,6 +64,7 @@
 #include "exec/sweep.h"
 #include "hw/registry.h"
 #include "serve/protocol.h"
+#include "surrogate/engine.h"
 
 namespace grophecy::serve {
 
@@ -77,7 +78,12 @@ struct DaemonOptions {
   /// Base projection knobs; per-request measurement seeds are derived
   /// exactly like SweepRequest does (stream_seed of the job identity), so
   /// the daemon and a batch sweep of the same grid measure identical
-  /// values.
+  /// values. projection.surrogate.enabled additionally turns on the
+  /// two-tier serve path: confident queries are answered by the learned
+  /// surrogate in microseconds ("tier":"surrogate"), everything else runs
+  /// the exact pipeline as before and feeds the training pool
+  /// (docs/performance.md, "Surrogate fast tier"). Ignored when job_fn is
+  /// overridden — the surrogate models the canonical pipeline only.
   core::ProjectionOptions projection;
   std::uint64_t base_seed = core::ProjectionOptions{}.seed;
 
@@ -132,6 +138,15 @@ struct DaemonStats {
   std::size_t queue_depth = 0;      ///< Gauge: queued jobs right now.
   std::size_t inflight = 0;         ///< Gauge: queued + running jobs.
   double ema_exec_s = 0.0;          ///< Smoothed per-job execution time.
+
+  // Surrogate fast tier (all zero unless projection.surrogate.enabled).
+  // Served replies count in `ok` too — the sum rule above is unchanged.
+  std::uint64_t surrogate_served = 0;     ///< Replies answered by the model.
+  std::uint64_t surrogate_fallbacks = 0;  ///< Queries gated through to exact.
+  std::uint64_t surrogate_observed = 0;   ///< Exact results absorbed as
+                                          ///< training samples.
+  std::uint64_t surrogate_refits = 0;     ///< Completed background refits.
+  std::size_t surrogate_pool = 0;         ///< Gauge: training pool size.
 
   // Warm multi-tenant tier, straight from the process-wide caches.
   std::uint64_t calibration_hits = 0;
@@ -219,6 +234,9 @@ class Daemon {
   DaemonOptions options_;
   exec::SweepEngine::JobFn job_fn_;
   int workers_ = 1;
+  /// The two-tier fast path; null unless projection.surrogate.enabled
+  /// and the canonical pipeline is in use. Thread-safe on its own locks.
+  std::unique_ptr<surrogate::SurrogateEngine> surrogate_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -28,6 +28,7 @@
 #include <variant>
 
 #include "core/report.h"
+#include "surrogate/model.h"
 #include "util/error.h"
 
 namespace grophecy::serve {
@@ -82,12 +83,25 @@ std::string error_reply(std::string_view id, ErrorKind kind,
 /// client-side decision derives from, plus the degradation flag: true
 /// when the calibration behind the transfer predictions fell back to the
 /// spec-derived model (the reply is served, not failed — see
-/// docs/serving.md, "Graceful degradation"). A pure function of (id,
-/// report, attempts), so coalesced requests sharing one computation get
-/// byte-identical replies.
+/// docs/serving.md, "Graceful degradation"). Tagged "tier":"exact": the
+/// answer came from the full pipeline, whether or not a surrogate was
+/// consulted first. A pure function of (id, report, attempts), so
+/// coalesced requests sharing one computation get byte-identical replies
+/// — and a surrogate-enabled daemon's fallback replies are byte-identical
+/// to a surrogate-disabled daemon's.
 std::string projection_reply(std::string_view id,
                              const core::ProjectionReport& report,
                              int attempts);
+
+/// One reply line with status "ok" served by the surrogate fast tier:
+/// the same field shape as projection_reply (clients need no second
+/// parser) with "tier":"surrogate", attempts 0, and one extra field —
+/// "rel_error_bound", the model's error bound for this query (the p95
+/// residual of its training-density bucket; docs/serving.md, "The tier
+/// field").
+std::string surrogate_reply(std::string_view id, std::string_view workload,
+                            std::string_view machine, int iterations,
+                            const surrogate::Prediction& prediction);
 
 /// One reply line with status "ok" for a ping.
 std::string pong_reply(std::string_view id);

@@ -1,0 +1,178 @@
+#include "surrogate/engine.h"
+
+#include <utility>
+
+#include "hw/machine_registry.h"
+#include "util/logging.h"
+
+namespace grophecy::surrogate {
+
+SurrogateEngine::SurrogateEngine(core::SurrogateOptions options,
+                                 hw::MachineSpec default_machine)
+    : options_(options), default_machine_(std::move(default_machine)) {}
+
+SurrogateEngine::~SurrogateEngine() {
+  wait_for_refit();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    to_join = std::move(refit_thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+const hw::MachineSpec& SurrogateEngine::resolve_machine(
+    const exec::JobSpec& spec) const {
+  if (spec.machine.empty()) return default_machine_;
+  return hw::MachineRegistry::global().find(spec.machine);
+}
+
+std::optional<Prediction> SurrogateEngine::try_predict(
+    const exec::JobSpec& spec) {
+  std::shared_ptr<const SurrogateModel> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = model_;
+  }
+  if (!snapshot) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  try {
+    const FeatureVector features =
+        extract_features(spec.workload, spec.size_label, spec.iterations,
+                         resolve_machine(spec));
+    Prediction prediction = snapshot->predict(features);
+    if (snapshot->train_count() >= options_.min_train_points &&
+        prediction.rel_error_bound <= options_.max_rel_error) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      return prediction;
+    }
+  } catch (const std::exception& e) {
+    // A query the extractor cannot price (unknown name, invalid
+    // iterations) is exactly what the exact pipeline's own validation
+    // should judge — fall through and let it.
+    GROPHECY_LOG(kDebug) << "surrogate: fallthrough for " << spec.key()
+                         << ": " << e.what();
+  }
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void SurrogateEngine::observe(const exec::JobSpec& spec,
+                              const core::ProjectionReport& report) {
+  TrainingSample sample;
+  sample.fingerprint = spec.fingerprint();
+  try {
+    sample.features = extract_features(spec.workload, spec.size_label,
+                                       spec.iterations,
+                                       resolve_machine(spec));
+  } catch (const std::exception& e) {
+    GROPHECY_LOG(kDebug) << "surrogate: dropping observation " << spec.key()
+                         << ": " << e.what();
+    return;
+  }
+  sample.targets = targets_of(report);
+  observe(std::move(sample));
+}
+
+void SurrogateEngine::observe(TrainingSample sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fingerprints_.insert(sample.fingerprint).second) return;
+  pool_.push_back(std::move(sample));
+  if (pool_.size() > options_.max_pool_points) {
+    fingerprints_.erase(pool_.front().fingerprint);
+    pool_.erase(pool_.begin());
+  }
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  ++since_fit_;
+  maybe_schedule_refit_locked();
+}
+
+void SurrogateEngine::maybe_schedule_refit_locked() {
+  if (refit_inflight_) return;  // single flight; since_fit_ keeps counting
+  if (pool_.size() < static_cast<std::size_t>(options_.min_train_points))
+    return;
+  if (model_ && since_fit_ < options_.refit_interval) return;
+  refit_inflight_ = true;
+  since_fit_ = 0;
+  // The previous refit thread has finished its work (refit_inflight_ was
+  // false); joining here only reaps it.
+  if (refit_thread_.joinable()) refit_thread_.join();
+  refit_thread_ = std::thread([this] { run_refit(); });
+}
+
+void SurrogateEngine::run_refit() {
+  std::function<void()> hook;
+  std::vector<TrainingSample> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = fit_hook_;
+  }
+  if (hook) hook();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = pool_;
+  }
+  auto fitted = std::make_shared<const SurrogateModel>(
+      SurrogateModel::fit(snapshot, options_.lambda));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(fitted);
+    refit_inflight_ = false;
+  }
+  refits_.fetch_add(1, std::memory_order_relaxed);
+  refit_cv_.notify_all();
+}
+
+void SurrogateEngine::fit_now() {
+  wait_for_refit();
+  std::vector<TrainingSample> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = pool_;
+  }
+  if (snapshot.size() < static_cast<std::size_t>(options_.min_train_points))
+    throw UsageError(
+        "SurrogateEngine::fit_now: pool holds " +
+        std::to_string(snapshot.size()) + " samples, need min_train_points=" +
+        std::to_string(options_.min_train_points));
+  auto fitted = std::make_shared<const SurrogateModel>(
+      SurrogateModel::fit(snapshot, options_.lambda));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(fitted);
+    since_fit_ = 0;
+  }
+  refits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SurrogateEngine::wait_for_refit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  refit_cv_.wait(lock, [this] { return !refit_inflight_; });
+}
+
+void SurrogateEngine::set_fit_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fit_hook_ = std::move(hook);
+}
+
+SurrogateEngine::Stats SurrogateEngine::stats() const {
+  Stats stats;
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  stats.observed = observed_.load(std::memory_order_relaxed);
+  stats.refits = refits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.pool_size = pool_.size();
+  }
+  return stats;
+}
+
+std::shared_ptr<const SurrogateModel> SurrogateEngine::model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_;
+}
+
+}  // namespace grophecy::surrogate

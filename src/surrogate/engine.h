@@ -1,0 +1,123 @@
+// The two-tier surrogate engine: a self-distilling fast path in front of
+// the exact projection pipeline.
+//
+// The serve daemon asks try_predict() first. When the ridge model is fit
+// and its per-query uncertainty bound (surrogate/model.h) clears the
+// configured gate, the query is answered in microseconds from cached
+// artifacts — no simulation, no measurement. Otherwise the caller runs
+// the exact pipeline as before and hands the result back via observe():
+// the exact answer both serves the client and grows the training pool
+// (self-distillation), so precisely the traffic the surrogate cannot yet
+// answer is what teaches it to.
+//
+// Refits run on a background thread behind a single-flight guard — a
+// refit in progress is never duplicated and never blocks try_predict()
+// or observe(); the serve path keeps answering from the previous model
+// snapshot until the new one is swapped in. All entry points are
+// thread-safe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "exec/sweep.h"
+#include "hw/machine.h"
+#include "surrogate/model.h"
+
+namespace grophecy::surrogate {
+
+class SurrogateEngine {
+ public:
+  /// Serving counters, all monotonic except pool_size (a gauge).
+  struct Stats {
+    std::uint64_t served = 0;     ///< Queries answered by the surrogate.
+    std::uint64_t fallbacks = 0;  ///< Queries gated through to exact.
+    std::uint64_t observed = 0;   ///< Exact results absorbed into the pool.
+    std::uint64_t refits = 0;     ///< Completed model fits.
+    std::size_t pool_size = 0;    ///< Training samples held right now.
+  };
+
+  /// `default_machine` resolves specs with an empty machine name (the
+  /// daemon's own machine); named machines resolve through
+  /// hw::MachineRegistry::global(). Options must have passed
+  /// ProjectionOptions::validate().
+  SurrogateEngine(core::SurrogateOptions options,
+                  hw::MachineSpec default_machine);
+  ~SurrogateEngine();  ///< Joins any in-flight refit.
+
+  SurrogateEngine(const SurrogateEngine&) = delete;
+  SurrogateEngine& operator=(const SurrogateEngine&) = delete;
+
+  /// The fast tier. Returns a prediction only when the model is fit on at
+  /// least min_train_points samples AND the query's uncertainty bound is
+  /// within max_rel_error; otherwise (including any internal error — an
+  /// unknown machine name, a feature-extraction failure) returns nullopt
+  /// and the caller must run the exact pipeline. Never throws.
+  std::optional<Prediction> try_predict(const exec::JobSpec& spec);
+
+  /// Feeds one exact projection back into the training pool, deduped by
+  /// job fingerprint. Every refit_interval new observations (and at the
+  /// min_train_points threshold) a background refit is scheduled. Never
+  /// throws; a sample whose features cannot be extracted is dropped.
+  void observe(const exec::JobSpec& spec,
+               const core::ProjectionReport& report);
+  /// Same, for pre-extracted samples (the journal harvester's path).
+  void observe(TrainingSample sample);
+
+  /// Synchronous fit of the current pool (tools and tests; the serve path
+  /// uses the background refits). Waits out any in-flight background
+  /// refit first. Throws UsageError when the pool holds fewer than
+  /// min_train_points samples.
+  void fit_now();
+
+  /// Blocks until no refit is in flight. The model visible afterwards
+  /// includes every refit scheduled before the call.
+  void wait_for_refit();
+
+  /// Test hook, invoked on the refit thread at the start of every
+  /// background refit (before the pool snapshot). Lets tests hold a refit
+  /// open and prove the serve path stays responsive.
+  void set_fit_hook(std::function<void()> hook);
+
+  Stats stats() const;
+  const core::SurrogateOptions& options() const { return options_; }
+
+  /// The current model snapshot (nullptr before the first fit). Shared,
+  /// immutable — safe to use concurrently with refits.
+  std::shared_ptr<const SurrogateModel> model() const;
+
+ private:
+  const hw::MachineSpec& resolve_machine(const exec::JobSpec& spec) const;
+  /// Schedules a background refit unless one is already in flight.
+  /// Call with mutex_ held.
+  void maybe_schedule_refit_locked();
+  void run_refit();
+
+  const core::SurrogateOptions options_;
+  const hw::MachineSpec default_machine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable refit_cv_;
+  std::vector<TrainingSample> pool_;
+  std::unordered_set<std::string> fingerprints_;
+  std::shared_ptr<const SurrogateModel> model_;
+  std::function<void()> fit_hook_;
+  int since_fit_ = 0;       ///< Observations since the last scheduled fit.
+  bool refit_inflight_ = false;
+  std::thread refit_thread_;
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> refits_{0};
+};
+
+}  // namespace grophecy::surrogate

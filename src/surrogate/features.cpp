@@ -1,0 +1,206 @@
+#include "surrogate/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataflow/usage_cache.h"
+#include "gpumodel/characteristics.h"
+#include "gpumodel/kernel_model.h"
+#include "gpumodel/occupancy.h"
+#include "util/error.h"
+#include "workloads/skeleton_cache.h"
+
+namespace grophecy::surrogate {
+
+namespace {
+
+/// Floor under every log'd time so a zero scalar cannot produce -inf.
+constexpr double kTimeEps = 1e-12;
+
+double log_time(double seconds) {
+  return std::log(std::max(seconds, kTimeEps));
+}
+
+/// The canonical baseline block size the features are characterized with.
+/// Fixed (not the explorer's winner) so extraction never explores: the
+/// ridge model learns the gap between this baseline and whatever variant
+/// the exact pipeline ends up choosing.
+int baseline_block_size(const hw::GpuSpec& gpu) {
+  return std::max(gpu.warp_size, std::min(256, gpu.max_threads_per_block));
+}
+
+/// The spec-derived (uncalibrated) transfer-time estimate: latency plus
+/// bytes over asymptotic pinned bandwidth, per direction. A feature, not
+/// a prediction — the model learns the calibrated correction.
+double spec_transfer_seconds(const dataflow::TransferPlan& plan,
+                             const hw::PcieSpec& pcie) {
+  const auto price = [](const hw::PcieDirectionProfile& profile,
+                        std::uint64_t bytes) {
+    return profile.latency_s +
+           static_cast<double>(bytes) / (profile.asymptotic_gbps * 1e9);
+  };
+  double total = 0.0;
+  for (const dataflow::Transfer& t : plan.host_to_device)
+    total += price(pcie.pinned_h2d, t.bytes);
+  for (const dataflow::Transfer& t : plan.device_to_host)
+    total += price(pcie.pinned_d2h, t.bytes);
+  return total;
+}
+
+/// Indices of the strongest base features, crossed pairwise below.
+constexpr std::array<int, 6> kCrossBase{3, 4, 5, 8, 14, 15};
+
+}  // namespace
+
+const std::array<std::string, kFeatureCount>& feature_names() {
+  static const std::array<std::string, kFeatureCount> names = [] {
+    std::array<std::string, kFeatureCount> n;
+    const std::array<const char*, kBaseFeatureCount> base{
+        "log1p_input_bytes",      // 0
+        "log1p_output_bytes",     // 1
+        "log1p_transfer_count",   // 2
+        "log_iterations",         // 3
+        "log_analytic_kernel_s",  // 4
+        "log_spec_transfer_s",    // 5
+        "log1p_total_threads",    // 6
+        "log1p_total_blocks",     // 7
+        "log1p_traffic_bytes",    // 8
+        "log1p_compute_cycles",   // 9
+        "log1p_latency_cycles",   // 10
+        "log1p_mem_insts",        // 11
+        "occupancy_mean",         // 12
+        "log_num_sms",            // 13
+        "log_gpu_gflops",         // 14
+        "log_gpu_bw_gbps",        // 15
+        "log_pcie_gbps",          // 16
+        "log_dram_latency",       // 17
+        "log_cpu_gflops",         // 18
+        "log_cpu_bw_gbps",        // 19
+        "log1p_kernels",          // 20
+        "log_launch_overhead_s",  // 21
+    };
+    for (int i = 0; i < kBaseFeatureCount; ++i) n[static_cast<std::size_t>(i)] = base[static_cast<std::size_t>(i)];
+    int out = kBaseFeatureCount;
+    for (std::size_t a = 0; a < kCrossBase.size(); ++a)
+      for (std::size_t b = a + 1; b < kCrossBase.size(); ++b)
+        n[static_cast<std::size_t>(out++)] =
+            n[static_cast<std::size_t>(kCrossBase[a])] + "*" +
+            n[static_cast<std::size_t>(kCrossBase[b])];
+    for (int idx : {3, 4, 5})
+      n[static_cast<std::size_t>(out++)] =
+          n[static_cast<std::size_t>(idx)] + "^2";
+    return n;
+  }();
+  return names;
+}
+
+FeatureVector extract_features(const workloads::Workload& workload,
+                               const workloads::DataSize& size,
+                               int iterations,
+                               const hw::MachineSpec& machine) {
+  if (iterations < 1)
+    throw UsageError("surrogate features need iterations >= 1, got " +
+                     std::to_string(iterations));
+
+  const auto built = workloads::cached_skeleton(workload, size, iterations);
+  const auto usage = dataflow::cached_usage(built->usage_key, built->app);
+  const dataflow::TransferPlan& plan = usage->plan;
+  const hw::GpuSpec& gpu = machine.gpu;
+
+  // Per-kernel demands of the canonical baseline variant, summed over the
+  // app's kernels (all launch once per iteration). A kernel whose register
+  // or shared-memory demand makes the canonical block size infeasible is
+  // characterized at the largest feasible power-of-two fraction instead —
+  // still deterministic, and never inf in the log features.
+  const gpumodel::KernelTimeModel model(gpu);
+  double analytic_kernel_s = 0.0;
+  double total_threads = 0.0;
+  double total_blocks = 0.0;
+  double traffic_bytes = 0.0;
+  double compute_cycles = 0.0;
+  double latency_cycles = 0.0;
+  double mem_insts = 0.0;
+  double occupancy_sum = 0.0;
+  for (const skeleton::KernelSkeleton& kernel : built->app.kernels) {
+    gpumodel::Variant variant;
+    variant.block_size = baseline_block_size(gpu);
+    gpumodel::KernelCharacteristics kc =
+        gpumodel::characterize(built->app, kernel, variant, gpu);
+    gpumodel::KernelTimeBreakdown breakdown = model.project(kc);
+    while (!breakdown.feasible && variant.block_size > gpu.warp_size) {
+      variant.block_size =
+          std::max(gpu.warp_size, variant.block_size / 2);
+      kc = gpumodel::characterize(built->app, kernel, variant, gpu);
+      breakdown = model.project(kc);
+    }
+    const gpumodel::WarpDemands demands = gpumodel::warp_demands(kc, gpu);
+    const double warps = static_cast<double>(kc.total_threads) /
+                         static_cast<double>(gpu.warp_size);
+    if (breakdown.feasible) analytic_kernel_s += breakdown.total_s;
+    total_threads += static_cast<double>(kc.total_threads);
+    total_blocks += static_cast<double>(kc.num_blocks);
+    traffic_bytes += demands.traffic_bytes * warps;
+    compute_cycles += demands.compute_cycles * warps;
+    latency_cycles += demands.latency_cycles;
+    mem_insts += demands.mem_insts * warps;
+    occupancy_sum += breakdown.occupancy.fraction;
+  }
+  const double kernel_count =
+      static_cast<double>(built->app.kernels.size());
+
+  FeatureVector features;
+  auto& f = features.values;
+  f[0] = std::log1p(static_cast<double>(plan.input_bytes()));
+  f[1] = std::log1p(static_cast<double>(plan.output_bytes()));
+  f[2] = std::log1p(static_cast<double>(plan.transfer_count()));
+  f[3] = std::log(static_cast<double>(iterations));
+  f[4] = log_time(analytic_kernel_s);
+  f[5] = log_time(spec_transfer_seconds(plan, machine.pcie));
+  f[6] = std::log1p(total_threads);
+  f[7] = std::log1p(total_blocks);
+  f[8] = std::log1p(traffic_bytes);
+  f[9] = std::log1p(compute_cycles);
+  f[10] = std::log1p(latency_cycles);
+  f[11] = std::log1p(mem_insts);
+  f[12] = kernel_count > 0.0 ? occupancy_sum / kernel_count : 0.0;
+  f[13] = std::log(static_cast<double>(gpu.num_sms));
+  f[14] = std::log(gpu.peak_gflops());
+  f[15] = std::log(gpu.mem_bandwidth_gbps);
+  f[16] = std::log(std::max(machine.pcie.pinned_h2d.asymptotic_gbps, 1e-6));
+  f[17] = std::log(std::max(gpu.dram_latency_cycles, 1.0));
+  f[18] = std::log(machine.cpu.peak_gflops());
+  f[19] = std::log(machine.cpu.mem_bandwidth_gbps);
+  f[20] = std::log1p(kernel_count);
+  f[21] = log_time(gpu.kernel_launch_overhead_s);
+
+  int out = kBaseFeatureCount;
+  for (std::size_t a = 0; a < kCrossBase.size(); ++a)
+    for (std::size_t b = a + 1; b < kCrossBase.size(); ++b)
+      f[static_cast<std::size_t>(out++)] =
+          f[static_cast<std::size_t>(kCrossBase[a])] *
+          f[static_cast<std::size_t>(kCrossBase[b])];
+  for (int idx : {3, 4, 5})
+    f[static_cast<std::size_t>(out++)] =
+        f[static_cast<std::size_t>(idx)] * f[static_cast<std::size_t>(idx)];
+  return features;
+}
+
+FeatureVector extract_features(const std::string& workload,
+                               const std::string& size_label, int iterations,
+                               const hw::MachineSpec& machine) {
+  const workloads::Workload& resolved =
+      workloads::PaperSuite::instance().find(workload);
+  const workloads::DataSize size =
+      workloads::find_data_size(resolved, size_label);
+  return extract_features(resolved, size, iterations, machine);
+}
+
+TargetVector targets_of(const core::ProjectionReport& report) {
+  TargetVector targets;
+  targets.values = {report.predicted_kernel_s, report.predicted_transfer_s,
+                    report.measured_kernel_s, report.measured_transfer_s,
+                    report.measured_cpu_s};
+  return targets;
+}
+
+}  // namespace grophecy::surrogate

@@ -1,0 +1,77 @@
+// Deterministic feature extraction for the learned surrogate fast tier.
+//
+// A query's features are a pure function of the artifacts the pipeline
+// already caches — the built skeleton, the iteration-independent transfer
+// plan, per-warp kernel demands (gpumodel::warp_demands) and occupancy of
+// a canonical baseline variant, and the machine's headline geometry
+// (hw::GpuSpec / CpuSpec / PcieSpec). Extraction therefore costs cache
+// lookups plus a few hundred floating-point operations: microseconds on a
+// warm process, never a measurement.
+//
+// The vector is fixed width and keyed by the existing FNV-1a job
+// fingerprint (exec::JobSpec::fingerprint), so a training pool and a
+// query agree on identity exactly the way the journal and the daemon's
+// coalescing index already do. Most features live in log space because
+// every target (a time) is fitted in log space: scale relationships
+// ("kernel time ~ iterations x work / throughput") become linear there,
+// which is what lets a tiny ridge model interpolate the paper grid to a
+// few percent. The tail of the vector is the ridge's feature *crosses* —
+// pairwise products of the strongest log-features — giving the closed-form
+// solver curvature without any iterative training.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/report.h"
+#include "hw/machine.h"
+#include "workloads/workload.h"
+
+namespace grophecy::surrogate {
+
+/// Base (interpretable) features; see feature_names() for the labels.
+inline constexpr int kBaseFeatureCount = 22;
+/// Pairwise crosses + squares of the strongest base features.
+inline constexpr int kCrossFeatureCount = 18;
+inline constexpr int kFeatureCount = kBaseFeatureCount + kCrossFeatureCount;
+
+/// The targets the surrogate predicts — the five journaled scalars every
+/// derived metric of a ProjectionReport is a function of, in this order:
+/// predicted_kernel_s, predicted_transfer_s, measured_kernel_s,
+/// measured_transfer_s, measured_cpu_s.
+inline constexpr int kTargetCount = 5;
+
+struct FeatureVector {
+  std::array<double, kFeatureCount> values{};
+};
+
+struct TargetVector {
+  std::array<double, kTargetCount> values{};
+};
+
+/// Diagnostic labels, index-aligned with FeatureVector::values (crosses
+/// are named "a*b").
+const std::array<std::string, kFeatureCount>& feature_names();
+
+/// Extracts the features of one (workload, size, iterations, machine)
+/// query from the cached artifacts. Deterministic: identical inputs give
+/// bit-identical vectors. Throws UsageError for an invalid iteration
+/// count (mirroring the skeleton builder); workload/size are the caller's
+/// resolved objects, so no name errors are possible here.
+FeatureVector extract_features(const workloads::Workload& workload,
+                               const workloads::DataSize& size,
+                               int iterations, const hw::MachineSpec& machine);
+
+/// Name-resolving convenience keyed like exec::JobSpec: looks up the
+/// paper-suite workload and size label (throwing the suite's UsageError
+/// for unknown names). An empty machine name uses `default_machine`; a
+/// non-empty one must be resolved by the caller (the daemon and harvester
+/// resolve against hw::MachineRegistry before calling).
+FeatureVector extract_features(const std::string& workload,
+                               const std::string& size_label, int iterations,
+                               const hw::MachineSpec& machine);
+
+/// The five target scalars of an exact projection, in training order.
+TargetVector targets_of(const core::ProjectionReport& report);
+
+}  // namespace grophecy::surrogate

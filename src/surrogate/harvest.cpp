@@ -1,0 +1,64 @@
+#include "surrogate/harvest.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "exec/journal.h"
+#include "exec/sweep.h"
+#include "hw/machine_registry.h"
+#include "util/logging.h"
+
+namespace grophecy::surrogate {
+
+HarvestResult harvest_journal(const std::string& path,
+                              const hw::MachineSpec& default_machine) {
+  const exec::JournalReadResult read = exec::ResultJournal::read(path);
+  HarvestResult result;
+  result.corrupt_lines = read.corrupt_lines;
+
+  std::unordered_set<std::string> seen;
+  for (const std::string& payload : read.records) {
+    const std::optional<exec::JobRecord> record =
+        exec::JobRecord::from_json(payload);
+    if (!record) {
+      ++result.skipped_unparsed;
+      continue;
+    }
+    if (!record->ok()) {
+      ++result.skipped_failed;
+      continue;
+    }
+    if (!seen.insert(record->fingerprint).second) continue;
+
+    const hw::MachineSpec* machine = &default_machine;
+    if (!record->machine.empty()) {
+      machine = hw::MachineRegistry::global().try_find(record->machine);
+      if (!machine) {
+        ++result.skipped_unknown;
+        continue;
+      }
+    }
+    TrainingSample sample;
+    sample.fingerprint = record->fingerprint;
+    try {
+      sample.features = extract_features(record->workload, record->size_label,
+                                         record->iterations, *machine);
+    } catch (const std::exception& e) {
+      // A journal from a newer/foreign suite can name workloads this
+      // build does not know; skip, don't fail the harvest.
+      GROPHECY_LOG(kDebug) << "surrogate harvest: skipping "
+                           << record->fingerprint << ": " << e.what();
+      ++result.skipped_unknown;
+      continue;
+    }
+    sample.targets.values = {record->predicted_kernel_s,
+                             record->predicted_transfer_s,
+                             record->measured_kernel_s,
+                             record->measured_transfer_s,
+                             record->measured_cpu_s};
+    result.samples.push_back(std::move(sample));
+  }
+  return result;
+}
+
+}  // namespace grophecy::surrogate

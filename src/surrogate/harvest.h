@@ -1,0 +1,38 @@
+// Journal harvesting: turning finished sweep campaigns into surrogate
+// training data.
+//
+// Every sweep already journals its results as crash-safe JSONL records
+// keyed by job fingerprint (exec/journal.h), and a JobRecord carries the
+// exact five scalars the surrogate predicts. Harvesting replays those
+// records through the feature extractor, so a daemon (or the
+// surrogate_train tool) can warm-start its model from past campaigns
+// instead of self-distilling from zero.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "surrogate/model.h"
+
+namespace grophecy::surrogate {
+
+struct HarvestResult {
+  /// One sample per parseable ok record, journal order (duplicates by
+  /// fingerprint keep the first occurrence).
+  std::vector<TrainingSample> samples;
+  int skipped_failed = 0;    ///< status:"failed" records (no targets).
+  int skipped_unknown = 0;   ///< Unresolvable workload/size/machine names.
+  int skipped_unparsed = 0;  ///< Checksum-valid lines that are not JobRecords.
+  int corrupt_lines = 0;     ///< Journal lines that failed the checksum.
+};
+
+/// Reads `path` (a sweep journal) and extracts training samples. Records
+/// with an empty machine name resolve against `default_machine`; named
+/// machines resolve through hw::MachineRegistry::global(). Never throws
+/// for damaged or missing journals — damage is counted, like the sweep
+/// engine's own resume path.
+HarvestResult harvest_journal(const std::string& path,
+                              const hw::MachineSpec& default_machine);
+
+}  // namespace grophecy::surrogate

@@ -1,0 +1,264 @@
+#include "surrogate/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace grophecy::surrogate {
+
+namespace {
+
+constexpr int kDim = kFeatureCount;
+/// Columns of the augmented design: bias + features.
+constexpr int kAug = kDim + 1;
+/// Floor under a log'd target and under a residual denominator.
+constexpr double kTargetEps = 1e-12;
+
+using AugVector = std::array<double, kAug>;
+using AugMatrix = std::array<AugVector, kAug>;
+
+/// In-place Cholesky factorization A = L L^T (lower triangle). The Gram
+/// matrix is SPD by construction (ridge diagonal), so this cannot fail on
+/// real input; the contract guards against NaN poisoning.
+void cholesky(AugMatrix& a) {
+  for (int j = 0; j < kAug; ++j) {
+    double diag = a[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+    for (int k = 0; k < j; ++k) {
+      const double l = a[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+      diag -= l * l;
+    }
+    GROPHECY_ENSURES(diag > 0.0);
+    const double root = std::sqrt(diag);
+    a[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] = root;
+    for (int i = j + 1; i < kAug; ++i) {
+      double sum = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      for (int k = 0; k < j; ++k)
+        sum -= a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] *
+               a[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sum / root;
+    }
+  }
+}
+
+/// Solves L L^T x = b given the factor from cholesky().
+AugVector cholesky_solve(const AugMatrix& l, const AugVector& b) {
+  AugVector y{};
+  for (int i = 0; i < kAug; ++i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k)
+      sum -= l[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] =
+        sum / l[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+  }
+  AugVector x{};
+  for (int i = kAug - 1; i >= 0; --i) {
+    double sum = y[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < kAug; ++k)
+      sum -= l[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+             x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] =
+        sum / l[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+double squared_distance(const std::array<double, kDim>& a,
+                        const std::array<double, kDim>& b) {
+  double sum = 0.0;
+  for (int d = 0; d < kDim; ++d) {
+    const double diff =
+        a[static_cast<std::size_t>(d)] - b[static_cast<std::size_t>(d)];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+SurrogateModel SurrogateModel::fit(const std::vector<TrainingSample>& samples,
+                                   double lambda) {
+  if (samples.size() < 2)
+    throw UsageError("SurrogateModel::fit needs >= 2 samples, got " +
+                     std::to_string(samples.size()));
+  if (lambda <= 0.0) throw UsageError("SurrogateModel::fit needs lambda > 0");
+  const std::size_t n = samples.size();
+
+  SurrogateModel model;
+
+  // --- standardize columns (z-scores; degenerate columns keep scale 1) ---
+  for (int d = 0; d < kDim; ++d) {
+    double sum = 0.0;
+    for (const TrainingSample& s : samples)
+      sum += s.features.values[static_cast<std::size_t>(d)];
+    const double mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (const TrainingSample& s : samples) {
+      const double diff =
+          s.features.values[static_cast<std::size_t>(d)] - mean;
+      var += diff * diff;
+    }
+    const double sd = std::sqrt(var / static_cast<double>(n));
+    model.mean_[static_cast<std::size_t>(d)] = mean;
+    model.scale_[static_cast<std::size_t>(d)] = sd > 1e-12 ? sd : 1.0;
+  }
+  model.train_points_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int d = 0; d < kDim; ++d)
+      model.train_points_[i][static_cast<std::size_t>(d)] =
+          (samples[i].features.values[static_cast<std::size_t>(d)] -
+           model.mean_[static_cast<std::size_t>(d)]) /
+          model.scale_[static_cast<std::size_t>(d)];
+
+  // --- shared Gram matrix, one closed-form solve per target ---
+  AugMatrix gram{};
+  for (std::size_t i = 0; i < n; ++i) {
+    AugVector a{};
+    a[0] = 1.0;
+    for (int d = 0; d < kDim; ++d)
+      a[static_cast<std::size_t>(d) + 1] =
+          model.train_points_[i][static_cast<std::size_t>(d)];
+    for (int r = 0; r < kAug; ++r)
+      for (int c = 0; c <= r; ++c)
+        gram[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] +=
+            a[static_cast<std::size_t>(r)] * a[static_cast<std::size_t>(c)];
+  }
+  for (int r = 0; r < kAug; ++r)
+    for (int c = r + 1; c < kAug; ++c)
+      gram[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          gram[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)];
+  // Ridge on the feature weights; only a vanishing jitter on the bias so
+  // the intercept stays unshrunk.
+  gram[0][0] += 1e-10;
+  for (int d = 1; d < kAug; ++d)
+    gram[static_cast<std::size_t>(d)][static_cast<std::size_t>(d)] += lambda;
+  cholesky(gram);
+
+  for (int t = 0; t < kTargetCount; ++t) {
+    AugVector rhs{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = std::log(std::max(
+          samples[i].targets.values[static_cast<std::size_t>(t)], kTargetEps));
+      rhs[0] += y;
+      for (int d = 0; d < kDim; ++d)
+        rhs[static_cast<std::size_t>(d) + 1] +=
+            model.train_points_[i][static_cast<std::size_t>(d)] * y;
+    }
+    model.weights_[static_cast<std::size_t>(t)] = cholesky_solve(gram, rhs);
+  }
+
+  // --- uncertainty: in-sample residuals, binned by training density ---
+  std::vector<double> residuals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double worst = 0.0;
+    for (int t = 0; t < kTargetCount; ++t) {
+      const AugVector& w = model.weights_[static_cast<std::size_t>(t)];
+      double pred = w[0];
+      for (int d = 0; d < kDim; ++d)
+        pred += w[static_cast<std::size_t>(d) + 1] *
+                model.train_points_[i][static_cast<std::size_t>(d)];
+      const double truth =
+          samples[i].targets.values[static_cast<std::size_t>(t)];
+      const double rel = std::abs(std::exp(pred) - truth) /
+                         std::max(truth, kTargetEps);
+      worst = std::max(worst, rel);
+    }
+    residuals[i] = worst;
+  }
+  model.rel_p50_ = util::percentile(residuals, 50.0);
+  model.rel_p95_ = util::percentile(residuals, 95.0);
+
+  // Nearest-neighbour distance of each training sample (excluding self):
+  // the density signal the buckets are cut on.
+  std::vector<double> nn(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best = std::min(best, squared_distance(model.train_points_[i],
+                                             model.train_points_[j]));
+    }
+    nn[i] = std::sqrt(best);
+  }
+  model.max_train_distance_ = *std::max_element(nn.begin(), nn.end());
+  for (int b = 0; b < kBuckets; ++b)
+    model.bucket_edges_[static_cast<std::size_t>(b)] = util::percentile(
+        nn, 100.0 * static_cast<double>(b + 1) / kBuckets);
+
+  std::array<std::vector<double>, kBuckets> by_bucket;
+  for (std::size_t i = 0; i < n; ++i) {
+    int bucket = kBuckets - 1;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (nn[i] <= model.bucket_edges_[static_cast<std::size_t>(b)]) {
+        bucket = b;
+        break;
+      }
+    }
+    by_bucket[static_cast<std::size_t>(bucket)].push_back(residuals[i]);
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::vector<double>& bucket = by_bucket[static_cast<std::size_t>(b)];
+    model.bucket_bounds_[static_cast<std::size_t>(b)] =
+        bucket.size() >= static_cast<std::size_t>(kMinBucketSamples)
+            ? util::percentile(bucket, 95.0)
+            : model.rel_p95_;
+  }
+  return model;
+}
+
+Prediction SurrogateModel::predict(const FeatureVector& features) const {
+  GROPHECY_EXPECTS(fitted());
+  std::array<double, kDim> z{};
+  for (int d = 0; d < kDim; ++d)
+    z[static_cast<std::size_t>(d)] =
+        (features.values[static_cast<std::size_t>(d)] -
+         mean_[static_cast<std::size_t>(d)]) /
+        scale_[static_cast<std::size_t>(d)];
+
+  Prediction prediction;
+  for (int t = 0; t < kTargetCount; ++t) {
+    const AugVector& w = weights_[static_cast<std::size_t>(t)];
+    double pred = w[0];
+    for (int d = 0; d < kDim; ++d)
+      pred += w[static_cast<std::size_t>(d) + 1] * z[static_cast<std::size_t>(d)];
+    prediction.targets.values[static_cast<std::size_t>(t)] = std::exp(pred);
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::array<double, kDim>& point : train_points_)
+    best = std::min(best, squared_distance(z, point));
+  prediction.nn_distance = std::sqrt(best);
+
+  if (prediction.nn_distance > kNoveltyFactor * max_train_distance_) {
+    prediction.bucket = kBuckets - 1;
+    prediction.rel_error_bound = std::numeric_limits<double>::infinity();
+    return prediction;
+  }
+  int bucket = kBuckets - 1;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (prediction.nn_distance <=
+        bucket_edges_[static_cast<std::size_t>(b)]) {
+      bucket = b;
+      break;
+    }
+  }
+  prediction.bucket = bucket;
+  prediction.rel_error_bound = bucket_bounds_[static_cast<std::size_t>(bucket)];
+  return prediction;
+}
+
+double SurrogateModel::bucket_edge(int bucket) const {
+  GROPHECY_EXPECTS(bucket >= 0 && bucket < kBuckets);
+  return bucket_edges_[static_cast<std::size_t>(bucket)];
+}
+
+double SurrogateModel::bucket_bound(int bucket) const {
+  GROPHECY_EXPECTS(bucket >= 0 && bucket < kBuckets);
+  return bucket_bounds_[static_cast<std::size_t>(bucket)];
+}
+
+}  // namespace grophecy::surrogate

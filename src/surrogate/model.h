@@ -1,0 +1,103 @@
+// The surrogate's learned core: closed-form ridge regression in log space
+// with distance-binned uncertainty.
+//
+// A SurrogateModel is fit from (features -> targets) pairs by solving the
+// normal equations once per target (shared Gram matrix, Cholesky) — no
+// iterative optimizer, no external dependency, deterministic to the bit
+// for a given pool. Targets are times, so the fit runs on log(target):
+// multiplicative structure ("double the iterations, double the time")
+// becomes additive, and a single linear model interpolates the paper grid
+// to a few percent.
+//
+// The model also knows what it does NOT know. At fit time every training
+// sample records its distance to its nearest neighbour in standardized
+// feature space; those distances are bucketed by quantile and each bucket
+// carries the p95 relative residual of the samples that live there. A
+// query is assigned the bound of the bucket its own nearest-training-
+// distance falls into — dense regions answer with tight bounds, sparse
+// regions with loose ones, and a query beyond kNoveltyFactor times the
+// largest training distance gets an infinite bound, which the engine's
+// confidence gate turns into a fallthrough to the exact pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "surrogate/features.h"
+
+namespace grophecy::surrogate {
+
+/// One exact projection the model learns from, keyed by the job
+/// fingerprint (exec::JobSpec::fingerprint) for pool dedupe.
+struct TrainingSample {
+  std::string fingerprint;
+  FeatureVector features;
+  TargetVector targets;
+};
+
+/// A surrogate answer with its uncertainty account.
+struct Prediction {
+  TargetVector targets;
+  /// The model's error bound for this query: the p95 relative residual of
+  /// the training-density bucket the query falls into. +inf for a query
+  /// novel enough that no bucket speaks for it.
+  double rel_error_bound = 0.0;
+  /// Distance to the nearest training sample, standardized space.
+  double nn_distance = 0.0;
+  int bucket = 0;  ///< Density bucket index (0 = densest).
+};
+
+class SurrogateModel {
+ public:
+  /// Distance-quantile buckets carrying residual p95 bounds.
+  static constexpr int kBuckets = 4;
+  /// A bucket needs this many residents to earn its own bound; smaller
+  /// buckets inherit the global p95.
+  static constexpr int kMinBucketSamples = 5;
+  /// Queries farther than this multiple of the largest training
+  /// nearest-neighbour distance are "novel": bound = +inf.
+  static constexpr double kNoveltyFactor = 4.0;
+
+  /// Fits a model on the pool. Requires >= 2 samples (callers gate on
+  /// SurrogateOptions::min_train_points, which validate() keeps >= 2);
+  /// `lambda` is the ridge strength. Deterministic: same pool in the same
+  /// order gives a bit-identical model.
+  static SurrogateModel fit(const std::vector<TrainingSample>& samples,
+                            double lambda);
+
+  SurrogateModel() = default;
+
+  bool fitted() const { return !train_points_.empty(); }
+
+  /// Predicts the five target scalars with an uncertainty bound. Requires
+  /// fitted().
+  Prediction predict(const FeatureVector& features) const;
+
+  /// Pool size the model was fit on.
+  int train_count() const { return static_cast<int>(train_points_.size()); }
+  /// Global in-sample relative-residual quantiles (diagnostics).
+  double rel_error_p50() const { return rel_p50_; }
+  double rel_error_p95() const { return rel_p95_; }
+  /// Upper distance edge / residual bound of one bucket (diagnostics).
+  double bucket_edge(int bucket) const;
+  double bucket_bound(int bucket) const;
+
+ private:
+  // Standardization (z-scores); degenerate columns keep scale 1 so a
+  // query that differs where training never did still moves the distance.
+  std::array<double, kFeatureCount> mean_{};
+  std::array<double, kFeatureCount> scale_{};
+  // Per-target weights in log space: [bias, w_0 .. w_{D-1}].
+  std::array<std::array<double, kFeatureCount + 1>, kTargetCount> weights_{};
+  // Standardized training points, for query nearest-neighbour distance.
+  std::vector<std::array<double, kFeatureCount>> train_points_;
+  // Distance-bucket upper edges (ascending) and their residual bounds.
+  std::array<double, kBuckets> bucket_edges_{};
+  std::array<double, kBuckets> bucket_bounds_{};
+  double max_train_distance_ = 0.0;
+  double rel_p50_ = 0.0;
+  double rel_p95_ = 0.0;
+};
+
+}  // namespace grophecy::surrogate

@@ -103,7 +103,7 @@ class ArtifactCache {
   Artifact get_or_build(std::uint64_t key, const Factory& factory,
                         bool* from_cache = nullptr) {
     std::promise<Artifact> promise;
-    std::shared_future<Artifact> flight;
+    std::shared_ptr<Flight> flight;
     bool owner = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -114,7 +114,7 @@ class ArtifactCache {
       } else {
         ++misses_;
         owner = true;
-        flight = promise.get_future().share();
+        flight = std::make_shared<Flight>(promise.get_future().share());
         entries_.emplace(key, flight);
       }
     }
@@ -124,13 +124,19 @@ class ArtifactCache {
         promise.set_value(std::make_shared<const Value>(factory()));
       } catch (...) {
         promise.set_exception(std::current_exception());
+        // Evict by flight *identity*, not by key: if clear() raced in
+        // between and a fresh, healthy flight already occupies the key,
+        // that successor must survive (same contract as the PR 6
+        // CalibrationCache fix — erasing by key would drop it and re-run
+        // its factory, breaking single-flight).
         std::lock_guard<std::mutex> lock(mutex_);
-        entries_.erase(key);  // allow a later retry instead of caching failure
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == flight) entries_.erase(it);
       }
     }
 
     if (from_cache) *from_cache = !owner;
-    return flight.get();  // waits for the in-flight owner
+    return flight->future.get();  // waits for the in-flight owner
   }
 
   Stats stats() const {
@@ -153,8 +159,16 @@ class ArtifactCache {
   }
 
  private:
+  /// An in-flight (or completed) build. Held by shared_ptr so the failed
+  /// -flight eviction path can compare identities: std::shared_future has
+  /// no operator==, but the owning handle does.
+  struct Flight {
+    explicit Flight(std::shared_future<Artifact> f) : future(std::move(f)) {}
+    std::shared_future<Artifact> future;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::shared_future<Artifact>> entries_;
+  std::map<std::uint64_t, std::shared_ptr<Flight>> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -113,6 +113,93 @@ TEST(ArtifactCache, ThrowingFactoryIsEvictedNotCached) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(ArtifactCache, FailedFlightEvictionNeverRemovesASuccessor) {
+  // Regression: eviction after a failed flight is by flight *identity*,
+  // mirroring the PR 6 CalibrationCache race fix. If clear() races
+  // between the factory's throw and the eviction, and a fresh, healthy
+  // flight has already been installed under the same key, that successor
+  // must survive — the old code erased by key and would drop it,
+  // re-running its factory and breaking single-flight.
+  util::ArtifactCache<int> cache;
+  std::atomic<bool> failing_started{false};
+  std::atomic<bool> cleared{false};
+
+  std::thread failing([&] {
+    try {
+      cache.get_or_build(99, [&]() -> int {
+        failing_started = true;
+        // Hold the flight open until the main thread has cleared the
+        // cache and installed a healthy successor under the same key.
+        while (!cleared.load()) std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        throw std::runtime_error("stale flight fails late");
+      });
+      ADD_FAILURE() << "the failing flight should throw";
+    } catch (const std::runtime_error&) {
+    }
+  });
+
+  while (!failing_started.load()) std::this_thread::yield();
+  cache.clear();  // forget the in-flight failure-to-be
+  int successor_builds = 0;
+  const auto healthy = cache.get_or_build(99, [&] {
+    ++successor_builds;
+    return 21;
+  });
+  EXPECT_EQ(*healthy, 21);
+  cleared = true;
+  failing.join();  // the stale flight fails and runs its eviction path
+
+  // The healthy successor survived the stale flight's eviction: a third
+  // caller hits the cache instead of rebuilding.
+  EXPECT_EQ(cache.size(), 1u);
+  bool from_cache = false;
+  const auto again = cache.get_or_build(99, [&]() -> int {
+    ++successor_builds;
+    return 999;
+  }, &from_cache);
+  EXPECT_EQ(successor_builds, 1);  // never re-ran
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(*again, 21);
+}
+
+TEST(ArtifactCache, FailedFlightEvictionUnderContendedRetries) {
+  // Many threads hammer one key with a factory that fails for the first
+  // wave and succeeds afterwards; interleaved clear() calls shuffle
+  // flight lifetimes. The cache must end in a consistent state: a cached
+  // healthy value, no lost successors, no caller hung.
+  util::ArtifactCache<int> cache;
+  std::atomic<int> attempts{0};
+  std::atomic<int> successes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 25; ++round) {
+        try {
+          const auto value = cache.get_or_build(7, [&]() -> int {
+            const int n = attempts.fetch_add(1);
+            std::this_thread::yield();
+            if (n < 3) throw std::runtime_error("warming up");
+            return 64;
+          });
+          EXPECT_EQ(*value, 64);
+          successes.fetch_add(1);
+        } catch (const std::runtime_error&) {
+        }
+        if (round % 10 == 3) cache.clear();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(successes.load(), 0);
+  // A final call settles the cache: either a healthy survivor or a fresh
+  // build — never a poisoned entry.
+  const auto final_value = cache.get_or_build(7, [] { return 64; });
+  EXPECT_EQ(*final_value, 64);
+  EXPECT_LE(cache.size(), 1u);
+}
+
 // --- parse caches ---
 
 TEST(ArtifactCache, ParseCachesReturnTheSameDocumentObject) {

@@ -754,6 +754,90 @@ TEST(ServeEndToEnd, RealPipelineServesAProjection) {
   EXPECT_GE(stats.calibration_hits + stats.calibration_misses, 1u);
 }
 
+// --- the surrogate fast tier, end to end through the daemon ---
+
+TEST(ServeSurrogate, WarmRepeatsAreServedFromTheSurrogateTier) {
+  DaemonOptions options;
+  options.workers = 2;
+  options.projection.surrogate.enabled = true;
+  options.projection.surrogate.min_train_points = 6;
+  options.projection.surrogate.refit_interval = 4;
+  Daemon daemon(std::move(options));
+  daemon.start();
+
+  // Phase 1: novel traffic runs the exact pipeline (tier "exact") and
+  // self-distills into the training pool.
+  const int iters[] = {1, 2, 4, 8, 16, 32};
+  for (const int n : iters) {
+    const std::string reply = daemon.handle(
+        project_line("novel-" + std::to_string(n), "CFD", "97K", 0.0, n));
+    EXPECT_EQ(field(reply, "status"), "ok") << reply;
+    EXPECT_EQ(field(reply, "tier"), "exact") << reply;
+  }
+  // The background refit must land without any serving-path involvement.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon.stats().surrogate_refits == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GE(daemon.stats().surrogate_refits, 1u);
+
+  // Phase 2: the same queries are answered by the surrogate, with the
+  // error bound on the wire, without touching a worker.
+  const DaemonStats before = daemon.stats();
+  for (const int n : iters) {
+    const std::string reply = daemon.handle(
+        project_line("warm-" + std::to_string(n), "CFD", "97K", 0.0, n));
+    EXPECT_EQ(field(reply, "status"), "ok") << reply;
+    EXPECT_EQ(field(reply, "tier"), "surrogate") << reply;
+    const auto object = util::parse_flat_json(reply);
+    ASSERT_TRUE(object.has_value());
+    EXPECT_GT(util::json_number(*object, "rel_error_bound").value_or(-1), 0.0);
+    EXPECT_GT(util::json_number(*object, "predicted_kernel_s").value_or(0), 0);
+    EXPECT_GT(util::json_number(*object, "predicted_speedup").value_or(0), 0);
+  }
+  EXPECT_EQ(daemon.stats().executed, before.executed);  // no worker ran
+
+  // The tier's counters are on the stats wire, and served replies count
+  // in `ok` so the accounting identity still holds.
+  const std::string stats_line = daemon.handle(R"({"id":"s","type":"stats"})");
+  const auto object = util::parse_flat_json(stats_line);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_GE(util::json_number(*object, "surrogate_served").value_or(0), 6.0);
+  EXPECT_GE(util::json_number(*object, "surrogate_pool").value_or(0), 6.0);
+  EXPECT_GE(util::json_number(*object, "surrogate_refits").value_or(0), 1.0);
+  daemon.shutdown();
+  const DaemonStats after = daemon.stats();
+  EXPECT_GE(after.surrogate_served, 6u);
+  EXPECT_EQ(after.ok, 12u);  // surrogate-served replies count in ok
+}
+
+TEST(ServeSurrogate, FallbackRepliesAreByteIdenticalToADisabledDaemon) {
+  // A gate high enough that nothing is ever served by the surrogate: the
+  // fallback path must be indistinguishable on the wire from a daemon
+  // with the tier disabled.
+  DaemonOptions gated;
+  gated.workers = 1;
+  gated.projection.surrogate.enabled = true;
+  gated.projection.surrogate.min_train_points = 64;
+  DaemonOptions disabled;
+  disabled.workers = 1;
+  Daemon gated_daemon(std::move(gated));
+  Daemon plain_daemon(std::move(disabled));
+  gated_daemon.start();
+  plain_daemon.start();
+
+  for (const int n : {1, 3, 7}) {
+    const std::string line =
+        project_line("cmp-" + std::to_string(n), "CFD", "97K", 0.0, n);
+    EXPECT_EQ(gated_daemon.handle(line), plain_daemon.handle(line)) << line;
+  }
+  gated_daemon.shutdown();
+  plain_daemon.shutdown();
+  EXPECT_EQ(gated_daemon.stats().surrogate_served, 0u);
+  EXPECT_GE(gated_daemon.stats().surrogate_fallbacks, 3u);
+}
+
 TEST(ServeEndToEnd, SocketTransportRoundTripsRequestsAndSurvivesGarbage) {
   Daemon daemon(stub_options([](const JobSpec& spec) {
     return stub_report(spec);

@@ -1,0 +1,274 @@
+// The surrogate fast-tier suite: feature extraction must be a pure
+// function of the cached artifacts, the closed-form ridge fit must
+// recover the grid it trained on and interpolate between its points, the
+// confidence gate must refuse what the model has not seen, and the
+// self-distillation loop (fallback -> observe -> background refit ->
+// serve) must converge without ever blocking the serving path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grophecy.h"
+#include "exec/sweep_request.h"
+#include "hw/registry.h"
+#include "surrogate/engine.h"
+#include "surrogate/features.h"
+#include "surrogate/model.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace grophecy::surrogate {
+namespace {
+
+using exec::JobSpec;
+
+const hw::MachineSpec& machine() {
+  static const hw::MachineSpec spec = hw::anl_eureka();
+  return spec;
+}
+
+exec::SweepEngine::JobFn exact_job_fn() {
+  return exec::SweepRequest::on(machine()).job_fn();
+}
+
+TrainingSample sample_of(const JobSpec& spec,
+                         const core::ProjectionReport& report) {
+  TrainingSample sample;
+  sample.fingerprint = spec.fingerprint();
+  sample.features = extract_features(spec.workload, spec.size_label,
+                                     spec.iterations, machine());
+  sample.targets = targets_of(report);
+  return sample;
+}
+
+/// The paper-grid training pool used by the model tests: three workloads
+/// at a representative size across the iteration sweep.
+std::vector<TrainingSample> grid_pool(const std::vector<int>& iters) {
+  const auto job_fn = exact_job_fn();
+  std::vector<TrainingSample> pool;
+  for (const char* workload : {"CFD", "HotSpot", "SRAD"}) {
+    const char* size = workload == std::string("CFD")
+                           ? "97K"
+                           : workload == std::string("HotSpot")
+                                 ? "1024 x 1024"
+                                 : "2048 x 2048";
+    for (const int n : iters) {
+      const JobSpec spec{workload, size, n, ""};
+      pool.push_back(sample_of(spec, job_fn(spec)));
+    }
+  }
+  return pool;
+}
+
+// --- features ---
+
+TEST(SurrogateFeatures, ExtractionIsDeterministic) {
+  const FeatureVector a = extract_features("CFD", "97K", 8, machine());
+  const FeatureVector b = extract_features("CFD", "97K", 8, machine());
+  EXPECT_EQ(a.values, b.values);  // bit-identical, not approximately
+  for (const double v : a.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SurrogateFeatures, DistinctQueriesGetDistinctVectors) {
+  const FeatureVector base = extract_features("CFD", "97K", 8, machine());
+  EXPECT_NE(base.values, extract_features("CFD", "97K", 16, machine()).values);
+  EXPECT_NE(base.values,
+            extract_features("HotSpot", "1024 x 1024", 8, machine()).values);
+  EXPECT_NE(base.values,
+            extract_features("CFD", "97K", 8, hw::pcie3_kepler()).values);
+}
+
+TEST(SurrogateFeatures, NamesAlignWithTheVectorWidth) {
+  const auto& names = feature_names();
+  ASSERT_EQ(static_cast<int>(names.size()), kFeatureCount);
+  for (const std::string& name : names) EXPECT_FALSE(name.empty());
+}
+
+TEST(SurrogateFeatures, RejectsInvalidIterationsAndUnknownNames) {
+  EXPECT_THROW(extract_features("CFD", "97K", 0, machine()), UsageError);
+  EXPECT_THROW(extract_features("NoSuchWorkload", "97K", 1, machine()),
+               UsageError);
+  EXPECT_THROW(extract_features("CFD", "no-such-size", 1, machine()),
+               UsageError);
+}
+
+// --- model ---
+
+TEST(SurrogateModel, RefusesDegenerateFits) {
+  EXPECT_THROW(SurrogateModel::fit({}, 1e-4), UsageError);
+  const auto pool = grid_pool({1, 2});
+  EXPECT_THROW(SurrogateModel::fit({pool.front()}, 1e-4), UsageError);
+  EXPECT_THROW(SurrogateModel::fit(pool, 0.0), UsageError);
+}
+
+TEST(SurrogateModel, RecoversItsTrainingGrid) {
+  const auto pool = grid_pool({1, 2, 4, 8, 16, 32, 64, 128});
+  const SurrogateModel model = SurrogateModel::fit(pool, 1e-4);
+  EXPECT_EQ(model.train_count(), static_cast<int>(pool.size()));
+  // In-sample: the ridge must reproduce what it was shown.
+  EXPECT_LT(model.rel_error_p95(), 0.05);
+  for (const TrainingSample& sample : pool) {
+    const Prediction prediction = model.predict(sample.features);
+    EXPECT_EQ(prediction.nn_distance, 0.0);  // its own training point
+    EXPECT_LT(prediction.rel_error_bound, 0.10);
+  }
+}
+
+TEST(SurrogateModel, InterpolatesHeldOutIterationCounts) {
+  const auto job_fn = exact_job_fn();
+  const SurrogateModel model =
+      SurrogateModel::fit(grid_pool({1, 2, 4, 8, 16, 32, 64, 128}), 1e-4);
+  std::vector<double> errors;
+  for (const int n : {3, 6, 12, 24, 48, 96}) {
+    const JobSpec spec{"CFD", "97K", n, ""};
+    const TrainingSample truth = sample_of(spec, job_fn(spec));
+    const Prediction prediction = model.predict(truth.features);
+    for (int t = 0; t < kTargetCount; ++t) {
+      const double want = truth.targets.values[static_cast<std::size_t>(t)];
+      const double got =
+          prediction.targets.values[static_cast<std::size_t>(t)];
+      errors.push_back(std::abs(got - want) / std::max(want, 1e-12));
+    }
+  }
+  EXPECT_LE(util::percentile(errors, 95.0), 0.10);
+}
+
+TEST(SurrogateModel, NoveltyWidensTheUncertaintyBound) {
+  const SurrogateModel model =
+      SurrogateModel::fit(grid_pool({1, 2, 4, 8}), 1e-4);
+  // A point far outside the training manifold: every feature perturbed.
+  FeatureVector alien = extract_features("CFD", "97K", 8, machine());
+  for (double& v : alien.values) v += 50.0;
+  const Prediction prediction = model.predict(alien);
+  EXPECT_EQ(prediction.bucket, SurrogateModel::kBuckets - 1);
+  EXPECT_TRUE(std::isinf(prediction.rel_error_bound));
+  // Bucket edges are monotone, so the bound can gate on distance.
+  for (int b = 1; b < SurrogateModel::kBuckets; ++b)
+    EXPECT_GE(model.bucket_edge(b), model.bucket_edge(b - 1));
+}
+
+// --- engine: gating, self-distillation, non-blocking refits ---
+
+core::SurrogateOptions engine_options() {
+  core::SurrogateOptions options;
+  options.enabled = true;
+  options.min_train_points = 8;
+  options.refit_interval = 8;
+  options.max_rel_error = 0.10;
+  return options;
+}
+
+TEST(SurrogateEngine, ColdEngineGatesEverythingToExact) {
+  SurrogateEngine engine(engine_options(), machine());
+  EXPECT_FALSE(engine.try_predict(JobSpec{"CFD", "97K", 4, ""}).has_value());
+  const SurrogateEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.fallbacks, 1u);
+}
+
+TEST(SurrogateEngine, SelfDistillationConvergesOnRepeatTraffic) {
+  const auto job_fn = exact_job_fn();
+  SurrogateEngine engine(engine_options(), machine());
+
+  std::vector<JobSpec> traffic;
+  for (const int n : {1, 2, 4, 8, 16, 32, 64, 128})
+    traffic.push_back(JobSpec{"CFD", "97K", n, ""});
+
+  // Phase 1: everything is novel -> fallback, exact result observed.
+  for (const JobSpec& spec : traffic) {
+    EXPECT_FALSE(engine.try_predict(spec).has_value());
+    engine.observe(spec, job_fn(spec));
+  }
+  engine.wait_for_refit();
+  EXPECT_GE(engine.stats().refits, 1u);
+  EXPECT_EQ(engine.stats().pool_size, traffic.size());
+
+  // Phase 2: the same traffic is now served by the surrogate, in bound.
+  for (const JobSpec& spec : traffic) {
+    const std::optional<Prediction> hit = engine.try_predict(spec);
+    ASSERT_TRUE(hit.has_value()) << spec.key();
+    EXPECT_LE(hit->rel_error_bound, engine.options().max_rel_error);
+  }
+  EXPECT_EQ(engine.stats().served, traffic.size());
+}
+
+TEST(SurrogateEngine, ObservationsAreDedupedByFingerprint) {
+  const auto job_fn = exact_job_fn();
+  SurrogateEngine engine(engine_options(), machine());
+  const JobSpec spec{"CFD", "97K", 4, ""};
+  const core::ProjectionReport report = job_fn(spec);
+  for (int i = 0; i < 5; ++i) engine.observe(spec, report);
+  EXPECT_EQ(engine.stats().pool_size, 1u);
+}
+
+TEST(SurrogateEngine, UnknownMachineFallsThroughInsteadOfThrowing) {
+  SurrogateEngine engine(engine_options(), machine());
+  EXPECT_FALSE(
+      engine.try_predict(JobSpec{"CFD", "97K", 4, "no_such_machine"})
+          .has_value());
+  EXPECT_EQ(engine.stats().fallbacks, 1u);
+}
+
+TEST(SurrogateEngine, FitNowRequiresAMinimallyFilledPool) {
+  SurrogateEngine engine(engine_options(), machine());
+  EXPECT_THROW(engine.fit_now(), UsageError);
+}
+
+TEST(SurrogateEngine, RefitNeverBlocksServingAndStaysSingleFlight) {
+  const auto job_fn = exact_job_fn();
+
+  // Hold the first background refit open and prove the serve path stays
+  // responsive while it is in flight.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> refit_starts{0};
+
+  SurrogateEngine engine(engine_options(), machine());
+  engine.set_fit_hook([&] {
+    ++refit_starts;
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::vector<JobSpec> traffic;
+  for (const int n : {1, 2, 4, 8, 16, 32, 64, 128})
+    traffic.push_back(JobSpec{"CFD", "97K", n, ""});
+  // The 8th observation crosses min_train_points and schedules the refit,
+  // which immediately parks on the hook.
+  for (const JobSpec& spec : traffic) engine.observe(spec, job_fn(spec));
+  while (refit_starts.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Serving and observing proceed while the refit is parked...
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(engine.try_predict(traffic.front()).has_value());
+  engine.observe(JobSpec{"SRAD", "2048 x 2048", 4, ""},
+                 job_fn(JobSpec{"SRAD", "2048 x 2048", 4, ""}));
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  EXPECT_LT(elapsed_s, 1.0);  // never waited out the parked refit
+  // ...and no second refit was spawned behind the parked one.
+  EXPECT_EQ(refit_starts.load(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  engine.wait_for_refit();
+  EXPECT_GE(engine.stats().refits, 1u);
+  // With the flight released, the model serves the warm traffic.
+  EXPECT_TRUE(engine.try_predict(traffic.front()).has_value());
+}
+
+}  // namespace
+}  // namespace grophecy::surrogate

@@ -1,0 +1,146 @@
+// surrogate_train — fit and evaluate a surrogate model from a sweep journal.
+//
+// Harvests a crash-safe sweep journal (exec/journal.h) into training
+// samples (surrogate/harvest.h), holds out a deterministic fraction,
+// fits the closed-form ridge model, and prints per-target held-out
+// relative-error quantiles plus the distance-bucket uncertainty table.
+// The exit status gates nothing — this is the operator's offline view of
+// what the serve daemon's self-distilling tier would learn from a past
+// campaign.
+//
+//   ./build/tools/surrogate_train --journal sweep.jsonl
+//       [--machine NAME]      resolve records with no machine field
+//                             (default: anl_eureka, the paper testbed)
+//       [--holdout FRACTION]  held-out share, default 0.25
+//       [--lambda L]          ridge strength, default 1e-4
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "hw/machine_registry.h"
+#include "hw/registry.h"
+#include "surrogate/harvest.h"
+#include "surrogate/model.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --journal PATH [--machine NAME] "
+               "[--holdout FRACTION] [--lambda L]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grophecy;
+
+  std::string journal;
+  std::string machine_name;
+  double holdout = 0.25;
+  double lambda = 1e-4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal = argv[++i];
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--holdout") == 0 && i + 1 < argc) {
+      holdout = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
+      lambda = std::atof(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (journal.empty() || holdout < 0.0 || holdout >= 1.0 || lambda <= 0.0)
+    return usage(argv[0]);
+
+  try {
+    const hw::MachineSpec default_machine =
+        machine_name.empty() ? hw::anl_eureka()
+                             : hw::MachineRegistry::global().find(machine_name);
+
+    const surrogate::HarvestResult harvest =
+        surrogate::harvest_journal(journal, default_machine);
+    std::printf(
+        "harvested %zu samples from %s (skipped: %d failed, %d unknown, "
+        "%d unparsed; %d corrupt lines)\n",
+        harvest.samples.size(), journal.c_str(), harvest.skipped_failed,
+        harvest.skipped_unknown, harvest.skipped_unparsed,
+        harvest.corrupt_lines);
+    if (harvest.samples.size() < 4) {
+      std::fprintf(stderr,
+                   "FAIL: need at least 4 samples to fit and hold out\n");
+      return 1;
+    }
+
+    // Deterministic split: every k-th sample is held out, so reruns of
+    // the same journal score the same model.
+    std::vector<surrogate::TrainingSample> train;
+    std::vector<surrogate::TrainingSample> held;
+    const std::size_t stride =
+        holdout > 0.0
+            ? std::max<std::size_t>(2, static_cast<std::size_t>(
+                                           std::llround(1.0 / holdout)))
+            : harvest.samples.size() + 1;
+    for (std::size_t i = 0; i < harvest.samples.size(); ++i) {
+      if (i % stride == stride - 1)
+        held.push_back(harvest.samples[i]);
+      else
+        train.push_back(harvest.samples[i]);
+    }
+    const surrogate::SurrogateModel model =
+        surrogate::SurrogateModel::fit(train, lambda);
+    std::printf("fit on %d samples (lambda %g): in-sample rel error "
+                "p50 %.3f%%  p95 %.3f%%\n",
+                model.train_count(), lambda, model.rel_error_p50() * 100.0,
+                model.rel_error_p95() * 100.0);
+
+    util::TextTable buckets({"bucket", "nn-distance <=", "rel-error p95"});
+    for (int b = 0; b < surrogate::SurrogateModel::kBuckets; ++b)
+      buckets.add_row({util::strfmt("%d", b),
+                       util::strfmt("%.4f", model.bucket_edge(b)),
+                       util::strfmt("%.3f%%", model.bucket_bound(b) * 100.0)});
+    std::printf("%s", buckets.to_string().c_str());
+
+    if (!held.empty()) {
+      static const char* const kTargets[surrogate::kTargetCount] = {
+          "predicted_kernel_s", "predicted_transfer_s", "measured_kernel_s",
+          "measured_transfer_s", "measured_cpu_s"};
+      util::TextTable table({"target", "held-out p50", "p95", "max"});
+      for (int t = 0; t < surrogate::kTargetCount; ++t) {
+        std::vector<double> errors;
+        errors.reserve(held.size());
+        for (const surrogate::TrainingSample& sample : held) {
+          const surrogate::Prediction prediction =
+              model.predict(sample.features);
+          const double truth =
+              sample.targets.values[static_cast<std::size_t>(t)];
+          errors.push_back(
+              std::abs(prediction.targets.values[static_cast<std::size_t>(t)] -
+                       truth) /
+              std::max(truth, 1e-12));
+        }
+        table.add_row(
+            {kTargets[t],
+             util::strfmt("%.3f%%", util::percentile(errors, 50.0) * 100.0),
+             util::strfmt("%.3f%%", util::percentile(errors, 95.0) * 100.0),
+             util::strfmt("%.3f%%", util::max_value(errors) * 100.0)});
+      }
+      std::printf("held out %zu samples:\n%s", held.size(),
+                  table.to_string().c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "FAIL: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
