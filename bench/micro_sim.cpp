@@ -16,7 +16,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +28,34 @@
 #include "hw/registry.h"
 #include "sim/event_sim.h"
 #include "skeleton/builder.h"
+
+// --- Steady-state allocation counter ---------------------------------
+// Replaceable global operator new/delete that counts allocations while
+// armed. The cohort engine promises an allocation-free steady state (all
+// scratch is reserved once per chip geometry and cleared without freeing,
+// see docs/performance.md); micro_sim measures allocations across warmed
+// simulate calls, records them in BENCH_sim.json as "steady_allocs", and
+// bench_compare gates them against "max_steady_allocs".
+
+namespace {
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
 
 namespace {
 
@@ -90,20 +121,34 @@ KernelCharacteristics characteristics_for(const Workload& workload,
   return kc;
 }
 
-/// Calls `fn` until ~min_seconds of wall clock accumulate; returns
-/// calls/second.
+/// Calls `fn` until ~min_seconds of wall clock accumulate — but always
+/// at least three times — and returns the best observed calls/second
+/// (fastest single call). Background noise on a shared runner only ever
+/// slows a call down, so the minimum is the most machine-portable
+/// sample — and the gated speedups are ratios of two measurements taken
+/// the same way. The three-call floor matters for slow configurations
+/// (the reference engine on a 262144-block grid) where one call exceeds
+/// the whole budget: a minimum over a single sample is just that
+/// sample's noise, and it lands in the gated ratio.
 template <typename Fn>
 double throughput(Fn&& fn, double min_seconds) {
   using clock = std::chrono::steady_clock;
-  std::int64_t iters = 0;
+  constexpr int kMinCalls = 3;
+  double best = std::numeric_limits<double>::infinity();
   const auto start = clock::now();
   double elapsed = 0.0;
+  int calls = 0;
   do {
+    const auto call_start = clock::now();
     fn();
-    ++iters;
-    elapsed = std::chrono::duration<double>(clock::now() - start).count();
-  } while (elapsed < min_seconds);
-  return static_cast<double>(iters) / elapsed;
+    const auto call_end = clock::now();
+    best = std::min(
+        best, std::chrono::duration<double>(call_end - call_start).count());
+    elapsed = std::chrono::duration<double>(call_end - start).count();
+    ++calls;
+  } while (elapsed < min_seconds || calls < kMinCalls);
+  return best > 0.0 ? 1.0 / best
+                    : std::numeric_limits<double>::infinity();
 }
 
 /// Aggregate calls/second of `kWorkers` threads, each running its own
@@ -147,6 +192,8 @@ struct Entry {
   double reference_per_sec = 0.0;
   double speedup = 0.0;
   double min_speedup = 1.0;
+  long long steady_allocs = 0;      ///< Heap allocs across the counted calls.
+  long long max_steady_allocs = 0;  ///< Gate: allowed steady-state allocs.
 };
 
 void write_json(const std::vector<Entry>& entries, const std::string& path) {
@@ -160,11 +207,13 @@ void write_json(const std::vector<Entry>& entries, const std::string& path) {
         "    {\"name\": \"%s\", \"workload\": \"%s\", \"grid_blocks\": %lld,"
         " \"mode\": \"%s\", \"cohort_per_sec_w1\": %.6g,"
         " \"cohort_per_sec_w8\": %.6g, \"reference_per_sec\": %.6g,"
-        " \"speedup\": %.6g, \"min_speedup\": %.3g}%s\n",
+        " \"speedup\": %.6g, \"min_speedup\": %.3g,"
+        " \"steady_allocs\": %lld, \"max_steady_allocs\": %lld}%s\n",
         e.name.c_str(), e.workload.c_str(),
         static_cast<long long>(e.grid_blocks), e.mode.c_str(),
         e.cohort_per_sec_w1, e.cohort_per_sec_w8, e.reference_per_sec,
-        e.speedup, e.min_speedup, i + 1 < entries.size() ? "," : "");
+        e.speedup, e.min_speedup, e.steady_allocs, e.max_steady_allocs,
+        i + 1 < entries.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -186,7 +235,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const double min_seconds = quick ? 0.02 : 0.15;
+  // Quick mode trades accuracy for time, but the jittered entries carry
+  // the tightest gates (min_speedup 8), so they keep a larger budget for
+  // stable ratios even under --quick.
+  const double base_min_seconds = quick ? 0.02 : 0.15;
+  const double jittered_min_seconds = quick ? 0.05 : 0.15;
 
   const grophecy::hw::GpuSpec gpu = grophecy::hw::anl_eureka().gpu;
   const std::int64_t chunk = 1 << 20;
@@ -198,29 +251,32 @@ int main(int argc, char** argv) {
   const std::vector<std::int64_t> grids{4096, 65536, 262144};
   std::vector<Entry> entries;
 
-  std::printf("%-24s %14s %14s %14s %9s\n", "entry", "cohort/s (w1)",
-              "cohort/s (w8)", "reference/s", "speedup");
+  std::printf("%-24s %14s %14s %14s %9s %6s\n", "entry", "cohort/s (w1)",
+              "cohort/s (w8)", "reference/s", "speedup", "allocs");
   for (const Workload& workload : workloads) {
     for (const std::int64_t grid : grids) {
       const KernelCharacteristics kc = characteristics_for(workload, grid,
                                                            gpu);
       for (const bool jittered : {false, true}) {
-        // Jittered reference runs on big grids dominate the bench budget;
-        // one jittered grid size per workload is enough for the gate.
-        if (jittered && grid != 65536) continue;
-
         Entry entry;
         entry.workload = workload.name;
         entry.grid_blocks = grid;
         entry.mode = jittered ? "jittered" : "expected";
         entry.name = entry.mode + "/" + workload.name + "/" +
                      std::to_string(grid);
+        // Jittered floors: the SoA/deadline-folded engine sustains >= 10x
+        // on the >= 64k grids (see docs/performance.md); the committed
+        // floor of 8 leaves headroom for machine noise. Small grids pay
+        // relatively more per-launch setup, hence the lower floor.
         entry.min_speedup =
-            jittered ? 2.0 : (grid >= 65536 ? 5.0 : 1.0);
+            jittered ? (grid >= 65536 ? 8.0 : 4.0)
+                     : (grid >= 65536 ? 5.0 : 1.0);
 
         EventGpuSimulator cohort(gpu, 7);
         EventGpuSimulator reference(
             gpu, 7, EventSimOptions{SimEngine::kReference, 0.0});
+        const double min_seconds =
+            jittered ? jittered_min_seconds : base_min_seconds;
         auto measure = [&](EventGpuSimulator& sim) {
           return jittered
                      ? throughput([&] { (void)sim.run_launch_seconds(kc); },
@@ -243,10 +299,27 @@ int main(int argc, char** argv) {
             },
             min_seconds);
         entry.speedup = entry.cohort_per_sec_w1 / entry.reference_per_sec;
-        std::printf("%-24s %14.0f %14.0f %14.0f %8.1fx\n",
+
+        // Steady-state allocation gate: the throughput runs above warmed
+        // the engine's scratch for this chip geometry, so further calls
+        // must not touch the allocator at all.
+        constexpr int kAllocProbeCalls = 5;
+        g_alloc_count.store(0, std::memory_order_relaxed);
+        g_count_allocs.store(true, std::memory_order_release);
+        for (int call = 0; call < kAllocProbeCalls; ++call) {
+          if (jittered)
+            (void)cohort.run_launch_seconds(kc);
+          else
+            (void)cohort.expected_launch(kc);
+        }
+        g_count_allocs.store(false, std::memory_order_release);
+        entry.steady_allocs = g_alloc_count.load(std::memory_order_relaxed);
+        entry.max_steady_allocs = 0;
+
+        std::printf("%-24s %14.0f %14.0f %14.0f %8.1fx %6lld\n",
                     entry.name.c_str(), entry.cohort_per_sec_w1,
                     entry.cohort_per_sec_w8, entry.reference_per_sec,
-                    entry.speedup);
+                    entry.speedup, entry.steady_allocs);
         entries.push_back(std::move(entry));
       }
     }
@@ -260,6 +333,14 @@ int main(int argc, char** argv) {
     if (entry.speedup < entry.min_speedup) {
       std::fprintf(stderr, "FAIL: %s speedup %.2fx < required %.2fx\n",
                    entry.name.c_str(), entry.speedup, entry.min_speedup);
+      ok = false;
+    }
+    if (entry.steady_allocs > entry.max_steady_allocs) {
+      std::fprintf(stderr,
+                   "FAIL: %s made %lld steady-state heap allocations "
+                   "(allowed %lld)\n",
+                   entry.name.c_str(), entry.steady_allocs,
+                   entry.max_steady_allocs);
       ok = false;
     }
   }

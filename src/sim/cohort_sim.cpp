@@ -12,11 +12,26 @@ namespace grophecy::sim {
 
 namespace {
 
+// Unexhausted-demand bits of a cohort, for heap-backed demands only.
+// Constant-rate demands (the floor; compute at one-block-per-SM occupancy)
+// fold into the cohort's private wall-clock deadline instead.
 constexpr std::uint8_t kComputeBit = 1;
 constexpr std::uint8_t kMemoryBit = 2;
-constexpr std::uint8_t kFloorBit = 4;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Half-width of the dense lattice-point -> jitter memo. With practical
+// quanta the draws land within a few dozen points of 1.0; anything outside
+// the window is computed directly and never merged.
+constexpr std::int32_t kLatticeWindow = 2048;
+
+// Lattice index sentinel for out-of-window draws.
+constexpr std::int32_t kNoLattice = std::numeric_limits<std::int32_t>::min();
+
+// Cap on (lattice span x num_sms) cells the counting merge will use for
+// one batch; a pathologically fine quantum falls back to singleton cohorts
+// (physics-equivalent — merging only dedupes identical thresholds).
+constexpr std::size_t kMaxBucketCells = std::size_t{1} << 18;
 
 }  // namespace
 
@@ -180,25 +195,6 @@ double CohortEngine::simulate_expected(
   return now;
 }
 
-void CohortEngine::heap_push(Stream& stream, double threshold,
-                             std::int32_t cohort) {
-  stream.heap.push_back(HeapEntry{threshold, cohort});
-  std::push_heap(stream.heap.begin(), stream.heap.end(),
-                 [](const HeapEntry& a, const HeapEntry& b) {
-                   return a.threshold > b.threshold;
-                 });
-}
-
-CohortEngine::HeapEntry CohortEngine::heap_pop(Stream& stream) {
-  std::pop_heap(stream.heap.begin(), stream.heap.end(),
-                [](const HeapEntry& a, const HeapEntry& b) {
-                  return a.threshold > b.threshold;
-                });
-  const HeapEntry entry = stream.heap.back();
-  stream.heap.pop_back();
-  return entry;
-}
-
 double CohortEngine::simulate_jittered(
     const gpumodel::KernelCharacteristics& kc, const hw::GpuSpec& gpu,
     double sigma, double jitter_quantum, util::Rng& rng) {
@@ -216,30 +212,216 @@ double CohortEngine::simulate_jittered(
   const int num_sms = gpu.num_sms;
   const int cap_per_sm = occ.blocks_per_sm;
   const std::size_t mem_stream = static_cast<std::size_t>(num_sms);
-  const std::size_t floor_stream = mem_stream + 1;
+  // The last stream slot holds private-deadline retirements, keyed by wall
+  // clock: cohorts whose folded (constant-rate) demand outlives every
+  // heap-backed demand park here until their deadline passes.
+  const std::size_t deadline_stream = mem_stream + 1;
+  const std::size_t num_streams = deadline_stream + 1;
+  const std::int64_t capacity =
+      static_cast<std::int64_t>(cap_per_sm) * num_sms;
+  const auto capacity_sz = static_cast<std::size_t>(capacity);
+  const bool quantized = jitter_quantum > 0.0;
+  // At one block per SM a cohort owns its whole compute stream: the
+  // fair-share rate is frozen from placement to exhaustion, so the compute
+  // demand folds into the private deadline and the per-SM streams (and
+  // their slots in the event scan) go entirely unused.
+  const bool fold_compute = cap_per_sm == 1;
+  const std::size_t scan_base = fold_compute ? mem_stream : 0;
 
   stats_ = CohortSimStats{};
   stats_.blocks = kc.num_blocks;
 
-  // Reset reusable scratch. Thresholds are immutable once pushed — rate
-  // changes remap drain level to wall clock but never reorder a stream's
-  // exhaustions — so plain push/pop heaps suffice, and cohort slots are
-  // recycled only after every demand entry of the cohort has been popped.
-  streams_.resize(floor_stream + 1);
-  for (Stream& stream : streams_) {
-    stream.heap.clear();
-    stream.level = 0.0;
-    stream.last_t = 0.0;
-    stream.rate = 0.0;
+  // Reset the engine-owned scratch: clear-without-free plus up-front
+  // reserves sized by the chip geometry, so on a warm engine the whole
+  // simulation runs without touching the allocator (micro_sim gates this
+  // with an operator-new counter). Thresholds are immutable once pushed —
+  // rate changes remap drain level to wall clock but never reorder a
+  // stream's exhaustions — so plain push/pop heaps suffice, and cohort
+  // slots recycle only after every demand entry of the cohort is popped.
+  streams_.assign(num_streams, StreamCore{});
+  if (heaps_.size() < num_streams) heaps_.resize(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    heaps_[s].clear();
+    heaps_[s].reserve(s < mem_stream ? static_cast<std::size_t>(cap_per_sm)
+                                     : capacity_sz);
   }
-  streams_[floor_stream].rate = 1.0;  // the floor drains in wall-clock time
-  cohorts_.clear();
+  next_time_.assign(num_streams, kInf);
+  cohort_sm_.clear();
+  cohort_count_.clear();
+  cohort_remaining_.clear();
+  cohort_deadline_.clear();
   free_cohorts_.clear();
+  cohort_sm_.reserve(capacity_sz);
+  cohort_count_.reserve(capacity_sz);
+  cohort_remaining_.reserve(capacity_sz);
+  cohort_deadline_.reserve(capacity_sz);
+  free_cohorts_.reserve(capacity_sz);
   sm_load_.assign(static_cast<std::size_t>(num_sms), 0);
   compute_consumers_.assign(static_cast<std::size_t>(num_sms), 0);
-  dirty_flag_.assign(floor_stream + 1, 0);
+  dirty_flag_.assign(num_streams, 0);
   dirty_.clear();
-  next_event_.reset(floor_stream + 1);
+  dirty_.reserve(num_streams);
+  draw_.clear();
+  draw_.reserve(capacity_sz);
+  if (quantized) {
+    draw_idx_.clear();
+    draw_idx_.reserve(capacity_sz);
+  }
+
+  // Fair-share rate tables by consumer count: bitwise the reference
+  // expressions, divided once here instead of at every refresh. The
+  // reciprocal uses c/rate rather than 1/(rate/c) — any faithful inverse
+  // works, the division it replaces only sets event *times*.
+  compute_rate_.resize(static_cast<std::size_t>(cap_per_sm) + 1);
+  compute_inv_rate_.resize(compute_rate_.size());
+  for (std::size_t c = 1; c < compute_rate_.size(); ++c) {
+    compute_rate_[c] = sm_issue_rate / static_cast<double>(c);
+    compute_inv_rate_[c] = static_cast<double>(c) / sm_issue_rate;
+  }
+  mem_rate_.resize(capacity_sz + 1);
+  mem_inv_rate_.resize(mem_rate_.size());
+  for (std::size_t c = 1; c < mem_rate_.size(); ++c) {
+    mem_rate_[c] = chip_bw / static_cast<double>(c);
+    mem_inv_rate_[c] = static_cast<double>(c) / chip_bw;
+  }
+
+  const double lattice_step = sigma * jitter_quantum;
+  const double inv_lattice_step = quantized ? 1.0 / lattice_step : 0.0;
+  if (quantized && lattice_step != lattice_step_) {
+    lattice_jitter_.assign(2 * static_cast<std::size_t>(kLatticeWindow) + 1,
+                           std::numeric_limits<double>::quiet_NaN());
+    lattice_step_ = lattice_step;
+  }
+
+  // --- Solo fast path: one block per SM with continuous jitter. Every
+  // cohort is a singleton that owns its SM (the cohort slot IS the SM id),
+  // compute and floor fold into one private deadline, and the engine
+  // reduces to exactly two streams — the shared memory drain and the
+  // deadline heap — whose state lives in registers with no dirty-list or
+  // next-time indirection. Same physics, same expressions, same draw
+  // stream as the general loop below; just no generality tax.
+  if (fold_compute && !quantized) {
+    util::FlatDaryHeap<4>& mem_heap = heaps_[mem_stream];
+    util::FlatDaryHeap<4>& dl_heap = heaps_[deadline_stream];
+    cohort_deadline_.assign(static_cast<std::size_t>(num_sms), 0.0);
+    if (freed_sms_.size() < static_cast<std::size_t>(num_sms))
+      freed_sms_.resize(static_cast<std::size_t>(num_sms));
+
+    std::int64_t pending = kc.num_blocks;
+    std::int64_t resident = 0;
+    std::int64_t consumers = 0;
+    double t = 0.0;
+    double level = 0.0;
+    double last_t = 0.0;
+    double rate = 0.0;
+    double inv_rate = 0.0;
+    const double compute_inv = compute_inv_rate_[1];
+
+    // Draws one block onto `sm`, redrawing through degenerate blocks
+    // (which retire the instant they are placed, consuming their draw but
+    // no slot). Returns false once the launch runs out of blocks.
+    const auto place_on = [&](std::int32_t sm) -> bool {
+      while (pending > 0) {
+        --pending;
+        const double jitter = rng.lognormal(1.0, sigma);
+        const double compute = base.compute_cycles * jitter;
+        const double memory = base.memory_bytes * jitter;
+        const double floor = base.floor_s * jitter;
+        if (compute <= kSimEps && memory <= kSimEps && floor <= kSimEps)
+          continue;
+        ++stats_.cohorts;
+        double deadline = 0.0;
+        if (compute > kSimEps) deadline = t + compute * compute_inv;
+        if (floor > kSimEps) deadline = std::max(deadline, t + floor);
+        cohort_deadline_[static_cast<std::size_t>(sm)] = deadline;
+        ++resident;
+        if (memory > kSimEps) {
+          mem_heap.push(level + memory, sm);
+          ++consumers;
+        } else {
+          dl_heap.push(deadline, sm);
+        }
+        return true;
+      }
+      return false;
+    };
+
+    // Initial fill: greedy places onto SM 0, 1, ... in index order.
+    for (std::int32_t sm = 0; sm < num_sms && pending > 0; ++sm)
+      place_on(sm);
+    if (consumers > 0) {
+      rate = mem_rate_[static_cast<std::size_t>(consumers)];
+      inv_rate = mem_inv_rate_[static_cast<std::size_t>(consumers)];
+    }
+    double next_mem =
+        !mem_heap.empty() && rate > 0.0
+            ? last_t +
+                  std::max(0.0, mem_heap.top_key() - level) * inv_rate
+            : kInf;
+    double next_dl = dl_heap.empty() ? kInf : dl_heap.top_key();
+
+    while (resident > 0) {
+      // Tie goes to the memory stream, the lower stream index.
+      const bool is_mem = next_mem <= next_dl;
+      const double event_t = is_mem ? next_mem : next_dl;
+      GROPHECY_ENSURES(std::isfinite(event_t) && event_t >= t);
+      t = event_t;
+      ++stats_.events;
+
+      int freed_n = 0;
+      if (is_mem) {
+        level += rate * (t - last_t);
+        last_t = t;
+        if (level < mem_heap.top_key()) level = mem_heap.top_key();
+        do {
+          const std::int32_t sm = mem_heap.top_value();
+          mem_heap.pop();
+          --consumers;
+          const double deadline =
+              cohort_deadline_[static_cast<std::size_t>(sm)];
+          if (deadline > t) {
+            dl_heap.push(deadline, sm);
+          } else {
+            --resident;
+            freed_sms_[static_cast<std::size_t>(freed_n++)] = sm;
+          }
+        } while (!mem_heap.empty() && mem_heap.top_key() <= level);
+      } else {
+        do {
+          const std::int32_t sm = dl_heap.top_value();
+          dl_heap.pop();
+          --resident;
+          freed_sms_[static_cast<std::size_t>(freed_n++)] = sm;
+        } while (!dl_heap.empty() && dl_heap.top_key() <= t);
+      }
+
+      if (pending > 0 && freed_n > 0) {
+        // Greedy backfill = lowest-index free SM first.
+        if (freed_n > 1)
+          std::sort(freed_sms_.begin(), freed_sms_.begin() + freed_n);
+        level += rate * (t - last_t);
+        last_t = t;
+        for (int i = 0; i < freed_n; ++i)
+          if (!place_on(freed_sms_[static_cast<std::size_t>(i)])) break;
+      }
+
+      if (consumers > 0) {
+        rate = mem_rate_[static_cast<std::size_t>(consumers)];
+        inv_rate = mem_inv_rate_[static_cast<std::size_t>(consumers)];
+      } else {
+        rate = 0.0;
+        inv_rate = 0.0;
+      }
+      next_mem =
+          !mem_heap.empty() && rate > 0.0
+              ? last_t +
+                    std::max(0.0, mem_heap.top_key() - level) * inv_rate
+              : kInf;
+      next_dl = dl_heap.empty() ? kInf : dl_heap.top_key();
+    }
+    GROPHECY_ENSURES(pending == 0);
+    return t;
+  }
 
   std::int64_t pending = kc.num_blocks;
   std::int64_t resident = 0;
@@ -252,178 +434,357 @@ double CohortEngine::simulate_jittered(
     dirty_.push_back(stream_id);
   };
 
-  auto advance = [&](Stream& stream) {
-    stream.level += stream.rate * (t - stream.last_t);
-    stream.last_t = t;
-  };
-
   auto alloc_cohort = [&]() -> std::int32_t {
     if (!free_cohorts_.empty()) {
       const std::int32_t id = free_cohorts_.back();
       free_cohorts_.pop_back();
       return id;
     }
-    cohorts_.push_back(Cohort{});
-    return static_cast<std::int32_t>(cohorts_.size() - 1);
+    cohort_sm_.push_back(0);
+    cohort_count_.push_back(0);
+    cohort_remaining_.push_back(0);
+    cohort_deadline_.push_back(0.0);
+    return static_cast<std::int32_t>(cohort_sm_.size() - 1);
   };
 
-  // Greedy backfill mirroring the reference policy: one block at a time to
-  // the least-loaded SM (lowest index on ties), drawing the block's jitter
-  // in placement order. Same-(SM, jitter) placements of one batch collapse
-  // into a single cohort — with continuous jitter cohorts are singletons;
-  // with a jitter quantum the draws snap to a lattice and batches share.
-  auto place_pending = [&]() {
-    batch_.clear();
-    while (pending > 0) {
-      int best_sm = -1;
-      int best_load = cap_per_sm;
-      for (int s = 0; s < num_sms; ++s) {
-        if (sm_load_[static_cast<std::size_t>(s)] < best_load) {
-          best_load = sm_load_[static_cast<std::size_t>(s)];
-          best_sm = s;
-        }
-      }
-      if (best_sm < 0) break;
-
-      double jitter = rng.lognormal(1.0, sigma);
-      if (jitter_quantum > 0.0) {
-        const double step = sigma * jitter_quantum;
-        jitter = std::exp(std::round(std::log(jitter) / step) * step);
-      }
-      --pending;
-
-      const double compute = base.compute_cycles * jitter;
-      const double memory = base.memory_bytes * jitter;
-      const double floor = base.floor_s * jitter;
-      if (compute <= kSimEps && memory <= kSimEps && floor <= kSimEps)
-        continue;  // degenerate block: retires the instant it is placed
-
-      ++sm_load_[static_cast<std::size_t>(best_sm)];
-      ++resident;
-      bool merged = false;
-      for (Placement& placement : batch_) {
-        if (placement.sm == best_sm && placement.jitter == jitter) {
-          ++placement.count;
-          merged = true;
-          break;
-        }
-      }
-      if (!merged) batch_.push_back(Placement{best_sm, jitter, 1});
-    }
-
-    for (const Placement& placement : batch_) {
-      const double compute = base.compute_cycles * placement.jitter;
-      const double memory = base.memory_bytes * placement.jitter;
-      const double floor = base.floor_s * placement.jitter;
-      const std::int32_t id = alloc_cohort();
-      Cohort& cohort = cohorts_[static_cast<std::size_t>(id)];
-      cohort.sm = placement.sm;
-      cohort.count = placement.count;
-      cohort.remaining = 0;
-      ++stats_.cohorts;
-
-      const auto sm_id = static_cast<std::size_t>(placement.sm);
-      if (compute > kSimEps) {
-        cohort.remaining |= kComputeBit;
-        Stream& stream = streams_[sm_id];
-        advance(stream);
-        heap_push(stream, stream.level + compute, id);
-        compute_consumers_[sm_id] += placement.count;
+  // Opens a one-block cohort on `sm` with the given jittered demands.
+  // Heap-backed demands push their threshold (drain level at placement +
+  // demand); constant-rate demands fold into the private deadline. Merged
+  // blocks join later by bumping the count and consumer tallies.
+  auto open_cohort = [&](int sm, double compute, double memory,
+                         double floor) __attribute__((always_inline))
+                         -> std::int32_t {
+    const std::int32_t id = alloc_cohort();
+    const auto cid = static_cast<std::size_t>(id);
+    cohort_sm_[cid] = sm;
+    cohort_count_[cid] = 1;
+    std::uint8_t remaining = 0;
+    double deadline = 0.0;
+    ++stats_.cohorts;
+    if (compute > kSimEps) {
+      if (fold_compute) {
+        // Sole occupant of its SM stream: the rate issue/1 never changes,
+        // so the exhaustion instant is known now.
+        deadline = t + compute * compute_inv_rate_[1];
+      } else {
+        remaining |= kComputeBit;
+        const auto sm_id = static_cast<std::size_t>(sm);
+        StreamCore& stream = streams_[sm_id];
+        stream.level += stream.rate * (t - stream.last_t);
+        stream.last_t = t;
+        heaps_[sm_id].push(stream.level + compute, id);
+        ++compute_consumers_[sm_id];
         mark_dirty(sm_id);
       }
-      if (memory > kSimEps) {
-        cohort.remaining |= kMemoryBit;
-        Stream& stream = streams_[mem_stream];
-        advance(stream);
-        heap_push(stream, stream.level + memory, id);
-        mem_consumers += placement.count;
-        mark_dirty(mem_stream);
+    }
+    if (memory > kSimEps) {
+      remaining |= kMemoryBit;
+      StreamCore& stream = streams_[mem_stream];
+      stream.level += stream.rate * (t - stream.last_t);
+      stream.last_t = t;
+      heaps_[mem_stream].push(stream.level + memory, id);
+      ++mem_consumers;
+      mark_dirty(mem_stream);
+    }
+    if (floor > kSimEps) {
+      // The floor drains at rate 1 always: a pure wall-clock deadline.
+      deadline = std::max(deadline, t + floor);
+    }
+    cohort_remaining_[cid] = remaining;
+    cohort_deadline_[cid] = deadline;
+    if (remaining == 0) {
+      // Every demand folded: the cohort retires at its deadline.
+      heaps_[deadline_stream].push(deadline, id);
+      mark_dirty(deadline_stream);
+    }
+    return id;
+  };
+
+  // Greedy backfill equivalent to the reference policy (one block at a
+  // time to the least-loaded SM, lowest index on ties), restated as slot
+  // enumeration: visit load levels from the current minimum upward and,
+  // within a level, SMs in index order — O(1) amortized per block instead
+  // of an O(num_sms) scan. Jitters for a whole batch of free slots are
+  // drawn at once (the bulk fill is bitwise the sequential draw stream);
+  // degenerate draws retire instantly without taking a slot, so the loop
+  // re-draws until the chip is full or no blocks remain. In quantized mode
+  // the draws snap onto the jitter lattice through the memo, and
+  // same-(SM, lattice point) placements of a batch collapse into one
+  // cohort via the epoch-tagged counting buckets.
+  auto place_pending = [&]() {
+    int level = sm_load_[0];
+    for (int s = 1; s < num_sms; ++s)
+      level = std::min(level, sm_load_[static_cast<std::size_t>(s)]);
+    int cursor = 0;
+    std::int64_t free_slots = capacity - resident;
+    while (pending > 0 && free_slots > 0) {
+      const auto n = static_cast<std::size_t>(std::min(pending, free_slots));
+      draw_.resize(n);
+      bool use_buckets = false;
+      std::int32_t lattice_lo = 0;
+      if (quantized) {
+        draw_idx_.resize(n);
+        if (n == 1) {
+          draw_[0] = rng.normal();  // bitwise fill_normal(dst, 1)
+        } else {
+          rng.fill_normal(draw_.data(), n);
+        }
+        std::int32_t lo = std::numeric_limits<std::int32_t>::max();
+        std::int32_t hi = std::numeric_limits<std::int32_t>::min();
+        for (std::size_t j = 0; j < n; ++j) {
+          const double didx =
+              std::round(sigma * draw_[j] * inv_lattice_step);
+          if (std::abs(didx) <= static_cast<double>(kLatticeWindow)) {
+            const auto idx = static_cast<std::int32_t>(didx);
+            double& memo = lattice_jitter_[static_cast<std::size_t>(
+                idx + kLatticeWindow)];
+            if (std::isnan(memo)) memo = std::exp(didx * lattice_step);
+            draw_[j] = memo;
+            draw_idx_[j] = idx;
+            lo = std::min(lo, idx);
+            hi = std::max(hi, idx);
+          } else {
+            draw_[j] = std::exp(didx * lattice_step);
+            draw_idx_[j] = kNoLattice;
+          }
+        }
+        if (lo <= hi) {
+          const std::size_t span_cells =
+              (static_cast<std::size_t>(hi - lo) + 1) *
+              static_cast<std::size_t>(num_sms);
+          if (span_cells <= kMaxBucketCells) {
+            use_buckets = true;
+            lattice_lo = lo;
+            if (bucket_cohort_.size() < span_cells) {
+              bucket_cohort_.resize(span_cells);
+              bucket_epoch_.resize(span_cells, 0);
+            }
+            if (++epoch_ == 0) {  // epoch wrap: invalidate every cell
+              std::fill(bucket_epoch_.begin(), bucket_epoch_.end(), 0u);
+              epoch_ = 1;
+            }
+          }
+        }
+      } else if (n == 1) {
+        // The steady-state common case (one freed slot, one draw): skip
+        // the bulk-fill call layer; bitwise fill_lognormal(1.0, sigma, 1).
+        draw_[0] = rng.lognormal(1.0, sigma);
+      } else {
+        rng.fill_lognormal(1.0, sigma, draw_.data(), n);
       }
-      if (floor > kSimEps) {
-        cohort.remaining |= kFloorBit;
-        Stream& stream = streams_[floor_stream];
-        advance(stream);
-        heap_push(stream, stream.level + floor, id);
-        mark_dirty(floor_stream);
+
+      for (std::size_t j = 0; j < n; ++j) {
+        --pending;
+        const double jitter = draw_[j];
+        const double compute = base.compute_cycles * jitter;
+        const double memory = base.memory_bytes * jitter;
+        const double floor = base.floor_s * jitter;
+        if (compute <= kSimEps && memory <= kSimEps && floor <= kSimEps)
+          continue;  // degenerate block: retires the instant it is placed
+
+        while (sm_load_[static_cast<std::size_t>(cursor)] != level) {
+          if (++cursor == num_sms) {
+            cursor = 0;
+            ++level;
+            GROPHECY_ENSURES(level < cap_per_sm);
+          }
+        }
+        const int sm = cursor;
+        ++sm_load_[static_cast<std::size_t>(sm)];
+        ++resident;
+        --free_slots;
+        if (++cursor == num_sms) {
+          cursor = 0;
+          ++level;
+        }
+
+        if (use_buckets && draw_idx_[j] != kNoLattice) {
+          const std::size_t cell =
+              static_cast<std::size_t>(draw_idx_[j] - lattice_lo) *
+                  static_cast<std::size_t>(num_sms) +
+              static_cast<std::size_t>(sm);
+          if (bucket_epoch_[cell] == epoch_) {
+            // Counting merge: the cohort exists, the block just joins it.
+            const auto cid = static_cast<std::size_t>(bucket_cohort_[cell]);
+            ++cohort_count_[cid];
+            const std::uint8_t remaining = cohort_remaining_[cid];
+            if (remaining & kComputeBit)
+              ++compute_consumers_[static_cast<std::size_t>(sm)];
+            if (remaining & kMemoryBit) ++mem_consumers;
+            continue;
+          }
+          bucket_cohort_[cell] = open_cohort(sm, compute, memory, floor);
+          bucket_epoch_[cell] = epoch_;
+          continue;
+        }
+        open_cohort(sm, compute, memory, floor);
       }
     }
   };
 
   // Recomputes a dirty stream's per-block drain rate from its consumer
-  // count and rekeys its next exhaustion in the cross-stream event heap.
+  // count (a table load, not a divide) and rekeys its lazy next-exhaustion
+  // time (a multiply by the precomputed reciprocal).
   auto refresh = [&](std::size_t stream_id) {
-    Stream& stream = streams_[stream_id];
-    advance(stream);
+    if (stream_id == deadline_stream) {
+      // Deadline keys are wall-clock times already.
+      next_time_[deadline_stream] = heaps_[deadline_stream].empty()
+                                        ? kInf
+                                        : heaps_[deadline_stream].top_key();
+      return;
+    }
+    StreamCore& stream = streams_[stream_id];
+    stream.level += stream.rate * (t - stream.last_t);
+    stream.last_t = t;
     if (stream_id < mem_stream) {
       const std::int64_t consumers = compute_consumers_[stream_id];
-      stream.rate = consumers > 0 ? sm_issue_rate / consumers : 0.0;
-    } else if (stream_id == mem_stream) {
-      stream.rate = mem_consumers > 0 ? chip_bw / mem_consumers : 0.0;
-    }  // the floor stream's rate is the constant 1
+      if (consumers > 0) {
+        stream.rate = compute_rate_[static_cast<std::size_t>(consumers)];
+        stream.inv_rate =
+            compute_inv_rate_[static_cast<std::size_t>(consumers)];
+      } else {
+        stream.rate = 0.0;
+        stream.inv_rate = 0.0;
+      }
+    } else {
+      if (mem_consumers > 0) {
+        stream.rate = mem_rate_[static_cast<std::size_t>(mem_consumers)];
+        stream.inv_rate =
+            mem_inv_rate_[static_cast<std::size_t>(mem_consumers)];
+      } else {
+        stream.rate = 0.0;
+        stream.inv_rate = 0.0;
+      }
+    }
     double key = kInf;
-    if (!stream.heap.empty() && stream.rate > 0.0) {
+    const auto& heap = heaps_[stream_id];
+    if (!heap.empty() && stream.rate > 0.0) {
       // max(0, ...) guards the one-ulp overshoot when a tied stream was
       // advanced exactly onto its own next threshold by another event.
       key = stream.last_t +
-            std::max(0.0, stream.heap.front().threshold - stream.level) /
-                stream.rate;
+            std::max(0.0, heap.top_key() - stream.level) * stream.inv_rate;
     }
-    next_event_.update(stream_id, key);
+    next_time_[stream_id] = key;
   };
 
-  place_pending();
-  for (std::size_t id : dirty_) dirty_flag_[id] = 0;
-  std::vector<std::size_t> initial = dirty_;
-  dirty_.clear();
-  for (std::size_t id : initial) refresh(id);
-
-  while (resident > 0) {
-    const std::size_t stream_id = next_event_.top();
-    const double event_t = next_event_.top_key();
-    GROPHECY_ENSURES(std::isfinite(event_t) && event_t >= t);
-    t = event_t;
-    ++stats_.events;
-
-    Stream& stream = streams_[stream_id];
-    advance(stream);
-    GROPHECY_ENSURES(!stream.heap.empty());
-    // Snap onto the triggering threshold: the event time was computed as
-    // the exact crossing, so any residue is rounding, not physics.
-    if (stream.level < stream.heap.front().threshold)
-      stream.level = stream.heap.front().threshold;
-
-    bool freed = false;
-    while (!stream.heap.empty() &&
-           stream.heap.front().threshold <= stream.level) {
-      const HeapEntry entry = heap_pop(stream);
-      Cohort& cohort = cohorts_[static_cast<std::size_t>(entry.cohort)];
-      if (stream_id < mem_stream) {
-        cohort.remaining &= static_cast<std::uint8_t>(~kComputeBit);
-        compute_consumers_[stream_id] -= cohort.count;
-        mark_dirty(stream_id);
-      } else if (stream_id == mem_stream) {
-        cohort.remaining &= static_cast<std::uint8_t>(~kMemoryBit);
-        mem_consumers -= cohort.count;
-        mark_dirty(mem_stream);
-      } else {
-        cohort.remaining &= static_cast<std::uint8_t>(~kFloorBit);
-      }
-      if (cohort.remaining == 0) {
-        sm_load_[static_cast<std::size_t>(cohort.sm)] -= cohort.count;
-        resident -= cohort.count;
-        free_cohorts_.push_back(entry.cohort);
-        freed = true;
-      }
-    }
-    mark_dirty(stream_id);
-
-    if (freed && pending > 0) place_pending();
-
-    for (std::size_t id : dirty_) {
+  auto flush_dirty = [&]() {
+    for (const std::size_t id : dirty_) {
       dirty_flag_[id] = 0;
       refresh(id);
     }
     dirty_.clear();
+  };
+
+  place_pending();
+  flush_dirty();
+
+  while (resident > 0) {
+    // Cross-stream pick: a vectorizable min over the lazy per-stream
+    // next-exhaustion times, then the lowest tied index. For the few dozen
+    // streams of a real chip this beats re-sifting an indexed heap on
+    // every rate change. With folded compute the per-SM streams are
+    // guaranteed idle and the scan covers just the mem + deadline slots.
+    double event_t = next_time_[scan_base];
+    std::size_t stream_id = scan_base;
+    for (std::size_t s = scan_base + 1; s < num_streams; ++s) {
+      if (next_time_[s] < event_t) {
+        event_t = next_time_[s];
+        stream_id = s;  // strict < keeps the lowest tied index
+      }
+    }
+    GROPHECY_ENSURES(std::isfinite(event_t) && event_t >= t);
+    t = event_t;
+    ++stats_.events;
+
+    int freed_count = 0;
+    int freed_sm = 0;
+    // Retires a cohort whose heap-backed demands are all exhausted — or
+    // parks it on the deadline heap when a folded demand outlives them.
+    auto finish_or_defer = [&](std::size_t cid) {
+      if (cohort_remaining_[cid] != 0) return;
+      const double deadline = cohort_deadline_[cid];
+      if (deadline > t) {
+        heaps_[deadline_stream].push(deadline,
+                                     static_cast<std::int32_t>(cid));
+        mark_dirty(deadline_stream);
+        return;
+      }
+      sm_load_[static_cast<std::size_t>(cohort_sm_[cid])] -=
+          cohort_count_[cid];
+      resident -= cohort_count_[cid];
+      free_cohorts_.push_back(static_cast<std::int32_t>(cid));
+      ++freed_count;
+      freed_sm = cohort_sm_[cid];
+    };
+
+    auto& heap = heaps_[stream_id];
+    GROPHECY_ENSURES(!heap.empty());
+    if (stream_id == deadline_stream) {
+      // Deadline retirements: remaining is 0 by construction, the slots
+      // just come free now.
+      do {
+        const auto cid = static_cast<std::size_t>(heap.top_value());
+        heap.pop();
+        sm_load_[static_cast<std::size_t>(cohort_sm_[cid])] -=
+            cohort_count_[cid];
+        resident -= cohort_count_[cid];
+        free_cohorts_.push_back(static_cast<std::int32_t>(cid));
+        ++freed_count;
+        freed_sm = cohort_sm_[cid];
+      } while (!heap.empty() && heap.top_key() <= t);
+    } else {
+      StreamCore& stream = streams_[stream_id];
+      stream.level += stream.rate * (t - stream.last_t);
+      stream.last_t = t;
+      // Snap onto the triggering threshold: the event time was computed as
+      // the exact crossing, so any residue is rounding, not physics.
+      if (stream.level < heap.top_key()) stream.level = heap.top_key();
+
+      if (stream_id < mem_stream) {
+        do {
+          const auto cid = static_cast<std::size_t>(heap.top_value());
+          heap.pop();
+          compute_consumers_[stream_id] -= cohort_count_[cid];
+          cohort_remaining_[cid] &= static_cast<std::uint8_t>(~kComputeBit);
+          finish_or_defer(cid);
+        } while (!heap.empty() && heap.top_key() <= stream.level);
+      } else {
+        do {
+          const auto cid = static_cast<std::size_t>(heap.top_value());
+          heap.pop();
+          mem_consumers -= cohort_count_[cid];
+          cohort_remaining_[cid] &= static_cast<std::uint8_t>(~kMemoryBit);
+          finish_or_defer(cid);
+        } while (!heap.empty() && heap.top_key() <= stream.level);
+      }
+    }
+    mark_dirty(stream_id);
+
+    if (freed_count > 0 && pending > 0) {
+      if (freed_count == 1 && !quantized) {
+        // Steady-state fast path: while blocks are pending the chip was
+        // full before this event, so the single freed slot is the unique
+        // least-loaded SM — no min scan, no batch machinery. Draw order
+        // matches place_pending exactly (one draw per pending decrement,
+        // redrawing through degenerate blocks).
+        while (pending > 0) {
+          --pending;
+          const double jitter = rng.lognormal(1.0, sigma);
+          const double compute = base.compute_cycles * jitter;
+          const double memory = base.memory_bytes * jitter;
+          const double floor = base.floor_s * jitter;
+          if (compute <= kSimEps && memory <= kSimEps && floor <= kSimEps)
+            continue;
+          ++sm_load_[static_cast<std::size_t>(freed_sm)];
+          ++resident;
+          open_cohort(freed_sm, compute, memory, floor);
+          break;
+        }
+      } else {
+        place_pending();
+      }
+    }
+    flush_dirty();
   }
   GROPHECY_ENSURES(pending == 0);
   return t;

@@ -26,15 +26,29 @@
 //     rate 1. Demands therefore exhaust in a FIXED per-stream order that
 //     rate changes cannot reorder — each block's exhaustion point is a
 //     constant threshold in its stream's "drain level" coordinate.
-//     Thresholds go into per-stream min-heaps once at placement; an
-//     indexed min-heap across the (num_sms + 2) streams picks the next
-//     exhaustion; rate changes rekey one stream in O(log) instead of
-//     touching every block. Blocks placed at the same instant on the same
-//     SM with the same jitter collapse into one cohort (one heap entry,
-//     one retirement); with continuous jitter cohorts are singletons, and
-//     a quantized-jitter option (EventSimOptions::jitter_quantum) snaps
-//     draws to a lattice so batches share cohorts at a small, documented
-//     accuracy cost.
+//     Thresholds go into per-stream flat 4-ary min-heaps (SoA
+//     threshold[]/cohort[] arrays, util::FlatDaryHeap) once at placement;
+//     a lazy per-stream next-exhaustion-time array scanned with a
+//     vectorized min picks the next event, so a rate change rekeys one
+//     stream with one multiply against precomputed fair-share rate tables
+//     instead of a divide plus a heap sift. Demands whose drain rate is
+//     frozen for the cohort's whole residency — the floor (rate 1 always)
+//     and, when occupancy is one block per SM, the private compute stream
+//     — never enter a heap at all: they fold into one per-cohort wall-
+//     clock deadline resolved at the cohort's last demand pop (or by the
+//     deadline heap when the folded demand is what gates retirement), so
+//     non-gating exhaustions cost no events. Jitter draws are batched
+//     through util::Rng::fill_lognormal (bitwise the sequential stream)
+//     and blocks placed at the same instant on the same SM with the same
+//     jitter collapse into one cohort (one heap entry, one retirement) —
+//     with continuous jitter cohorts are singletons, and a
+//     quantized-jitter option (EventSimOptions::jitter_quantum) snaps
+//     draws to a lattice (exp memoized per lattice point, merges found by
+//     an epoch-tagged bucket table) so batches share cohorts at a small,
+//     documented accuracy cost. All scratch is engine-owned and grow-only:
+//     after the first launch on a chip geometry, a whole simulation runs
+//     without touching the allocator (gated by micro_sim's operator-new
+//     counter).
 //
 // See docs/performance.md for the invariants and the micro_sim numbers.
 #pragma once
@@ -45,7 +59,7 @@
 #include "gpumodel/characteristics.h"
 #include "gpumodel/occupancy.h"
 #include "hw/machine.h"
-#include "util/indexed_heap.h"
+#include "util/flat_dary_heap.h"
 #include "util/rng.h"
 
 namespace grophecy::sim {
@@ -96,41 +110,50 @@ class CohortEngine {
   const CohortSimStats& stats() const { return stats_; }
 
  private:
-  // --- jittered-path state (members to keep the hot path allocation-free)
-  struct Cohort {
-    int sm = 0;
-    std::int32_t count = 0;
-    std::uint8_t remaining = 0;  ///< Bitmask of unexhausted demands.
-  };
-  struct HeapEntry {
-    double threshold = 0.0;
-    std::int32_t cohort = 0;
-  };
-  struct Stream {
-    std::vector<HeapEntry> heap;  ///< Min-heap on threshold.
-    double level = 0.0;           ///< Drain level at last_t.
+  // --- jittered-path state, all structure-of-arrays and grow-only so the
+  //     steady-state loop never allocates (reserved once per chip geometry,
+  //     cleared without freeing between launches).
+  struct StreamCore {
+    double level = 0.0;     ///< Drain level at last_t.
     double last_t = 0.0;
-    double rate = 0.0;            ///< Per-block drain rate.
+    double rate = 0.0;      ///< Per-block drain rate.
+    double inv_rate = 0.0;  ///< Reciprocal companion: multiply, don't divide.
   };
-  struct Placement {
-    int sm = 0;
-    double jitter = 1.0;
-    std::int32_t count = 0;
-  };
-
-  void heap_push(Stream& stream, double threshold, std::int32_t cohort);
-  HeapEntry heap_pop(Stream& stream);
 
   CohortSimStats stats_;
-  std::vector<Stream> streams_;
-  std::vector<Cohort> cohorts_;
+  std::vector<StreamCore> streams_;
+  std::vector<util::FlatDaryHeap<4>> heaps_;  ///< Thresholds per stream.
+  std::vector<double> next_time_;  ///< Lazy next exhaustion time per stream.
+  // Cohorts as parallel arrays; retired slots recycle through free_cohorts_.
+  std::vector<std::int32_t> cohort_sm_;
+  std::vector<std::int32_t> cohort_count_;
+  std::vector<std::uint8_t> cohort_remaining_;  ///< Unexhausted-demand bits.
+  std::vector<double> cohort_deadline_;  ///< Folded constant-rate demands.
   std::vector<std::int32_t> free_cohorts_;
+  std::vector<std::int32_t> freed_sms_;  ///< Solo path: SMs freed this event.
   std::vector<int> sm_load_;
   std::vector<std::int64_t> compute_consumers_;
-  std::vector<Placement> batch_;
+  // Fair-share rates indexed by consumer count: rate[c] is bitwise the
+  // reference's issue/c (resp. bw/c); the precomputed reciprocal turns the
+  // per-refresh division into a multiply.
+  std::vector<double> compute_rate_;
+  std::vector<double> compute_inv_rate_;
+  std::vector<double> mem_rate_;
+  std::vector<double> mem_inv_rate_;
+  // Batched jitter draws and their lattice indices (quantized mode).
+  std::vector<double> draw_;
+  std::vector<std::int32_t> draw_idx_;
+  // Lattice point -> jitter memo: exp() once per distinct point, not per
+  // block. Rebuilt only when the lattice step changes.
+  std::vector<double> lattice_jitter_;
+  double lattice_step_ = 0.0;
+  // Lattice-bucket counting merge: cohort id per (lattice point, SM) cell,
+  // epoch-tagged so invalidating a batch's cells is O(1).
+  std::vector<std::int32_t> bucket_cohort_;
+  std::vector<std::uint32_t> bucket_epoch_;
+  std::uint32_t epoch_ = 0;
   std::vector<std::size_t> dirty_;
   std::vector<char> dirty_flag_;
-  util::IndexedMinHeap next_event_;
 };
 
 }  // namespace grophecy::sim

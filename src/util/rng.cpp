@@ -87,6 +87,41 @@ double Rng::lognormal(double median, double sigma) {
   return median * std::exp(sigma * normal());
 }
 
+void Rng::fill_normal(double* dst, std::size_t n) {
+  if (n == 0) return;
+  GROPHECY_EXPECTS(dst != nullptr);
+  std::size_t i = 0;
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    dst[i++] = cached_normal_;
+  }
+  // Whole Box-Muller pairs land directly in the output — same expressions
+  // and evaluation order as normal(), just without the cache round-trip,
+  // so the stream is bitwise-identical to sequential draws.
+  while (i + 2 <= n) {
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    dst[i] = radius * std::cos(angle);
+    dst[i + 1] = radius * std::sin(angle);
+    i += 2;
+  }
+  // Odd tail: a normal() call caches its pair's second value for whoever
+  // draws next, exactly as the sequential stream would.
+  if (i < n) dst[i] = normal();
+}
+
+void Rng::fill_lognormal(double median, double sigma, double* dst,
+                         std::size_t n) {
+  GROPHECY_EXPECTS(median > 0.0);
+  GROPHECY_EXPECTS(sigma >= 0.0);
+  fill_normal(dst, n);
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = median * std::exp(sigma * dst[i]);
+}
+
 bool Rng::bernoulli(double p) {
   GROPHECY_EXPECTS(p >= 0.0 && p <= 1.0);
   return uniform() < p;

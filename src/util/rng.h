@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace grophecy::util {
@@ -42,6 +43,19 @@ class Rng {
   /// the underlying normal has standard deviation `sigma`. A multiplicative
   /// jitter factor around 1.0 is lognormal(1.0, sigma).
   double lognormal(double median, double sigma);
+
+  /// Fills `dst[0..n)` with standard-normal draws. Bitwise-identical to
+  /// `n` successive `normal()` calls, including the Box-Muller pair cache:
+  /// a fill may start by consuming a cached value and may end by leaving
+  /// one behind, so any split of one stream into fills and single draws
+  /// produces the same sequence.
+  void fill_normal(double* dst, std::size_t n);
+
+  /// Fills `dst[0..n)` with lognormal(median, sigma) draws,
+  /// bitwise-identical to `n` successive `lognormal(median, sigma)` calls
+  /// (same cache semantics as fill_normal).
+  void fill_lognormal(double median, double sigma, double* dst,
+                      std::size_t n);
 
   /// Bernoulli trial with probability p of returning true.
   bool bernoulli(double p);

@@ -227,6 +227,85 @@ TEST(SimEquivalence, QuantizedJitterSharesCohortsAndStaysClose) {
   EXPECT_LT(stats.cohorts, static_cast<std::uint64_t>(kc.num_blocks));
 }
 
+TEST(SimEquivalence, QuantizedCohortsBoundedByLatticePointsPerSm) {
+  // Structural property of the counting merge: within one placement
+  // batch, blocks landing on the same SM with the same lattice point
+  // share one cohort. A single full wave is placed as ONE batch, so its
+  // cohort count is bounded by (distinct lattice points) x num_sms —
+  // with a coarse quantum that is far below the block count.
+  const hw::GpuSpec gpu = g80();
+  KernelCharacteristics kc;
+  kc.kernel_name = "lattice-bound";
+  kc.variant.block_size = 128;
+  kc.regs_per_thread = 10;
+  kc.flops_per_thread = 60.0;
+  MemAccess access;
+  kc.accesses.push_back(access);
+
+  const gpumodel::Occupancy occ = gpumodel::compute_occupancy(
+      gpu, kc.variant.block_size, kc.regs_per_thread, 0);
+  const std::int64_t capacity =
+      static_cast<std::int64_t>(occ.blocks_per_sm) * gpu.num_sms;
+  kc.num_blocks = capacity;  // exactly one wave: a single placement batch
+
+  const double quantum = 4.0;  // lattice step of 4 sigma: a handful of points
+  EventGpuSimulator quantized(gpu, 21,
+                              EventSimOptions{SimEngine::kCohort, quantum});
+  (void)quantized.run_launch_seconds(kc);
+  const CohortSimStats& stats = quantized.last_stats();
+  EXPECT_EQ(stats.blocks, capacity);
+  // Practically every standard-normal draw lies within |z| <= 6, i.e.
+  // round(z / quantum) spans at most 2 * ceil(6 / quantum) + 1 points
+  // (the seed is fixed, so this is deterministic, not flaky).
+  const std::uint64_t points =
+      2 * static_cast<std::uint64_t>(std::ceil(6.0 / quantum)) + 1;
+  EXPECT_LE(stats.cohorts, points * static_cast<std::uint64_t>(gpu.num_sms));
+  EXPECT_LT(stats.cohorts, static_cast<std::uint64_t>(capacity));
+
+  // Continuous jitter on the same shape shares nothing: every
+  // non-degenerate block is its own singleton cohort.
+  EventGpuSimulator continuous(gpu, 21);
+  (void)continuous.run_launch_seconds(kc);
+  EXPECT_EQ(continuous.last_stats().cohorts,
+            static_cast<std::uint64_t>(capacity));
+}
+
+TEST(SimEquivalence, QuantizedRunsAreDeterministicAndIsolated) {
+  // Same seed => bitwise-identical run sequence, and the epoch-tagged
+  // bucket table must not leak merges across runs or across kernels (a
+  // stale cell from a previous launch merging a new block would corrupt
+  // both the count and the physics).
+  const hw::GpuSpec gpu = g80();
+  KernelCharacteristics kc;
+  kc.kernel_name = "iso";
+  kc.variant.block_size = 128;
+  kc.regs_per_thread = 10;
+  kc.num_blocks = 2500;
+  kc.flops_per_thread = 30.0;
+  MemAccess access;
+  kc.accesses.push_back(access);
+
+  KernelCharacteristics other = kc;
+  other.kernel_name = "iso-other";
+  other.variant.block_size = 64;
+  other.num_blocks = 700;
+
+  const EventSimOptions opts{SimEngine::kCohort, 0.5};
+  EventGpuSimulator plain(gpu, 31, opts);
+  EventGpuSimulator interleaved(gpu, 31, opts);
+  for (int run = 0; run < 5; ++run) {
+    const double a = plain.run_launch_seconds(kc);
+    const double b = interleaved.run_launch_seconds(kc);
+    EXPECT_EQ(a, b) << "run " << run;
+    // Burn the same number of draws on both sides so the streams stay in
+    // lockstep, but through a different kernel shape on one engine: its
+    // buckets, lattice memo, and scratch get churned between runs.
+    const double oa = plain.run_launch_seconds(other);
+    const double ob = interleaved.run_launch_seconds(other);
+    EXPECT_EQ(oa, ob) << "run " << run;
+  }
+}
+
 TEST(SimEquivalence, CohortStatsReflectTheLastSimulation) {
   const hw::GpuSpec gpu = g80();
   KernelCharacteristics kc;

@@ -79,6 +79,92 @@ TEST(Rng, LognormalZeroSigmaIsDeterministic) {
   EXPECT_DOUBLE_EQ(rng.lognormal(3.5, 0.0), 3.5);
 }
 
+TEST(Rng, FillNormalIsBitwiseTheSequentialStream) {
+  // One bulk fill must equal the same number of sequential normal()
+  // draws exactly — the cohort engine batches its jitter draws and
+  // promises a bitwise-unchanged stream.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1001}}) {
+    Rng sequential(42);
+    Rng bulk(42);
+    std::vector<double> expect(n);
+    for (double& v : expect) v = sequential.normal();
+    std::vector<double> got(n);
+    bulk.fill_normal(got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(expect[i], got[i]) << "n=" << n << " i=" << i;
+    // The generators stay in lockstep afterwards (including the
+    // Box-Muller pair cache: odd n leaves one value cached).
+    for (int i = 0; i < 8; ++i)
+      ASSERT_EQ(sequential.normal(), bulk.normal());
+    ASSERT_EQ(sequential.next_u64(), bulk.next_u64());
+  }
+}
+
+TEST(Rng, FillNormalSplitsAreBitwiseInvariant) {
+  // Any split of one stream into fills and single draws produces the
+  // same sequence: a fill may start by consuming a cached normal and end
+  // by leaving one behind.
+  constexpr std::size_t kTotal = 256;
+  Rng sequential(99);
+  std::vector<double> expect(kTotal);
+  for (double& v : expect) v = sequential.normal();
+
+  const std::vector<std::vector<std::size_t>> splits = {
+      {kTotal},
+      {1, kTotal - 1},          // fill starts on a cached value
+      {3, 5, kTotal - 8},       // odd chunks: every boundary hits the cache
+      {128, 128},
+      {7, 1, 1, 9, kTotal - 18},
+  };
+  for (const auto& split : splits) {
+    Rng rng(99);
+    std::vector<double> got;
+    got.reserve(kTotal);
+    for (const std::size_t chunk : split) {
+      std::vector<double> buf(chunk);
+      rng.fill_normal(buf.data(), chunk);
+      got.insert(got.end(), buf.begin(), buf.end());
+    }
+    ASSERT_EQ(got.size(), kTotal);
+    for (std::size_t i = 0; i < kTotal; ++i)
+      ASSERT_EQ(expect[i], got[i]) << "i=" << i;
+  }
+
+  // Mixing single draws between fills also keeps the stream intact.
+  Rng mixed(99);
+  std::vector<double> got;
+  std::vector<double> buf(100);
+  mixed.fill_normal(buf.data(), 3);
+  got.insert(got.end(), buf.begin(), buf.begin() + 3);
+  got.push_back(mixed.normal());
+  mixed.fill_normal(buf.data(), 100);
+  got.insert(got.end(), buf.begin(), buf.begin() + 100);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(expect[i], got[i]) << "i=" << i;
+}
+
+TEST(Rng, FillLognormalIsBitwiseTheSequentialStream) {
+  constexpr std::size_t kTotal = 333;  // odd: exercises the cache tail
+  Rng sequential(7);
+  std::vector<double> expect(kTotal);
+  for (double& v : expect) v = sequential.lognormal(2.5, 0.4);
+  Rng bulk(7);
+  std::vector<double> got(kTotal);
+  bulk.fill_lognormal(2.5, 0.4, got.data(), kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i)
+    ASSERT_EQ(expect[i], got[i]) << "i=" << i;
+  ASSERT_EQ(sequential.lognormal(2.5, 0.4), bulk.lognormal(2.5, 0.4));
+}
+
+TEST(Rng, FillZeroLengthLeavesTheStreamUntouched) {
+  Rng a(5);
+  Rng b(5);
+  a.fill_normal(nullptr, 0);
+  a.fill_lognormal(1.0, 0.1, nullptr, 0);
+  ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, BernoulliFrequencyMatchesP) {
   Rng rng(19);
   int hits = 0;
